@@ -1,0 +1,97 @@
+// Command datagen emits workload instances as a query spec plus TSV
+// relations (the format cmd/mpcrun consumes).
+//
+// Usage:
+//
+//	datagen -query matmul -kind blocks -blocks 64 -fan 8 -out /tmp/mm
+//	datagen -query line3  -kind zipf   -n 4096 -dom 512 -s 1.4 -out /tmp/ln
+//	datagen -query fig3   -kind multi  -blocks 32 -fan 2 -mult 4 -out /tmp/tw
+//
+// Queries: matmul, line3, line4, star3, star4, fig1 (the paper's Figure 1
+// star-like query), fig2 (the Figure 2 tree), fig3 (the Figure 3 twig).
+// Kinds: blocks (exact OUT = blocks·fan^{|y|}), multi (blocks plus a
+// multiplicity on non-output attributes), uniform, zipf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/textio"
+	"mpcjoin/internal/workload"
+)
+
+func main() {
+	var (
+		query  = flag.String("query", "matmul", "matmul|line3|line4|star3|star4|fig1|fig2|fig3")
+		kind   = flag.String("kind", "blocks", "blocks|multi|uniform|zipf")
+		blocks = flag.Int("blocks", 64, "blocks (blocks/multi kinds)")
+		fan    = flag.Int("fan", 4, "output-attribute fan per block")
+		mult   = flag.Int("mult", 2, "non-output multiplicity (multi kind)")
+		n      = flag.Int("n", 4096, "tuples per relation (uniform/zipf)")
+		dom    = flag.Int("dom", 512, "domain size (uniform/zipf)")
+		s      = flag.Float64("s", 1.4, "Zipf exponent (> 1)")
+		seed   = flag.Int64("seed", 1, "randomness seed")
+		out    = flag.String("out", "", "output directory (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+
+	q, err := queryByName(*query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(2)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var inst db.Instance[int64]
+	var meta workload.Meta
+	switch *kind {
+	case "blocks":
+		inst, meta = workload.Blocks(q, *blocks, *fan)
+	case "multi":
+		inst, meta = workload.BlocksMulti(q, *blocks, *fan, *mult)
+	case "uniform":
+		inst, meta = workload.Uniform(q, *n, *dom, rng)
+	case "zipf":
+		inst, meta = workload.Zipf(q, *n, *dom, *s, rng)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if err := textio.WriteInstance(*out, q, inst); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d relations, %s\n", *out, len(q.Edges), meta.Describe())
+}
+
+func queryByName(name string) (*hypergraph.Query, error) {
+	switch name {
+	case "matmul":
+		return hypergraph.MatMulQuery(), nil
+	case "line3":
+		return hypergraph.LineQuery(3), nil
+	case "line4":
+		return hypergraph.LineQuery(4), nil
+	case "star3":
+		return hypergraph.StarQuery(3), nil
+	case "star4":
+		return hypergraph.StarQuery(4), nil
+	case "fig1":
+		return hypergraph.Fig1StarLike(), nil
+	case "fig2":
+		return hypergraph.Fig2Tree(), nil
+	case "fig3":
+		return hypergraph.Fig3Twig(), nil
+	}
+	return nil, fmt.Errorf("unknown query %q", name)
+}

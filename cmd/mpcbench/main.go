@@ -1,0 +1,73 @@
+// Command mpcbench regenerates the experiments of the Hu–Yi PODS'20
+// reproduction: every Table 1 row, the Theorem 1 branch crossover and
+// unequal-size sweep, the p-scaling exponent fits, the Theorem 2/3
+// lower-bound audits, the Figure 1/2 reproductions, the §2.2 estimator
+// accuracy check, and the locality/packing ablations.
+//
+// Usage:
+//
+//	mpcbench -list
+//	mpcbench -experiment all            # full-size run (minutes)
+//	mpcbench -experiment T1-MM-load,LB-Thm3 -quick
+//
+// Every experiment verifies its results against the distributed
+// Yannakakis baseline (or the sequential reference) as it runs; a
+// "MISMATCH" in any verified column is a bug.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpcjoin/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exper = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
+		quick = flag.Bool("quick", false, "shrink instance sizes for a fast pass")
+		seed  = flag.Uint64("seed", 7, "randomness seed (runs are reproducible per seed)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *exper == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*exper, ",")
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	failed := false
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		t0 := time.Now()
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: %v\n", err)
+			failed = true
+			continue
+		}
+		out := tab.Format()
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+		if strings.Contains(out, "MISMATCH") {
+			fmt.Fprintf(os.Stderr, "mpcbench: %s: verification MISMATCH\n", id)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// Why-provenance through a tree query (§7 of Hu–Yi PODS'20 + annotated
+// relations of Green et al.).
+//
+// A supply-chain database forms a tree query: Suppliers ship Parts,
+// Parts go into Assemblies, Assemblies are installed at Plants, and
+// Plants serve Regions:
+//
+//	Ships(S, P) ⋈ Into(P, A) ⋈ Installed(A, L) ⋈ Serves(L, R)
+//	GROUP BY S, R
+//
+// with the part, assembly and plant attributes aggregated away. Under the
+// why-provenance semiring the annotation of each (supplier, region) output
+// is the set of minimal witness sets — which concrete shipment, usage,
+// installation and service records derive the connection. The same query
+// under the Boolean semiring merely says the connection exists; provenance
+// says why, which is what an auditor recalls when a batch is recalled.
+package main
+
+import (
+	"fmt"
+
+	"mpcjoin"
+)
+
+func main() {
+	q := mpcjoin.NewQuery().
+		Relation("Ships", "S", "P").
+		Relation("Into", "P", "A").
+		Relation("Installed", "A", "L").
+		Relation("Serves", "L", "R").
+		GroupBy("S", "R")
+
+	data := mpcjoin.Instance[mpcjoin.Provenance]{
+		"Ships":     mpcjoin.NewRelation[mpcjoin.Provenance]("S", "P"),
+		"Into":      mpcjoin.NewRelation[mpcjoin.Provenance]("P", "A"),
+		"Installed": mpcjoin.NewRelation[mpcjoin.Provenance]("A", "L"),
+		"Serves":    mpcjoin.NewRelation[mpcjoin.Provenance]("L", "R"),
+	}
+	// Every base record gets a unique witness id; names below are comments.
+	next := mpcjoin.Witness(0)
+	tag := func() mpcjoin.Provenance { next++; return mpcjoin.WhyOf(next) }
+
+	// Suppliers 1, 2 ship parts 10, 11; both parts go into assembly 100;
+	// a second assembly 101 uses part 11 only.
+	data["Ships"].Add(tag(), 1, 10)  // w1
+	data["Ships"].Add(tag(), 1, 11)  // w2
+	data["Ships"].Add(tag(), 2, 11)  // w3
+	data["Into"].Add(tag(), 10, 100) // w4
+	data["Into"].Add(tag(), 11, 100) // w5
+	data["Into"].Add(tag(), 11, 101) // w6
+	// Assembly 100 installed at plants 1000, 1001; 101 at 1001 only.
+	data["Installed"].Add(tag(), 100, 1000) // w7
+	data["Installed"].Add(tag(), 100, 1001) // w8
+	data["Installed"].Add(tag(), 101, 1001) // w9
+	// Plant 1000 serves region 7; plant 1001 serves regions 7 and 8.
+	data["Serves"].Add(tag(), 1000, 7) // w10
+	data["Serves"].Add(tag(), 1001, 7) // w11
+	data["Serves"].Add(tag(), 1001, 8) // w12
+
+	cls, _ := q.Class()
+	fmt.Printf("query class: %s\n\n", cls)
+
+	res, err := mpcjoin.Execute[mpcjoin.Provenance](mpcjoin.Why(), q, data,
+		mpcjoin.WithServers(4))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("supplier → region connections (engine %s):\n", res.Engine)
+	for _, row := range res.Rows {
+		fmt.Printf("  supplier %d → region %d, %d derivation(s):\n",
+			row.Vals[0], row.Vals[1], len(row.Annot))
+		for _, ws := range row.Annot {
+			fmt.Printf("    records %v\n", ws)
+		}
+	}
+	fmt.Printf("\nMPC cost: %d rounds, load L = %d\n", res.Stats.Rounds, res.Stats.MaxLoad)
+}

@@ -1,0 +1,43 @@
+// Quickstart: sparse Boolean matrix multiplication as two-hop
+// reachability. Given follower edges R1(A,B) and R2(B,C) of a small
+// directed graph, compute which pairs (a, c) are connected by some
+// two-edge path — the query ∑_B R1(A,B) ⋈ R2(B,C) under the Boolean
+// semiring, evaluated with the worst-case optimal MPC algorithm of
+// Hu–Yi PODS'20 on a simulated 8-server cluster.
+package main
+
+import (
+	"fmt"
+
+	"mpcjoin"
+)
+
+func main() {
+	// ∑_B R1(A,B) ⋈ R2(B,C) with GROUP BY A, C — matrix multiplication.
+	q := mpcjoin.NewQuery().
+		Relation("R1", "A", "B").
+		Relation("R2", "B", "C").
+		GroupBy("A", "C")
+
+	// A tiny directed graph: 0→{10,11}, 1→{11}, then 10→{20}, 11→{20,21}.
+	data := mpcjoin.Instance[bool]{
+		"R1": mpcjoin.NewRelation[bool]("A", "B"),
+		"R2": mpcjoin.NewRelation[bool]("B", "C"),
+	}
+	data["R1"].Add(true, 0, 10).Add(true, 0, 11).Add(true, 1, 11)
+	data["R2"].Add(true, 10, 20).Add(true, 11, 20).Add(true, 11, 21)
+
+	res, err := mpcjoin.Execute[bool](mpcjoin.Bools(), q, data,
+		mpcjoin.WithServers(8))
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("query class: %s (engine: %s)\n", res.Class, res.Engine)
+	fmt.Println("two-hop reachable pairs:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %d ⇒ %d\n", row.Vals[0], row.Vals[1])
+	}
+	fmt.Printf("MPC cost: %d rounds, load L = %d, %d units total\n",
+		res.Stats.Rounds, res.Stats.MaxLoad, res.Stats.TotalComm)
+}

@@ -1,0 +1,190 @@
+// Package core is the query engine tying the paper's algorithms together:
+// it classifies a tree join-aggregate query (hypergraph.Classify) and
+// dispatches to the §3–§7 algorithm matching its class, or to the
+// distributed Yannakakis baseline on request. It is the implementation
+// behind the module's public API.
+package core
+
+import (
+	"fmt"
+
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/estimate"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/linequery"
+	"mpcjoin/internal/matmul"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/starlike"
+	"mpcjoin/internal/starquery"
+	"mpcjoin/internal/treequery"
+	"mpcjoin/internal/yannakakis"
+)
+
+// Strategy selects the execution engine.
+type Strategy int
+
+const (
+	// StrategyAuto dispatches by query class: free-connex queries run the
+	// distributed Yannakakis algorithm (already optimal there); matrix
+	// multiplication, line, star, star-like and general tree queries run
+	// the corresponding Hu–Yi algorithm.
+	StrategyAuto Strategy = iota
+	// StrategyYannakakis forces the distributed Yannakakis baseline —
+	// Table 1's comparison column.
+	StrategyYannakakis
+	// StrategyTree forces the general §7 tree engine regardless of class
+	// (it subsumes all the specialized classes via its twig dispatch).
+	StrategyTree
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyYannakakis:
+		return "yannakakis"
+	case StrategyTree:
+		return "tree"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options configures Execute.
+type Options struct {
+	// Servers is p, the simulated cluster size (default 16).
+	Servers int
+	// Strategy selects the engine (default StrategyAuto).
+	Strategy Strategy
+	// Est configures the §2.2 estimator used by the specialized engines.
+	Est estimate.Params
+	// Seed drives hash partitioning (reproducible runs).
+	Seed uint64
+	// OutOracle, when positive, replaces estimated output sizes in the
+	// matmul/line engines (experiment support).
+	OutOracle int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Servers == 0 {
+		o.Servers = 16
+	}
+	return o
+}
+
+// Plan describes how a query will be executed.
+type Plan struct {
+	Class    hypergraph.Class
+	Strategy Strategy
+	// Engine is the algorithm that will run ("yannakakis", "matmul", …).
+	Engine string
+}
+
+// PlanQuery classifies the query and reports the engine Auto would pick.
+func PlanQuery(q *hypergraph.Query, strat Strategy) (Plan, error) {
+	if err := q.Validate(); err != nil {
+		return Plan{}, err
+	}
+	c := q.Classify()
+	pl := Plan{Class: c, Strategy: strat}
+	switch strat {
+	case StrategyYannakakis:
+		pl.Engine = "yannakakis"
+	case StrategyTree:
+		pl.Engine = "tree"
+	default:
+		switch c {
+		case hypergraph.ClassFreeConnex:
+			pl.Engine = "yannakakis"
+		case hypergraph.ClassMatMul:
+			pl.Engine = "matmul"
+		case hypergraph.ClassLine:
+			pl.Engine = "line"
+		case hypergraph.ClassStar:
+			pl.Engine = "star"
+		case hypergraph.ClassStarLike:
+			pl.Engine = "star-like"
+		default:
+			pl.Engine = "tree"
+		}
+	}
+	return pl, nil
+}
+
+// Execute evaluates the query over the instance on a simulated p-server
+// MPC cluster and returns the (gathered) result relation together with the
+// metered communication cost.
+func Execute[W any](sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instance[W], opts Options) (*relation.Relation[W], mpc.Stats, error) {
+	res, st, err := ExecuteDistributed(sr, q, inst, opts)
+	if err != nil {
+		return nil, mpc.Stats{}, err
+	}
+	return dist.ToRelation(res), st, nil
+}
+
+// ExecuteDistributed is Execute but leaves the result distributed, as the
+// MPC model does.
+func ExecuteDistributed[W any](sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instance[W], opts Options) (dist.Rel[W], mpc.Stats, error) {
+	opts = opts.withDefaults()
+	if err := q.Validate(); err != nil {
+		return dist.Rel[W]{}, mpc.Stats{}, err
+	}
+	if err := db.Validate(q, inst); err != nil {
+		return dist.Rel[W]{}, mpc.Stats{}, err
+	}
+	pl, err := PlanQuery(q, opts.Strategy)
+	if err != nil {
+		return dist.Rel[W]{}, mpc.Stats{}, err
+	}
+
+	rels := make(map[string]dist.Rel[W], len(q.Edges))
+	for _, e := range q.Edges {
+		rels[e.Name] = dist.FromRelation(inst[e.Name], opts.Servers)
+	}
+
+	res, st, err := dispatch(sr, q, rels, pl, opts)
+	if err != nil {
+		return dist.Rel[W]{}, mpc.Stats{}, err
+	}
+	// Engines may emit columns in their internal order; present them in
+	// the query's declared output order (a local, zero-cost permutation).
+	if len(q.Output) > 0 {
+		res = dist.Reorder(res, q.Output)
+	}
+	return res, st, nil
+}
+
+func dispatch[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[string]dist.Rel[W], pl Plan, opts Options) (dist.Rel[W], mpc.Stats, error) {
+	switch pl.Engine {
+	case "yannakakis":
+		res, st := yannakakis.Run(sr, q, rels)
+		return res, st, nil
+	case "matmul":
+		view, _ := q.LineView()
+		in := matmul.Input[W]{
+			R1: rels[q.Edges[view.EdgeOrder[0]].Name],
+			R2: rels[q.Edges[view.EdgeOrder[1]].Name],
+			B:  view.Vertices[1],
+		}
+		res, st, err := matmul.Compute(sr, in, matmul.Options{Est: opts.Est, Seed: opts.Seed, OutOracle: opts.OutOracle})
+		if err != nil {
+			return dist.Rel[W]{}, mpc.Stats{}, err
+		}
+		return res, st, nil
+	case "line":
+		res, st, err := linequery.Compute(sr, q, rels, linequery.Options{Est: opts.Est, Seed: opts.Seed, OutOracle: opts.OutOracle})
+		return res, st, err
+	case "star":
+		res, st, err := starquery.Compute(sr, q, rels, starquery.Options{Est: opts.Est, Seed: opts.Seed})
+		return res, st, err
+	case "star-like":
+		res, st, err := starlike.Compute(sr, q, rels, starlike.Options{Est: opts.Est, Seed: opts.Seed})
+		return res, st, err
+	default:
+		res, st, err := treequery.Compute(sr, q, rels, treequery.Options{Est: opts.Est, Seed: opts.Seed})
+		return res, st, err
+	}
+}

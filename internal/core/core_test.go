@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/refengine"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+var intSR = semiring.IntSumProd{}
+
+func intEq(a, b int64) bool { return a == b }
+
+func randomInstance(rng *rand.Rand, q *hypergraph.Query, n, dom int) db.Instance[int64] {
+	inst := make(db.Instance[int64])
+	for _, e := range q.Edges {
+		r := relation.New[int64](e.Attrs...)
+		for i := 0; i < n; i++ {
+			vals := make([]relation.Value, len(e.Attrs))
+			for j := range vals {
+				vals[j] = relation.Value(rng.Intn(dom))
+			}
+			r.AppendRow(relation.Row[int64]{Vals: vals, W: int64(rng.Intn(4) + 1)})
+		}
+		inst[e.Name] = relation.Compact[int64](intSR, r)
+	}
+	return inst
+}
+
+func TestPlanEngineSelection(t *testing.T) {
+	cases := []struct {
+		q      *hypergraph.Query
+		engine string
+	}{
+		{hypergraph.MatMulQuery(), "matmul"},
+		{hypergraph.LineQuery(3), "line"},
+		{hypergraph.StarQuery(3), "star"},
+		{hypergraph.Fig1StarLike(), "star-like"},
+		{hypergraph.Fig2Tree(), "tree"},
+		{hypergraph.NewQuery([]hypergraph.Edge{
+			hypergraph.Bin("R1", "A", "B"), hypergraph.Bin("R2", "B", "C"),
+		}, "A", "B", "C"), "yannakakis"},
+	}
+	for _, c := range cases {
+		pl, err := PlanQuery(c.q, StrategyAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Engine != c.engine {
+			t.Errorf("query %v: engine %s, want %s", c.q.Output, pl.Engine, c.engine)
+		}
+	}
+	pl, _ := PlanQuery(hypergraph.MatMulQuery(), StrategyYannakakis)
+	if pl.Engine != "yannakakis" {
+		t.Errorf("forced baseline ignored: %s", pl.Engine)
+	}
+	pl, _ = PlanQuery(hypergraph.MatMulQuery(), StrategyTree)
+	if pl.Engine != "tree" {
+		t.Errorf("forced tree ignored: %s", pl.Engine)
+	}
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	queries := []*hypergraph.Query{
+		hypergraph.MatMulQuery(),
+		hypergraph.LineQuery(3),
+		hypergraph.StarQuery(3),
+		hypergraph.Fig1StarLike(),
+		hypergraph.Fig3Twig(),
+	}
+	for qi, q := range queries {
+		rng := rand.New(rand.NewSource(int64(qi)))
+		inst := randomInstance(rng, q, 18, 5)
+		want, err := refengine.Yannakakis[int64](intSR, q, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range []Strategy{StrategyAuto, StrategyYannakakis, StrategyTree} {
+			got, st, err := Execute[int64](intSR, q, inst, Options{Servers: 5, Strategy: strat, Seed: uint64(qi)})
+			if err != nil {
+				t.Fatalf("query %d strategy %v: %v", qi, strat, err)
+			}
+			if !relation.Equal[int64](intSR, intEq, got, want) {
+				t.Fatalf("query %d strategy %v: %v != %v", qi, strat, got, want)
+			}
+			if st.Rounds == 0 && want.Len() > 0 {
+				t.Fatalf("query %d strategy %v: no rounds metered", qi, strat)
+			}
+		}
+	}
+}
+
+func TestExecuteValidates(t *testing.T) {
+	q := hypergraph.MatMulQuery()
+	if _, _, err := Execute[int64](intSR, q, db.Instance[int64]{}, Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	bad := hypergraph.NewQuery([]hypergraph.Edge{hypergraph.Bin("R", "A", "A")}, "A")
+	if _, _, err := Execute[int64](intSR, bad, db.Instance[int64]{}, Options{}); err == nil {
+		t.Fatal("expected query validation error")
+	}
+}
+
+func TestDefaultServers(t *testing.T) {
+	q := hypergraph.MatMulQuery()
+	rng := rand.New(rand.NewSource(1))
+	inst := randomInstance(rng, q, 30, 5)
+	got, _, err := Execute[int64](intSR, q, inst, Options{}) // Servers unset
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := refengine.Yannakakis[int64](intSR, q, inst)
+	if !relation.Equal[int64](intSR, intEq, got, want) {
+		t.Fatal("default-server execution mismatch")
+	}
+}

@@ -1,0 +1,309 @@
+// Package dist layers distributed annotated relations on top of the MPC
+// simulator: a Rel is a relation whose rows are partitioned across servers,
+// and the package provides the relational MPC primitives of §2.1 —
+// distributed aggregation (reduce-by-key), semijoin (multi-search),
+// degree statistics, broadcast, co-location by key, and the dangling-tuple
+// full reducer for acyclic queries. All algorithm packages build on these.
+package dist
+
+import (
+	"fmt"
+
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+// Attr aliases the relation attribute type.
+type Attr = relation.Attr
+
+// Rel is a relation partitioned across the servers of an MPC cluster.
+type Rel[W any] struct {
+	Schema []Attr
+	Part   mpc.Part[relation.Row[W]]
+}
+
+// FromRelation distributes r evenly over p servers (the model's uncounted
+// initial placement).
+func FromRelation[W any](r *relation.Relation[W], p int) Rel[W] {
+	return Rel[W]{
+		Schema: append([]Attr(nil), r.Schema()...),
+		Part:   mpc.Distribute(r.Rows, p),
+	}
+}
+
+// Empty returns an empty Rel with the given schema over p servers.
+func Empty[W any](schema []Attr, p int) Rel[W] {
+	return Rel[W]{Schema: append([]Attr(nil), schema...), Part: mpc.NewPart[relation.Row[W]](p)}
+}
+
+// ToRelation gathers all shards into a sequential relation (unmetered;
+// used to read off final distributed outputs for verification).
+func ToRelation[W any](r Rel[W]) *relation.Relation[W] {
+	out := relation.New[W](r.Schema...)
+	for _, row := range mpc.Collect(r.Part) {
+		out.AppendRow(row)
+	}
+	return out
+}
+
+// P returns the relation's server count.
+func (r Rel[W]) P() int { return r.Part.P() }
+
+// N returns the total number of rows.
+func (r Rel[W]) N() int { return r.Part.Len() }
+
+// Cols maps attribute names to column indices, panicking on absences.
+func (r Rel[W]) Cols(attrs ...Attr) []int {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx[i] = -1
+		for c, s := range r.Schema {
+			if s == a {
+				idx[i] = c
+				break
+			}
+		}
+		if idx[i] < 0 {
+			panic(fmt.Sprintf("dist: attribute %q not in schema %v", a, r.Schema))
+		}
+	}
+	return idx
+}
+
+// Has reports whether the schema contains a.
+func (r Rel[W]) Has(a Attr) bool {
+	for _, s := range r.Schema {
+		if s == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a row-key function projecting rows onto attrs.
+func (r Rel[W]) Key(attrs ...Attr) func(relation.Row[W]) string {
+	idx := r.Cols(attrs...)
+	return func(row relation.Row[W]) string { return relation.EncodeKey(row.Vals, idx) }
+}
+
+// SharedAttrs returns the attributes present in both schemas, in r's order.
+func SharedAttrs[W any](r, s Rel[W]) []Attr {
+	var out []Attr
+	for _, a := range r.Schema {
+		if s.Has(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ShardRel views server s's shard as a sequential relation (local compute).
+func ShardRel[W any](r Rel[W], s int) *relation.Relation[W] {
+	out := relation.New[W](r.Schema...)
+	out.Rows = r.Part.Shards[s]
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Distributed operators
+// ---------------------------------------------------------------------------
+
+// ProjectAgg computes the distributed π̂_attrs: rows are projected onto
+// attrs and annotations of equal projections are ⊕-combined via
+// reduce-by-key. The result has one row per distinct key, keys sorted and
+// contiguous across servers. Cost: O(N'/p) load, O(1) rounds, where N' is
+// the input size.
+func ProjectAgg[W any](sr semiring.Semiring[W], r Rel[W], attrs ...Attr) (Rel[W], mpc.Stats) {
+	idx := r.Cols(attrs...)
+	projected := mpc.Map(r.Part, func(row relation.Row[W]) relation.Row[W] {
+		vals := make([]relation.Value, len(idx))
+		for i, c := range idx {
+			vals[i] = row.Vals[c]
+		}
+		return relation.Row[W]{Vals: vals, W: row.W}
+	})
+	allIdx := make([]int, len(attrs))
+	for i := range allIdx {
+		allIdx[i] = i
+	}
+	reduced, st := mpc.ReduceByKey(projected,
+		func(row relation.Row[W]) string { return relation.EncodeKey(row.Vals, allIdx) },
+		func(a, b relation.Row[W]) relation.Row[W] {
+			return relation.Row[W]{Vals: a.Vals, W: sr.Add(a.W, b.W)}
+		})
+	return Rel[W]{Schema: append([]Attr(nil), attrs...), Part: reduced}, st
+}
+
+// Semijoin filters r to the rows that match some row of s on their shared
+// attributes (r ⋉ s), via the multi-search primitive. Annotations pass
+// through. Cost: O((|r|+|s|)/p) load.
+func Semijoin[W any](r, s Rel[W]) (Rel[W], mpc.Stats) {
+	shared := SharedAttrs(r, s)
+	if len(shared) == 0 {
+		panic("dist: Semijoin with no shared attributes")
+	}
+	filtered, st := mpc.SemijoinKeys(r.Part, s.Part, r.Key(shared...), s.Key(shared...))
+	return Rel[W]{Schema: r.Schema, Part: filtered}, st
+}
+
+// SemijoinValues filters r to rows whose attr value appears in the keys
+// Part (values need not be unique).
+func SemijoinValues[W any](r Rel[W], a Attr, keys mpc.Part[relation.Value]) (Rel[W], mpc.Stats) {
+	c := r.Cols(a)[0]
+	filtered, st := mpc.SemijoinKeys(r.Part, keys,
+		func(row relation.Row[W]) relation.Value { return row.Vals[c] },
+		func(v relation.Value) relation.Value { return v })
+	return Rel[W]{Schema: r.Schema, Part: filtered}, st
+}
+
+// Degrees computes, for every distinct value of attribute a in r, the
+// number of rows carrying it (the §2.1 degree statistic). The result is a
+// Part of (value, count), one entry per distinct value.
+func Degrees[W any](r Rel[W], a Attr) (mpc.Part[mpc.KeyCount[int64]], mpc.Stats) {
+	c := r.Cols(a)[0]
+	return mpc.CountByKey(r.Part, func(row relation.Row[W]) int64 { return int64(row.Vals[c]) })
+}
+
+// Broadcast replicates r's rows to every server. Cost: one round with load
+// |r| per server — only sensible for small relations (the N₁=1 fast path).
+func Broadcast[W any](r Rel[W]) (Rel[W], mpc.Stats) {
+	part, st := mpc.Broadcast(r.Part)
+	return Rel[W]{Schema: r.Schema, Part: part}, st
+}
+
+// GroupBy co-locates all rows sharing a value vector on attrs onto single
+// servers (sorted, contiguous). The caller must keep the maximum group
+// size within the intended load.
+func GroupBy[W any](r Rel[W], attrs ...Attr) (Rel[W], mpc.Stats) {
+	grouped, st := mpc.GroupByKey(r.Part, r.Key(attrs...))
+	return Rel[W]{Schema: r.Schema, Part: grouped}, st
+}
+
+// Reshape reinterprets the relation over a different server count (see
+// mpc.Reshape); zero cost.
+func Reshape[W any](r Rel[W], p int) Rel[W] {
+	return Rel[W]{Schema: r.Schema, Part: mpc.Reshape(r.Part, p)}
+}
+
+// Rebalance spreads rows evenly across servers in one metered round.
+func Rebalance[W any](r Rel[W]) (Rel[W], mpc.Stats) {
+	part, st := mpc.Rebalance(r.Part)
+	return Rel[W]{Schema: r.Schema, Part: part}, st
+}
+
+// AttachAgg implements the §7 reduction step: agg must have one row per
+// distinct key over exactly the attributes on; every row of r is
+// ⊗-multiplied with the agg annotation matching it on on. Rows with no
+// match are dropped (they are dangling with respect to the removed
+// relation). Cost: one multi-search.
+func AttachAgg[W any](sr semiring.Semiring[W], r Rel[W], agg Rel[W], on []Attr) (Rel[W], mpc.Stats) {
+	preds, st := mpc.LookupJoin(r.Part, agg.Part, r.Key(on...), agg.Key(on...))
+	matched := mpc.Filter(preds, func(pr mpc.Pred[relation.Row[W], relation.Row[W]]) bool { return pr.Found })
+	rows := mpc.Map(matched, func(pr mpc.Pred[relation.Row[W], relation.Row[W]]) relation.Row[W] {
+		return relation.Row[W]{Vals: pr.X.Vals, W: sr.Mul(pr.X.W, pr.Y.W)}
+	})
+	return Rel[W]{Schema: r.Schema, Part: rows}, st
+}
+
+// UnionAgg ⊕-merges relations with identical schemas into one, combining
+// duplicate tuples (the "aggregate all subqueries" steps). Cost: one
+// reduce-by-key over the concatenation, rebalanced first.
+func UnionAgg[W any](sr semiring.Semiring[W], rels ...Rel[W]) (Rel[W], mpc.Stats) {
+	if len(rels) == 0 {
+		panic("dist: UnionAgg needs at least one input")
+	}
+	p := rels[0].P()
+	schema := rels[0].Schema
+	parts := make([]mpc.Part[relation.Row[W]], 0, len(rels))
+	for _, r := range rels {
+		if len(r.Schema) != len(schema) {
+			panic(fmt.Sprintf("dist: UnionAgg schema mismatch %v vs %v", r.Schema, schema))
+		}
+		reordered := r
+		for i := range schema {
+			if r.Schema[i] != schema[i] {
+				reordered = Reorder(r, schema)
+				break
+			}
+		}
+		parts = append(parts, reordered.Part)
+	}
+	// Concatenate shard-wise onto the first relation's server count: rows
+	// stay put when server counts match; otherwise fold shards round-robin
+	// (a placement choice, not communication — the rows are already on
+	// those virtual servers and the subsequent reduce re-routes them).
+	merged := mpc.NewPart[relation.Row[W]](p)
+	for _, pt := range parts {
+		for s, shard := range pt.Shards {
+			merged.Shards[s%p] = append(merged.Shards[s%p], shard...)
+		}
+	}
+	res, st := ProjectAgg(sr, Rel[W]{Schema: schema, Part: merged}, schema...)
+	return res, st
+}
+
+// Reorder permutes columns to the given schema (local, zero cost).
+func Reorder[W any](r Rel[W], schema []Attr) Rel[W] {
+	idx := r.Cols(schema...)
+	part := mpc.Map(r.Part, func(row relation.Row[W]) relation.Row[W] {
+		vals := make([]relation.Value, len(idx))
+		for i, c := range idx {
+			vals[i] = row.Vals[c]
+		}
+		return relation.Row[W]{Vals: vals, W: row.W}
+	})
+	return Rel[W]{Schema: append([]Attr(nil), schema...), Part: part}
+}
+
+// Project drops columns without aggregation (local; duplicates remain).
+func Project[W any](r Rel[W], attrs ...Attr) Rel[W] {
+	idx := r.Cols(attrs...)
+	part := mpc.Map(r.Part, func(row relation.Row[W]) relation.Row[W] {
+		vals := make([]relation.Value, len(idx))
+		for i, c := range idx {
+			vals[i] = row.Vals[c]
+		}
+		return relation.Row[W]{Vals: vals, W: row.W}
+	})
+	return Rel[W]{Schema: append([]Attr(nil), attrs...), Part: part}
+}
+
+// Filter keeps rows satisfying pred (local, zero cost).
+func Filter[W any](r Rel[W], pred func(relation.Row[W]) bool) Rel[W] {
+	return Rel[W]{Schema: r.Schema, Part: mpc.Filter(r.Part, pred)}
+}
+
+// ---------------------------------------------------------------------------
+// Dangling-tuple removal (full reducer)
+// ---------------------------------------------------------------------------
+
+// RemoveDangling removes every tuple that cannot participate in a full
+// join result, via the classical full reducer run with distributed
+// semijoins: leaf-to-root then root-to-leaf over the query's join tree
+// (§2.1, [14, 25]). Cost: O(N/p) load, O(n) = O(1) rounds (n is the
+// constant number of relations).
+func RemoveDangling[W any](q *hypergraph.Query, rels map[string]Rel[W]) (map[string]Rel[W], mpc.Stats) {
+	out := make(map[string]Rel[W], len(rels))
+	for k, v := range rels {
+		out[k] = v
+	}
+	order, parent := q.JoinTree()
+	var st mpc.Stats
+	for i := len(order) - 1; i >= 1; i-- {
+		e := q.Edges[order[i]]
+		pe := q.Edges[parent[order[i]]]
+		filtered, s := Semijoin(out[pe.Name], out[e.Name])
+		out[pe.Name] = filtered
+		st = mpc.Seq(st, s)
+	}
+	for _, ei := range order[1:] {
+		e := q.Edges[ei]
+		pe := q.Edges[parent[ei]]
+		filtered, s := Semijoin(out[e.Name], out[pe.Name])
+		out[e.Name] = filtered
+		st = mpc.Seq(st, s)
+	}
+	return out, st
+}

@@ -1,0 +1,782 @@
+// Package experiments regenerates the paper's results: one experiment per
+// Table 1 row (per query class, plus the min{·,·} crossover, unequal sizes
+// and p-scaling), the Theorem 2/3 lower-bound audits, the Figure 1–4
+// decomposition reproductions, the §2.2 estimator accuracy check, and two
+// ablations (locality, parallel packing). Each experiment returns text
+// tables; cmd/mpcbench prints them and bench_test.go wraps them in
+// testing.B benchmarks. EXPERIMENTS.md records expected vs measured shape.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mpcjoin/internal/core"
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/estimate"
+	"mpcjoin/internal/hypercube"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/lowerbound"
+	"mpcjoin/internal/matmul"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/refengine"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/workload"
+)
+
+var intSR = semiring.IntSumProd{}
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders a Table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Config scales experiment sizes.
+type Config struct {
+	// Quick shrinks instances for fast iteration (benchmarks use it).
+	Quick bool
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+func (c Config) scale(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// IDs lists all experiment identifiers in canonical order.
+func IDs() []string {
+	return []string{
+		"T1-MM-load", "T1-MM-crossover", "T1-MM-unequal",
+		"T1-Line-load", "T1-Star-load", "T1-Tree-load",
+		"T1-scaling-p", "T1-rounds",
+		"LB-Thm2", "LB-Thm3",
+		"FIG1-starlike", "FIG2-twigs",
+		"EST-OUT",
+		"ABL-locality", "ABL-packing",
+		"ALT-fulljoin",
+	}
+}
+
+// Run executes one experiment.
+func Run(id string, cfg Config) (Table, error) {
+	switch id {
+	case "T1-MM-load":
+		return mmLoad(cfg), nil
+	case "T1-MM-crossover":
+		return mmCrossover(cfg), nil
+	case "T1-MM-unequal":
+		return mmUnequal(cfg), nil
+	case "T1-Line-load":
+		return classLoad(cfg, "T1-Line-load", hypergraph.LineQuery(3), "line"), nil
+	case "T1-Star-load":
+		return classLoad(cfg, "T1-Star-load", hypergraph.StarQuery(3), "star"), nil
+	case "T1-Tree-load":
+		return treeLoad(cfg), nil
+	case "T1-scaling-p":
+		return scalingP(cfg), nil
+	case "T1-rounds":
+		return roundsConstant(cfg), nil
+	case "LB-Thm2":
+		return lbThm2(cfg), nil
+	case "LB-Thm3":
+		return lbThm3(cfg), nil
+	case "FIG1-starlike":
+		return fig1(cfg), nil
+	case "FIG2-twigs":
+		return fig2(cfg), nil
+	case "EST-OUT":
+		return estOut(cfg), nil
+	case "ABL-locality":
+		return ablLocality(cfg), nil
+	case "ABL-packing":
+		return ablPacking(cfg), nil
+	case "ALT-fulljoin":
+		return altFullJoin(cfg), nil
+	}
+	return Table{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// runBoth executes the query under both the auto engine and the baseline,
+// verifying they agree, and returns the loads plus the chosen engine.
+func runBoth(q *hypergraph.Query, inst db.Instance[int64], p int, seed uint64) (newLoad, yannLoad int, engine string, verified bool) {
+	resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	resY, stY, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	pl, _ := core.PlanQuery(q, core.StrategyAuto)
+	eq := relation.Equal[int64](intSR, func(a, b int64) bool { return a == b }, resNew, resY)
+	return stNew.MaxLoad, stY.MaxLoad, pl.Engine, eq
+}
+
+// ---------------------------------------------------------------------------
+// T1-MM-*
+// ---------------------------------------------------------------------------
+
+// mmLoad sweeps OUT at (near-)fixed N on block instances and compares the
+// Theorem 1 algorithm's load against distributed Yannakakis — Table 1 row 1.
+func mmLoad(cfg Config) Table {
+	q := hypergraph.MatMulQuery()
+	n := cfg.scale(8192, 1024)
+	p := cfg.scale(16, 8)
+	t := Table{
+		ID:     "T1-MM-load",
+		Title:  "sparse matmul: load vs OUT (N per side ≈ const)",
+		Header: []string{"fan", "N1=N2", "OUT", "L_new", "L_yann", "ratio", "bound_new", "bound_yann", "verified"},
+		Notes: []string{
+			"bound_new = min{√(N1N2/p), (N1N2·OUT)^{1/3}/p^{2/3}}; bound_yann = N·√OUT/p",
+			"expected shape: L_new grows ~OUT^{1/3}, L_yann ~OUT^{1/2}; ratio widens with OUT",
+		},
+	}
+	for _, fan := range []int{2, 4, 8, 16, 32} {
+		blocks := n / fan
+		inst, meta := workload.MatMulBlocks(blocks, fan, fan)
+		n1 := int64(meta.PerEdge["R1"])
+		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		bn := math.Min(math.Sqrt(float64(n1*n1)/float64(p)),
+			math.Cbrt(float64(n1*n1)*float64(meta.Out))/math.Pow(float64(p), 2.0/3.0))
+		by := float64(n1) * math.Sqrt(float64(meta.Out)) / float64(p)
+		t.Rows = append(t.Rows, []string{
+			itoa(fan), i64(n1), i64(meta.Out), itoa(lNew), itoa(lY),
+			f2(float64(lY) / float64(maxi(lNew, 1))), f0(bn), f0(by), tick(ok),
+		})
+	}
+	return t
+}
+
+// mmCrossover forces both §3 branches across the min{·,·} boundary
+// OUT ≈ N·√p and reports which one the dispatcher picks.
+func mmCrossover(cfg Config) Table {
+	n := cfg.scale(8192, 1024)
+	p := cfg.scale(16, 8)
+	t := Table{
+		ID:     "T1-MM-crossover",
+		Title:  "worst-case vs output-sensitive branch crossover (expected at OUT ≈ N·√p)",
+		Header: []string{"OUT", "OUT/(N√p)", "L_wc", "L_os", "auto_picks", "verified"},
+		Notes:  []string{"the dispatcher must pick the smaller branch on each side of the boundary"},
+	}
+	boundary := float64(n) * math.Sqrt(float64(p))
+	for _, fan := range []int{2, 4, 8, 32, 128} {
+		blocks := n / fan
+		if blocks < 1 {
+			blocks = 1
+		}
+		inst, meta := workload.MatMulBlocks(blocks, fan, fan)
+		r1 := dist.FromRelation(inst["R1"], p)
+		r2 := dist.FromRelation(inst["R2"], p)
+		in := matmul.Input[int64]{R1: r1, R2: r2, B: "B"}
+		resWC, stWC, err := matmul.Compute(intSR, in, matmul.Options{Algorithm: matmul.WorstCase, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		resOS, stOS, err := matmul.Compute(intSR, in, matmul.Options{Algorithm: matmul.OutputSensitive, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		ok := relation.Equal[int64](intSR, func(a, b int64) bool { return a == b },
+			dist.ToRelation(resWC), dist.ToRelation(resOS))
+		pick := "worst-case"
+		n1 := int64(meta.PerEdge["R1"])
+		if math.Cbrt(float64(n1*n1)*float64(meta.Out))/math.Pow(float64(p), 2.0/3.0) <
+			math.Sqrt(float64(n1*n1)/float64(p)) {
+			pick = "output-sensitive"
+		}
+		t.Rows = append(t.Rows, []string{
+			i64(meta.Out), f2(float64(meta.Out) / boundary),
+			itoa(stWC.MaxLoad), itoa(stOS.MaxLoad), pick, tick(ok),
+		})
+	}
+	return t
+}
+
+// mmUnequal sweeps N1/N2, exercising Theorem 1's unequal-size bound and
+// the N1/N2 ∉ [1/p, p] fast path.
+func mmUnequal(cfg Config) Table {
+	q := hypergraph.MatMulQuery()
+	p := cfg.scale(16, 8)
+	n2 := cfg.scale(8192, 1024)
+	t := Table{
+		ID:     "T1-MM-unequal",
+		Title:  "matmul with unequal input sizes",
+		Header: []string{"N1", "N2", "OUT", "L_new", "L_yann", "bound_new", "verified"},
+		Notes:  []string{"bound_new = (N1+N2)/p + min{√(N1N2)/p·√p, (N1N2·OUT)^{1/3}/p^{2/3}}"},
+	}
+	for _, ratio := range []int{1, 4, 16, 64, 16 * p} {
+		n1 := n2 / ratio
+		if n1 < 2 {
+			n1 = 2
+		}
+		blocks := n1 / 2
+		if blocks < 1 {
+			blocks = 1
+		}
+		aPer := maxi(n1/blocks, 1)
+		cPer := maxi(n2/blocks, 1)
+		inst, meta := workload.MatMulBlocks(blocks, aPer, cPer)
+		rn1, rn2 := int64(meta.PerEdge["R1"]), int64(meta.PerEdge["R2"])
+		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		bn := float64(rn1+rn2)/float64(p) + math.Min(
+			math.Sqrt(float64(rn1*rn2)/float64(p)),
+			math.Cbrt(float64(rn1*rn2)*float64(meta.Out))/math.Pow(float64(p), 2.0/3.0))
+		t.Rows = append(t.Rows, []string{
+			i64(rn1), i64(rn2), i64(meta.Out), itoa(lNew), itoa(lY), f0(bn), tick(ok),
+		})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// T1 line/star/tree
+// ---------------------------------------------------------------------------
+
+// classLoad sweeps OUT on block instances of a query class.
+func classLoad(cfg Config, id string, q *hypergraph.Query, name string) Table {
+	p := cfg.scale(16, 8)
+	base := cfg.scale(2048, 256)
+	t := Table{
+		ID:     id,
+		Title:  name + " query: load vs OUT (block instances)",
+		Header: []string{"fan", "N", "OUT", "J", "L_new", "L_yann", "ratio", "verified"},
+		Notes: []string{
+			"Table 1: baseline load N·OUT^{1-1/n}/p (star) / N·OUT/p (line); new (N·OUT/p)^{2/3}+N·√OUT/p",
+			"expected: ratio L_yann/L_new grows with OUT; the J > OUT regime is exercised by T1-Tree-load and ABL-locality",
+		},
+	}
+	for _, fan := range []int{2, 4, 8, 16} {
+		blocks := base / fan
+		if blocks < 1 {
+			blocks = 1
+		}
+		inst, meta := workload.Blocks(q, blocks, fan)
+		j, _ := refengine.MaxIntermediateJoin[int64](intSR, q, inst)
+		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		t.Rows = append(t.Rows, []string{
+			itoa(fan), itoa(meta.N), i64(meta.Out), itoa(j), itoa(lNew), itoa(lY),
+			f2(float64(lY) / float64(maxi(lNew, 1))), tick(ok),
+		})
+	}
+	return t
+}
+
+// treeLoad sweeps OUT on the Figure 3 twig — the general-tree engine.
+func treeLoad(cfg Config) Table {
+	q := hypergraph.Fig3Twig()
+	p := cfg.scale(16, 8)
+	t := Table{
+		ID:     "T1-Tree-load",
+		Title:  "general tree query (Figure 3 twig): load vs OUT",
+		Header: []string{"blocks", "fan/mult", "N", "OUT", "J", "L_new", "L_yann", "ratio", "verified"},
+		Notes: []string{
+			"Table 1: baseline N·OUT/p vs new N·OUT^{2/3}/p + (N+OUT)/p",
+			"mult = per-block multiplicity of non-output attributes: J (the baseline's cost) grows with it, OUT does not",
+		},
+	}
+	for _, sc := range []struct{ blocks, fan, mult int }{
+		{cfg.scale(64, 8), 2, 1}, {cfg.scale(64, 8), 2, 2},
+		{cfg.scale(32, 8), 2, 4}, {cfg.scale(32, 8), 2, 6},
+	} {
+		inst, meta := workload.BlocksMulti(q, sc.blocks, sc.fan, sc.mult)
+		j, _ := refengine.MaxIntermediateJoin[int64](intSR, q, inst)
+		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		t.Rows = append(t.Rows, []string{
+			itoa(sc.blocks), fmt.Sprintf("%d/%d", sc.fan, sc.mult), itoa(meta.N), i64(meta.Out),
+			itoa(j), itoa(lNew), itoa(lY), f2(float64(lY) / float64(maxi(lNew, 1))), tick(ok),
+		})
+	}
+	return t
+}
+
+// scalingP fixes an instance and sweeps p, forcing each §3 branch and the
+// baseline separately and fitting their load exponents in p.
+func scalingP(cfg Config) Table {
+	n := cfg.scale(16384, 1024)
+	fan := 2 // below √p for the whole sweep: output-sensitive regime
+	inst, meta := workload.MatMulBlocks(n/fan, fan, fan)
+	q := hypergraph.MatMulQuery()
+	t := Table{
+		ID:     "T1-scaling-p",
+		Title:  "load vs p on a fixed matmul instance (branches forced)",
+		Header: []string{"p", "L_os", "L_wc", "L_yann"},
+		Notes: []string{
+			"theory: L_os ∝ p^{-2/3}, L_wc ∝ p^{-1/2}, L_yann ∝ p^{-1}",
+			"p capped so the sample-sort p² term stays below N/p (the model's N ≥ p^{1+ε} regime)",
+		},
+	}
+	var ps, los, lwc, lys []float64
+	for _, p := range []int{4, 8, 16, 32} {
+		r1 := dist.FromRelation(inst["R1"], p)
+		r2 := dist.FromRelation(inst["R2"], p)
+		in := matmul.Input[int64]{R1: r1, R2: r2, B: "B"}
+		_, stOS, err := matmul.Compute(intSR, in, matmul.Options{Algorithm: matmul.OutputSensitive, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		_, stWC, err := matmul.Compute(intSR, in, matmul.Options{Algorithm: matmul.WorstCase, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		_, stY, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{itoa(p), itoa(stOS.MaxLoad), itoa(stWC.MaxLoad), itoa(stY.MaxLoad)})
+		ps = append(ps, float64(p))
+		los = append(los, float64(stOS.MaxLoad))
+		lwc = append(lwc, float64(stWC.MaxLoad))
+		lys = append(lys, float64(stY.MaxLoad))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("fitted exponents: L_os ∝ p^%.2f, L_wc ∝ p^%.2f, L_yann ∝ p^%.2f (N=%d, OUT=%d)",
+			FitExponent(ps, los), FitExponent(ps, lwc), FitExponent(ps, lys), meta.N, meta.Out))
+	return t
+}
+
+// roundsConstant demonstrates the O(1)-round claim: for each query class,
+// the round count of the new algorithm must not grow with the data size
+// (it may vary slightly with which heavy/light branches are non-empty).
+func roundsConstant(cfg Config) Table {
+	p := cfg.scale(16, 8)
+	t := Table{
+		ID:     "T1-rounds",
+		Title:  "constant rounds: round count vs data size per query class",
+		Header: []string{"class", "N_small", "rounds", "N_large", "rounds_large"},
+		Notes: []string{
+			"the model requires O(1) rounds; the simulator's counts are conservative upper bounds",
+			"(conceptually parallel phases inside one subquery are partially serialized) but must not grow with N",
+		},
+	}
+	classes := []struct {
+		name string
+		q    *hypergraph.Query
+	}{
+		{"matmul", hypergraph.MatMulQuery()},
+		{"line", hypergraph.LineQuery(3)},
+		{"star", hypergraph.StarQuery(3)},
+		{"star-like", hypergraph.Fig1StarLike()},
+		{"tree", hypergraph.Fig3Twig()},
+	}
+	small := cfg.scale(64, 16)
+	large := cfg.scale(1024, 128)
+	for _, c := range classes {
+		instS, _ := workload.Blocks(c.q, small, 2)
+		instL, _ := workload.Blocks(c.q, large, 2)
+		nS := 0
+		for _, v := range instS {
+			nS += v.Len()
+		}
+		nL := 0
+		for _, v := range instL {
+			nL += v.Len()
+		}
+		_, stS, err := core.Execute(intSR, c.q, instS, core.Options{Servers: p, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		_, stL, err := core.Execute(intSR, c.q, instL, core.Options{Servers: p, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name, itoa(nS), itoa(stS.Rounds), itoa(nL), itoa(stL.Rounds),
+		})
+		if stL.Rounds > 2*stS.Rounds {
+			t.Notes = append(t.Notes, fmt.Sprintf("WARNING: %s rounds grew with N (%d → %d)", c.name, stS.Rounds, stL.Rounds))
+		}
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Lower-bound audits
+// ---------------------------------------------------------------------------
+
+func lbThm2(cfg Config) Table {
+	p := cfg.scale(16, 8)
+	n := int64(cfg.scale(4096, 512))
+	t := Table{
+		ID:     "LB-Thm2",
+		Title:  "Theorem 2 hard instance: measured load vs Ω((N1+N2)/p)",
+		Header: []string{"N1", "N2", "OUT", "bound", "L_measured", "L/bound"},
+		Notes:  []string{"idempotent (Boolean) semiring, as the theorem requires"},
+	}
+	boolSR := semiring.BoolOrAnd{}
+	for _, out := range []int64{n, 2 * n, 4 * n} {
+		hard, err := lowerbound.Thm2(n, n, out)
+		if err != nil {
+			panic(err)
+		}
+		in := matmul.Input[bool]{
+			R1: dist.FromRelation(hard.Inst["R1"], p),
+			R2: dist.FromRelation(hard.Inst["R2"], p),
+			B:  "B",
+		}
+		_, st, err := matmul.Compute[bool](boolSR, in, matmul.Options{Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		bound := lowerbound.Thm2Bound(hard.N1, hard.N2, p)
+		t.Rows = append(t.Rows, []string{
+			i64(hard.N1), i64(hard.N2), i64(hard.Out), f0(bound),
+			itoa(st.MaxLoad), f2(float64(st.MaxLoad) / bound),
+		})
+	}
+	return t
+}
+
+func lbThm3(cfg Config) Table {
+	p := cfg.scale(16, 8)
+	n := int64(cfg.scale(4096, 512))
+	t := Table{
+		ID:     "LB-Thm3",
+		Title:  "Theorem 3 hard instance: measured load vs Ω(min{√(N1N2/p), (N1N2·OUT)^{1/3}/p^{2/3}})",
+		Header: []string{"N1", "N2", "OUT", "bound", "L_measured", "L/bound"},
+		Notes:  []string{"constant-factor gap = optimality evidence (Theorem 1 matches Theorem 3)"},
+	}
+	boolSR := semiring.BoolOrAnd{}
+	for _, out := range []int64{4 * n, 64 * n, n * n / 4} {
+		hard, err := lowerbound.Thm3(n, n, out)
+		if err != nil {
+			panic(err)
+		}
+		in := matmul.Input[bool]{
+			R1: dist.FromRelation(hard.Inst["R1"], p),
+			R2: dist.FromRelation(hard.Inst["R2"], p),
+			B:  "B",
+		}
+		_, st, err := matmul.Compute[bool](boolSR, in, matmul.Options{Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		bound := lowerbound.Thm3Bound(hard.N1, hard.N2, hard.Out, p)
+		t.Rows = append(t.Rows, []string{
+			i64(hard.N1), i64(hard.N2), i64(hard.Out), f0(bound),
+			itoa(st.MaxLoad), f2(float64(st.MaxLoad) / bound),
+		})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+func fig1(cfg Config) Table {
+	q := hypergraph.Fig1StarLike()
+	p := cfg.scale(32, 8)
+	t := Table{
+		ID:     "FIG1-starlike",
+		Title:  "Figure 1 star-like query (5 arms) through the §6 engine",
+		Header: []string{"blocks", "fan", "OUT", "L_new", "L_yann", "verified"},
+	}
+	view, _ := q.StarLikeView()
+	t.Notes = append(t.Notes, fmt.Sprintf("center=%s arms=%d (arm 2 inner chain: C21–C22, as in the figure)",
+		view.Center, len(view.Arms)))
+	for _, sc := range []struct{ blocks, fan int }{{cfg.scale(128, 16), 1}, {cfg.scale(64, 8), 2}} {
+		inst, meta := workload.Blocks(q, sc.blocks, sc.fan)
+		lNew, lY, engine, ok := runBoth(q, inst, p, cfg.Seed)
+		if engine != "star-like" {
+			panic("FIG1 must dispatch to the star-like engine, got " + engine)
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(sc.blocks), itoa(sc.fan), i64(meta.Out), itoa(lNew), itoa(lY), tick(ok),
+		})
+	}
+	return t
+}
+
+func fig2(cfg Config) Table {
+	q := hypergraph.Fig2Tree()
+	p := cfg.scale(32, 8)
+	t := Table{
+		ID:     "FIG2-twigs",
+		Title:  "Figure 2 tree: reduction + twig decomposition + execution",
+		Header: []string{"blocks", "fan", "OUT", "L_new", "L_yann", "verified"},
+	}
+	reduced, steps := hypergraph.ReducePlan(q)
+	twigs := hypergraph.Twigs(reduced)
+	classes := map[string]int{}
+	for _, tw := range twigs {
+		if len(tw.Query.Edges) == 1 {
+			classes["single"]++
+			continue
+		}
+		classes[tw.Query.Classify().String()]++
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("reduction removes %d edges; %d twigs: %v (paper: 2 single, 2 matmul, 1 star-like, 1 general)",
+		len(steps), len(twigs), fmtClasses(classes)))
+	for _, sc := range []struct{ blocks, fan int }{{cfg.scale(64, 8), 1}, {cfg.scale(16, 4), 2}} {
+		inst, meta := workload.Blocks(q, sc.blocks, sc.fan)
+		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		t.Rows = append(t.Rows, []string{
+			itoa(sc.blocks), itoa(sc.fan), i64(meta.Out), itoa(lNew), itoa(lY), tick(ok),
+		})
+	}
+	return t
+}
+
+func fmtClasses(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%d×%s", m[k], k))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ---------------------------------------------------------------------------
+// Estimator and ablations
+// ---------------------------------------------------------------------------
+
+func estOut(cfg Config) Table {
+	p := cfg.scale(16, 8)
+	t := Table{
+		ID:     "EST-OUT",
+		Title:  "§2.2 output-size estimator accuracy (constant-factor claim)",
+		Header: []string{"workload", "true_OUT", "estimate", "est/true", "L_est"},
+	}
+	rng := rand.New(rand.NewSource(int64(cfg.Seed) + 3))
+	q := hypergraph.MatMulQuery()
+
+	run := func(name string, inst db.Instance[int64]) {
+		red := refengine.RemoveDangling(q, inst)
+		trueOut, err := refengine.CountOutput[int64](intSR, q, red)
+		if err != nil {
+			panic(err)
+		}
+		r1 := dist.FromRelation(red["R1"], p)
+		r2 := dist.FromRelation(red["R2"], p)
+		_, est, st := estimate.MatMulOut(r1, r2,
+			[]dist.Attr{"A"}, []dist.Attr{"B"}, []dist.Attr{"C"},
+			estimate.Params{Seed: cfg.Seed + 9})
+		ratio := float64(est) / float64(maxi(trueOut, 1))
+		t.Rows = append(t.Rows, []string{name, itoa(trueOut), i64(est), f2(ratio), itoa(st.MaxLoad)})
+	}
+
+	inst1, _ := workload.MatMulBlocks(cfg.scale(256, 64), 8, 8)
+	run("blocks fan=8", inst1)
+	inst2, _ := workload.MatMulZipf(cfg.scale(4096, 512), cfg.scale(256, 64), 1.5, rng)
+	run("zipf s=1.5", inst2)
+	inst3, _ := workload.Uniform(q, cfg.scale(4096, 512), cfg.scale(512, 128), rng)
+	run("uniform", inst3)
+	return t
+}
+
+// ablLocality compares the §3.1 algorithm (elementary products aggregated
+// where they are produced) against the baseline that shuffles all of them
+// — the mechanism §1.5 credits for the improvement.
+func ablLocality(cfg Config) Table {
+	p := cfg.scale(16, 8)
+	n := int64(cfg.scale(2048, 256))
+	t := Table{
+		ID:     "ABL-locality",
+		Title:  "ablation: locality of aggregation (worst-case §3.1 vs shuffle-everything baseline)",
+		Header: []string{"OUT", "elem_products", "L_local(§3.1)", "L_shuffle(yann)", "ratio"},
+		Notes:  []string{"both compute the same N·√OUT-ish elementary products; only placement differs"},
+	}
+	boolEq := func(a, b int64) bool { return a == b }
+	for _, out := range []int64{16 * n, 64 * n, n * n / 8} {
+		hard, err := lowerbound.Thm3(n, n, out)
+		if err != nil {
+			panic(err)
+		}
+		inst := boolToInt(hard.Inst)
+		q := hypergraph.MatMulQuery()
+		j, _ := refengine.MaxIntermediateJoin[int64](intSR, q, inst)
+		resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		resY, stY, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		if !relation.Equal[int64](intSR, boolEq, resNew, resY) {
+			panic("ABL-locality: engines disagree")
+		}
+		t.Rows = append(t.Rows, []string{
+			i64(hard.Out), itoa(j), itoa(stNew.MaxLoad), itoa(stY.MaxLoad),
+			f2(float64(stY.MaxLoad) / float64(maxi(stNew.MaxLoad, 1))),
+		})
+	}
+	return t
+}
+
+// ablPacking compares the skew-proof primitives (tie-broken sample sort /
+// parallel packing) against naive hash partitioning under Zipf skew.
+func ablPacking(cfg Config) Table {
+	p := cfg.scale(32, 8)
+	n := cfg.scale(1<<15, 1<<11)
+	t := Table{
+		ID:     "ABL-packing",
+		Title:  "ablation: skew-proof aggregation vs naive hash partitioning (Zipf keys)",
+		Header: []string{"zipf_s", "distinct", "max_key_deg", "L_sortbased", "L_hash", "ratio"},
+		Notes:  []string{"sort-based reduce-by-key (§2.1 primitive) stays ~N/p; hash partitioning tracks the heaviest key"},
+	}
+	for _, s := range []float64{1.2, 1.7, 2.5} {
+		rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(s*10)))
+		z := rand.NewZipf(rng, s, 1, uint64(n-1))
+		keys := make([]int64, n)
+		deg := map[int64]int{}
+		for i := range keys {
+			keys[i] = int64(z.Uint64())
+			deg[keys[i]]++
+		}
+		maxDeg := 0
+		for _, d := range deg {
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+		pt := mpc.Distribute(keys, p)
+		_, stSort := mpc.CountByKey(pt, func(k int64) int64 { return k })
+		// Naive: route by key hash, combine locally; load = max received.
+		_, stHash := mpc.Route(pt, func(_ int, k int64) int {
+			h := uint64(k) * 0x9e3779b97f4a7c15
+			return int(h % uint64(p))
+		})
+		t.Rows = append(t.Rows, []string{
+			f2(s), itoa(len(deg)), itoa(maxDeg), itoa(stSort.MaxLoad), itoa(stHash.MaxLoad),
+			f2(float64(stHash.MaxLoad) / float64(maxi(stSort.MaxLoad, 1))),
+		})
+	}
+	return t
+}
+
+// altFullJoin reproduces §1.4's closing observation: computing the full
+// join worst-case optimally (HyperCube) and then aggregating is bottlenecked
+// by the OUT_f/p aggregation, so it cannot beat Yannakakis — while the §3
+// algorithm beats both.
+func altFullJoin(cfg Config) Table {
+	q := hypergraph.MatMulQuery()
+	p := cfg.scale(16, 8)
+	blocks := cfg.scale(256, 32)
+	t := Table{
+		ID:     "ALT-fulljoin",
+		Title:  "§1.4 alternative: HyperCube full join + aggregate vs Yannakakis vs §3",
+		Header: []string{"OUT", "OUT_f", "OUT_f/p", "L_hypercube", "L_yann", "L_new", "verified"},
+		Notes: []string{
+			"paper: \"the aggregation step will become the bottleneck with a load of O(OUT_f/p)\"",
+			"OUT_f is the full join size (= mult·OUT on these instances)",
+			"our ProjectAgg pre-combines locally, softening the OUT_f/p shuffle when OUT is small;",
+			"the §3 algorithm still wins or ties on every row, as §1.4 concludes",
+		},
+	}
+	for _, mult := range []int{1, 4, 16, 64} {
+		inst, meta := workload.BlocksMulti(q, blocks, 4, mult)
+		outf := meta.Out * int64(mult)
+		rels := make(map[string]dist.Rel[int64], len(q.Edges))
+		for _, e := range q.Edges {
+			rels[e.Name] = dist.FromRelation(inst[e.Name], p)
+		}
+		resHC, stHC := hypercube.JoinAggregate(intSR, q, rels, cfg.Seed)
+		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		resY, _, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		ok = ok && relation.Equal[int64](intSR, func(a, b int64) bool { return a == b },
+			dist.ToRelation(resHC), resY)
+		t.Rows = append(t.Rows, []string{
+			i64(meta.Out), i64(outf), i64(outf / int64(p)),
+			itoa(stHC.MaxLoad), itoa(lY), itoa(lNew), tick(ok),
+		})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+// FitExponent fits y ∝ x^k by least squares in log-log space.
+func FitExponent(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+func boolToInt(inst db.Instance[bool]) db.Instance[int64] {
+	out := make(db.Instance[int64], len(inst))
+	for name, r := range inst {
+		nr := relation.New[int64](r.Schema()...)
+		for _, row := range r.Rows {
+			nr.AppendRow(relation.Row[int64]{Vals: row.Vals, W: 1})
+		}
+		out[name] = nr
+	}
+	return out
+}
+
+func itoa(x int) string   { return fmt.Sprintf("%d", x) }
+func i64(x int64) string  { return fmt.Sprintf("%d", x) }
+func f0(x float64) string { return fmt.Sprintf("%.0f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func tick(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "MISMATCH"
+}
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,263 @@
+// Package hypercube implements the HyperCube (a.k.a. Shares) algorithm —
+// the worst-case optimal single-round MPC algorithm for FULL conjunctive
+// queries [Afrati–Ullman; Beame–Koutris–Suciu; §1.4 of Hu–Yi PODS'20].
+//
+// The p servers are arranged as a grid with one dimension per attribute:
+// attribute x receives a share p_x with Π_x p_x ≤ p, and a tuple of
+// relation R_e is replicated to every server whose coordinates agree with
+// the tuple's hashed values on e's attributes. Every potential join result
+// then meets at exactly one server, which emits it locally.
+//
+// Hu–Yi §1.4 discuss this algorithm as the alternative route to
+// join-aggregate queries: compute the full join worst-case optimally, then
+// aggregate. Their observation — "the aggregation step will become the
+// bottleneck with a load of O(OUT_f/p)" — is exactly what the ALT-fulljoin
+// experiment measures against this implementation.
+package hypercube
+
+import (
+	"fmt"
+	"math"
+
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/kmv"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+// Shares is a share assignment: one dimension size per attribute, in
+// Query.Attrs() order, with product ≤ p.
+type Shares struct {
+	Attrs []hypergraph.Attr
+	Dims  []int
+}
+
+// P returns the number of grid servers (the product of the dimensions).
+func (s Shares) P() int {
+	p := 1
+	for _, d := range s.Dims {
+		p *= d
+	}
+	return p
+}
+
+// String implements fmt.Stringer.
+func (s Shares) String() string {
+	out := ""
+	for i, a := range s.Attrs {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", a, s.Dims[i])
+	}
+	return out
+}
+
+// OptimalShares picks the integer share vector (product ≤ p) minimizing
+// the predicted per-server input Σ_e N_e / Π_{x∈e} p_x, by exhaustive
+// search — queries have a constant number of attributes, so the search
+// space is tiny. sizes maps edge names to |R_e|.
+func OptimalShares(q *hypergraph.Query, sizes map[string]int, p int) Shares {
+	attrs := q.Attrs()
+	best := Shares{Attrs: attrs, Dims: ones(len(attrs))}
+	bestCost := math.Inf(1)
+	dims := ones(len(attrs))
+	var rec func(i, prod int)
+	rec = func(i, prod int) {
+		if i == len(attrs) {
+			cost := 0.0
+			for _, e := range q.Edges {
+				den := 1.0
+				for _, a := range e.Attrs {
+					den *= float64(dims[idxOf(attrs, a)])
+				}
+				cost += float64(sizes[e.Name]) / den
+			}
+			if cost < bestCost {
+				bestCost = cost
+				best = Shares{Attrs: attrs, Dims: append([]int(nil), dims...)}
+			}
+			return
+		}
+		for d := 1; prod*d <= p; d++ {
+			dims[i] = d
+			rec(i+1, prod*d)
+		}
+		dims[i] = 1
+	}
+	rec(0, 1)
+	return best
+}
+
+// FullJoin computes the full join of the tree query (every attribute is
+// an output) in a single data round with the HyperCube grid. The result
+// stays where it is produced; each join result is emitted at exactly one
+// server, so no deduplication is needed. Load: the worst-case optimal
+// O(N/p^{1/ρ*}) per server for the chosen shares, plus the coordinator
+// rounds that size the shares.
+func FullJoin[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[string]dist.Rel[W], seed uint64) (dist.Rel[W], mpc.Stats) {
+	p := anyRel(rels).P()
+
+	// Learn the relation sizes (a coordinator statistic).
+	sizes := make(map[string]int, len(q.Edges))
+	var st mpc.Stats
+	for _, e := range q.Edges {
+		n, s := mpc.TotalCount(rels[e.Name].Part)
+		sizes[e.Name] = int(n)
+		st = mpc.Seq(st, s)
+	}
+	shares := OptimalShares(q, sizes, p)
+	grid := shares.P()
+
+	// Mixed-radix coordinates: coordOf(attr value assignments) → server.
+	attrs := shares.Attrs
+	radix := shares.Dims
+
+	// Route every tuple to all grid cells agreeing with its hashed values.
+	type hcRow struct {
+		edge int
+		row  relation.Row[W]
+	}
+	out := make([][][]hcRow, p)
+	for src := range out {
+		out[src] = make([][]hcRow, grid)
+	}
+	for ei, e := range q.Edges {
+		rel := rels[e.Name]
+		cols := rel.Cols(e.Attrs...)
+		for src, shard := range rel.Part.Shards {
+			for _, row := range shard {
+				// Fixed coordinates from the tuple's values.
+				fixed := make(map[int]int, len(cols))
+				for i, c := range cols {
+					ai := idxOf(attrs, e.Attrs[i])
+					fixed[ai] = int(kmv.Hash64(uint64(row.Vals[c]), seed+uint64(ai)) % uint64(radix[ai]))
+				}
+				forEachCell(radix, fixed, func(cell int) {
+					out[src][cell] = append(out[src][cell], hcRow{edge: ei, row: row})
+				})
+			}
+		}
+	}
+	routed, s := mpc.ExchangeTo(grid, out)
+	st = mpc.Seq(st, s)
+
+	// Local full join per cell.
+	order := joinOrder(q)
+	outSchema := make([]dist.Attr, len(attrs))
+	copy(outSchema, attrs)
+	result := mpc.MapShards(routed, func(_ int, shard []hcRow) []relation.Row[W] {
+		parts := make([]*relation.Relation[W], len(q.Edges))
+		for ei, e := range q.Edges {
+			parts[ei] = relation.New[W](e.Attrs...)
+		}
+		for _, hr := range shard {
+			parts[hr.edge].AppendRow(hr.row)
+		}
+		acc := parts[order[0]]
+		for _, ei := range order[1:] {
+			acc = relation.Join(sr, acc, parts[ei])
+		}
+		return relation.Reorder(acc, outSchema).Rows
+	})
+	return dist.Rel[W]{Schema: outSchema, Part: result}, st
+}
+
+// JoinAggregate is the §1.4 alternative for join-aggregate queries:
+// HyperCube full join, then a distributed ⊕-aggregation onto the output
+// attributes. The aggregation shuffles OUT_f rows — the bottleneck Hu–Yi
+// identify.
+func JoinAggregate[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[string]dist.Rel[W], seed uint64) (dist.Rel[W], mpc.Stats) {
+	live, st := dist.RemoveDangling(q, rels)
+	full, s := FullJoin(sr, q, live, seed)
+	st = mpc.Seq(st, s)
+	agg, s2 := dist.ProjectAgg(sr, full, toAttrs(q.Output)...)
+	return agg, mpc.Seq(st, s2)
+}
+
+// joinOrder returns edge indices such that each edge after the first
+// shares an attribute with the union of the previous ones.
+func joinOrder(q *hypergraph.Query) []int {
+	used := make([]bool, len(q.Edges))
+	attrs := make(map[hypergraph.Attr]bool)
+	order := []int{0}
+	used[0] = true
+	for _, a := range q.Edges[0].Attrs {
+		attrs[a] = true
+	}
+	for len(order) < len(q.Edges) {
+		for i, e := range q.Edges {
+			if used[i] {
+				continue
+			}
+			touches := false
+			for _, a := range e.Attrs {
+				if attrs[a] {
+					touches = true
+					break
+				}
+			}
+			if touches {
+				used[i] = true
+				order = append(order, i)
+				for _, a := range e.Attrs {
+					attrs[a] = true
+				}
+				break
+			}
+		}
+	}
+	return order
+}
+
+// forEachCell enumerates all grid cells whose coordinates agree with the
+// fixed dimensions, calling f with the mixed-radix cell id.
+func forEachCell(radix []int, fixed map[int]int, f func(cell int)) {
+	var rec func(i, acc int)
+	rec = func(i, acc int) {
+		if i == len(radix) {
+			f(acc)
+			return
+		}
+		if v, ok := fixed[i]; ok {
+			rec(i+1, acc*radix[i]+v)
+			return
+		}
+		for v := 0; v < radix[i]; v++ {
+			rec(i+1, acc*radix[i]+v)
+		}
+	}
+	rec(0, 0)
+}
+
+func idxOf(attrs []hypergraph.Attr, a hypergraph.Attr) int {
+	for i, x := range attrs {
+		if x == a {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("hypercube: attribute %q not in query", a))
+}
+
+func ones(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func toAttrs(as []hypergraph.Attr) []dist.Attr {
+	out := make([]dist.Attr, len(as))
+	copy(out, as)
+	return out
+}
+
+func anyRel[W any](rels map[string]dist.Rel[W]) dist.Rel[W] {
+	for _, r := range rels {
+		return r
+	}
+	panic("hypercube: no relations")
+}

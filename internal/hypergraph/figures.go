@@ -1,0 +1,113 @@
+package hypergraph
+
+// figures.go reconstructs the example queries of the paper's Figures 1–4
+// as reusable fixtures. The figures themselves are structural diagrams;
+// these constructors reproduce their topology so tests (and the FIG-*
+// experiments) can exercise exactly the decompositions the paper
+// illustrates.
+
+// Fig1StarLike returns the star-like query of Figure 1: five arms sharing
+// the non-output center B. Arm 2 is the figure's worked example with
+// V2 = {A2, C21, C22, B} and E2 = {(A2,C21), (C21,C22), (C22,B)}.
+func Fig1StarLike() *Query {
+	return NewQuery([]Edge{
+		Bin("R11", "A1", "C11"), Bin("R12", "C11", "B"),
+		Bin("R21", "A2", "C21"), Bin("R22", "C21", "C22"), Bin("R23", "C22", "B"),
+		Bin("R3", "A3", "B"),
+		Bin("R41", "A4", "C41"), Bin("R42", "C41", "B"),
+		Bin("R51", "A5", "C51"), Bin("R52", "C51", "B"),
+	}, "A1", "A2", "A3", "A4", "A5")
+}
+
+// Fig2Tree returns a tree query reproducing the structure of Figure 2: a
+// tree that, after the §7 reduction, decomposes into six twigs — two
+// single-relation twigs whose vertices are both outputs (twigs 1 and 5),
+// two matrix multiplications (twigs 2 and 6), one star-like twig (twig 3),
+// and one general twig handled by the skeleton machinery of §7.1 (twig 4,
+// detailed in Figure 3). The pre-reduction tree also carries a unary edge
+// and a pendant edge with a private non-output attribute, which the
+// reduction removes (Figure 2, left vs middle).
+func Fig2Tree() *Query {
+	edges := []Edge{
+		// Twig 1: single relation, both ends output.
+		Bin("T1", "O1", "O2"),
+		// Twig 2: matrix multiplication over non-output X1.
+		Bin("T2a", "O2", "X1"), Bin("T2b", "X1", "O3"),
+		// Twig 3: star-like with center X2 and arms O3 | O4 | C31–O5.
+		Bin("T3a", "O3", "X2"), Bin("T3b", "X2", "O4"),
+		Bin("T3c", "X2", "C31"), Bin("T3d", "C31", "O5"),
+		// Twig 4 (Figure 3): skeleton center D with pendant star-like
+		// subtrees rooted at B1 and B2.
+		Bin("T4a", "O5", "D"), Bin("T4b", "D", "O6"),
+		Bin("T4c", "D", "E"), Bin("T4d", "E", "O7"),
+		Bin("T4e", "D", "B1"), Bin("T4f", "B1", "O8"),
+		Bin("T4g", "B1", "C41"), Bin("T4h", "C41", "O9"),
+		Bin("T4i", "D", "B2"), Bin("T4j", "B2", "O10"), Bin("T4k", "B2", "O11"),
+		// Twig 5: single relation, both ends output.
+		Bin("T5", "O11", "O12"),
+		// Twig 6: matrix multiplication over non-output X9.
+		Bin("T6a", "O12", "X9"), Bin("T6b", "X9", "O13"),
+		// Removed by reduction: a unary edge and a pendant private attr.
+		Un("U1", "O1"),
+		Bin("P1", "O13", "Z1"),
+	}
+	return NewQuery(edges,
+		"O1", "O2", "O3", "O4", "O5", "O6", "O7", "O8", "O9", "O10", "O11", "O12", "O13")
+}
+
+// Fig3Twig returns twig 4 of Figure 2 in isolation — the Figure 3 example.
+// Its skeleton has S = {B1, B2, O5, O6, O7} (the figure's
+// {A1, A2, A3, B1, B2} with A_i named O5, O6, O7 to match Fig2Tree), with
+// S ∩ ȳ = {B1, B2} the roots of the pendant star-like subtrees.
+func Fig3Twig() *Query {
+	return NewQuery([]Edge{
+		Bin("T4a", "O5", "D"), Bin("T4b", "D", "O6"),
+		Bin("T4c", "D", "E"), Bin("T4d", "E", "O7"),
+		Bin("T4e", "D", "B1"), Bin("T4f", "B1", "O8"),
+		Bin("T4g", "B1", "C41"), Bin("T4h", "C41", "O9"),
+		Bin("T4i", "D", "B2"), Bin("T4j", "B2", "O10"), Bin("T4k", "B2", "O11"),
+	}, "O5", "O6", "O7", "O8", "O9", "O10", "O11")
+}
+
+// MatMulQuery returns ∑_B R1(A,B) ⋈ R2(B,C) with y = {A, C} — the paper's
+// running example (§3).
+func MatMulQuery() *Query {
+	return NewQuery([]Edge{Bin("R1", "A", "B"), Bin("R2", "B", "C")}, "A", "C")
+}
+
+// LineQuery returns the length-n line query of §4 over attributes
+// A1 … A(n+1) with y = {A1, A(n+1)}.
+func LineQuery(n int) *Query {
+	if n < 2 {
+		panic("hypergraph: line query needs n ≥ 2 relations")
+	}
+	var edges []Edge
+	for i := 1; i <= n; i++ {
+		edges = append(edges, Bin(string(attrName("R", i)), attrName("A", i), attrName("A", i+1)))
+	}
+	return NewQuery(edges, attrName("A", 1), attrName("A", n+1))
+}
+
+// StarQuery returns the n-relation star query of §5 over center B with
+// y = {A1 … An}.
+func StarQuery(n int) *Query {
+	if n < 2 {
+		panic("hypergraph: star query needs n ≥ 2 relations")
+	}
+	var edges []Edge
+	var out []Attr
+	for i := 1; i <= n; i++ {
+		a := attrName("A", i)
+		edges = append(edges, Bin(string(attrName("R", i)), a, "B"))
+		out = append(out, a)
+	}
+	return NewQuery(edges, out...)
+}
+
+func attrName(prefix string, i int) Attr {
+	const digits = "0123456789"
+	if i < 10 {
+		return Attr(prefix + digits[i:i+1])
+	}
+	return Attr(prefix + digits[i/10:i/10+1] + digits[i%10:i%10+1])
+}

@@ -1,0 +1,386 @@
+package hypergraph
+
+import (
+	"sort"
+	"testing"
+)
+
+func mustValidate(t *testing.T, q *Query) {
+	t.Helper()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateAcceptsPaperQueries(t *testing.T) {
+	for _, q := range []*Query{
+		MatMulQuery(), LineQuery(3), LineQuery(5), StarQuery(3), StarQuery(5),
+		Fig1StarLike(), Fig2Tree(), Fig3Twig(),
+	} {
+		mustValidate(t, q)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *Query
+	}{
+		{"empty", &Query{}},
+		{"dup edge name", NewQuery([]Edge{Bin("R", "A", "B"), Bin("R", "B", "C")}, "A")},
+		{"self loop", NewQuery([]Edge{Bin("R", "A", "A")}, "A")},
+		{"parallel edges", NewQuery([]Edge{Bin("R1", "A", "B"), Bin("R2", "B", "A")}, "A")},
+		{"cycle", NewQuery([]Edge{Bin("R1", "A", "B"), Bin("R2", "B", "C"), Bin("R3", "C", "A")}, "A")},
+		{"disconnected", NewQuery([]Edge{Bin("R1", "A", "B"), Bin("R2", "C", "D"), Bin("R3", "B", "C"), Bin("R4", "A", "D")}, "A")},
+		{"unknown output", NewQuery([]Edge{Bin("R1", "A", "B")}, "Z")},
+		{"dup output", NewQuery([]Edge{Bin("R1", "A", "B")}, "A", "A")},
+		{"arity 3", NewQuery([]Edge{{Name: "R", Attrs: []Attr{"A", "B", "C"}}}, "A")},
+	}
+	for _, c := range cases {
+		if err := c.q.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestFreeConnex(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *Query
+		want bool
+	}{
+		{"full join", NewQuery([]Edge{Bin("R1", "A", "B"), Bin("R2", "B", "C")}, "A", "B", "C"), true},
+		{"matmul", MatMulQuery(), false},
+		{"single output", NewQuery([]Edge{Bin("R1", "A", "B"), Bin("R2", "B", "C")}, "A"), true},
+		{"empty output", NewQuery([]Edge{Bin("R1", "A", "B"), Bin("R2", "B", "C")}), true},
+		{"line3", LineQuery(3), false},
+		{"star3", StarQuery(3), false},
+		{"star with center output", NewQuery([]Edge{Bin("R1", "A1", "B"), Bin("R2", "A2", "B"), Bin("R3", "A3", "B")}, "A1", "A2", "A3", "B"), true},
+		{"path middle outputs", NewQuery([]Edge{Bin("R1", "A", "B"), Bin("R2", "B", "C"), Bin("R3", "C", "D")}, "B", "C"), true},
+		{"path split outputs", NewQuery([]Edge{Bin("R1", "A", "B"), Bin("R2", "B", "C"), Bin("R3", "C", "D")}, "A", "D"), false},
+	}
+	for _, c := range cases {
+		if got := c.q.IsFreeConnex(); got != c.want {
+			t.Errorf("%s: IsFreeConnex = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *Query
+		want Class
+	}{
+		{"matmul", MatMulQuery(), ClassMatMul},
+		{"line3", LineQuery(3), ClassLine},
+		{"line5", LineQuery(5), ClassLine},
+		{"star2 is matmul", StarQuery(2), ClassMatMul},
+		{"star3", StarQuery(3), ClassStar},
+		{"star5", StarQuery(5), ClassStar},
+		{"fig1 star-like", Fig1StarLike(), ClassStarLike},
+		{"fig3 twig", Fig3Twig(), ClassTree},
+		{"fig2 tree", Fig2Tree(), ClassTree},
+		{"free-connex", NewQuery([]Edge{Bin("R1", "A", "B"), Bin("R2", "B", "C")}, "A", "B", "C"), ClassFreeConnex},
+	}
+	for _, c := range cases {
+		mustValidate(t, c.q)
+		if got := c.q.Classify(); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLineView(t *testing.T) {
+	q := LineQuery(4)
+	v, ok := q.LineView()
+	if !ok {
+		t.Fatal("LineView failed on line query")
+	}
+	if len(v.Vertices) != 5 || len(v.EdgeOrder) != 4 {
+		t.Fatalf("view sizes: %v %v", v.Vertices, v.EdgeOrder)
+	}
+	if v.Vertices[0] != "A1" || v.Vertices[4] != "A5" {
+		t.Fatalf("orientation: %v", v.Vertices)
+	}
+	for i, ei := range v.EdgeOrder {
+		e := q.Edges[ei]
+		if !(e.Has(v.Vertices[i]) && e.Has(v.Vertices[i+1])) {
+			t.Fatalf("edge order wrong at %d: %v between %v,%v", i, e, v.Vertices[i], v.Vertices[i+1])
+		}
+	}
+}
+
+func TestStarView(t *testing.T) {
+	q := StarQuery(4)
+	v, ok := q.StarView()
+	if !ok {
+		t.Fatal("StarView failed on star query")
+	}
+	if v.Center != "B" || len(v.Leaves) != 4 {
+		t.Fatalf("star view: %+v", v)
+	}
+}
+
+func TestStarLikeViewFig1(t *testing.T) {
+	q := Fig1StarLike()
+	v, ok := q.StarLikeView()
+	if !ok {
+		t.Fatal("StarLikeView failed on Figure 1 query")
+	}
+	if v.Center != "B" {
+		t.Fatalf("center = %q", v.Center)
+	}
+	if len(v.Arms) != 5 {
+		t.Fatalf("arms = %d", len(v.Arms))
+	}
+	// Arms sorted by leaf; check the worked example arm of the figure:
+	// A2 — C21 — C22 — B, i.e. Inner = [C22, C21] from the center outward.
+	arm := v.Arms[1]
+	if arm.Leaf != "A2" {
+		t.Fatalf("arm order: %+v", v.Arms)
+	}
+	if len(arm.Inner) != 2 || arm.Inner[0] != "C22" || arm.Inner[1] != "C21" {
+		t.Fatalf("arm 2 inner = %v, want [C22 C21]", arm.Inner)
+	}
+	if len(arm.Edges) != 3 {
+		t.Fatalf("arm 2 edges = %v", arm.Edges)
+	}
+	// Edge order: center outward — first edge touches B, last touches A2.
+	if !q.Edges[arm.Edges[0]].Has("B") || !q.Edges[arm.Edges[2]].Has("A2") {
+		t.Fatalf("arm 2 edge orientation wrong: %v", arm.Edges)
+	}
+}
+
+func TestStarLikeViewRejectsInternalOutput(t *testing.T) {
+	// Same shape as a star-like query but one inner attribute is output.
+	q := NewQuery([]Edge{
+		Bin("R1", "A1", "B"), Bin("R2", "A2", "B"),
+		Bin("R3", "C", "B"), Bin("R4", "A3", "C"),
+	}, "A1", "A2", "A3", "C")
+	if _, ok := q.StarLikeView(); ok {
+		t.Fatal("StarLikeView must reject internal output attributes")
+	}
+}
+
+func TestReducePlanFig2(t *testing.T) {
+	q := Fig2Tree()
+	reduced, steps := ReducePlan(q)
+
+	if len(steps) != 2 {
+		t.Fatalf("steps = %+v, want 2", steps)
+	}
+	removed := map[string]string{}
+	for _, s := range steps {
+		removed[s.Remove] = s.Into
+	}
+	if _, ok := removed["U1"]; !ok {
+		t.Fatalf("unary edge U1 not removed: %+v", steps)
+	}
+	if into, ok := removed["P1"]; !ok || into != "T6b" {
+		t.Fatalf("pendant P1 not absorbed into T6b: %+v", steps)
+	}
+	// Reduced tree: every leaf attribute is an output attribute.
+	for _, a := range reduced.Attrs() {
+		if reduced.Degree(a) == 1 && !reduced.IsOutput(a) {
+			t.Fatalf("non-output leaf %q survived reduction", a)
+		}
+	}
+	if len(reduced.Edges) != len(q.Edges)-2 {
+		t.Fatalf("reduced edges = %d", len(reduced.Edges))
+	}
+}
+
+func TestReducePlanChainCollapse(t *testing.T) {
+	// Path A–B–C–D with y = {A}: everything collapses onto the first edge.
+	q := NewQuery([]Edge{
+		Bin("R1", "A", "B"), Bin("R2", "B", "C"), Bin("R3", "C", "D"),
+	}, "A")
+	reduced, steps := ReducePlan(q)
+	if len(reduced.Edges) != 1 || reduced.Edges[0].Name != "R1" {
+		t.Fatalf("reduced = %+v", reduced.Edges)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("steps = %+v", steps)
+	}
+	// R3 collapses into R2 on C, then R2 into R1 on B.
+	if steps[0].Remove != "R3" || steps[0].Into != "R2" || steps[0].On[0] != "C" {
+		t.Fatalf("step 0 = %+v", steps[0])
+	}
+	if steps[1].Remove != "R2" || steps[1].Into != "R1" || steps[1].On[0] != "B" {
+		t.Fatalf("step 1 = %+v", steps[1])
+	}
+}
+
+func TestTwigsFig2(t *testing.T) {
+	q := Fig2Tree()
+	reduced, _ := ReducePlan(q)
+	twigs := Twigs(reduced)
+	if len(twigs) != 6 {
+		t.Fatalf("got %d twigs, want 6", len(twigs))
+	}
+
+	classes := map[Class]int{}
+	singles := 0
+	for _, tw := range twigs {
+		mustValidate(t, tw.Query)
+		if len(tw.Query.Edges) == 1 {
+			singles++
+			continue
+		}
+		classes[tw.Query.Classify()]++
+		// Twig invariant: output attributes are exactly the leaves.
+		for _, a := range tw.Query.Attrs() {
+			isLeaf := tw.Query.Degree(a) == 1
+			if isLeaf != tw.Query.IsOutput(a) {
+				t.Fatalf("twig %v: attr %q leaf=%v output=%v", tw.Query.Edges, a, isLeaf, tw.Query.IsOutput(a))
+			}
+		}
+	}
+	if singles != 2 {
+		t.Fatalf("single-relation twigs = %d, want 2", singles)
+	}
+	if classes[ClassMatMul] != 2 {
+		t.Fatalf("matmul twigs = %d, want 2", classes[ClassMatMul])
+	}
+	if classes[ClassStarLike] != 1 {
+		t.Fatalf("star-like twigs = %d, want 1", classes[ClassStarLike])
+	}
+	if classes[ClassTree] != 1 {
+		t.Fatalf("general twigs = %d, want 1", classes[ClassTree])
+	}
+}
+
+func TestTwigsPartitionEdges(t *testing.T) {
+	q := Fig2Tree()
+	reduced, _ := ReducePlan(q)
+	twigs := Twigs(reduced)
+	seen := map[string]int{}
+	for _, tw := range twigs {
+		for _, e := range tw.Query.Edges {
+			seen[e.Name]++
+		}
+	}
+	if len(seen) != len(reduced.Edges) {
+		t.Fatalf("twigs cover %d of %d edges", len(seen), len(reduced.Edges))
+	}
+	for name, c := range seen {
+		if c != 1 {
+			t.Fatalf("edge %s in %d twigs", name, c)
+		}
+	}
+}
+
+func TestTwigBoundariesAreBreakVertices(t *testing.T) {
+	q := Fig2Tree()
+	reduced, _ := ReducePlan(q)
+	twigs := Twigs(reduced)
+	wantBreaks := map[Attr]bool{"O2": true, "O3": true, "O5": true, "O11": true, "O12": true}
+	got := map[Attr]int{}
+	for _, tw := range twigs {
+		for _, b := range tw.Boundary {
+			if !wantBreaks[b] {
+				t.Fatalf("unexpected boundary %q", b)
+			}
+			got[b]++
+		}
+	}
+	// Every break vertex joins exactly two twigs in this tree.
+	for b := range wantBreaks {
+		if got[b] != 2 {
+			t.Fatalf("break %q on %d twigs, want 2", b, got[b])
+		}
+	}
+}
+
+func TestSkeletonFig3(t *testing.T) {
+	q := Fig3Twig()
+	sk := SkeletonOf(q)
+	if sk == nil {
+		t.Fatal("SkeletonOf returned nil on Figure 3 twig")
+	}
+	wantS := []Attr{"B1", "B2", "O5", "O6", "O7"}
+	if len(sk.S) != len(wantS) {
+		t.Fatalf("S = %v, want %v", sk.S, wantS)
+	}
+	for i := range wantS {
+		if sk.S[i] != wantS[i] {
+			t.Fatalf("S = %v, want %v", sk.S, wantS)
+		}
+	}
+	if len(sk.Pendants) != 2 {
+		t.Fatalf("pendants = %v", sk.Pendants)
+	}
+	b1 := sk.Pendants["B1"]
+	if b1 == nil || len(b1.Edges) != 3 {
+		t.Fatalf("pendant B1 = %+v", b1)
+	}
+	// B1's pendant has arms O8 and C41–O9 around center B1; with only two
+	// arms it degenerates to the line query O8–B1–C41–O9, the star-like
+	// base case (§6: "a star-like query degenerates to a line query if
+	// n = 2").
+	if got := b1.Classify(); got != ClassLine {
+		t.Fatalf("pendant B1 class = %v, want line", got)
+	}
+	b2 := sk.Pendants["B2"]
+	if b2 == nil || len(b2.Edges) != 2 {
+		t.Fatalf("pendant B2 = %+v", b2)
+	}
+	// TS has the remaining 6 edges.
+	if len(sk.TS.Edges) != 6 {
+		t.Fatalf("TS edges = %d: %+v", len(sk.TS.Edges), sk.TS.Edges)
+	}
+	// Pendant edges and TS edges partition the twig.
+	total := len(sk.TS.Edges)
+	for _, p := range sk.Pendants {
+		total += len(p.Edges)
+	}
+	if total != len(q.Edges) {
+		t.Fatalf("edge partition broken: %d vs %d", total, len(q.Edges))
+	}
+}
+
+func TestSkeletonNilOnStarLike(t *testing.T) {
+	if SkeletonOf(Fig1StarLike()) != nil {
+		t.Fatal("star-like query must have no skeleton")
+	}
+	if SkeletonOf(LineQuery(4)) != nil {
+		t.Fatal("line query must have no skeleton")
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	e := Bin("R", "A", "B")
+	if e.Other("A") != "B" || e.Other("B") != "A" {
+		t.Fatal("Other wrong")
+	}
+	if !e.Has("A") || e.Has("C") {
+		t.Fatal("Has wrong")
+	}
+	u := Un("U", "A")
+	if !u.IsUnary() {
+		t.Fatal("IsUnary wrong")
+	}
+}
+
+func TestAttrsOrderAndDegree(t *testing.T) {
+	q := MatMulQuery()
+	attrs := q.Attrs()
+	want := []Attr{"A", "B", "C"}
+	if len(attrs) != 3 {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Fatalf("attrs = %v", attrs)
+		}
+	}
+	if q.Degree("B") != 2 || q.Degree("A") != 1 {
+		t.Fatal("degree wrong")
+	}
+	es := q.EdgesAt("B")
+	sort.Ints(es)
+	if len(es) != 2 || es[0] != 0 || es[1] != 1 {
+		t.Fatalf("EdgesAt = %v", es)
+	}
+}

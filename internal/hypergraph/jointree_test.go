@@ -1,0 +1,192 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTree builds a random tree query over n attributes.
+func randomTree(rng *rand.Rand, n int) *Query {
+	attrs := make([]Attr, n)
+	for i := range attrs {
+		attrs[i] = Attr(rune('A' + i))
+	}
+	var edges []Edge
+	for i := 1; i < n; i++ {
+		parent := rng.Intn(i)
+		edges = append(edges, Bin("R"+string(rune('0'+i)), attrs[parent], attrs[i]))
+	}
+	var out []Attr
+	for _, a := range attrs {
+		if rng.Intn(2) == 0 {
+			out = append(out, a)
+		}
+	}
+	return NewQuery(edges, out...)
+}
+
+// Property: JoinTree's parents share an attribute with their child, the
+// order is a valid BFS (parents precede children), and — the running
+// intersection property for tree queries — any attribute shared by two
+// edges appears in every edge on the join-tree path between them.
+func TestQuickJoinTreeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(7) + 2
+		q := randomTree(rng, n)
+		if err := q.Validate(); err != nil {
+			return true
+		}
+		order, parent := q.JoinTree()
+		if len(order) != len(q.Edges) {
+			return false
+		}
+		pos := make([]int, len(order))
+		for i, e := range order {
+			pos[e] = i
+		}
+		for _, e := range order[1:] {
+			pe := parent[e]
+			if pe < 0 || pos[pe] >= pos[e] {
+				return false // parent must precede child
+			}
+			if len(SharedAttrs(q.Edges[e], q.Edges[pe])) == 0 {
+				return false // parent must overlap child
+			}
+		}
+		// Running intersection: for every pair of edges sharing attr v,
+		// walk the tree path between them and require v everywhere.
+		for i := range q.Edges {
+			for j := i + 1; j < len(q.Edges); j++ {
+				for _, v := range SharedAttrs(q.Edges[i], q.Edges[j]) {
+					for _, e := range treePath(parent, pos, i, j) {
+						if !q.Edges[e].Has(v) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// treePath returns the edges on the join-tree path between a and b
+// (inclusive), using parent pointers and BFS positions as depth proxy.
+func treePath(parent []int, pos []int, a, b int) []int {
+	var pa, pb []int
+	for x := a; x != -1; x = parent[x] {
+		pa = append(pa, x)
+	}
+	for x := b; x != -1; x = parent[x] {
+		pb = append(pb, x)
+	}
+	on := make(map[int]bool, len(pa))
+	for _, x := range pa {
+		on[x] = true
+	}
+	// lowest common ancestor = first pb element on pa.
+	lca := -1
+	for _, x := range pb {
+		if on[x] {
+			lca = x
+			break
+		}
+	}
+	var path []int
+	for _, x := range pa {
+		path = append(path, x)
+		if x == lca {
+			break
+		}
+	}
+	for _, x := range pb {
+		if x == lca {
+			break
+		}
+		path = append(path, x)
+	}
+	return path
+}
+
+// Property: the §7 reduction never removes output information — the
+// reduced query's outputs equal the original's — and reaches a fixpoint
+// (no removable edges remain unless a single edge is left).
+func TestQuickReducePlanFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomTree(rng, rng.Intn(7)+2)
+		if err := q.Validate(); err != nil {
+			return true
+		}
+		reduced, steps := ReducePlan(q)
+		if len(reduced.Edges)+len(steps) != len(q.Edges) {
+			return false
+		}
+		if len(reduced.Output) != len(q.Output) {
+			return false
+		}
+		if len(reduced.Edges) > 1 && reduced.removableEdge() >= 0 {
+			return false // not a fixpoint
+		}
+		// Every leaf of the reduced tree is an output (the §7 guarantee),
+		// unless the reduction bottomed out at a single edge.
+		if len(reduced.Edges) > 1 {
+			for _, a := range reduced.Attrs() {
+				if reduced.Degree(a) == 1 && !reduced.IsOutput(a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: twigs partition the reduced query's edges, each twig validates,
+// and within each twig outputs are exactly the leaves.
+func TestQuickTwigInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomTree(rng, rng.Intn(7)+2)
+		if err := q.Validate(); err != nil {
+			return true
+		}
+		reduced, _ := ReducePlan(q)
+		twigs := Twigs(reduced)
+		seen := map[string]int{}
+		for _, tw := range twigs {
+			if err := tw.Query.Validate(); err != nil {
+				return false
+			}
+			for _, e := range tw.Query.Edges {
+				seen[e.Name]++
+			}
+			if len(tw.Query.Edges) > 1 {
+				for _, a := range tw.Query.Attrs() {
+					if (tw.Query.Degree(a) == 1) != tw.Query.IsOutput(a) {
+						return false
+					}
+				}
+			}
+		}
+		if len(seen) != len(reduced.Edges) {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+package hypergraph
+
+import "fmt"
+
+// ReduceStep is one preprocessing step of §7: remove relation Remove by
+// ⊗-attaching its ⊕-aggregate (grouped by the shared attributes On) onto
+// relation Into. Executing a step assumes dangling tuples were already
+// removed, so every Into tuple has at least one matching Remove group.
+type ReduceStep struct {
+	// Remove and Into are edge names in the query the step was planned on.
+	Remove string
+	Into   string
+	// On is the set of shared attributes the aggregate is grouped by.
+	On []Attr
+}
+
+// ReducePlan computes the §7 preprocessing of a valid query: iteratively
+// remove an edge e if (1) e has a single attribute, or (2) some non-output
+// attribute appears only in e. Each removal attaches e's aggregate onto an
+// overlapping neighbor. The returned query is the reduced tree — in which
+// every leaf attribute is an output attribute (unless only one edge
+// remains) — along with the data-level steps, in execution order.
+func ReducePlan(q *Query) (*Query, []ReduceStep) {
+	cur := &Query{Edges: append([]Edge(nil), q.Edges...), Output: q.Output}
+	var steps []ReduceStep
+	for len(cur.Edges) > 1 {
+		idx := cur.removableEdge()
+		if idx < 0 {
+			break
+		}
+		e := cur.Edges[idx]
+		into, on := cur.absorber(idx)
+		steps = append(steps, ReduceStep{Remove: e.Name, Into: cur.Edges[into].Name, On: on})
+		cur.Edges = append(cur.Edges[:idx:idx], cur.Edges[idx+1:]...)
+	}
+	return cur, steps
+}
+
+// removableEdge returns the index of an edge matching the §7 removal
+// conditions, or -1. Unary edges are preferred; then edges with a private
+// non-output attribute.
+func (q *Query) removableEdge() int {
+	for i, e := range q.Edges {
+		if e.IsUnary() {
+			return i
+		}
+	}
+	for i, e := range q.Edges {
+		for _, a := range e.Attrs {
+			if !q.IsOutput(a) && q.Degree(a) == 1 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// absorber picks the neighbor edge that will absorb edge idx and the
+// shared attributes to group by.
+func (q *Query) absorber(idx int) (int, []Attr) {
+	e := q.Edges[idx]
+	for j, f := range q.Edges {
+		if j == idx {
+			continue
+		}
+		var shared []Attr
+		for _, a := range e.Attrs {
+			if f.Has(a) {
+				shared = append(shared, a)
+			}
+		}
+		if len(shared) > 0 {
+			return j, shared
+		}
+	}
+	panic(fmt.Sprintf("hypergraph: edge %q has no overlapping neighbor; query not connected", e.Name))
+}
+
+// Twig is one piece of the twig decomposition of a reduced query: a
+// connected subquery in which every output attribute is a leaf. Boundary
+// records the break vertices the twig shares with the rest of the tree
+// (always output attributes; they are the keys the twig results are joined
+// back on).
+type Twig struct {
+	Query    *Query
+	Boundary []Attr
+}
+
+// Twigs decomposes a reduced query by breaking it at every non-leaf output
+// attribute (Figure 2). Two edges belong to the same twig iff they are
+// connected through non-break attributes. Each twig's output set is the
+// set of its attributes that are outputs of q; in a reduced query these
+// are exactly the twig's leaves.
+func Twigs(q *Query) []Twig {
+	breaks := make(map[Attr]bool)
+	for _, a := range q.Attrs() {
+		if q.IsOutput(a) && q.Degree(a) >= 2 {
+			breaks[a] = true
+		}
+	}
+
+	// Union-find on edges; union edges sharing a non-break attribute.
+	parent := make([]int, len(q.Edges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	byAttr := make(map[Attr][]int)
+	for i, e := range q.Edges {
+		for _, a := range e.Attrs {
+			if !breaks[a] {
+				byAttr[a] = append(byAttr[a], i)
+			}
+		}
+	}
+	for _, idxs := range byAttr {
+		for _, i := range idxs[1:] {
+			union(idxs[0], i)
+		}
+	}
+
+	groups := make(map[int][]int)
+	var order []int
+	for i := range q.Edges {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+
+	var out []Twig
+	for _, r := range order {
+		tq := &Query{}
+		attrSeen := make(map[Attr]bool)
+		for _, i := range groups[r] {
+			tq.Edges = append(tq.Edges, q.Edges[i])
+			for _, a := range q.Edges[i].Attrs {
+				attrSeen[a] = true
+			}
+		}
+		var boundary []Attr
+		for _, a := range tq.Attrs() {
+			if q.IsOutput(a) {
+				tq.Output = append(tq.Output, a)
+			}
+			if breaks[a] {
+				boundary = append(boundary, a)
+			}
+		}
+		out = append(out, Twig{Query: tq, Boundary: boundary})
+	}
+	return out
+}
+
+// Skeleton is the §7 skeleton decomposition of a twig that is not
+// star-like (Figure 3): TS is the twig with every pendant star-like
+// subtree contracted to its root, Pendants maps each such root B to the
+// contracted subquery T_B (whose outputs are its leaves; B itself is the
+// non-output center), and S lists the leaves of TS.
+type Skeleton struct {
+	TS       *Query
+	Pendants map[Attr]*Query
+	// S is the leaf set of TS, sorted. S ∩ ȳ is exactly the pendant roots.
+	S []Attr
+}
+
+// SkeletonOf computes the skeleton of a twig query. It requires the twig
+// to have at least two attributes appearing in more than two relations
+// (otherwise the twig is star-like / line / star and has no skeleton);
+// callers should classify first. Returns nil if the precondition fails.
+func SkeletonOf(q *Query) *Skeleton {
+	// V* = attributes in ≥ 3 edges.
+	var vstar []Attr
+	inVstar := make(map[Attr]bool)
+	for _, a := range q.Attrs() {
+		if q.Degree(a) >= 3 {
+			vstar = append(vstar, a)
+			inVstar[a] = true
+		}
+	}
+	if len(vstar) < 2 {
+		return nil
+	}
+
+	adj := q.vertexAdj()
+
+	// T_{V*}: minimal subtree connecting V*. Compute by iteratively pruning
+	// leaves not in V* from a copy of the vertex tree.
+	deg := make(map[Attr]int)
+	alive := make(map[Attr]bool)
+	aliveEdge := make(map[int]bool)
+	for a, hs := range adj {
+		deg[a] = len(hs)
+		alive[a] = true
+	}
+	for i := range q.Edges {
+		aliveEdge[i] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for a := range alive {
+			if !alive[a] || inVstar[a] || deg[a] != 1 {
+				continue
+			}
+			// Prune leaf a and its single alive edge.
+			for _, h := range adj[a] {
+				if aliveEdge[h.edge] && alive[h.to] {
+					aliveEdge[h.edge] = false
+					deg[h.to]--
+					break
+				}
+			}
+			alive[a] = false
+			deg[a] = 0
+			changed = true
+		}
+	}
+	// Leaves of T_{V*}: alive vertices with alive-degree 1 (all in V*).
+	tvDeg := make(map[Attr]int)
+	for i, e := range q.Edges {
+		if aliveEdge[i] {
+			tvDeg[e.Attrs[0]]++
+			tvDeg[e.Attrs[1]]++
+		}
+	}
+	var tvLeaves []Attr
+	for a, d := range tvDeg {
+		if d == 1 {
+			tvLeaves = append(tvLeaves, a)
+		}
+	}
+
+	// For each T_{V*} leaf B: T_B is B's component of the twig after
+	// removing B's T_{V*}-incident edge — everything hanging off B away
+	// from the skeleton interior.
+	pendants := make(map[Attr]*Query)
+	pendantEdges := make(map[int]bool)
+	for _, b := range tvLeaves {
+		eB := -1
+		for _, h := range adj[b] {
+			if aliveEdge[h.edge] {
+				eB = h.edge
+				break
+			}
+		}
+		tb := &Query{}
+		// BFS from b avoiding eB.
+		seen := map[Attr]bool{b: true}
+		queue := []Attr{b}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, h := range adj[v] {
+				if h.edge == eB || pendantEdges[h.edge] {
+					continue
+				}
+				pendantEdges[h.edge] = true
+				tb.Edges = append(tb.Edges, q.Edges[h.edge])
+				if !seen[h.to] {
+					seen[h.to] = true
+					queue = append(queue, h.to)
+				}
+			}
+		}
+		for _, a := range tb.Attrs() {
+			if q.IsOutput(a) {
+				tb.Output = append(tb.Output, a)
+			}
+		}
+		pendants[b] = tb
+	}
+
+	// TS = twig minus pendant edges.
+	ts := &Query{}
+	for i, e := range q.Edges {
+		if !pendantEdges[i] {
+			ts.Edges = append(ts.Edges, e)
+		}
+	}
+	for _, a := range ts.Attrs() {
+		if q.IsOutput(a) {
+			ts.Output = append(ts.Output, a)
+		}
+	}
+
+	// S = leaves of TS.
+	tsDeg := make(map[Attr]int)
+	for _, e := range ts.Edges {
+		tsDeg[e.Attrs[0]]++
+		tsDeg[e.Attrs[1]]++
+	}
+	var s []Attr
+	for a, d := range tsDeg {
+		if d == 1 {
+			s = append(s, a)
+		}
+	}
+	sortAttrs(s)
+	return &Skeleton{TS: ts, Pendants: pendants, S: s}
+}
+
+func sortAttrs(as []Attr) {
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0 && as[j] < as[j-1]; j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package kmv implements the k-minimum-values (KMV) distinct-count sketch
+// of Bar-Yossef et al. and Beyer et al., the tool §2.2 of Hu–Yi PODS'20
+// uses to obtain constant-factor output-size estimates with linear load.
+//
+// A sketch applies a fixed hash function to each inserted item and retains
+// the k smallest distinct hash values. If v_k is the k-th smallest value as
+// a fraction of the hash space, (k−1)/v_k estimates the number of distinct
+// items to within (1±ε) with constant probability for k = O(1/ε²). Two
+// sketches built with the same hash merge by keeping the k smallest of
+// their union — exactly the "⊕" the paper folds through reduce-by-key.
+//
+// Determinism: hashing is seeded splitmix64, so runs are reproducible; the
+// estimate package draws independent seeds per repetition for the
+// median-of-O(log N) boosting.
+package kmv
+
+import "sort"
+
+// Hash64 is the seeded 64-bit mixer used by all sketches (splitmix64
+// finalizer). It is exported so workload generators and tests can construct
+// adversarial inputs against a known hash family.
+func Hash64(x uint64, seed uint64) uint64 {
+	z := x + seed*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Sketch is a KMV sketch: the K smallest distinct hash values seen so far,
+// sorted ascending. The zero Sketch is unusable; construct with New.
+// Sketches are value types; Insert and Merge return the updated sketch.
+//
+// A Sketch costs O(K) units of communication, so with constant K it is a
+// constant-size message — the property the §2.2 estimator's linear load
+// depends on.
+type Sketch struct {
+	K    int
+	Seed uint64
+	// Vals holds the at-most-K smallest distinct hash values, ascending.
+	Vals []uint64
+}
+
+// New returns an empty sketch with capacity k and the given hash seed.
+func New(k int, seed uint64) Sketch {
+	if k < 2 {
+		panic("kmv: k must be at least 2")
+	}
+	return Sketch{K: k, Seed: seed}
+}
+
+// Insert adds an item and returns the updated sketch.
+func (s Sketch) Insert(item uint64) Sketch {
+	h := Hash64(item, s.Seed)
+	i := sort.Search(len(s.Vals), func(i int) bool { return s.Vals[i] >= h })
+	if i < len(s.Vals) && s.Vals[i] == h {
+		return s // distinct values only
+	}
+	if len(s.Vals) == s.K && i == s.K {
+		return s // larger than current k-th minimum
+	}
+	vals := make([]uint64, 0, min(len(s.Vals)+1, s.K))
+	vals = append(vals, s.Vals[:i]...)
+	vals = append(vals, h)
+	vals = append(vals, s.Vals[i:]...)
+	if len(vals) > s.K {
+		vals = vals[:s.K]
+	}
+	s.Vals = vals
+	return s
+}
+
+// Merge combines two sketches built with the same K and Seed: the result is
+// the sketch of the union of their underlying sets. Merge is associative,
+// commutative and idempotent, making it a valid reduce-by-key combiner.
+func Merge(a, b Sketch) Sketch {
+	if a.K != b.K || a.Seed != b.Seed {
+		panic("kmv: merging incompatible sketches")
+	}
+	vals := make([]uint64, 0, min(len(a.Vals)+len(b.Vals), a.K))
+	i, j := 0, 0
+	for (i < len(a.Vals) || j < len(b.Vals)) && len(vals) < a.K {
+		switch {
+		case j >= len(b.Vals) || (i < len(a.Vals) && a.Vals[i] < b.Vals[j]):
+			vals = append(vals, a.Vals[i])
+			i++
+		case i >= len(a.Vals) || b.Vals[j] < a.Vals[i]:
+			vals = append(vals, b.Vals[j])
+			j++
+		default: // equal
+			vals = append(vals, a.Vals[i])
+			i++
+			j++
+		}
+	}
+	return Sketch{K: a.K, Seed: a.Seed, Vals: vals}
+}
+
+// Estimate returns the estimated number of distinct inserted items:
+// exact when fewer than K distinct values were seen, (K−1)/v_K otherwise.
+func (s Sketch) Estimate() float64 {
+	if len(s.Vals) < s.K {
+		return float64(len(s.Vals))
+	}
+	vk := float64(s.Vals[s.K-1]) / float64(^uint64(0))
+	if vk == 0 {
+		return float64(s.K)
+	}
+	return float64(s.K-1) / vk
+}
+
+// IsExact reports whether Estimate is an exact distinct count (the sketch
+// never filled up).
+func (s Sketch) IsExact() bool { return len(s.Vals) < s.K }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+// Package linequery implements the §4 algorithm of Hu–Yi PODS'20 for line
+// (chain matrix multiplication) queries
+//
+//	∑_{A2,…,An} R1(A1,A2) ⋈ R2(A2,A3) ⋈ … ⋈ Rn(An,An+1)
+//
+// with load Õ(N·OUT^{1/2}/p + (N·OUT/p)^{2/3} + (N+OUT)/p), an asymptotic
+// improvement over the distributed Yannakakis baseline's N·OUT/p.
+//
+// The algorithm recurses on n: values of A2 whose degree in R1 is ≥ √OUT
+// are heavy. The heavy subquery aggregates the tail R2 ⋈ … ⋈ Rn down to
+// R(A2, An+1) right-to-left with Yannakakis folds (Lemma 4 bounds every
+// intermediate join by N·√OUT) and finishes with one output-sensitive
+// matrix multiplication; the light subquery joins R1 ⋈ R2 into R(A1, A3)
+// (size ≤ N·√OUT by lightness) and recurses on the shorter line. The base
+// case n = 2 is §3's matrix multiplication. OUT itself comes from the
+// §2.2 constant-factor estimator.
+//
+// Endpoints may be composite attribute lists: the star-like reduction
+// (§6, step 2.2) produces line queries whose first endpoint is a combined
+// attribute.
+package linequery
+
+import (
+	"fmt"
+
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/estimate"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/matmul"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/twoway"
+)
+
+// Options tunes the algorithm.
+type Options struct {
+	// Est configures the §2.2 estimator.
+	Est estimate.Params
+	// OutOracle replaces the OUT estimate when positive (experiments).
+	OutOracle int64
+	// Seed drives hash partitioning inside the matmul subroutine.
+	Seed uint64
+}
+
+// Compute evaluates a line query given by its hypergraph view. rels binds
+// each edge name to its distributed relation.
+func Compute[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[string]dist.Rel[W], opts Options) (dist.Rel[W], mpc.Stats, error) {
+	view, ok := q.LineView()
+	if !ok {
+		return dist.Rel[W]{}, mpc.Stats{}, fmt.Errorf("linequery: query is not a line query")
+	}
+	ordered := make([]dist.Rel[W], len(view.EdgeOrder))
+	path := make([][]dist.Attr, len(view.Vertices))
+	for i, v := range view.Vertices {
+		path[i] = []dist.Attr{v}
+	}
+	for i, ei := range view.EdgeOrder {
+		ordered[i] = rels[q.Edges[ei].Name]
+	}
+	res, st := Run(sr, ordered, path, opts)
+	return res, st, nil
+}
+
+// Run is the recursive core, operating on relations in path order:
+// rels[i] spans path[i] ∪ path[i+1]; the output attributes are
+// path[0] ∪ path[n]. Path positions are composite attribute lists;
+// interior positions must be single attributes (they are join attributes
+// of the §3 matmul base case).
+func Run[W any](sr semiring.Semiring[W], rels []dist.Rel[W], path [][]dist.Attr, opts Options) (dist.Rel[W], mpc.Stats) {
+	if len(rels) < 2 || len(path) != len(rels)+1 {
+		panic("linequery: malformed path")
+	}
+	p := rels[0].P()
+	outSchema := append(append([]dist.Attr(nil), path[0]...), path[len(path)-1]...)
+
+	// Remove dangling tuples along the chain (forward and backward
+	// semijoin sweeps — the full reducer specialised to a path).
+	var st mpc.Stats
+	rels = append([]dist.Rel[W](nil), rels...)
+	for i := len(rels) - 2; i >= 0; i-- {
+		r, s := dist.Semijoin(rels[i], rels[i+1])
+		rels[i] = r
+		st = mpc.Seq(st, s)
+	}
+	for i := 1; i < len(rels); i++ {
+		r, s := dist.Semijoin(rels[i], rels[i-1])
+		rels[i] = r
+		st = mpc.Seq(st, s)
+	}
+	n0, sc := mpc.TotalCount(rels[0].Part)
+	st = mpc.Seq(st, sc)
+	if n0 == 0 {
+		return dist.Empty[W](outSchema, p), st
+	}
+
+	res, st2 := run(sr, rels, path, opts)
+	return res, mpc.Seq(st, st2)
+}
+
+// run assumes dangling tuples are already removed and recursion invariants
+// hold.
+func run[W any](sr semiring.Semiring[W], rels []dist.Rel[W], path [][]dist.Attr, opts Options) (dist.Rel[W], mpc.Stats) {
+	p := rels[0].P()
+	outSchema := append(append([]dist.Attr(nil), path[0]...), path[len(path)-1]...)
+
+	// Base case n = 2: matrix multiplication (§3).
+	if len(rels) == 2 {
+		if len(path[1]) != 1 {
+			panic("linequery: interior path position must be a single attribute")
+		}
+		res, st, err := matmul.Compute(sr, matmul.Input[W]{R1: rels[0], R2: rels[1], B: path[1][0]},
+			matmul.Options{Est: opts.Est, OutOracle: opts.OutOracle, Seed: opts.Seed, SkipDangling: true})
+		if err != nil {
+			panic(err) // schemas are constructed internally; cannot fail
+		}
+		return res, st
+	}
+
+	// Estimate OUT (§2.2).
+	_, out, st := estimate.LineOut(rels, path, opts.Est)
+	if opts.OutOracle > 0 {
+		out = opts.OutOracle
+	}
+	if out < 1 {
+		out = 1
+	}
+	thr := isqrt(out)
+
+	// Step 1: degree of each a ∈ dom(A2) in R1; heavy iff ≥ √OUT.
+	a2 := path[1]
+	a2Key1 := rels[0].Key(a2...)
+	a2Key2 := rels[1].Key(a2...)
+	degA2, s1 := mpc.CountByKey(rels[0].Part, func(r relation.Row[W]) string { return a2Key1(r) })
+	st = mpc.Seq(st, s1)
+	heavyStats := mpc.Filter(degA2, func(kc mpc.KeyCount[string]) bool { return kc.Count >= thr })
+
+	r1Split, s2 := mpc.LookupJoin(rels[0].Part, heavyStats,
+		func(r relation.Row[W]) string { return a2Key1(r) },
+		func(kc mpc.KeyCount[string]) string { return kc.Key })
+	r2Split, s3 := mpc.LookupJoin(rels[1].Part, heavyStats,
+		func(r relation.Row[W]) string { return a2Key2(r) },
+		func(kc mpc.KeyCount[string]) string { return kc.Key })
+	st = mpc.Seq(st, s2, s3)
+
+	takeRows := func(pt mpc.Part[mpc.Pred[relation.Row[W], mpc.KeyCount[string]]], heavy bool) mpc.Part[relation.Row[W]] {
+		return mpc.Map(mpc.Filter(pt, func(pr mpc.Pred[relation.Row[W], mpc.KeyCount[string]]) bool {
+			return pr.Found == heavy
+		}), func(pr mpc.Pred[relation.Row[W], mpc.KeyCount[string]]) relation.Row[W] { return pr.X })
+	}
+	r1Heavy := dist.Rel[W]{Schema: rels[0].Schema, Part: takeRows(r1Split, true)}
+	r1Light := dist.Rel[W]{Schema: rels[0].Schema, Part: takeRows(r1Split, false)}
+	r2Heavy := dist.Rel[W]{Schema: rels[1].Schema, Part: takeRows(r2Split, true)}
+	r2Light := dist.Rel[W]{Schema: rels[1].Schema, Part: takeRows(r2Split, false)}
+
+	// Steps 2 and 3 run on disjoint server groups simultaneously; their
+	// costs compose with Par.
+	var stHeavy, stLight mpc.Stats
+
+	// Step 2: the heavy subquery.
+	var resHeavy dist.Rel[W]
+	nHeavy, sc := mpc.TotalCount(r1Heavy.Part)
+	st = mpc.Seq(st, sc)
+	if nHeavy > 0 {
+		// Remove dangling within the heavy subquery (R2 changed).
+		hRels := append([]dist.Rel[W](nil), rels...)
+		hRels[0], hRels[1] = r1Heavy, r2Heavy
+		for i := len(hRels) - 2; i >= 1; i-- {
+			r, s := dist.Semijoin(hRels[i], hRels[i+1])
+			hRels[i] = r
+			stHeavy = mpc.Seq(stHeavy, s)
+		}
+		for i := 1; i < len(hRels); i++ {
+			r, s := dist.Semijoin(hRels[i], hRels[i-1])
+			hRels[i] = r
+			stHeavy = mpc.Seq(stHeavy, s)
+		}
+		r, s := dist.Semijoin(hRels[0], hRels[1])
+		hRels[0] = r
+		stHeavy = mpc.Seq(stHeavy, s)
+
+		// Step 2.1: fold the tail right-to-left into R(A2, A_{n+1}).
+		last := path[len(path)-1]
+		acc := hRels[len(hRels)-1]
+		for i := len(hRels) - 2; i >= 1; i-- {
+			keep := append(append([]dist.Attr(nil), path[i]...), last...)
+			folded, s := twoway.JoinAgg(sr, hRels[i], acc, keep...)
+			acc = dist.Reshape(folded, p)
+			stHeavy = mpc.Seq(stHeavy, s)
+		}
+		// Step 2.2: one output-sensitive matrix multiplication.
+		res, s2, err := matmul.Compute(sr, matmul.Input[W]{R1: hRels[0], R2: acc, B: path[1][0]},
+			matmul.Options{Est: opts.Est, Seed: opts.Seed, SkipDangling: true})
+		if err != nil {
+			panic(err)
+		}
+		resHeavy = dist.Reshape(res, p)
+		stHeavy = mpc.Seq(stHeavy, s2)
+	} else {
+		resHeavy = dist.Empty[W](outSchema, p)
+	}
+
+	// Step 3: the light subquery.
+	var resLight dist.Rel[W]
+	nLight, sc2 := mpc.TotalCount(r1Light.Part)
+	st = mpc.Seq(st, sc2)
+	if nLight > 0 {
+		// Step 3.1: R(A1, A3) = ∑_{A2} R1^light ⋈ R2^light — join then
+		// aggregate; the join has ≤ N·√OUT results by lightness of A2.
+		keep := append(append([]dist.Attr(nil), path[0]...), path[2]...)
+		r13, s := twoway.JoinAgg(sr, r1Light, r2Light, keep...)
+		stLight = mpc.Seq(stLight, s)
+		r13 = dist.Reshape(r13, p)
+
+		// Step 3.2: recurse on the shorter line query. Dangling tuples of
+		// the shorter chain are removed (R(A1,A3) may have lost values).
+		sRels := append([]dist.Rel[W]{r13}, rels[2:]...)
+		sPath := append([][]dist.Attr{path[0]}, path[2:]...)
+		for i := len(sRels) - 2; i >= 0; i-- {
+			r, s := dist.Semijoin(sRels[i], sRels[i+1])
+			sRels[i] = r
+			stLight = mpc.Seq(stLight, s)
+		}
+		for i := 1; i < len(sRels); i++ {
+			r, s := dist.Semijoin(sRels[i], sRels[i-1])
+			sRels[i] = r
+			stLight = mpc.Seq(stLight, s)
+		}
+		nl0, sc3 := mpc.TotalCount(sRels[0].Part)
+		stLight = mpc.Seq(stLight, sc3)
+		if nl0 > 0 {
+			res, s2 := run(sr, sRels, sPath, opts)
+			resLight = dist.Reshape(res, p)
+			stLight = mpc.Seq(stLight, s2)
+		} else {
+			resLight = dist.Empty[W](outSchema, p)
+		}
+	} else {
+		resLight = dist.Empty[W](outSchema, p)
+	}
+
+	// Step 4: ⊕-merge the two subqueries' results by (A1, A_{n+1}).
+	st = mpc.Seq(st, mpc.Par(stHeavy, stLight))
+	final, s := dist.UnionAgg(sr, resHeavy, resLight)
+	return final, mpc.Seq(st, s)
+}
+
+func isqrt(x int64) int64 {
+	if x < 0 {
+		return 0
+	}
+	r := int64(1)
+	for r*r < x {
+		r++
+	}
+	return r
+}

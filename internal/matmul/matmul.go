@@ -1,0 +1,290 @@
+// Package matmul implements the sparse matrix multiplication algorithms of
+// §3 of Hu–Yi PODS'20 — the paper's core contribution — for the query
+//
+//	∑_B R1(A, B) ⋈ R2(B, C)
+//
+// over an arbitrary commutative semiring, where A and C may be composite
+// ("combined") attribute lists arising from the star/star-like reductions.
+//
+// Five execution strategies are provided, matching the paper's case
+// analysis, plus the Theorem 1 dispatcher that picks among them:
+//
+//   - BroadcastSmall — N1 = O(1) (or N2): broadcast the tiny side (§1.5).
+//   - UnequalRatio  — N1/N2 ∉ [1/p, p]: group R2 by C, broadcast R1 (§3).
+//   - Linear        — OUT ≤ N/p: co-locate by B, local aggregate, one
+//     global reduce (LinearSparseMM, §3.2).
+//   - WorstCase     — §3.1: heavy/light on A and C, four subqueries, load
+//     O(√(N1·N2/p)).
+//   - OutputSensitive — §3.2: OUT-adaptive grouping, load
+//     O((N1·N2·OUT)^{1/3}/p^{2/3}).
+//
+// All strategies compute every elementary product a_{ib}·b_{bc} exactly
+// once per (a,b,c) and arrange locality so most ⊕-aggregation happens on
+// the producing server — the mechanism §1.5 credits for the improvement
+// over distributed Yannakakis.
+package matmul
+
+import (
+	"fmt"
+	"math"
+
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/estimate"
+	"mpcjoin/internal/kmv"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+// Input is a matrix multiplication instance: R1's schema is A ∪ {B}, R2's
+// is {B} ∪ C, with A, C disjoint and B the single shared join attribute.
+type Input[W any] struct {
+	R1, R2 dist.Rel[W]
+	B      dist.Attr
+}
+
+// ASide returns R1's output attributes (schema minus B), in schema order.
+func (in Input[W]) ASide() []dist.Attr { return minusAttr(in.R1.Schema, in.B) }
+
+// CSide returns R2's output attributes.
+func (in Input[W]) CSide() []dist.Attr { return minusAttr(in.R2.Schema, in.B) }
+
+// OutSchema returns the output schema: A-side attributes then C-side.
+func (in Input[W]) OutSchema() []dist.Attr {
+	return append(append([]dist.Attr(nil), in.ASide()...), in.CSide()...)
+}
+
+func minusAttr(schema []dist.Attr, b dist.Attr) []dist.Attr {
+	var out []dist.Attr
+	for _, a := range schema {
+		if a != b {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// validate checks the Input invariants.
+func (in Input[W]) validate() error {
+	if !in.R1.Has(in.B) || !in.R2.Has(in.B) {
+		return fmt.Errorf("matmul: join attribute %q missing from an input schema", in.B)
+	}
+	for _, a := range in.ASide() {
+		for _, c := range in.CSide() {
+			if a == c {
+				return fmt.Errorf("matmul: attribute %q on both sides", a)
+			}
+		}
+	}
+	if in.R1.P() != in.R2.P() {
+		return fmt.Errorf("matmul: inputs span %d and %d servers", in.R1.P(), in.R2.P())
+	}
+	return nil
+}
+
+// Algorithm selects an execution strategy.
+type Algorithm int
+
+const (
+	// Auto is the Theorem 1 dispatcher.
+	Auto Algorithm = iota
+	// WorstCase forces the §3.1 algorithm.
+	WorstCase
+	// OutputSensitive forces the §3.2 algorithm.
+	OutputSensitive
+	// Linear forces LinearSparseMM (correct for any OUT; load degrades to
+	// O(max_b d1(b)+d2(b) + OUT) when its precondition OUT ≤ N/p fails).
+	Linear
+	// BroadcastSmall forces broadcasting the smaller relation.
+	BroadcastSmall
+	// UnequalRatio forces the N1/N2 ∉ [1/p, p] fast path.
+	UnequalRatio
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case WorstCase:
+		return "worst-case"
+	case OutputSensitive:
+		return "output-sensitive"
+	case Linear:
+		return "linear"
+	case BroadcastSmall:
+		return "broadcast"
+	case UnequalRatio:
+		return "unequal"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options tunes Compute.
+type Options struct {
+	// Algorithm forces a strategy; Auto dispatches per Theorem 1.
+	Algorithm Algorithm
+	// Est configures the §2.2 estimator.
+	Est estimate.Params
+	// OutOracle, when positive, replaces the §2.2 OUT estimate (used by
+	// experiments to separate estimator error from algorithmic behavior).
+	// Per-value OUT_a estimates are still computed by the estimator.
+	OutOracle int64
+	// Seed drives the within-block hash partitioning.
+	Seed uint64
+	// SkipDangling skips the initial dangling-removal pass (callers that
+	// have already reduced the instance).
+	SkipDangling bool
+}
+
+// Compute evaluates the matrix multiplication and returns the distributed
+// result over OutSchema plus the metered cost. The Auto strategy follows
+// Theorem 1: fast paths for degenerate sizes, then the better of the
+// worst-case optimal and output-sensitive algorithms by their predicted
+// loads, using a constant-factor OUT approximation.
+func Compute[W any](sr semiring.Semiring[W], in Input[W], opts Options) (dist.Rel[W], mpc.Stats, error) {
+	if err := in.validate(); err != nil {
+		return dist.Rel[W]{}, mpc.Stats{}, err
+	}
+	var st mpc.Stats
+	if !opts.SkipDangling {
+		r1, s1 := dist.Semijoin(in.R1, in.R2)
+		r2, s2 := dist.Semijoin(in.R2, in.R1)
+		in.R1, in.R2 = r1, r2
+		st = mpc.Seq(st, s1, s2)
+	}
+
+	p := in.R1.P()
+	n1, s := mpc.TotalCount(in.R1.Part)
+	st = mpc.Seq(st, s)
+	n2, s := mpc.TotalCount(in.R2.Part)
+	st = mpc.Seq(st, s)
+
+	if n1 == 0 || n2 == 0 {
+		return dist.Empty[W](in.OutSchema(), p), st, nil
+	}
+
+	alg := opts.Algorithm
+	var ests mpc.Part[mpc.KeyCount[string]]
+	var out int64
+	if alg == Auto {
+		switch {
+		case n1 <= 1 || n2 <= 1:
+			alg = BroadcastSmall
+		case n1*int64(p) < n2 || n2*int64(p) < n1:
+			alg = UnequalRatio
+		default:
+			// Estimate OUT (§2.2) to choose between the remaining three.
+			var es mpc.Stats
+			ests, out, es = estimate.MatMulOut(in.R1, in.R2, in.ASide(), []dist.Attr{in.B}, in.CSide(), opts.Est)
+			st = mpc.Seq(st, es)
+			if opts.OutOracle > 0 {
+				out = opts.OutOracle
+			}
+			switch {
+			case out <= (n1+n2)/int64(p):
+				alg = Linear
+			case wcLoad(n1, n2, p) <= osLoad(n1, n2, out, p):
+				alg = WorstCase
+			default:
+				alg = OutputSensitive
+			}
+		}
+	}
+
+	var res dist.Rel[W]
+	var as mpc.Stats
+	var err error
+	switch alg {
+	case BroadcastSmall:
+		res, as = broadcastSmall(sr, in, n1, n2)
+	case UnequalRatio:
+		res, as = unequalRatio(sr, in, n1, n2)
+	case Linear:
+		res, as = linearSparseMM(sr, in)
+	case WorstCase:
+		res, as = worstCase(sr, in, n1, n2, opts.Seed)
+	case OutputSensitive:
+		if ests.P() == 0 {
+			var es mpc.Stats
+			ests, out, es = estimate.MatMulOut(in.R1, in.R2, in.ASide(), []dist.Attr{in.B}, in.CSide(), opts.Est)
+			st = mpc.Seq(st, es)
+			if opts.OutOracle > 0 {
+				out = opts.OutOracle
+			}
+		}
+		res, as = outputSensitive(sr, in, n1, n2, out, ests, opts.Seed)
+	default:
+		err = fmt.Errorf("matmul: unknown algorithm %v", alg)
+	}
+	if err != nil {
+		return dist.Rel[W]{}, mpc.Stats{}, err
+	}
+	return dist.Reshape(res, p), mpc.Seq(st, as), nil
+}
+
+// wcLoad is the §3.1 load bound √(N1·N2/p).
+func wcLoad(n1, n2 int64, p int) float64 {
+	return math.Sqrt(float64(n1) * float64(n2) / float64(p))
+}
+
+// osLoad is the §3.2 load bound (N1·N2·OUT)^{1/3}/p^{2/3}.
+func osLoad(n1, n2, out int64, p int) float64 {
+	return math.Cbrt(float64(n1)*float64(n2)*float64(out)) / math.Pow(float64(p), 2.0/3.0)
+}
+
+// ---------------------------------------------------------------------------
+// Shared plumbing
+// ---------------------------------------------------------------------------
+
+// sideRow tags a row with its side so both relations travel in a single
+// exchange (loads on shared destinations add up).
+type sideRow[W any] struct {
+	left bool
+	row  relation.Row[W]
+}
+
+// localJoinAgg joins the two sides of a shard on B and ⊕-aggregates onto
+// the output schema — the per-server local computation every strategy ends
+// with. Free in the MPC model.
+func localJoinAgg[W any](sr semiring.Semiring[W], in Input[W], shard []sideRow[W]) []relation.Row[W] {
+	left := relation.New[W](in.R1.Schema...)
+	right := relation.New[W](in.R2.Schema...)
+	for _, s := range shard {
+		if s.left {
+			left.AppendRow(s.row)
+		} else {
+			right.AppendRow(s.row)
+		}
+	}
+	joined := relation.Join(sr, left, right)
+	attrs := make([]relation.Attr, 0, len(in.OutSchema()))
+	for _, a := range in.OutSchema() {
+		attrs = append(attrs, a)
+	}
+	return relation.ProjectAgg(sr, joined, attrs...).Rows
+}
+
+// hashB spreads a B value across m slots with a seeded hash.
+func hashB(b relation.Value, m int, seed uint64) int {
+	if m <= 1 {
+		return 0
+	}
+	return int(kmv.Hash64(uint64(b), seed) % uint64(m))
+}
+
+// hashStr spreads an encoded key across m slots.
+func hashStr(s string, m int, seed uint64) int {
+	if m <= 1 {
+		return 0
+	}
+	var h uint64 = 0xcbf29ce484222325 ^ seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return int(h % uint64(m))
+}
+
+// ceilDiv is ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

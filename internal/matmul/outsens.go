@@ -1,0 +1,384 @@
+package matmul
+
+import (
+	"math"
+	"sort"
+
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/estimate"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/twoway"
+)
+
+// outputSensitive is the §3.2 algorithm, load O((N1·N2·OUT)^{1/3}/p^{2/3})
+// for OUT > N/p:
+//
+//	Step 1 — per-value output estimates OUT_a (§2.2); a is heavy when
+//	         OUT_a ≥ T = √(N2·OUT·L/N1).
+//	Step 2 — heavy rows: Yannakakis (two-way join + aggregation) on
+//	         R1(A^heavy, B) ⋈ R2; its intermediate size is bounded by
+//	         √(N1·N2·OUT/L) because few values are heavy.
+//	Step 3 — light rows are packed into groups A_i of total OUT_a ≤ 2T;
+//	         each group block receives σ_{A_i}R1 plus a full copy of R2 and
+//	         estimates, per C value, the group-local result count; values
+//	         with ≥ L results get dedicated ⌈(|σ_{A_i}R1|+d(c))/L⌉-server
+//	         blocks partitioned by B.
+//	Step 4 — the remaining (group, light-c) pairs are packed into bins of
+//	         total estimated results ≤ 2L and evaluated by LinearSparseMM
+//	         on ⌈(|σ_{A_i}R1|+|σ_{C_ij}R2|)/L⌉ servers per bin.
+//
+// Implementation notes relative to the paper's prose: all groups are run
+// through the uniform Step 3/4 machinery (the paper short-circuits groups
+// with footprint ≤ L; the uniform path preserves the Σp_i = O(p) budget
+// since Σ_i ⌈(f_i+N2)/L⌉ ≤ N1/L + k1·N2/L = O(p)), and the per-group §2.2
+// estimates are computed by global skew-proof primitives over a synthetic
+// group column G rather than per-block coordinators — the routed data and
+// metered loads are the same. Estimate errors can only misclassify values
+// between Steps 3 and 4, affecting load, never correctness.
+func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out int64, ests mpc.Part[mpc.KeyCount[string]], seed uint64) (dist.Rel[W], mpc.Stats) {
+	p := in.R1.P()
+	load := int64(math.Ceil(math.Cbrt(float64(n1)*float64(n2)*float64(out))/math.Pow(float64(p), 2.0/3.0))) + ceilDiv(n1+n2, int64(p))
+	if load < 1 {
+		load = 1
+	}
+	thr := int64(math.Ceil(math.Sqrt(float64(n2) * float64(out) * float64(load) / float64(n1))))
+	if thr < 1 {
+		thr = 1
+	}
+
+	aKey := in.R1.Key(in.ASide()...)
+	cKey := in.R2.Key(in.CSide()...)
+	bCol2 := in.R2.Cols(in.B)[0]
+	outSchema := in.OutSchema()
+
+	heavyEst := mpc.Filter(ests, func(kc mpc.KeyCount[string]) bool { return kc.Count >= thr })
+	lightEst := mpc.Filter(ests, func(kc mpc.KeyCount[string]) bool { return kc.Count < thr })
+
+	// Partition R1 rows by the heaviness of their A value.
+	split, stSplit := mpc.LookupJoin(in.R1.Part, heavyEst,
+		func(r relation.Row[W]) string { return aKey(r) },
+		func(kc mpc.KeyCount[string]) string { return kc.Key })
+	r1Heavy := mpc.Map(mpc.Filter(split, func(pr mpc.Pred[relation.Row[W], mpc.KeyCount[string]]) bool { return pr.Found }),
+		func(pr mpc.Pred[relation.Row[W], mpc.KeyCount[string]]) relation.Row[W] { return pr.X })
+	r1Light := mpc.Map(mpc.Filter(split, func(pr mpc.Pred[relation.Row[W], mpc.KeyCount[string]]) bool { return !pr.Found }),
+		func(pr mpc.Pred[relation.Row[W], mpc.KeyCount[string]]) relation.Row[W] { return pr.X })
+
+	st := stSplit
+
+	// Step 2: heavy rows through the Yannakakis algorithm.
+	var res2 dist.Rel[W]
+	nHeavy, sc := mpc.TotalCount(r1Heavy)
+	st = mpc.Seq(st, sc)
+	if nHeavy > 0 {
+		var s2 mpc.Stats
+		res2, s2 = twoway.JoinAgg(sr, dist.Rel[W]{Schema: in.R1.Schema, Part: r1Heavy}, in.R2, outSchema...)
+		st = mpc.Seq(st, s2)
+	} else {
+		res2 = dist.Empty[W](outSchema, p)
+	}
+
+	nLight, sc2 := mpc.TotalCount(r1Light)
+	st = mpc.Seq(st, sc2)
+	if nLight == 0 {
+		return res2, st
+	}
+
+	// Pack light A values into groups of total OUT_a ≤ 2T.
+	binnedA, _, stPack := mpc.ParallelPack(lightEst, func(kc mpc.KeyCount[string]) int64 { return kc.Count }, thr)
+	groupTable := mpc.Map(binnedA, func(b mpc.Binned[mpc.KeyCount[string]]) mpc.KeyBin[string] {
+		return mpc.KeyBin[string]{Key: b.X.Key, Bin: b.Bin}
+	})
+	grouped, stLook := mpc.LookupJoin(r1Light, groupTable,
+		func(r relation.Row[W]) string { return aKey(r) },
+		func(kb mpc.KeyBin[string]) string { return kb.Key })
+	st = mpc.Seq(st, stPack, stLook)
+
+	// Group footprints f_i at the coordinator.
+	fCounts, stf := mpc.CountByKey(grouped, func(pr mpc.Pred[relation.Row[W], mpc.KeyBin[string]]) int64 {
+		return int64(pr.Y.Bin)
+	})
+	fGathered, stg := mpc.Gather(fCounts, 0)
+	st = mpc.Seq(st, stf, stg)
+	foot := append([]mpc.KeyCount[int64](nil), fGathered.Shards[0]...)
+	sort.Slice(foot, func(i, j int) bool { return foot[i].Key < foot[j].Key })
+
+	// Phase A block layout: group i gets ⌈(f_i + N2)/L⌉ virtual servers.
+	type blockA struct {
+		group     int64
+		f         int64
+		off, size int
+	}
+	blocksA := make([]blockA, 0, len(foot))
+	at := 0
+	for _, kc := range foot {
+		sz := int(ceilDiv(kc.Count+n2, load))
+		blocksA = append(blocksA, blockA{group: kc.Key, f: kc.Count, off: at, size: sz})
+		at += sz
+	}
+	totalA := at
+	if totalA == 0 {
+		return res2, st
+	}
+	// Broadcast the layout (O(k1) ≤ O(p) entries).
+	layPart := mpc.NewPart[blockA](p)
+	layPart.Shards[0] = blocksA
+	layBcast, stb := mpc.Broadcast(layPart)
+	st = mpc.Seq(st, stb)
+	layout := layBcast.Shards[0]
+	blockOf := make(map[int64]blockA, len(layout))
+	for _, b := range layout {
+		blockOf[b.group] = b
+	}
+
+	// Phase A routing: group rows to their block, R2 replicated to every
+	// block. Rows gain a synthetic leading G column carrying the group.
+	gSchema1 := append([]dist.Attr{"⟨G⟩"}, in.R1.Schema...)
+	gSchema2 := append([]dist.Attr{"⟨G⟩"}, in.R2.Schema...)
+	outA := make([][][]sideRow[W], p)
+	for src := range outA {
+		outA[src] = make([][]sideRow[W], totalA)
+	}
+	for src := 0; src < p; src++ {
+		for _, pr := range grouped.Shards[src] {
+			blk, ok := blockOf[int64(pr.Y.Bin)]
+			if !ok {
+				continue
+			}
+			row := withGroup(int64(pr.Y.Bin), pr.X)
+			d := blk.off + hashStr(aKey(pr.X), blk.size, seed)
+			outA[src][d] = append(outA[src][d], sideRow[W]{left: true, row: row})
+		}
+		for _, r := range in.R2.Part.Shards[src] {
+			for _, blk := range layout {
+				row := withGroup(blk.group, r)
+				d := blk.off + hashStr(cKey(r), blk.size, seed^0x51ed)
+				outA[src][d] = append(outA[src][d], sideRow[W]{left: false, row: row})
+			}
+		}
+	}
+	routedA, stA := mpc.ExchangeTo(totalA, outA)
+	st = mpc.Seq(st, stA)
+
+	r1Blk := dist.Rel[W]{Schema: gSchema1, Part: mpc.Map(mpc.Filter(routedA, func(s sideRow[W]) bool { return s.left }),
+		func(s sideRow[W]) relation.Row[W] { return s.row })}
+	r2Blk := dist.Rel[W]{Schema: gSchema2, Part: mpc.Map(mpc.Filter(routedA, func(s sideRow[W]) bool { return !s.left }),
+		func(s sideRow[W]) relation.Row[W] { return s.row })}
+
+	// Per-(group, c) result-count estimates: sketches of distinct A per
+	// (G, B), folded through R2 onto (G, C) — §2.2 inside each group, run
+	// with global skew-proof primitives over the G column.
+	estP := estimate.Params{Seed: seed ^ 0xe57}
+	skB, se1 := estimate.SketchValues(r1Blk, append([]dist.Attr{"⟨G⟩"}, in.B), in.ASide(), estP)
+	skGC, se2 := estimate.Propagate(r2Blk, append([]dist.Attr{"⟨G⟩"}, in.CSide()...), append([]dist.Attr{"⟨G⟩"}, in.B), skB, estP)
+	st = mpc.Seq(st, se1, se2)
+	cEst := mpc.Map(skGC, func(ks estimate.KeySketch) mpc.KeyCount[string] {
+		e := int64(math.Round(ks.V.Estimate()))
+		if e < 1 {
+			e = 1
+		}
+		return mpc.KeyCount[string]{Key: ks.Key, Count: e} // key encodes (G, C…)
+	})
+
+	// d(c) within each block: |σ_{C=c}R2| is group-independent, but count
+	// it per (G,C) directly off the replicated copies (skew-proof).
+	gcCols := r2Blk.Cols(append([]dist.Attr{"⟨G⟩"}, in.CSide()...)...)
+	dGC, sd := mpc.CountByKey(r2Blk.Part, func(r relation.Row[W]) string { return relation.EncodeKey(r.Vals, gcCols) })
+	st = mpc.Seq(st, sd)
+
+	// Heavy (group, c) pairs: estimated ≥ L results. Join with d(c).
+	heavyGC := mpc.Filter(cEst, func(kc mpc.KeyCount[string]) bool { return kc.Count >= load })
+	heavyGCd, sj := mpc.LookupJoin(heavyGC, dGC,
+		func(kc mpc.KeyCount[string]) string { return kc.Key },
+		func(kc mpc.KeyCount[string]) string { return kc.Key })
+	st = mpc.Seq(st, sj)
+	heavyTbl := mpc.Map(mpc.Filter(heavyGCd, func(pr mpc.Pred[mpc.KeyCount[string], mpc.KeyCount[string]]) bool { return pr.Found }),
+		func(pr mpc.Pred[mpc.KeyCount[string], mpc.KeyCount[string]]) mpc.KeyCount[string] {
+			return mpc.KeyCount[string]{Key: pr.X.Key, Count: pr.Y.Count} // (G,C) → d(c)
+		})
+
+	// Light (group, c) pairs: pack per group into bins of total estimated
+	// results ≤ 2L. Packing runs once per group on the group's stats.
+	lightGC := mpc.Filter(cEst, func(kc mpc.KeyCount[string]) bool { return kc.Count < load })
+	var binTables []mpc.Part[mpc.KeyBin[string]]
+	var packStats []mpc.Stats
+	for _, blk := range layout {
+		g := blk.group
+		mine := mpc.Filter(lightGC, func(kc mpc.KeyCount[string]) bool {
+			return relation.DecodeKey(kc.Key)[0] == relation.Value(g)
+		})
+		binned, _, sp := mpc.ParallelPack(mine, func(kc mpc.KeyCount[string]) int64 { return kc.Count }, load)
+		packStats = append(packStats, sp)
+		binTables = append(binTables, mpc.Map(binned, func(b mpc.Binned[mpc.KeyCount[string]]) mpc.KeyBin[string] {
+			return mpc.KeyBin[string]{Key: b.X.Key, Bin: b.Bin}
+		}))
+	}
+	// Each group packs within its own block; the packs run in parallel.
+	st = mpc.Seq(st, mpc.Par(packStats...))
+	binTable := mpc.NewPart[mpc.KeyBin[string]](totalA)
+	for _, bt := range binTables {
+		for s, shard := range bt.Shards {
+			binTable.Shards[s%totalA] = append(binTable.Shards[s%totalA], shard...)
+		}
+	}
+
+	// Per-(group,bin) R2 sizes for the Phase B layout.
+	binSzPart, sb := binSizes(r2Blk, gcCols, binTable)
+	st = mpc.Seq(st, sb)
+
+	// Gather Phase B descriptors at the coordinator.
+	heavyG, sg1 := mpc.Gather(heavyTbl, 0)
+	binSzG, sg2 := mpc.Gather(binSzPart, 0)
+	st = mpc.Seq(st, sg1, sg2)
+
+	type subBlock struct {
+		gcKey     string // heavy blocks: the (G,C…) key; bins: the (G,bin) key
+		isBin     bool
+		off, size int
+	}
+	var subs []subBlock
+	bt := 0
+	footOf := make(map[int64]int64, len(layout))
+	for _, blk := range layout {
+		footOf[blk.group] = blk.f
+	}
+	hlist := append([]mpc.KeyCount[string](nil), heavyG.Shards[0]...)
+	sort.Slice(hlist, func(i, j int) bool { return hlist[i].Key < hlist[j].Key })
+	for _, kc := range hlist {
+		g := int64(relation.DecodeKey(kc.Key)[0])
+		sz := int(ceilDiv(footOf[g]+kc.Count, load))
+		subs = append(subs, subBlock{gcKey: kc.Key, off: bt, size: sz})
+		bt += sz
+	}
+	blist := append([]mpc.KeyCount[string](nil), binSzG.Shards[0]...)
+	sort.Slice(blist, func(i, j int) bool { return blist[i].Key < blist[j].Key })
+	for _, kc := range blist {
+		g := int64(relation.DecodeKey(kc.Key)[0])
+		sz := int(ceilDiv(footOf[g]+kc.Count, load))
+		subs = append(subs, subBlock{gcKey: kc.Key, isBin: true, off: bt, size: sz})
+		bt += sz
+	}
+	totalB := bt
+	if totalB == 0 {
+		return dist.Reshape(res2, p), st
+	}
+	subPart := mpc.NewPart[subBlock](totalA)
+	subPart.Shards[0] = subs
+	subBcast, sbb := mpc.Broadcast(subPart)
+	st = mpc.Seq(st, sbb)
+	subList := subBcast.Shards[0]
+	heavyBlockOf := make(map[string]subBlock)
+	binBlockOf := make(map[string]subBlock)
+	perGroupSubs := make(map[int64][]subBlock)
+	for _, sb := range subList {
+		if sb.isBin {
+			binBlockOf[sb.gcKey] = sb
+		} else {
+			heavyBlockOf[sb.gcKey] = sb
+		}
+		g := int64(relation.DecodeKey(sb.gcKey)[0])
+		perGroupSubs[g] = append(perGroupSubs[g], sb)
+	}
+
+	// R2 rows learn their bin (if light) before routing.
+	r2WithBin, sl2 := mpc.LookupJoin(r2Blk.Part, binTable,
+		func(r relation.Row[W]) string { return relation.EncodeKey(r.Vals, gcCols) },
+		func(kb mpc.KeyBin[string]) string { return kb.Key })
+	st = mpc.Seq(st, sl2)
+
+	// Phase B routing.
+	gCol1 := 0 // G is the leading column on both sides
+	b1 := r1Blk.Cols(in.B)[0]
+	outB := make([][][]sideRow[W], totalA)
+	for src := range outB {
+		outB[src] = make([][]sideRow[W], totalB)
+	}
+	for src := 0; src < totalA; src++ {
+		for _, r := range r1Blk.Part.Shards[src] {
+			g := int64(r.Vals[gCol1])
+			b := r.Vals[b1]
+			for _, sb := range perGroupSubs[g] {
+				d := sb.off + hashB(b, sb.size, seed^0xb10c)
+				outB[src][d] = append(outB[src][d], sideRow[W]{left: true, row: r})
+			}
+		}
+		for _, pr := range r2WithBin.Shards[src] {
+			r := pr.X
+			gc := relation.EncodeKey(r.Vals, gcCols)
+			b := r.Vals[bCol2+1] // +1 for the leading G column
+			if sb, ok := heavyBlockOf[gc]; ok {
+				d := sb.off + hashB(b, sb.size, seed^0xb10c)
+				outB[src][d] = append(outB[src][d], sideRow[W]{left: false, row: r})
+				continue
+			}
+			if pr.Found {
+				g := relation.DecodeKey(gc)[0]
+				bk := relation.EncodeKey([]relation.Value{g, relation.Value(pr.Y.Bin)}, []int{0, 1})
+				if sb, ok := binBlockOf[bk]; ok {
+					d := sb.off + hashB(b, sb.size, seed^0xb10c)
+					outB[src][d] = append(outB[src][d], sideRow[W]{left: false, row: r})
+				}
+			}
+			// Neither heavy nor binned: the (group, c) pair has no matching
+			// group rows — it cannot produce output; drop.
+		}
+	}
+	routedB, stB := mpc.ExchangeTo(totalB, outB)
+	st = mpc.Seq(st, stB)
+
+	// Local join-aggregate per sub-block server. The G column joins along
+	// with B (each sub-block holds one group anyway) and is projected away
+	// by aggregating onto the output schema.
+	gin := Input[W]{
+		R1: dist.Rel[W]{Schema: gSchema1},
+		R2: dist.Rel[W]{Schema: gSchema2},
+		B:  in.B,
+	}
+	partials := mpc.MapShards(routedB, func(_ int, shard []sideRow[W]) []relation.Row[W] {
+		return localJoinAggOn(sr, gin, outSchema, shard)
+	})
+	res34, sAgg := dist.ProjectAgg(sr, dist.Rel[W]{Schema: outSchema, Part: partials}, outSchema...)
+	st = mpc.Seq(st, sAgg)
+
+	// Steps 2 and 3–4 cover disjoint (a, c) pairs (heavy vs light a).
+	final := mpc.Concat(dist.Reshape(res2, p).Part, res34.Part)
+	return dist.Rel[W]{Schema: outSchema, Part: final}, st
+}
+
+// withGroup prepends a group id column to a row.
+func withGroup[W any](g int64, r relation.Row[W]) relation.Row[W] {
+	vals := make([]relation.Value, 0, len(r.Vals)+1)
+	vals = append(vals, relation.Value(g))
+	vals = append(vals, r.Vals...)
+	return relation.Row[W]{Vals: vals, W: r.W}
+}
+
+// binSizes counts, per (group, bin), the R2 rows whose (G,C) key belongs to
+// the bin, returning KeyCounts keyed by EncodeKey(G, bin).
+func binSizes[W any](r2Blk dist.Rel[W], gcCols []int, binTable mpc.Part[mpc.KeyBin[string]]) (mpc.Part[mpc.KeyCount[string]], mpc.Stats) {
+	looked, st1 := mpc.LookupJoin(r2Blk.Part, binTable,
+		func(r relation.Row[W]) string { return relation.EncodeKey(r.Vals, gcCols) },
+		func(kb mpc.KeyBin[string]) string { return kb.Key })
+	inBin := mpc.Filter(looked, func(pr mpc.Pred[relation.Row[W], mpc.KeyBin[string]]) bool { return pr.Found })
+	counts, st2 := mpc.CountByKey(inBin, func(pr mpc.Pred[relation.Row[W], mpc.KeyBin[string]]) string {
+		g := relation.DecodeKey(relation.EncodeKey(pr.X.Vals, gcCols))[0]
+		return relation.EncodeKey([]relation.Value{g, relation.Value(pr.Y.Bin)}, []int{0, 1})
+	})
+	return counts, mpc.Seq(st1, st2)
+}
+
+// localJoinAggOn is localJoinAgg with explicit schemas and output attrs.
+func localJoinAggOn[W any](sr semiring.Semiring[W], in Input[W], outSchema []dist.Attr, shard []sideRow[W]) []relation.Row[W] {
+	left := relation.New[W](in.R1.Schema...)
+	right := relation.New[W](in.R2.Schema...)
+	for _, s := range shard {
+		if s.left {
+			left.AppendRow(s.row)
+		} else {
+			right.AppendRow(s.row)
+		}
+	}
+	joined := relation.Join(sr, left, right)
+	return relation.ProjectAgg(sr, joined, outSchema...).Rows
+}

@@ -1,0 +1,158 @@
+package matmul
+
+// robustness_test.go verifies the separation the §3.2 design relies on:
+// output-size estimates steer only the partitioning, so arbitrarily bad
+// estimates (tiny sketches, adversarial oracles) may degrade load but can
+// never corrupt results.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/estimate"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+func TestOutputSensitiveWithTinySketches(t *testing.T) {
+	// K=2, Reps=5: the estimator is nearly useless; correctness must hold.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r1, r2 := randMatrices(rng, rng.Intn(120)+2, rng.Intn(120)+2, 10, 6, 10)
+		p := rng.Intn(6) + 2
+		got, _, err := Compute[int64](intSR, mkInput(r1, r2, p), Options{
+			Algorithm: OutputSensitive,
+			Est:       estimate.Params{K: 2, Reps: 5, Seed: uint64(seed)},
+			Seed:      uint64(seed),
+		})
+		if err != nil {
+			return false
+		}
+		return relation.Equal[int64](intSR, intEq, dist.ToRelation(got), seqMatMul(r1, r2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutputSensitiveWithLyingOracle(t *testing.T) {
+	// Oracle claims of wildly wrong OUT must not affect answers.
+	rng := rand.New(rand.NewSource(4))
+	r1, r2 := randMatrices(rng, 120, 120, 12, 6, 12)
+	want := seqMatMul(r1, r2)
+	for _, oracle := range []int64{1, 5, int64(want.Len()) * 1000} {
+		got, _, err := Compute[int64](intSR, mkInput(r1, r2, 4), Options{
+			Algorithm: OutputSensitive,
+			OutOracle: oracle,
+			Seed:      9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal[int64](intSR, intEq, dist.ToRelation(got), want) {
+			t.Fatalf("oracle %d corrupted the answer", oracle)
+		}
+	}
+}
+
+func TestAllAlgorithmsOnZipfSkew(t *testing.T) {
+	// Heavy Zipf skew on B: every strategy must still agree with the
+	// sequential reference.
+	rng := rand.New(rand.NewSource(11))
+	z := rand.NewZipf(rng, 1.3, 1, 63)
+	r1 := relation.New[int64]("A", "B")
+	r2 := relation.New[int64]("B", "C")
+	for i := 0; i < 400; i++ {
+		r1.Append(1, relation.Value(i), relation.Value(z.Uint64()))
+		r2.Append(1, relation.Value(z.Uint64()), relation.Value(i))
+	}
+	r1 = relation.Compact[int64](intSR, r1)
+	r2 = relation.Compact[int64](intSR, r2)
+	want := seqMatMul(r1, r2)
+	for _, alg := range []Algorithm{Auto, WorstCase, OutputSensitive, Linear} {
+		got, _, err := Compute[int64](intSR, mkInput(r1, r2, 8), Options{Algorithm: alg, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal[int64](intSR, intEq, dist.ToRelation(got), want) {
+			t.Fatalf("alg %v wrong under Zipf skew", alg)
+		}
+	}
+}
+
+func TestProvenanceThroughWorstCase(t *testing.T) {
+	// The heaviest-weight semiring (sets of witness sets) must survive the
+	// grid partitioning: annotations are routed and combined opaquely.
+	why := semiring.WhyProvenance{}
+	r1 := relation.New[semiring.Provenance]("A", "B")
+	r2 := relation.New[semiring.Provenance]("B", "C")
+	w := semiring.Witness(0)
+	tag := func() semiring.Provenance { w++; return semiring.Why(w) }
+	for a := 0; a < 6; a++ {
+		for b := 0; b < 4; b++ {
+			r1.AppendRow(relation.Row[semiring.Provenance]{
+				Vals: []relation.Value{relation.Value(a), relation.Value(b)}, W: tag()})
+		}
+	}
+	for b := 0; b < 4; b++ {
+		for c := 0; c < 6; c++ {
+			r2.AppendRow(relation.Row[semiring.Provenance]{
+				Vals: []relation.Value{relation.Value(b), relation.Value(c)}, W: tag()})
+		}
+	}
+	in := Input[semiring.Provenance]{
+		R1: dist.FromRelation(r1, 4),
+		R2: dist.FromRelation(r2, 4),
+		B:  "B",
+	}
+	got, _, err := Compute[semiring.Provenance](why, in, Options{Algorithm: WorstCase, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.ProjectAgg[semiring.Provenance](why,
+		relation.Join[semiring.Provenance](why, r1, r2), "A", "C")
+	if !relation.Equal[semiring.Provenance](why, why.Equal, dist.ToRelation(got), want) {
+		t.Fatal("provenance corrupted by grid partitioning")
+	}
+	// Every (a,c) pair joins through all 4 b's: 4 witness sets each.
+	for _, row := range want.Rows {
+		if len(row.W) != 4 {
+			t.Fatalf("expected 4 derivations, got %d", len(row.W))
+		}
+	}
+}
+
+func TestForcedBranchesAgreeOnLowerBoundShapes(t *testing.T) {
+	// Dense single-block (Theorem 3 shape at OUT = N²): the nastiest case
+	// for the output-sensitive grouping.
+	r1, r2 := denseBlock(24, 16, 24)
+	want := seqMatMul(r1, r2)
+	for _, alg := range []Algorithm{WorstCase, OutputSensitive, Linear} {
+		got, _, err := Compute[int64](intSR, mkInput(r1, r2, 6), Options{Algorithm: alg, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal[int64](intSR, intEq, dist.ToRelation(got), want) {
+			t.Fatalf("alg %v wrong on dense block", alg)
+		}
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r1, r2 := randMatrices(rng, 200, 200, 20, 10, 20)
+	in := mkInput(r1, r2, 8)
+	_, st1, err := Compute[int64](intSR, in, Options{Algorithm: OutputSensitive, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := Compute[int64](intSR, mkInput(r1, r2, 8), Options{Algorithm: OutputSensitive, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", st1, st2)
+	}
+}

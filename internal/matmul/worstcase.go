@@ -1,0 +1,221 @@
+package matmul
+
+import (
+	"math"
+	"sort"
+
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+// worstCase is the §3.1 worst-case optimal algorithm, load O(√(N1·N2/p)):
+//
+//	Step 1 — degree statistics; A (resp. C) values with degree ≥ L are
+//	         heavy, L = √(N1·N2/p).
+//	Step 2 — heavy-heavy: each (a, c) pair gets ⌈(d(a)+d(c))/L⌉ servers;
+//	         both sides partition by a hash of B, so matching b's meet.
+//	Step 3 — heavy-light (and symmetrically light-heavy): each heavy a
+//	         gets ⌈(d(a)+N2^light)/L⌉ servers holding its tuples plus all
+//	         light R2 tuples, partitioned by B.
+//	Step 4 — light-light: parallel-packing groups light A (resp. C) values
+//	         into bins of total degree ≤ 2L; bin pair (i, j) is one server
+//	         holding both bins entirely, so its outputs are final.
+//
+// Outputs of steps 2–3 are partial (the same (a,c) is aggregated across a
+// block's servers) and are merged by one global reduce whose input is
+// O(p·L); step 4 outputs are complete where they are produced. The four
+// subqueries cover disjoint (a,c) pairs, so no cross-step merging is
+// needed.
+func worstCase[W any](sr semiring.Semiring[W], in Input[W], n1, n2 int64, seed uint64) (dist.Rel[W], mpc.Stats) {
+	p := in.R1.P()
+	load := int64(math.Ceil(math.Sqrt(float64(n1) * float64(n2) / float64(p))))
+	if load < 1 {
+		load = 1
+	}
+
+	aKey := in.R1.Key(in.ASide()...)
+	cKey := in.R2.Key(in.CSide()...)
+	bCol1 := in.R1.Cols(in.B)[0]
+	bCol2 := in.R2.Cols(in.B)[0]
+
+	// Step 1: degrees and the heavy/light split.
+	dA, st1 := mpc.CountByKey(in.R1.Part, func(r relation.Row[W]) string { return aKey(r) })
+	dC, st2 := mpc.CountByKey(in.R2.Part, func(r relation.Row[W]) string { return cKey(r) })
+	heavyA := mpc.Filter(dA, func(kc mpc.KeyCount[string]) bool { return kc.Count >= load })
+	lightA := mpc.Filter(dA, func(kc mpc.KeyCount[string]) bool { return kc.Count < load })
+	heavyC := mpc.Filter(dC, func(kc mpc.KeyCount[string]) bool { return kc.Count >= load })
+	lightC := mpc.Filter(dC, func(kc mpc.KeyCount[string]) bool { return kc.Count < load })
+
+	// Heavy lists to the coordinator and out to everyone (|heavy| ≤ N/L ≤ √(N·p)/√N·… = O(√p) each).
+	hAPart, stg1 := mpc.Gather(heavyA, 0)
+	hABcast, stb1 := mpc.Broadcast(hAPart)
+	hCPart, stg2 := mpc.Gather(heavyC, 0)
+	hCBcast, stb2 := mpc.Broadcast(hCPart)
+
+	// Light bins by parallel-packing (degree-weighted, capacity L).
+	binnedA, kBins, stp1 := mpc.ParallelPack(lightA, func(kc mpc.KeyCount[string]) int64 { return kc.Count }, load)
+	binnedC, lBins, stp2 := mpc.ParallelPack(lightC, func(kc mpc.KeyCount[string]) int64 { return kc.Count }, load)
+	binA := mpc.Map(binnedA, func(b mpc.Binned[mpc.KeyCount[string]]) mpc.KeyBin[string] {
+		return mpc.KeyBin[string]{Key: b.X.Key, Bin: b.Bin}
+	})
+	binC := mpc.Map(binnedC, func(b mpc.Binned[mpc.KeyCount[string]]) mpc.KeyBin[string] {
+		return mpc.KeyBin[string]{Key: b.X.Key, Bin: b.Bin}
+	})
+	rLook, stl1 := mpc.LookupJoin(in.R1.Part, binA,
+		func(r relation.Row[W]) string { return aKey(r) },
+		func(kb mpc.KeyBin[string]) string { return kb.Key })
+	sLook, stl2 := mpc.LookupJoin(in.R2.Part, binC,
+		func(r relation.Row[W]) string { return cKey(r) },
+		func(kb mpc.KeyBin[string]) string { return kb.Key })
+
+	// Every server reconstructs the identical block layout from the
+	// broadcast heavy lists.
+	lay := newWCLayout(hABcast.Shards[0], hCBcast.Shards[0], n1, n2, load, kBins, lBins)
+
+	// One exchange routes everything.
+	out := make([][][]sideRow[W], p)
+	for src := range out {
+		out[src] = make([][]sideRow[W], lay.total)
+	}
+	for src := 0; src < p; src++ {
+		for _, pr := range rLook.Shards[src] {
+			row := pr.X
+			b := row.Vals[bCol1]
+			if ai, isHeavy := lay.heavyAIdx[aKey(row)]; isHeavy {
+				for cj := range lay.hC {
+					off, size := lay.hhBlock(ai, cj)
+					out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: true, row: row})
+				}
+				off, size := lay.hlOff[ai], lay.hlSize[ai]
+				out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: true, row: row})
+				continue
+			}
+			// Light a: its bin row of the LL grid plus every LH block.
+			bin := 0
+			if pr.Found {
+				bin = pr.Y.Bin
+			}
+			for j := 0; j < lay.lBins; j++ {
+				d := lay.llStart + bin*lay.lBins + j
+				out[src][d] = append(out[src][d], sideRow[W]{left: true, row: row})
+			}
+			for cj := range lay.hC {
+				off, size := lay.lhOff[cj], lay.lhSize[cj]
+				out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: true, row: row})
+			}
+		}
+		for _, pr := range sLook.Shards[src] {
+			row := pr.X
+			b := row.Vals[bCol2]
+			if cj, isHeavy := lay.heavyCIdx[cKey(row)]; isHeavy {
+				for ai := range lay.hA {
+					off, size := lay.hhBlock(ai, cj)
+					out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: false, row: row})
+				}
+				off, size := lay.lhOff[cj], lay.lhSize[cj]
+				out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: false, row: row})
+				continue
+			}
+			bin := 0
+			if pr.Found {
+				bin = pr.Y.Bin
+			}
+			for i := 0; i < lay.kBins; i++ {
+				d := lay.llStart + i*lay.lBins + bin
+				out[src][d] = append(out[src][d], sideRow[W]{left: false, row: row})
+			}
+			for ai := range lay.hA {
+				off, size := lay.hlOff[ai], lay.hlSize[ai]
+				out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: false, row: row})
+			}
+		}
+	}
+	routed, stx := mpc.ExchangeTo(lay.total, out)
+
+	partials := mpc.MapShards(routed, func(_ int, shard []sideRow[W]) []relation.Row[W] {
+		return localJoinAgg(sr, in, shard)
+	})
+
+	// Steps 2–3 partials are reduced globally; step 4 outputs are final.
+	reducePart := mpc.Part[relation.Row[W]]{Shards: partials.Shards[:lay.llStart]}
+	llPart := mpc.Part[relation.Row[W]]{Shards: partials.Shards[lay.llStart:]}
+	if lay.llStart == 0 {
+		reducePart = mpc.NewPart[relation.Row[W]](1)
+	}
+	reduced, str := dist.ProjectAgg(sr, dist.Rel[W]{Schema: in.OutSchema(), Part: reducePart}, in.OutSchema()...)
+
+	result := mpc.Concat(reduced.Part, llPart)
+	st := mpc.Seq(st1, st2, stg1, stb1, stg2, stb2, stp1, stp2, stl1, stl2, stx, str)
+	return dist.Rel[W]{Schema: in.OutSchema(), Part: result}, st
+}
+
+// wcLayout is the deterministic block layout of the §3.1 algorithm,
+// recomputable identically on every server from the broadcast heavy lists.
+type wcLayout struct {
+	hA, hC               []mpc.KeyCount[string]
+	heavyAIdx, heavyCIdx map[string]int
+	hhOff                []int // |hA|·|hC| blocks, i-major
+	hhSz                 []int
+	hlOff, hlSize        []int
+	lhOff, lhSize        []int
+	llStart              int
+	kBins, lBins         int
+	total                int
+}
+
+func newWCLayout(hA, hC []mpc.KeyCount[string], n1, n2, load int64, kBins, lBins int) *wcLayout {
+	sort.Slice(hA, func(i, j int) bool { return hA[i].Key < hA[j].Key })
+	sort.Slice(hC, func(i, j int) bool { return hC[i].Key < hC[j].Key })
+	lay := &wcLayout{
+		hA: hA, hC: hC,
+		heavyAIdx: make(map[string]int, len(hA)),
+		heavyCIdx: make(map[string]int, len(hC)),
+		kBins:     kBins, lBins: lBins,
+	}
+	var hSumA, hSumC int64
+	for i, kc := range hA {
+		lay.heavyAIdx[kc.Key] = i
+		hSumA += kc.Count
+	}
+	for j, kc := range hC {
+		lay.heavyCIdx[kc.Key] = j
+		hSumC += kc.Count
+	}
+	n1Light := n1 - hSumA
+	n2Light := n2 - hSumC
+
+	at := 0
+	for i := range hA {
+		for j := range hC {
+			sz := int(ceilDiv(hA[i].Count+hC[j].Count, load))
+			lay.hhOff = append(lay.hhOff, at)
+			lay.hhSz = append(lay.hhSz, sz)
+			at += sz
+		}
+	}
+	for i := range hA {
+		sz := int(ceilDiv(hA[i].Count+n2Light, load))
+		lay.hlOff = append(lay.hlOff, at)
+		lay.hlSize = append(lay.hlSize, sz)
+		at += sz
+	}
+	for j := range hC {
+		sz := int(ceilDiv(hC[j].Count+n1Light, load))
+		lay.lhOff = append(lay.lhOff, at)
+		lay.lhSize = append(lay.lhSize, sz)
+		at += sz
+	}
+	lay.llStart = at
+	lay.total = at + kBins*lBins
+	if lay.total == 0 {
+		lay.total = 1
+	}
+	return lay
+}
+
+func (l *wcLayout) hhBlock(ai, cj int) (off, size int) {
+	idx := ai*len(l.hC) + cj
+	return l.hhOff[idx], l.hhSz[idx]
+}

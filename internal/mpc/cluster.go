@@ -1,0 +1,384 @@
+// Package mpc simulates the Massively Parallel Computation (MPC) model of
+// Beame, Koutris and Suciu on a single machine, with exact cost metering.
+//
+// The model: p servers joined by a complete network compute in synchronous
+// rounds. In a round every server receives messages, performs arbitrary
+// local computation, and sends messages. The cost of an algorithm is its
+// number of rounds together with its load L — the maximum number of units
+// received by any server in any round, where one unit is one tuple, one
+// semiring element, or one O(log N)-bit integer.
+//
+// The simulator is deterministic and physical: datasets are really
+// partitioned into per-server shards (Part), and every primitive moves data
+// only through Exchange, which meters per-destination received units. Local
+// computation is unmetered, exactly as in the model.
+//
+// Cost composition follows the model's semantics: steps executed one after
+// another add rounds (Seq); independent sub-algorithms executed on disjoint
+// server groups in the same phase run simultaneously, so their costs merge
+// by taking the maximum rounds and maximum load (Par). Paper algorithms
+// that "allocate p_i servers to subquery i" are simulated by routing each
+// subquery's input to its group in one metered global exchange and then
+// Par-merging the groups' costs.
+//
+// Where the paper allocates c·p servers for a constant c > 1 (e.g. the sum
+// of ⌈·⌉ allocations), the simulator uses that many virtual servers; the
+// reported load is the maximum over virtual servers, which matches the
+// paper's accounting up to the same constant factors its analysis hides.
+package mpc
+
+import "fmt"
+
+// Stats is the metered cost of an MPC computation fragment.
+type Stats struct {
+	// Rounds is the number of communication rounds.
+	Rounds int
+	// MaxLoad is the maximum number of units received by any server in any
+	// single round.
+	MaxLoad int
+	// TotalComm is the total number of units sent over the network across
+	// all rounds and servers.
+	TotalComm int64
+}
+
+// Seq composes costs of steps executed one after another.
+func Seq(ss ...Stats) Stats {
+	var out Stats
+	for _, s := range ss {
+		out.Rounds += s.Rounds
+		if s.MaxLoad > out.MaxLoad {
+			out.MaxLoad = s.MaxLoad
+		}
+		out.TotalComm += s.TotalComm
+	}
+	return out
+}
+
+// Par composes costs of sub-algorithms that run simultaneously on disjoint
+// server groups.
+func Par(ss ...Stats) Stats {
+	var out Stats
+	for _, s := range ss {
+		if s.Rounds > out.Rounds {
+			out.Rounds = s.Rounds
+		}
+		if s.MaxLoad > out.MaxLoad {
+			out.MaxLoad = s.MaxLoad
+		}
+		out.TotalComm += s.TotalComm
+	}
+	return out
+}
+
+// Part is a dataset partitioned across p servers; Shards[i] is server i's
+// local fragment. A Part's server count is fixed at creation.
+type Part[T any] struct {
+	Shards [][]T
+}
+
+// NewPart returns an empty Part over p servers.
+func NewPart[T any](p int) Part[T] {
+	if p <= 0 {
+		panic(fmt.Sprintf("mpc: invalid server count %d", p))
+	}
+	return Part[T]{Shards: make([][]T, p)}
+}
+
+// P returns the number of servers the Part spans.
+func (pt Part[T]) P() int { return len(pt.Shards) }
+
+// Len returns the total number of elements across all shards.
+func (pt Part[T]) Len() int {
+	n := 0
+	for _, s := range pt.Shards {
+		n += len(s)
+	}
+	return n
+}
+
+// MaxShard returns the largest shard size — the storage load of the Part.
+func (pt Part[T]) MaxShard() int {
+	m := 0
+	for _, s := range pt.Shards {
+		if len(s) > m {
+			m = len(s)
+		}
+	}
+	return m
+}
+
+// Distribute splits data round-robin across p servers, modelling the
+// model's assumption that input starts evenly distributed (N/p per server).
+// It is the uncounted initial placement, not a communication step.
+func Distribute[T any](data []T, p int) Part[T] {
+	pt := NewPart[T](p)
+	if len(data) == 0 {
+		return pt
+	}
+	per := (len(data) + p - 1) / p
+	for i := 0; i < p; i++ {
+		lo := i * per
+		if lo >= len(data) {
+			break
+		}
+		hi := lo + per
+		if hi > len(data) {
+			hi = len(data)
+		}
+		pt.Shards[i] = append([]T(nil), data[lo:hi]...)
+	}
+	return pt
+}
+
+// Collect gathers all shards into one slice. It models reading off the
+// final distributed output for verification and is not a metered step:
+// query answers are allowed to remain distributed in the MPC model.
+func Collect[T any](pt Part[T]) []T {
+	out := make([]T, 0, pt.Len())
+	for _, s := range pt.Shards {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Exchange performs one communication round. out[src][dst] holds the units
+// server src sends to server dst; the result's shard dst is the
+// concatenation over src (in src order, preserving order within each
+// message). The returned Stats has Rounds=1 and MaxLoad equal to the
+// largest per-destination received volume.
+func Exchange[T any](p int, out [][][]T) (Part[T], Stats) {
+	if len(out) != p {
+		panic(fmt.Sprintf("mpc: Exchange expects %d source servers, got %d", p, len(out)))
+	}
+	res := NewPart[T](p)
+	st := Stats{Rounds: 1}
+	for src := range out {
+		if len(out[src]) != p {
+			panic(fmt.Sprintf("mpc: Exchange source %d has %d destinations, want %d", src, len(out[src]), p))
+		}
+		for dst := range out[src] {
+			msg := out[src][dst]
+			if len(msg) == 0 {
+				continue
+			}
+			res.Shards[dst] = append(res.Shards[dst], msg...)
+			st.TotalComm += int64(len(msg))
+		}
+	}
+	for dst := range res.Shards {
+		if l := len(res.Shards[dst]); l > st.MaxLoad {
+			st.MaxLoad = l
+		}
+	}
+	return res, st
+}
+
+// ExchangeTo performs one communication round from the current server set
+// onto a (possibly different-sized) destination server set: out[src][dst]
+// with len(out) source servers and pDst destinations per source. This is
+// how "allocate p_i servers to subquery i" steps route each subquery's
+// input onto its group of (virtual) servers in a single metered round.
+func ExchangeTo[T any](pDst int, out [][][]T) (Part[T], Stats) {
+	res := NewPart[T](pDst)
+	st := Stats{Rounds: 1}
+	for src := range out {
+		if len(out[src]) != pDst {
+			panic(fmt.Sprintf("mpc: ExchangeTo source %d has %d destinations, want %d", src, len(out[src]), pDst))
+		}
+		for dst := range out[src] {
+			msg := out[src][dst]
+			if len(msg) == 0 {
+				continue
+			}
+			res.Shards[dst] = append(res.Shards[dst], msg...)
+			st.TotalComm += int64(len(msg))
+		}
+	}
+	for dst := range res.Shards {
+		if l := len(res.Shards[dst]); l > st.MaxLoad {
+			st.MaxLoad = l
+		}
+	}
+	return res, st
+}
+
+// RouteTo performs one exchange onto pDst destination servers, with each
+// element's destinations chosen by dest (returning one or more targets —
+// replication is allowed, as in grid joins).
+func RouteTo[T any](pt Part[T], pDst int, dest func(src int, x T) []int) (Part[T], Stats) {
+	out := make([][][]T, pt.P())
+	for src := range out {
+		out[src] = make([][]T, pDst)
+	}
+	for src, shard := range pt.Shards {
+		for _, x := range shard {
+			for _, d := range dest(src, x) {
+				if d < 0 || d >= pDst {
+					panic(fmt.Sprintf("mpc: RouteTo destination %d out of range [0,%d)", d, pDst))
+				}
+				out[src][d] = append(out[src][d], x)
+			}
+		}
+	}
+	return ExchangeTo(pDst, out)
+}
+
+// Route performs one exchange where each element is sent to the server
+// chosen by dest (given the element's current server and the element).
+func Route[T any](pt Part[T], dest func(src int, x T) int) (Part[T], Stats) {
+	p := pt.P()
+	out := make([][][]T, p)
+	for src := range out {
+		out[src] = make([][]T, p)
+	}
+	for src, shard := range pt.Shards {
+		for _, x := range shard {
+			d := dest(src, x)
+			if d < 0 || d >= p {
+				panic(fmt.Sprintf("mpc: Route destination %d out of range [0,%d)", d, p))
+			}
+			out[src][d] = append(out[src][d], x)
+		}
+	}
+	return Exchange(p, out)
+}
+
+// Broadcast replicates the elements of pt to every server: afterwards each
+// shard holds all elements (in server, then local order). One round; the
+// load is the total element count.
+func Broadcast[T any](pt Part[T]) (Part[T], Stats) {
+	p := pt.P()
+	out := make([][][]T, p)
+	for src := range out {
+		out[src] = make([][]T, p)
+		for dst := 0; dst < p; dst++ {
+			out[src][dst] = pt.Shards[src]
+		}
+	}
+	return Exchange(p, out)
+}
+
+// Gather routes every element of pt to server dst (a "convergecast"); used
+// for coordinator steps on small statistics vectors.
+func Gather[T any](pt Part[T], dst int) (Part[T], Stats) {
+	return Route(pt, func(int, T) int { return dst })
+}
+
+// Map applies f to every element locally; zero rounds, zero load.
+func Map[T, U any](pt Part[T], f func(T) U) Part[U] {
+	out := NewPart[U](pt.P())
+	for i, shard := range pt.Shards {
+		if len(shard) == 0 {
+			continue
+		}
+		us := make([]U, len(shard))
+		for j, x := range shard {
+			us[j] = f(x)
+		}
+		out.Shards[i] = us
+	}
+	return out
+}
+
+// FlatMap applies f to every element locally, concatenating results.
+func FlatMap[T, U any](pt Part[T], f func(T) []U) Part[U] {
+	out := NewPart[U](pt.P())
+	for i, shard := range pt.Shards {
+		for _, x := range shard {
+			out.Shards[i] = append(out.Shards[i], f(x)...)
+		}
+	}
+	return out
+}
+
+// Filter keeps the elements satisfying pred; local, zero cost.
+func Filter[T any](pt Part[T], pred func(T) bool) Part[T] {
+	out := NewPart[T](pt.P())
+	for i, shard := range pt.Shards {
+		for _, x := range shard {
+			if pred(x) {
+				out.Shards[i] = append(out.Shards[i], x)
+			}
+		}
+	}
+	return out
+}
+
+// MapShards applies f to each shard locally (f receives the server index).
+func MapShards[T, U any](pt Part[T], f func(server int, shard []T) []U) Part[U] {
+	out := NewPart[U](pt.P())
+	for i, shard := range pt.Shards {
+		out.Shards[i] = f(i, shard)
+	}
+	return out
+}
+
+// Concat places the groups' shards side by side into one Part spanning the
+// sum of their server counts. It models sub-algorithm outputs staying on
+// the (disjoint) server groups that produced them: no communication.
+func Concat[T any](groups ...Part[T]) Part[T] {
+	total := 0
+	for _, g := range groups {
+		total += g.P()
+	}
+	out := NewPart[T](total)
+	at := 0
+	for _, g := range groups {
+		for _, s := range g.Shards {
+			out.Shards[at] = s
+			at++
+		}
+	}
+	return out
+}
+
+// Reshape reinterprets a Part over a different server count: shard i of
+// the input lands on shard i mod p of the output. It costs nothing because
+// "virtual servers" allocated by sub-algorithms (grids, bins, subquery
+// groups) are hosted by the p physical servers; Reshape merely fixes the
+// hosting map after the fact. The metering convention is unchanged: loads
+// are measured per virtual server, an undercount of at most the constant
+// co-location factor ⌈P_virtual/p⌉ that the paper's own O(p)-allocation
+// analysis hides as well.
+func Reshape[T any](pt Part[T], p int) Part[T] {
+	if pt.P() == p {
+		return pt
+	}
+	out := NewPart[T](p)
+	for s, shard := range pt.Shards {
+		out.Shards[s%p] = append(out.Shards[s%p], shard...)
+	}
+	return out
+}
+
+// Widen pads pt with empty shards up to p servers (p ≥ pt.P()); no cost.
+func Widen[T any](pt Part[T], p int) Part[T] {
+	if p < pt.P() {
+		panic(fmt.Sprintf("mpc: Widen to %d < current %d", p, pt.P()))
+	}
+	out := NewPart[T](p)
+	copy(out.Shards, pt.Shards)
+	return out
+}
+
+// Slice returns the sub-Part of servers [lo, hi); shards are shared, not
+// copied. It models addressing a contiguous server group.
+func Slice[T any](pt Part[T], lo, hi int) Part[T] {
+	if lo < 0 || hi > pt.P() || lo > hi {
+		panic(fmt.Sprintf("mpc: Slice [%d,%d) out of range [0,%d)", lo, hi, pt.P()))
+	}
+	return Part[T]{Shards: pt.Shards[lo:hi]}
+}
+
+// Rebalance spreads pt's elements evenly (round-robin by arrival order)
+// across its servers in one metered round. Useful after filters that leave
+// skewed shards.
+func Rebalance[T any](pt Part[T]) (Part[T], Stats) {
+	i := 0
+	p := pt.P()
+	return Route(pt, func(int, T) int {
+		d := i % p
+		i++
+		return d
+	})
+}

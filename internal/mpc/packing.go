@@ -1,0 +1,113 @@
+package mpc
+
+import "cmp"
+
+// packing.go implements the parallel-packing primitive of §2.1 (from Hu–Yi
+// PODS'19): given N weights 0 < x_i ≤ cap distributed across servers, group
+// them into bins so that each bin's total weight is O(cap) and the number
+// of bins is O(1 + Σx_i/cap).
+//
+// The implementation assigns element i to bin ⌊prefix(i)/cap⌋ where
+// prefix(i) is the running sum of weights in an arbitrary but fixed global
+// order. Every bin except possibly the last covers a full cap-wide window
+// of the prefix line, so its total is < 2·cap (a window's own mass cap,
+// plus at most one straddling element), and all bins except the last have
+// total ≥ cap − max_i x_i ≥ 0 mass *starting* inside them with the window
+// fully covered; the bin count is ≤ 1 + Σx/cap. This matches the paper's
+// guarantee up to the constant 2 (the paper states ≤ cap per bin and
+// ≥ cap/2 for all but one bin); the algorithms only need O(cap) bins, and
+// the benchmark harness reports measured constants.
+//
+// Cost: two O(p)-load coordinator rounds (local totals up, base offsets
+// down); the assignment itself is local.
+
+// Binned pairs an element with its assigned bin index.
+type Binned[T any] struct {
+	X   T
+	Bin int
+}
+
+// ParallelPack assigns each element a bin index as described above. weight
+// must return values in (0, cap]; zero-weight elements are permitted and
+// simply inherit the current bin. The result preserves the element's
+// placement (no data movement); only O(p) statistics travel.
+//
+// The returned bin count is numBins ≤ 1 + ⌈Σw/cap⌉.
+func ParallelPack[T any](pt Part[T], weight func(T) int64, cap int64) (Part[Binned[T]], int, Stats) {
+	if cap <= 0 {
+		panic("mpc: ParallelPack capacity must be positive")
+	}
+	p := pt.P()
+
+	// Round 1: local totals to coordinator.
+	totals := NewPart[int64](p)
+	for s, shard := range pt.Shards {
+		var t int64
+		for _, x := range shard {
+			t += weight(x)
+		}
+		totals.Shards[s] = []int64{t}
+	}
+	// Keep per-server order: tag with src via KeyCount.
+	tagged := NewPart[KeyCount[int]](p)
+	for s := range totals.Shards {
+		tagged.Shards[s] = []KeyCount[int]{{Key: s, Count: totals.Shards[s][0]}}
+	}
+	gathered, st1 := Gather(tagged, 0)
+	base := make([]int64, p)
+	perServer := make([]int64, p)
+	for _, kc := range gathered.Shards[0] {
+		perServer[kc.Key] = kc.Count
+	}
+	var run int64
+	for s := 0; s < p; s++ {
+		base[s] = run
+		run += perServer[s]
+	}
+	grandTotal := run
+
+	// Round 2: base offsets back to servers.
+	baseOut := make([][][]int64, p)
+	for src := range baseOut {
+		baseOut[src] = make([][]int64, p)
+	}
+	for dst := 0; dst < p; dst++ {
+		baseOut[0][dst] = []int64{base[dst]}
+	}
+	basePart, st2 := Exchange(p, baseOut)
+
+	// Local assignment.
+	out := NewPart[Binned[T]](p)
+	for s, shard := range pt.Shards {
+		prefix := basePart.Shards[s][0]
+		for _, x := range shard {
+			// Assign by the window containing the element's start.
+			bin := int(prefix / cap)
+			out.Shards[s] = append(out.Shards[s], Binned[T]{X: x, Bin: bin})
+			prefix += weight(x)
+		}
+	}
+	numBins := int((grandTotal+cap-1)/cap) + 1
+	if grandTotal == 0 {
+		numBins = 1
+	}
+	return out, numBins, Seq(st1, st2)
+}
+
+// PackGroups runs ParallelPack over (key, weight) statistics and returns
+// the bin index assigned to every key — the form the paper's algorithms
+// use ("divide A^light into k groups such that each group has total degree
+// O(L)"). stats must contain one element per key.
+func PackGroups[K cmp.Ordered](pt Part[KeyCount[K]], cap int64) (Part[KeyBin[K]], int, Stats) {
+	binned, nBins, st := ParallelPack(pt, func(kc KeyCount[K]) int64 { return kc.Count }, cap)
+	return Map(binned, func(b Binned[KeyCount[K]]) KeyBin[K] {
+		return KeyBin[K]{Key: b.X.Key, Bin: b.Bin, Count: b.X.Count}
+	}), nBins, st
+}
+
+// KeyBin records a key's assigned group plus its weight.
+type KeyBin[K cmp.Ordered] struct {
+	Key   K
+	Bin   int
+	Count int64
+}

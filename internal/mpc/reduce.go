@@ -1,0 +1,254 @@
+package mpc
+
+import (
+	"cmp"
+	"sort"
+)
+
+// ReduceByKey combines all elements sharing a key into one, using the
+// associative and commutative operator combine. Afterwards every key is
+// represented by exactly one element, keys are sorted and contiguous across
+// servers, and shard sizes are balanced.
+//
+// This is the paper's reduce-by-key primitive (§2.1, [13]): it computes
+// aggregations ∑_ȳ R and degree statistics with load O(N/p) in O(1) rounds.
+// The implementation is deterministic and skew-proof: a local pre-combine
+// caps every key's surviving multiplicity at p (one per server), a
+// tie-broken sample sort balances the shuffle, a second local combine
+// leaves one element per key per server, and a constant-size coordinator
+// round stitches runs that straddle server boundaries.
+func ReduceByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K, combine func(a, b T) T) (Part[T], Stats) {
+	p := pt.P()
+
+	// Local pre-combine (free).
+	pre := MapShards(pt, func(_ int, shard []T) []T {
+		return combineLocal(shard, key, combine)
+	})
+
+	// Global sort by key; balanced by construction.
+	sorted, st := Sort(pre, key)
+
+	// Local combine of adjacent runs (free): ≤ 1 element per key per server.
+	reduced := MapShards(sorted, func(_ int, shard []T) []T {
+		return combineSortedRuns(shard, key, combine)
+	})
+
+	// Boundary resolution: keys may still straddle servers (≤ p copies of a
+	// key globally). Each server reports its first/last elements to the
+	// coordinator, which combines chains and tells every participant to
+	// keep, replace, or drop.
+	type edge struct {
+		src       int
+		nonEmpty  bool
+		firstK    K
+		lastK     K
+		firstItem T
+		lastItem  T
+		n         int
+	}
+	edges := NewPart[edge](p)
+	for s, shard := range reduced.Shards {
+		e := edge{src: s, n: len(shard)}
+		if len(shard) > 0 {
+			e.nonEmpty = true
+			e.firstItem = shard[0]
+			e.lastItem = shard[len(shard)-1]
+			e.firstK = key(e.firstItem)
+			e.lastK = key(e.lastItem)
+		}
+		edges.Shards[s] = []edge{e}
+	}
+	gathered, stA := Gather(edges, 0)
+	byServer := make([]edge, p)
+	for _, e := range gathered.Shards[0] {
+		byServer[e.src] = e
+	}
+
+	// Walk servers in key order, tracking the currently "open" run: the key
+	// that the most recent server ended with, which the next server may
+	// continue. A key spans servers s..t exactly when it is the last key of
+	// s, the first key of s+1..t, and the only key of the servers strictly
+	// between. Closing a multi-member run emits a replace instruction to
+	// the run's first server and drop instructions to the rest.
+	type instr struct {
+		k       K
+		replace bool // replace the element with item (owner); else drop it
+		item    T
+	}
+	instrs := make([][]instr, p)
+	var (
+		open    bool
+		openKey K
+		acc     T
+		members []int
+	)
+	closeRun := func() {
+		if open && len(members) > 1 {
+			instrs[members[0]] = append(instrs[members[0]], instr{k: openKey, replace: true, item: acc})
+			for _, m := range members[1:] {
+				instrs[m] = append(instrs[m], instr{k: openKey})
+			}
+		}
+		open = false
+		members = members[:0]
+	}
+	for s := 0; s < p; s++ {
+		e := byServer[s]
+		if !e.nonEmpty {
+			continue
+		}
+		if open && e.firstK == openKey {
+			members = append(members, s)
+			acc = combine(acc, e.firstItem)
+			if e.lastK == openKey {
+				continue // the whole shard is this key; run may extend further
+			}
+			closeRun()
+		} else {
+			closeRun()
+		}
+		open = true
+		openKey = e.lastK
+		acc = e.lastItem
+		members = append(members, s)
+	}
+	closeRun()
+
+	instrOut := make([][][]instr, p)
+	for src := range instrOut {
+		instrOut[src] = make([][]instr, p)
+	}
+	for dst, is := range instrs {
+		instrOut[0][dst] = is
+	}
+	instrPart, stB := Exchange(p, instrOut)
+
+	out := NewPart[T](p)
+	for s, shard := range reduced.Shards {
+		if len(instrPart.Shards[s]) == 0 {
+			out.Shards[s] = shard
+			continue
+		}
+		drop := make(map[K]bool)
+		repl := make(map[K]T)
+		for _, in := range instrPart.Shards[s] {
+			if in.replace {
+				repl[in.k] = in.item
+			} else {
+				drop[in.k] = true
+			}
+		}
+		for _, x := range shard {
+			k := key(x)
+			if drop[k] {
+				continue
+			}
+			if item, ok := repl[k]; ok {
+				out.Shards[s] = append(out.Shards[s], item)
+				delete(repl, k)
+				continue
+			}
+			out.Shards[s] = append(out.Shards[s], x)
+		}
+	}
+	return out, Seq(st, stA, stB)
+}
+
+// combineLocal folds equal-key elements of shard into one each, preserving
+// no particular order.
+func combineLocal[T any, K cmp.Ordered](shard []T, key func(T) K, combine func(a, b T) T) []T {
+	if len(shard) <= 1 {
+		return shard
+	}
+	acc := make(map[K]T, len(shard))
+	order := make([]K, 0, len(shard))
+	for _, x := range shard {
+		k := key(x)
+		if cur, ok := acc[k]; ok {
+			acc[k] = combine(cur, x)
+		} else {
+			acc[k] = x
+			order = append(order, k)
+		}
+	}
+	out := make([]T, 0, len(order))
+	for _, k := range order {
+		out = append(out, acc[k])
+	}
+	return out
+}
+
+// combineSortedRuns folds adjacent equal-key runs of a key-sorted shard.
+func combineSortedRuns[T any, K cmp.Ordered](shard []T, key func(T) K, combine func(a, b T) T) []T {
+	if len(shard) <= 1 {
+		return shard
+	}
+	out := shard[:0:0]
+	cur := shard[0]
+	curK := key(cur)
+	for _, x := range shard[1:] {
+		k := key(x)
+		if k == curK {
+			cur = combine(cur, x)
+			continue
+		}
+		out = append(out, cur)
+		cur, curK = x, k
+	}
+	return append(out, cur)
+}
+
+// CountByKey counts elements per key: the degree-statistics use of
+// reduce-by-key from §2.1 ("each tuple has key π_v t and value 1").
+func CountByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[KeyCount[K]], Stats) {
+	ones := Map(pt, func(x T) KeyCount[K] { return KeyCount[K]{Key: key(x), Count: 1} })
+	return ReduceByKey(ones, func(kc KeyCount[K]) K { return kc.Key }, func(a, b KeyCount[K]) KeyCount[K] {
+		return KeyCount[K]{Key: a.Key, Count: a.Count + b.Count}
+	})
+}
+
+// KeyCount pairs a key with a count (or any integer statistic).
+type KeyCount[K cmp.Ordered] struct {
+	Key   K
+	Count int64
+}
+
+// TotalCount sums shard sizes via a coordinator round and broadcasts the
+// result, so every server learns |pt| — used when an algorithm branches on
+// a global size. Returns the count and the (O(p)-load) stats.
+func TotalCount[T any](pt Part[T]) (int64, Stats) {
+	p := pt.P()
+	counts := NewPart[int64](p)
+	for s, shard := range pt.Shards {
+		counts.Shards[s] = []int64{int64(len(shard))}
+	}
+	gathered, st1 := Gather(counts, 0)
+	var total int64
+	for _, c := range gathered.Shards[0] {
+		total += c
+	}
+	tot := NewPart[int64](p)
+	tot.Shards[0] = []int64{total}
+	_, st2 := Broadcast(tot)
+	return total, Seq(st1, st2)
+}
+
+// SortedRuns is a local helper returning the (start, end) index pairs of
+// equal-key runs in a key-sorted shard.
+func SortedRuns[T any, K cmp.Ordered](shard []T, key func(T) K) [][2]int {
+	var runs [][2]int
+	for i := 0; i < len(shard); {
+		j := i + 1
+		for j < len(shard) && key(shard[j]) == key(shard[i]) {
+			j++
+		}
+		runs = append(runs, [2]int{i, j})
+		i = j
+	}
+	return runs
+}
+
+// SortLocal sorts a shard in place by key (local helper, zero cost).
+func SortLocal[T any, K cmp.Ordered](shard []T, key func(T) K) {
+	sort.Slice(shard, func(i, j int) bool { return key(shard[i]) < key(shard[j]) })
+}

@@ -1,0 +1,223 @@
+package mpc
+
+import (
+	"cmp"
+	"sort"
+)
+
+// tagged wraps an element with its provenance (source server and local
+// position after the initial local sort). The triple (element, src, idx) is
+// globally unique under lexicographic comparison, so range partitioning
+// stays balanced even when every element compares equal — the tie-breaking
+// that makes sample sort skew-proof.
+type tagged[T any] struct {
+	src int
+	idx int
+	x   T
+}
+
+// SortBy range-partitions pt by the strict weak order less using sample
+// sort with regular sampling: after it returns, shard i holds a contiguous
+// range of the global order, elements are non-decreasing across servers and
+// sorted within each server, and shard sizes are balanced regardless of
+// skew (ties are broken by element provenance).
+//
+// Cost: 3 rounds — samples to coordinator (≤ p² units), splitter broadcast
+// (≤ p units per server), and the data reshuffle (≈ 2N/p per server).
+func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
+	p := pt.P()
+	tless := func(a, b tagged[T]) bool {
+		if less(a.x, b.x) {
+			return true
+		}
+		if less(b.x, a.x) {
+			return false
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.idx < b.idx
+	}
+
+	// Local sort; tag with (src, idx) for global uniqueness.
+	local := make([][]tagged[T], p)
+	for s, shard := range pt.Shards {
+		ts := make([]tagged[T], len(shard))
+		for i, x := range shard {
+			ts[i] = tagged[T]{src: s, x: x}
+		}
+		sort.SliceStable(ts, func(i, j int) bool { return less(ts[i].x, ts[j].x) })
+		for i := range ts {
+			ts[i].idx = i
+		}
+		local[s] = ts
+	}
+
+	// Round 1: regular samples to the coordinator (server 0).
+	samplePart := NewPart[tagged[T]](p)
+	for s, ts := range local {
+		n := len(ts)
+		if n == 0 {
+			continue
+		}
+		c := p
+		if n < c {
+			c = n
+		}
+		for j := 0; j < c; j++ {
+			samplePart.Shards[s] = append(samplePart.Shards[s], ts[j*n/c])
+		}
+	}
+	gathered, st1 := Gather(samplePart, 0)
+
+	// Coordinator picks p−1 splitters at regular ranks.
+	samples := gathered.Shards[0]
+	sort.Slice(samples, func(i, j int) bool { return tless(samples[i], samples[j]) })
+	var splits []tagged[T]
+	if len(samples) > 0 {
+		for i := 1; i < p; i++ {
+			splits = append(splits, samples[i*len(samples)/p])
+		}
+	}
+
+	// Round 2: broadcast splitters.
+	splitPart := NewPart[tagged[T]](p)
+	splitPart.Shards[0] = splits
+	bcast, st2 := Broadcast(splitPart)
+	splits = bcast.Shards[0] // identical on every server
+
+	// Round 3: route each element to its bucket (= number of splitters ≤ it).
+	out := make([][][]tagged[T], p)
+	for src := range out {
+		out[src] = make([][]tagged[T], p)
+	}
+	for s, ts := range local {
+		for _, t := range ts {
+			b := sort.Search(len(splits), func(i int) bool {
+				return tless(t, splits[i]) // first splitter strictly greater
+			})
+			out[s][b] = append(out[s][b], t)
+		}
+	}
+	routed, st3 := Exchange(p, out)
+
+	// Final local sort.
+	res := NewPart[T](p)
+	for s, ts := range routed.Shards {
+		sort.Slice(ts, func(i, j int) bool { return tless(ts[i], ts[j]) })
+		if len(ts) == 0 {
+			continue
+		}
+		xs := make([]T, len(ts))
+		for i, t := range ts {
+			xs[i] = t.x
+		}
+		res.Shards[s] = xs
+	}
+	return res, Seq(st1, st2, st3)
+}
+
+// Sort is SortBy ordered by an ordered key.
+func Sort[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[T], Stats) {
+	return SortBy(pt, func(a, b T) bool { return key(a) < key(b) })
+}
+
+// boundarySummary describes one server's key range after a Sort, for
+// coordinator-side run-chain resolution.
+type boundarySummary[K cmp.Ordered] struct {
+	src      int
+	nonEmpty bool
+	first    K
+	last     K
+}
+
+// GroupByKey redistributes pt so that all elements sharing a key reside on
+// a single server, with keys in sorted contiguous order across servers. It
+// is Sort plus the paper's "same value lands on consecutive servers — move
+// them to one" fix-up round (§3, LinearSparseMM). The destination load of
+// the fix-up is bounded by the largest key multiplicity, which the caller
+// is responsible for keeping ≤ the intended load (the paper's algorithms
+// only invoke this on light keys).
+func GroupByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[T], Stats) {
+	p := pt.P()
+	sorted, st := Sort(pt, key)
+
+	// Round A: boundary summaries to the coordinator.
+	sum := NewPart[boundarySummary[K]](p)
+	for s, shard := range sorted.Shards {
+		b := boundarySummary[K]{src: s}
+		if len(shard) > 0 {
+			b.nonEmpty = true
+			b.first = key(shard[0])
+			b.last = key(shard[len(shard)-1])
+		}
+		sum.Shards[s] = []boundarySummary[K]{b}
+	}
+	gathered, stA := Gather(sum, 0)
+	summaries := make([]boundarySummary[K], p)
+	for _, b := range gathered.Shards[0] {
+		summaries[b.src] = b
+	}
+
+	// Coordinator: for every key that spans multiple servers, merge its run
+	// onto the run's first server. A run continues from server s to the
+	// next non-empty server t iff last(s) == first(t).
+	type ownerInstr struct {
+		k      K
+		target int
+	}
+	instrs := make([][]ownerInstr, p)
+	ownerOf := -1
+	var openKey K
+	open := false
+	for s := 0; s < p; s++ {
+		b := summaries[s]
+		if !b.nonEmpty {
+			continue
+		}
+		if open && b.first == openKey {
+			instrs[s] = append(instrs[s], ownerInstr{k: b.first, target: ownerOf})
+			if b.last == b.first {
+				continue // entire shard is the open key; run may extend
+			}
+		}
+		ownerOf = s
+		openKey = b.last
+		open = true
+	}
+
+	// Round B: instructions back (coordinator → each server).
+	instrOut := make([][][]ownerInstr, p)
+	for src := range instrOut {
+		instrOut[src] = make([][]ownerInstr, p)
+	}
+	for dst, is := range instrs {
+		instrOut[0][dst] = is
+	}
+	instrPart, stB := Exchange(p, instrOut)
+
+	// Round C: move chained-key elements to their owners.
+	moveOut := make([][][]T, p)
+	for src := range moveOut {
+		moveOut[src] = make([][]T, p)
+	}
+	res := NewPart[T](p)
+	for s, shard := range sorted.Shards {
+		target := make(map[K]int)
+		for _, in := range instrPart.Shards[s] {
+			target[in.k] = in.target
+		}
+		for _, x := range shard {
+			if t, ok := target[key(x)]; ok {
+				moveOut[s][t] = append(moveOut[s][t], x)
+			} else {
+				res.Shards[s] = append(res.Shards[s], x)
+			}
+		}
+	}
+	moved, stC := Exchange(p, moveOut)
+	for s := range res.Shards {
+		res.Shards[s] = append(res.Shards[s], moved.Shards[s]...)
+	}
+	return res, Seq(st, stA, stB, stC)
+}

@@ -1,0 +1,295 @@
+package refengine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+var intSR = semiring.IntSumProd{}
+
+func intEq(a, b int64) bool { return a == b }
+
+// randomInstance fills every edge of q with a random relation of n tuples
+// over a domain of size dom.
+func randomInstance(rng *rand.Rand, q *hypergraph.Query, n, dom int) db.Instance[int64] {
+	inst := make(db.Instance[int64])
+	for _, e := range q.Edges {
+		r := relation.New[int64](e.Attrs...)
+		for i := 0; i < n; i++ {
+			vals := make([]relation.Value, len(e.Attrs))
+			for j := range vals {
+				vals[j] = relation.Value(rng.Intn(dom))
+			}
+			r.AppendRow(relation.Row[int64]{Vals: vals, W: int64(rng.Intn(4) + 1)})
+		}
+		inst[e.Name] = r
+	}
+	return inst
+}
+
+func TestBruteForceMatMulHandComputed(t *testing.T) {
+	q := hypergraph.MatMulQuery()
+	inst := make(db.Instance[int64])
+	r1 := relation.New[int64]("A", "B")
+	r1.Append(2, 1, 10) // a=1, b=10, weight 2
+	r1.Append(3, 1, 11)
+	r1.Append(5, 2, 10)
+	r2 := relation.New[int64]("B", "C")
+	r2.Append(7, 10, 100)
+	r2.Append(11, 11, 100)
+	r2.Append(13, 10, 101)
+	inst["R1"], inst["R2"] = r1, r2
+
+	got, err := BruteForce[int64](intSR, q, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New[int64]("A", "C")
+	want.Append(2*7+3*11, 1, 100) // via b=10 and b=11
+	want.Append(2*13, 1, 101)
+	want.Append(5*7, 2, 100)
+	want.Append(5*13, 2, 101)
+	if !relation.Equal[int64](intSR, intEq, got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestYannakakisEqualsBruteForceAcrossShapes(t *testing.T) {
+	queries := []*hypergraph.Query{
+		hypergraph.MatMulQuery(),
+		hypergraph.LineQuery(3),
+		hypergraph.LineQuery(4),
+		hypergraph.StarQuery(3),
+		hypergraph.StarQuery(4),
+		hypergraph.Fig1StarLike(),
+		hypergraph.Fig3Twig(),
+		hypergraph.NewQuery([]hypergraph.Edge{
+			hypergraph.Bin("R1", "A", "B"), hypergraph.Bin("R2", "B", "C"),
+		}, "A", "B", "C"), // free-connex full join
+		hypergraph.NewQuery([]hypergraph.Edge{
+			hypergraph.Bin("R1", "A", "B"), hypergraph.Bin("R2", "B", "C"), hypergraph.Bin("R3", "C", "D"),
+		}), // scalar aggregate
+	}
+	for qi, q := range queries {
+		// Keep the per-edge growth factor n/dom ≈ 1 for queries with many
+		// edges, or the brute-force full join blows up combinatorially.
+		n, dom := 20, 4
+		if len(q.Edges) > 5 {
+			n, dom = 12, 12
+		}
+		for seed := int64(0); seed < 6; seed++ {
+			rng := rand.New(rand.NewSource(seed*100 + int64(qi)))
+			inst := randomInstance(rng, q, n, dom)
+			bf, err := BruteForce[int64](intSR, q, inst)
+			if err != nil {
+				t.Fatalf("query %d: %v", qi, err)
+			}
+			yk, err := Yannakakis[int64](intSR, q, inst)
+			if err != nil {
+				t.Fatalf("query %d: %v", qi, err)
+			}
+			if !relation.Equal[int64](intSR, intEq, bf, yk) {
+				t.Fatalf("query %d seed %d (%s): brute force %v != yannakakis %v",
+					qi, seed, String(q), bf, yk)
+			}
+		}
+	}
+}
+
+func TestYannakakisFig2TreeWithUnaryEdges(t *testing.T) {
+	// The full Figure 2 tree contains a unary edge; the sequential engines
+	// must handle it directly (no reduction required).
+	q := hypergraph.Fig2Tree()
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// 26 edges: keep n ≤ dom so the full join stays laptop-sized.
+		inst := randomInstance(rng, q, 8, 8)
+		bf, err := BruteForce[int64](intSR, q, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yk, err := Yannakakis[int64](intSR, q, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal[int64](intSR, intEq, bf, yk) {
+			t.Fatalf("seed %d: mismatch on Fig2 tree", seed)
+		}
+	}
+}
+
+func TestRemoveDanglingExactness(t *testing.T) {
+	// Property: after RemoveDangling, every remaining tuple participates in
+	// at least one full join result, and the query answer is unchanged.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := hypergraph.LineQuery(3)
+		inst := randomInstance(rng, q, 15, 5)
+		red := RemoveDangling(q, inst)
+
+		// Answers unchanged.
+		a1, _ := BruteForce[int64](intSR, q, inst)
+		a2, _ := BruteForce[int64](intSR, q, red)
+		if !relation.Equal[int64](intSR, intEq, a1, a2) {
+			return false
+		}
+
+		// Every surviving tuple joins: check via full join participation.
+		full := inst[q.Edges[0].Name].Clone()
+		for _, e := range q.Edges[1:] {
+			full = relation.Join(intSR, full, inst[e.Name])
+		}
+		for _, e := range q.Edges {
+			r := red[e.Name]
+			for _, row := range r.Rows {
+				// Project full join onto e's attrs and look for the tuple.
+				found := false
+				idx := make([]int, r.Arity())
+				for i, a := range r.Schema() {
+					idx[i] = full.Col(a)
+				}
+				for _, frow := range full.Rows {
+					match := true
+					for i := range idx {
+						if frow.Vals[idx[i]] != row.Vals[i] {
+							match = false
+							break
+						}
+					}
+					if match {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveDanglingEmptyResult(t *testing.T) {
+	q := hypergraph.MatMulQuery()
+	inst := make(db.Instance[int64])
+	r1 := relation.New[int64]("A", "B")
+	r1.Append(1, 1, 10)
+	r2 := relation.New[int64]("B", "C")
+	r2.Append(1, 99, 5) // no matching B
+	inst["R1"], inst["R2"] = r1, r2
+	red := RemoveDangling(q, inst)
+	if red["R1"].Len() != 0 || red["R2"].Len() != 0 {
+		t.Fatalf("dangling removal must empty both: %v %v", red["R1"], red["R2"])
+	}
+}
+
+func TestIdempotentSemiringAgreement(t *testing.T) {
+	// Under the Boolean semiring the engines must agree with set-semantics
+	// join-project results.
+	q := hypergraph.LineQuery(3)
+	boolSR := semiring.BoolOrAnd{}
+	rng := rand.New(rand.NewSource(5))
+	inst := make(db.Instance[bool])
+	for _, e := range q.Edges {
+		r := relation.New[bool](e.Attrs...)
+		for i := 0; i < 25; i++ {
+			r.Append(true, relation.Value(rng.Intn(5)), relation.Value(rng.Intn(5)))
+		}
+		inst[e.Name] = r
+	}
+	bf, err := BruteForce[bool](boolSR, q, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yk, err := Yannakakis[bool](boolSR, q, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal[bool](boolSR, boolSR.Equal, bf, yk) {
+		t.Fatal("boolean semiring mismatch")
+	}
+	for _, row := range bf.Rows {
+		if !row.W {
+			t.Fatal("join-project result annotated false")
+		}
+	}
+}
+
+func TestTropicalShortestPath(t *testing.T) {
+	// MinPlus line query = shortest 3-hop path weight between endpoints.
+	q := hypergraph.LineQuery(3)
+	mp := semiring.MinPlus{}
+	inst := make(db.Instance[int64])
+	// A1 -> A2 edges.
+	r1 := relation.New[int64]("A1", "A2")
+	r1.Append(1, 0, 1)
+	r1.Append(10, 0, 2)
+	r2 := relation.New[int64]("A2", "A3")
+	r2.Append(5, 1, 7)
+	r2.Append(1, 2, 7)
+	r3 := relation.New[int64]("A3", "A4")
+	r3.Append(2, 7, 9)
+	inst["R1"], inst["R2"], inst["R3"] = r1, r2, r3
+
+	got, err := Yannakakis[int64](mp, q, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths 0→1→7→9 cost 8; 0→2→7→9 cost 13. Min = 8.
+	want := relation.New[int64]("A1", "A4")
+	want.Append(8, 0, 9)
+	if !relation.Equal[int64](mp, mp.Equal, got, want) {
+		t.Fatalf("tropical result %v, want %v", got, want)
+	}
+}
+
+func TestCountOutputAndMaxIntermediate(t *testing.T) {
+	q := hypergraph.MatMulQuery()
+	inst := make(db.Instance[int64])
+	r1 := relation.New[int64]("A", "B")
+	r2 := relation.New[int64]("B", "C")
+	for a := 0; a < 4; a++ {
+		r1.Append(1, relation.Value(a), 0)
+	}
+	for c := 0; c < 5; c++ {
+		r2.Append(1, 0, relation.Value(c))
+	}
+	inst["R1"], inst["R2"] = r1, r2
+	out, err := CountOutput[int64](intSR, q, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 20 {
+		t.Fatalf("OUT = %d, want 20", out)
+	}
+	j, err := MaxIntermediateJoin[int64](intSR, q, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 20 {
+		t.Fatalf("J = %d, want 20", j)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	q := hypergraph.MatMulQuery()
+	inst := make(db.Instance[int64])
+	if _, err := BruteForce[int64](intSR, q, inst); err == nil {
+		t.Fatal("expected error on empty instance")
+	}
+	inst["R1"] = relation.New[int64]("A", "B")
+	inst["R2"] = relation.New[int64]("B", "X") // wrong attr
+	if _, err := BruteForce[int64](intSR, q, inst); err == nil {
+		t.Fatal("expected error on schema mismatch")
+	}
+}

@@ -1,0 +1,235 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkLaws verifies the commutative-semiring axioms for s on values drawn
+// by gen. eq must be a semantic equality test.
+func checkLaws[W any](t *testing.T, name string, s Semiring[W], eq func(a, b W) bool, gen func(r *rand.Rand) W) {
+	t.Helper()
+	r := rand.New(rand.NewSource(0x5eed))
+	for i := 0; i < 500; i++ {
+		a, b, c := gen(r), gen(r), gen(r)
+
+		if !eq(s.Add(a, b), s.Add(b, a)) {
+			t.Fatalf("%s: ⊕ not commutative on %v, %v", name, a, b)
+		}
+		if !eq(s.Mul(a, b), s.Mul(b, a)) {
+			t.Fatalf("%s: ⊗ not commutative on %v, %v", name, a, b)
+		}
+		if !eq(s.Add(s.Add(a, b), c), s.Add(a, s.Add(b, c))) {
+			t.Fatalf("%s: ⊕ not associative on %v, %v, %v", name, a, b, c)
+		}
+		if !eq(s.Mul(s.Mul(a, b), c), s.Mul(a, s.Mul(b, c))) {
+			t.Fatalf("%s: ⊗ not associative on %v, %v, %v", name, a, b, c)
+		}
+		if !eq(s.Add(a, s.Zero()), a) {
+			t.Fatalf("%s: Zero not ⊕-identity on %v", name, a)
+		}
+		if !eq(s.Mul(a, s.One()), a) {
+			t.Fatalf("%s: One not ⊗-identity on %v", name, a)
+		}
+		if !eq(s.Mul(a, s.Zero()), s.Zero()) {
+			t.Fatalf("%s: Zero not annihilating on %v", name, a)
+		}
+		if !eq(s.Mul(a, s.Add(b, c)), s.Add(s.Mul(a, b), s.Mul(a, c))) {
+			t.Fatalf("%s: ⊗ does not distribute over ⊕ on %v, %v, %v", name, a, b, c)
+		}
+	}
+}
+
+func checkIdempotent[W any](t *testing.T, name string, s Semiring[W], eq func(a, b W) bool, gen func(r *rand.Rand) W) {
+	t.Helper()
+	r := rand.New(rand.NewSource(0xfeed))
+	for i := 0; i < 200; i++ {
+		a := gen(r)
+		if !eq(s.Add(a, a), a) {
+			t.Fatalf("%s: ⊕ not idempotent on %v", name, a)
+		}
+	}
+}
+
+func TestIntSumProdLaws(t *testing.T) {
+	s := IntSumProd{}
+	// Bounded values so products of three factors cannot overflow int64.
+	gen := func(r *rand.Rand) int64 { return r.Int63n(1<<20) - 1<<19 }
+	checkLaws[int64](t, "IntSumProd", s, s.Equal, gen)
+}
+
+func TestFloatSumProdLaws(t *testing.T) {
+	s := FloatSumProd{}
+	// Powers of two make float arithmetic exact, so associativity holds
+	// bit-for-bit and the laws can be checked with plain equality.
+	gen := func(r *rand.Rand) float64 {
+		return float64(int64(1) << r.Intn(20))
+	}
+	checkLaws[float64](t, "FloatSumProd", s, func(a, b float64) bool { return a == b }, gen)
+}
+
+func TestBoolOrAndLaws(t *testing.T) {
+	s := BoolOrAnd{}
+	gen := func(r *rand.Rand) bool { return r.Intn(2) == 0 }
+	checkLaws[bool](t, "BoolOrAnd", s, s.Equal, gen)
+	checkIdempotent[bool](t, "BoolOrAnd", s, s.Equal, gen)
+}
+
+func genTropical(r *rand.Rand) int64 {
+	switch r.Intn(8) {
+	case 0:
+		return tropInf
+	case 1:
+		return -tropInf
+	default:
+		return r.Int63n(2000) - 1000
+	}
+}
+
+func TestMinPlusLaws(t *testing.T) {
+	s := MinPlus{}
+	// Draw from non-negative weights plus the +∞ sentinel; MinPlus's
+	// carrier is ℤ∪{∞}, so −∞ is excluded.
+	gen := func(r *rand.Rand) int64 {
+		if r.Intn(8) == 0 {
+			return tropInf
+		}
+		return r.Int63n(2000)
+	}
+	checkLaws[int64](t, "MinPlus", s, s.Equal, gen)
+	checkIdempotent[int64](t, "MinPlus", s, s.Equal, gen)
+}
+
+func TestMaxPlusLaws(t *testing.T) {
+	s := MaxPlus{}
+	gen := func(r *rand.Rand) int64 {
+		if r.Intn(8) == 0 {
+			return -tropInf
+		}
+		return r.Int63n(2000)
+	}
+	checkLaws[int64](t, "MaxPlus", s, s.Equal, gen)
+	checkIdempotent[int64](t, "MaxPlus", s, s.Equal, gen)
+}
+
+func TestMaxMinLaws(t *testing.T) {
+	s := MaxMin{}
+	checkLaws[int64](t, "MaxMin", s, s.Equal, genTropical)
+	checkIdempotent[int64](t, "MaxMin", s, s.Equal, genTropical)
+}
+
+func TestSecurityLaws(t *testing.T) {
+	s := Security{}
+	gen := func(r *rand.Rand) uint8 { return uint8(r.Intn(5)) }
+	checkLaws[uint8](t, "Security", s, s.Equal, gen)
+	checkIdempotent[uint8](t, "Security", s, s.Equal, gen)
+}
+
+func genProvenance(r *rand.Rand) Provenance {
+	s := WhyProvenance{}
+	n := r.Intn(4)
+	p := s.Zero()
+	for i := 0; i < n; i++ {
+		k := r.Intn(3) + 1
+		ws := make(WitnessSet, 0, k)
+		for j := 0; j < k; j++ {
+			ws = append(ws, Witness(r.Intn(8)))
+		}
+		// Normalize the random witness set through the semiring ops.
+		one := Provenance{WitnessSet{}}
+		for _, w := range ws {
+			one = s.Mul(one, Why(w))
+		}
+		p = s.Add(p, one)
+	}
+	return p
+}
+
+func TestWhyProvenanceLaws(t *testing.T) {
+	s := WhyProvenance{}
+	checkLaws[Provenance](t, "WhyProvenance", s, s.Equal, genProvenance)
+	checkIdempotent[Provenance](t, "WhyProvenance", s, s.Equal, genProvenance)
+}
+
+func TestWhyProvenanceBasics(t *testing.T) {
+	s := WhyProvenance{}
+	a, b, c := Why(1), Why(2), Why(3)
+
+	ab := s.Mul(a, b)
+	want := Provenance{WitnessSet{1, 2}}
+	if !s.Equal(ab, want) {
+		t.Fatalf("Mul(Why(1), Why(2)) = %v, want %v", ab, want)
+	}
+
+	sum := s.Add(ab, c)
+	want = Provenance{WitnessSet{3}, WitnessSet{1, 2}}
+	if !s.Equal(sum, want) {
+		t.Fatalf("Add = %v, want %v", sum, want)
+	}
+
+	// (a⊗b) ⊕ (a⊗b) = a⊗b — idempotence keeps derivation sets small.
+	if !s.Equal(s.Add(ab, ab), ab) {
+		t.Fatalf("Add not idempotent on %v", ab)
+	}
+
+	// Multiplying overlapping witness sets unions them without duplicates.
+	aa := s.Mul(ab, a)
+	if !s.Equal(aa, ab) {
+		t.Fatalf("Mul({1,2},{1}) = %v, want %v", aa, ab)
+	}
+}
+
+func TestIsIdempotent(t *testing.T) {
+	if IsIdempotent(IntSumProd{}) {
+		t.Fatal("IntSumProd must not be idempotent")
+	}
+	if IsIdempotent(FloatSumProd{}) {
+		t.Fatal("FloatSumProd must not be idempotent")
+	}
+	for _, s := range []any{BoolOrAnd{}, MinPlus{}, MaxPlus{}, MaxMin{}, WhyProvenance{}, Security{}} {
+		if !IsIdempotent(s) {
+			t.Fatalf("%T must be idempotent", s)
+		}
+	}
+}
+
+func TestTropicalSentinels(t *testing.T) {
+	mp := MinPlus{}
+	if got := mp.Mul(mp.Inf(), 5); got != mp.Inf() {
+		t.Fatalf("∞ ⊗ 5 = %d, want ∞", got)
+	}
+	if got := mp.Add(mp.Inf(), 5); got != 5 {
+		t.Fatalf("min(∞, 5) = %d, want 5", got)
+	}
+	xp := MaxPlus{}
+	if got := xp.Mul(xp.NegInf(), 5); got != xp.NegInf() {
+		t.Fatalf("−∞ ⊗ 5 = %d, want −∞", got)
+	}
+	if got := xp.Add(xp.NegInf(), 5); got != 5 {
+		t.Fatalf("max(−∞, 5) = %d, want 5", got)
+	}
+}
+
+// TestQuickProvenanceAbsorption uses testing/quick to check the absorption-
+// free property indirectly: Add and Mul never produce unsorted or duplicate
+// families, i.e. normalization is a fixpoint.
+func TestQuickProvenanceAbsorption(t *testing.T) {
+	s := WhyProvenance{}
+	isNormal := func(p Provenance) bool {
+		for i := 1; i < len(p); i++ {
+			if compareWitnessSets(p[i-1], p[i]) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genProvenance(r), genProvenance(r)
+		return isNormal(s.Add(a, b)) && isNormal(s.Mul(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,502 @@
+// Package starlike implements the §6 algorithm of Hu–Yi PODS'20 for
+// star-like queries: n line-query arms T_1 … T_n sharing a common
+// non-output attribute B, with the far end A_i of each arm an output
+// attribute and all interior attributes aggregated away. Star-like queries
+// generalize both line queries (n = 2) and star queries (single-relation
+// arms) and are the building block for general tree queries (§7).
+//
+// Like the star algorithm it is oblivious to OUT. Each b ∈ dom(B) is
+// classified by the permutation ϕ_b sorting its per-arm degree estimates
+// d_i(b) (obtained by the §2.2 estimator along each arm), and further as
+// "small" (∏_{i<n} d_{ϕ(i)}(b) ≤ d_{ϕ(n)}(b)) or "large". A small class
+// shrinks its n−1 low-degree arms (Yannakakis folds, sizes ≤ N·√OUT by
+// Lemma 10), joins them into a combined attribute A^small, and finishes as
+// a line query through the remaining arm (§4). A large class shrinks all
+// arms, splits them into the index sets I = {ϕ(n), ϕ(n−3), …} and J (whose
+// joint sizes Lemma 11 bounds by N·OUT^{2/3}), uniformizes by degree
+// (powers of two) and finishes with one matrix multiplication per degree
+// class. Load: Õ((N·N')^{1/3}·OUT^{1/2}/p^{2/3} + N'^{2/3}·OUT^{1/3}/p^{2/3}
+// + N·OUT^{2/3}/p + (N+N'+OUT)/p) (Lemma 7).
+package starlike
+
+import (
+	"fmt"
+	"sort"
+
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/estimate"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/linequery"
+	"mpcjoin/internal/matmul"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/twoway"
+)
+
+// Options tunes the algorithm.
+type Options struct {
+	// Est configures the §2.2 estimator.
+	Est estimate.Params
+	// Seed drives hash partitioning in subroutines.
+	Seed uint64
+}
+
+// Arm is one arm of a star-like query: relations ordered from the center
+// outward (Rels[0] touches B), with the vertex path [B], inner…, Leaf.
+type Arm[W any] struct {
+	// Rels[j] spans Path[j] ∪ Path[j+1].
+	Rels []dist.Rel[W]
+	// Path[0] = [B]; Path[len-1] = the (possibly composite) leaf.
+	Path [][]dist.Attr
+}
+
+// Leaf returns the arm's output attribute list.
+func (a Arm[W]) Leaf() []dist.Attr { return a.Path[len(a.Path)-1] }
+
+// Compute evaluates a star-like query given by its hypergraph view.
+func Compute[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[string]dist.Rel[W], opts Options) (dist.Rel[W], mpc.Stats, error) {
+	view, ok := q.StarLikeView()
+	if !ok {
+		return dist.Rel[W]{}, mpc.Stats{}, fmt.Errorf("starlike: query is not a star-like query")
+	}
+	arms := make([]Arm[W], len(view.Arms))
+	for i, va := range view.Arms {
+		arm := Arm[W]{Path: [][]dist.Attr{{view.Center}}}
+		for _, inner := range va.Inner {
+			arm.Path = append(arm.Path, []dist.Attr{inner})
+		}
+		arm.Path = append(arm.Path, []dist.Attr{va.Leaf})
+		for _, ei := range va.Edges {
+			arm.Rels = append(arm.Rels, rels[q.Edges[ei].Name])
+		}
+		arms[i] = arm
+	}
+	res, st := Run(sr, arms, view.Center, opts)
+	return res, st, nil
+}
+
+// Run is the core algorithm over explicit arms. Leaves may be composite;
+// the center b and all interior attributes are single. The output schema
+// is the concatenation of the arm leaves in the given order.
+func Run[W any](sr semiring.Semiring[W], arms []Arm[W], b dist.Attr, opts Options) (dist.Rel[W], mpc.Stats) {
+	n := len(arms)
+	if n < 2 {
+		panic("starlike: need at least 2 arms")
+	}
+	p := arms[0].Rels[0].P()
+	var outSchema []dist.Attr
+	for _, a := range arms {
+		outSchema = append(outSchema, a.Leaf()...)
+	}
+
+	var st mpc.Stats
+	arms = cloneArms(arms)
+
+	// Degenerate to a line query when n = 2 (§6: a star-like query with
+	// two arms is a line query through B).
+	if n == 2 {
+		var rels []dist.Rel[W]
+		var path [][]dist.Attr
+		for j := len(arms[0].Rels) - 1; j >= 0; j-- {
+			rels = append(rels, arms[0].Rels[j])
+		}
+		rels = append(rels, arms[1].Rels...)
+		for j := len(arms[0].Path) - 1; j >= 0; j-- {
+			path = append(path, arms[0].Path[j])
+		}
+		path = append(path, arms[1].Path[1:]...)
+		res, s := linequery.Run(sr, rels, path, linequery.Options{Est: opts.Est, Seed: opts.Seed})
+		st = mpc.Seq(st, s)
+		return dist.Reshape(dist.Reorder(res, outSchema), p), st
+	}
+
+	// Dangling removal across the whole query: sweep each arm inward to B,
+	// intersect the arms' B-sets, sweep back outward.
+	st = mpc.Seq(st, removeDangling(sr, arms, b))
+	nb, sc := mpc.TotalCount(arms[0].Rels[0].Part)
+	st = mpc.Seq(st, sc)
+	if nb == 0 {
+		return dist.Empty[W](outSchema, p), st
+	}
+
+	// Step 1: per-arm degree estimates d_i(b) by the §2.2 estimator run
+	// along each arm (exact when the arm is a single relation and the
+	// distinct leaf count is below the sketch size).
+	type armDeg struct {
+		b   relation.Value
+		arm int
+		deg int64
+	}
+	degTagged := mpc.NewPart[armDeg](p)
+	for i := range arms {
+		ests, _, s := estimate.LineOut(arms[i].Rels, arms[i].Path, opts.Est)
+		st = mpc.Seq(st, s)
+		tagged := mpc.Map(ests, func(kc mpc.KeyCount[string]) armDeg {
+			return armDeg{b: relation.DecodeKey(kc.Key)[0], arm: i, deg: kc.Count}
+		})
+		for sh, shard := range tagged.Shards {
+			degTagged.Shards[sh] = append(degTagged.Shards[sh], shard...)
+		}
+	}
+	grouped, s2 := mpc.GroupByKey(degTagged, func(ad armDeg) int64 { return int64(ad.b) })
+	st = mpc.Seq(st, s2)
+
+	// Per-b class: permutation ϕ_b plus the small/large flag.
+	type bClass struct {
+		b     relation.Value
+		class int64 // encodePerm(ϕ_b)·2 + small-bit
+	}
+	classes := mpc.MapShards(grouped, func(_ int, shard []armDeg) []bClass {
+		var out []bClass
+		byB := make(map[relation.Value][]armDeg)
+		for _, ad := range shard {
+			byB[ad.b] = append(byB[ad.b], ad)
+		}
+		for bv, ads := range byB {
+			sort.Slice(ads, func(i, j int) bool {
+				if ads[i].deg != ads[j].deg {
+					return ads[i].deg < ads[j].deg
+				}
+				return ads[i].arm < ads[j].arm
+			})
+			order := make([]int, len(ads))
+			var prod int64 = 1
+			for i, ad := range ads {
+				order[i] = ad.arm
+				if i < len(ads)-1 {
+					prod = satMul(prod, ad.deg)
+				}
+			}
+			small := int64(0)
+			if prod <= ads[len(ads)-1].deg {
+				small = 1
+			}
+			out = append(out, bClass{b: bv, class: encodePerm(order, n)*2 + small})
+		}
+		return out
+	})
+
+	distinct, s3 := mpc.ReduceByKey(classes, func(bc bClass) int64 { return bc.class },
+		func(a, b bClass) bClass { return a })
+	idsPart, s4 := mpc.Gather(mpc.Map(distinct, func(bc bClass) int64 { return bc.class }), 0)
+	idsBcast, s5 := mpc.Broadcast(idsPart)
+	st = mpc.Seq(st, s3, s4, s5)
+	classIDs := append([]int64(nil), idsBcast.Shards[0]...)
+	sort.Slice(classIDs, func(i, j int) bool { return classIDs[i] < classIDs[j] })
+
+	// Tag the B-incident relation of every arm with its b's class.
+	taggedInner := make([]mpc.Part[rowClass[W]], n)
+	for i := range arms {
+		bCol := arms[i].Rels[0].Cols(b)[0]
+		looked, s := mpc.LookupJoin(arms[i].Rels[0].Part, classes,
+			func(r relation.Row[W]) int64 { return int64(r.Vals[bCol]) },
+			func(bc bClass) int64 { return int64(bc.b) })
+		st = mpc.Seq(st, s)
+		taggedInner[i] = mpc.Map(looked, func(pr mpc.Pred[relation.Row[W], bClass]) rowClass[W] {
+			cl := int64(-1)
+			if pr.Found {
+				cl = pr.Y.class
+			}
+			return rowClass[W]{row: pr.X, class: cl}
+		})
+	}
+
+	// Steps 2–3 per class. The (constantly many) subqueries run on disjoint
+	// O(p)-server groups simultaneously, so their costs compose with Par,
+	// as in the paper's accounting.
+	var results []dist.Rel[W]
+	var classStats []mpc.Stats
+	for _, cid := range classIDs {
+		var cst mpc.Stats
+		small := cid%2 == 1
+		order := decodePerm(cid/2, n)
+
+		// The class's arms: B-incident relations filtered to the class,
+		// outer relations restricted by an outward semijoin sweep.
+		classArms := make([]Arm[W], n)
+		for i := range arms {
+			rows := mpc.Map(mpc.Filter(taggedInner[i], func(rc rowClass[W]) bool { return rc.class == cid }),
+				func(rc rowClass[W]) relation.Row[W] { return rc.row })
+			ca := Arm[W]{Path: arms[i].Path, Rels: append([]dist.Rel[W](nil), arms[i].Rels...)}
+			ca.Rels[0] = dist.Rel[W]{Schema: arms[i].Rels[0].Schema, Part: rows}
+			for j := 1; j < len(ca.Rels); j++ {
+				filtered, s := dist.Semijoin(ca.Rels[j], ca.Rels[j-1])
+				ca.Rels[j] = filtered
+				cst = mpc.Seq(cst, s)
+			}
+			classArms[i] = ca
+		}
+
+		var res dist.Rel[W]
+		var s mpc.Stats
+		if small {
+			res, s = runSmall(sr, classArms, order, b, p, opts)
+		} else {
+			res, s = runLarge(sr, classArms, order, b, p, opts)
+		}
+		cst = mpc.Seq(cst, s)
+		classStats = append(classStats, cst)
+		results = append(results, dist.Reshape(dist.Reorder(res, outSchema), p))
+	}
+	st = mpc.Seq(st, mpc.Par(classStats...))
+	if len(results) == 0 {
+		return dist.Empty[W](outSchema, p), st
+	}
+	final, s6 := dist.UnionAgg(sr, results...)
+	return final, mpc.Seq(st, s6)
+}
+
+// runSmall handles Q^small_ϕ: shrink arms ϕ(1..n−1) (Step 2.1), join them
+// into the combined attribute A^small (Step 2.2), and run the remaining
+// arm as a line query.
+func runSmall[W any](sr semiring.Semiring[W], arms []Arm[W], order []int, b dist.Attr, p int, opts Options) (dist.Rel[W], mpc.Stats) {
+	var st mpc.Stats
+	n := len(arms)
+
+	shrunk := make([]dist.Rel[W], 0, n-1)
+	for _, i := range order[:n-1] {
+		r, s := shrinkArm(sr, arms[i], b, p)
+		st = mpc.Seq(st, s)
+		shrunk = append(shrunk, r)
+	}
+	// R_ϕ(A^small, B): full join of the shrunk arms on B.
+	acc := shrunk[0]
+	for _, r := range shrunk[1:] {
+		joined, _, s := twoway.Join(sr, acc, r)
+		st = mpc.Seq(st, s)
+		acc = dist.Reshape(joined, p)
+	}
+	// Combined-attribute line query through the last arm.
+	last := arms[order[n-1]]
+	smallAttrs := minus(acc.Schema, b)
+	rels := append([]dist.Rel[W]{acc}, last.Rels...)
+	path := append([][]dist.Attr{smallAttrs}, last.Path...)
+	res, s := linequery.Run(sr, rels, path, linequery.Options{Est: opts.Est, Seed: opts.Seed})
+	return res, mpc.Seq(st, s)
+}
+
+// runLarge handles Q^large_ϕ: shrink all arms (Step 3.1), split into the
+// I/J index sets of Lemma 11 (Step 3.2), uniformize by the power-of-two
+// degree of b in R(A^I, B) (Step 3.3), and run one matrix multiplication
+// per degree class (Step 3.4).
+func runLarge[W any](sr semiring.Semiring[W], arms []Arm[W], order []int, b dist.Attr, p int, opts Options) (dist.Rel[W], mpc.Stats) {
+	var st mpc.Stats
+	n := len(arms)
+
+	shrunk := make([]dist.Rel[W], n)
+	for i := range arms {
+		r, s := shrinkArm(sr, arms[i], b, p)
+		st = mpc.Seq(st, s)
+		shrunk[i] = r
+	}
+
+	// I = {ϕ(n), ϕ(n−3), ϕ(n−6), …} (1-indexed), J = the rest.
+	inI := make([]bool, n)
+	for k := n; k >= 1; k -= 3 {
+		inI[k-1] = true
+	}
+	var iIdx, jIdx []int
+	for pos, armIdx := range order {
+		if inI[pos] {
+			iIdx = append(iIdx, armIdx)
+		} else {
+			jIdx = append(jIdx, armIdx)
+		}
+	}
+	fold := func(idx []int) dist.Rel[W] {
+		acc := shrunk[idx[0]]
+		for _, i := range idx[1:] {
+			joined, _, s := twoway.Join(sr, acc, shrunk[i])
+			st = mpc.Seq(st, s)
+			acc = dist.Reshape(joined, p)
+		}
+		return acc
+	}
+	rI := fold(iIdx)
+	if len(jIdx) == 0 {
+		// Degenerate (n = 1 cannot happen; n = 2 gives J = {ϕ(1)} — only
+		// possible if n ≤ 1, guarded upstream).
+		panic("starlike: empty J side")
+	}
+	rJ := fold(jIdx)
+
+	// Uniformize: group b values by ⌈log₂ deg⌉ in R(A^I, B).
+	degI, s := dist.Degrees(rI, b)
+	st = mpc.Seq(st, s)
+	classOf := mpc.Map(degI, func(kc mpc.KeyCount[int64]) mpc.KeyCount[int64] {
+		return mpc.KeyCount[int64]{Key: kc.Key, Count: int64(bitLen(kc.Count))}
+	})
+	distinct, s1 := mpc.ReduceByKey(mpc.Map(classOf, func(kc mpc.KeyCount[int64]) int64 { return kc.Count }),
+		func(c int64) int64 { return c }, func(a, b int64) int64 { return a })
+	clPart, s2 := mpc.Gather(distinct, 0)
+	clBcast, s3 := mpc.Broadcast(clPart)
+	st = mpc.Seq(st, s1, s2, s3)
+	classIDs := append([]int64(nil), clBcast.Shards[0]...)
+	sort.Slice(classIDs, func(i, j int) bool { return classIDs[i] < classIDs[j] })
+
+	bColI := rI.Cols(b)[0]
+	bColJ := rJ.Cols(b)[0]
+	tagI, s4 := mpc.LookupJoin(rI.Part, classOf,
+		func(r relation.Row[W]) int64 { return int64(r.Vals[bColI]) },
+		func(kc mpc.KeyCount[int64]) int64 { return kc.Key })
+	tagJ, s5 := mpc.LookupJoin(rJ.Part, classOf,
+		func(r relation.Row[W]) int64 { return int64(r.Vals[bColJ]) },
+		func(kc mpc.KeyCount[int64]) int64 { return kc.Key })
+	st = mpc.Seq(st, s4, s5)
+
+	outSchema := append(minus(rI.Schema, b), minus(rJ.Schema, b)...)
+	var parts []mpc.Part[relation.Row[W]]
+	var mmStats []mpc.Stats
+	for _, cid := range classIDs {
+		selRows := func(pt mpc.Part[mpc.Pred[relation.Row[W], mpc.KeyCount[int64]]]) mpc.Part[relation.Row[W]] {
+			return mpc.Map(mpc.Filter(pt, func(pr mpc.Pred[relation.Row[W], mpc.KeyCount[int64]]) bool {
+				return pr.Found && pr.Y.Count == cid
+			}), func(pr mpc.Pred[relation.Row[W], mpc.KeyCount[int64]]) relation.Row[W] { return pr.X })
+		}
+		subI := dist.Rel[W]{Schema: rI.Schema, Part: selRows(tagI)}
+		subJ := dist.Rel[W]{Schema: rJ.Schema, Part: selRows(tagJ)}
+		res, s, err := matmul.Compute(sr, matmul.Input[W]{R1: subI, R2: subJ, B: b},
+			matmul.Options{Est: opts.Est, Seed: opts.Seed ^ uint64(cid), SkipDangling: true})
+		if err != nil {
+			panic(err)
+		}
+		mmStats = append(mmStats, s)
+		parts = append(parts, dist.Reshape(res, p).Part)
+	}
+	// Step 3.4: "all the matrix multiplications are computed in parallel".
+	st = mpc.Seq(st, mpc.Par(mmStats...))
+	// Degree classes partition dom(B); their outputs may still share
+	// output tuples, so ⊕-merge.
+	rels := make([]dist.Rel[W], len(parts))
+	for i, pt := range parts {
+		rels[i] = dist.Rel[W]{Schema: outSchema, Part: pt}
+	}
+	if len(rels) == 0 {
+		return dist.Empty[W](outSchema, p), st
+	}
+	res, s6 := dist.UnionAgg(sr, rels...)
+	return res, mpc.Seq(st, s6)
+}
+
+// shrinkArm folds an arm into R(leaf…, B) with Yannakakis aggregations
+// from the leaf toward the center (Step 2.1 / 3.1).
+func shrinkArm[W any](sr semiring.Semiring[W], arm Arm[W], b dist.Attr, p int) (dist.Rel[W], mpc.Stats) {
+	var st mpc.Stats
+	h := len(arm.Rels) - 1
+	acc := arm.Rels[h]
+	leaf := arm.Leaf()
+	for j := h - 1; j >= 0; j-- {
+		keep := append(append([]dist.Attr(nil), arm.Path[j]...), leaf...)
+		folded, s := twoway.JoinAgg(sr, arm.Rels[j], acc, keep...)
+		st = mpc.Seq(st, s)
+		acc = dist.Reshape(folded, p)
+	}
+	_ = b
+	return acc, st
+}
+
+// removeDangling runs the full reducer across the arms: inward sweeps to
+// B, B-set intersection, outward sweeps.
+func removeDangling[W any](sr semiring.Semiring[W], arms []Arm[W], b dist.Attr) mpc.Stats {
+	var st mpc.Stats
+	// Inward: restrict each relation by its outer neighbor.
+	for i := range arms {
+		for j := len(arms[i].Rels) - 2; j >= 0; j-- {
+			filtered, s := dist.Semijoin(arms[i].Rels[j], arms[i].Rels[j+1])
+			arms[i].Rels[j] = filtered
+			st = mpc.Seq(st, s)
+		}
+	}
+	// Intersect B-sets.
+	inter, s := dist.ProjectAgg(sr, arms[0].Rels[0], b)
+	st = mpc.Seq(st, s)
+	for i := 1; i < len(arms); i++ {
+		bs, s1 := dist.ProjectAgg(sr, arms[i].Rels[0], b)
+		filtered, s2 := dist.Semijoin(inter, bs)
+		inter = filtered
+		st = mpc.Seq(st, s1, s2)
+	}
+	// Outward: restrict the B-incident relation to the intersection, then
+	// sweep outward.
+	for i := range arms {
+		filtered, s := dist.Semijoin(arms[i].Rels[0], inter)
+		arms[i].Rels[0] = filtered
+		st = mpc.Seq(st, s)
+		for j := 1; j < len(arms[i].Rels); j++ {
+			f, s2 := dist.Semijoin(arms[i].Rels[j], arms[i].Rels[j-1])
+			arms[i].Rels[j] = f
+			st = mpc.Seq(st, s2)
+		}
+	}
+	return st
+}
+
+type rowClass[W any] struct {
+	row   relation.Row[W]
+	class int64
+}
+
+func cloneArms[W any](arms []Arm[W]) []Arm[W] {
+	out := make([]Arm[W], len(arms))
+	for i, a := range arms {
+		out[i] = Arm[W]{Rels: append([]dist.Rel[W](nil), a.Rels...), Path: a.Path}
+	}
+	return out
+}
+
+func minus(schema []dist.Attr, b dist.Attr) []dist.Attr {
+	var out []dist.Attr
+	for _, a := range schema {
+		if a != b {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func satMul(a, b int64) int64 {
+	const lim = int64(1) << 40
+	if a > lim/maxI64(b, 1) {
+		return lim
+	}
+	return a * b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func bitLen(x int64) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// encodePerm packs an arm order into an int64 (base-n digits; n ≤ 15).
+func encodePerm(order []int, n int) int64 {
+	if n > 15 {
+		panic("starlike: more than 15 arms unsupported")
+	}
+	var id int64
+	for i := len(order) - 1; i >= 0; i-- {
+		id = id*int64(n) + int64(order[i])
+	}
+	return id
+}
+
+// decodePerm inverts encodePerm.
+func decodePerm(id int64, n int) []int {
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		order[i] = int(id % int64(n))
+		id /= int64(n)
+	}
+	return order
+}

@@ -1,0 +1,250 @@
+// Package starquery implements the §5 algorithm of Hu–Yi PODS'20 for star
+// queries
+//
+//	∑_B R1(A1,B) ⋈ R2(A2,B) ⋈ … ⋈ Rn(An,B)
+//
+// with load Õ((N·OUT/p)^{2/3} + N·OUT^{1/2}/p + (N+OUT)/p). Unlike the
+// matrix-multiplication and line algorithms, it is oblivious to OUT: the
+// output size appears only in the analysis.
+//
+// Each value b ∈ dom(B) is classified by the permutation ϕ_b that sorts
+// its per-relation degrees d_1(b) ≤ … ≤ d_n(b); this splits dom(B) into at
+// most n! classes B_ϕ, each handled as its own subquery. Within a class,
+// the arms at odd positions of ϕ (the small-degree half, interleaved) are
+// fully joined into R_ϕ(A^odd, B) and the even positions into
+// R_ϕ(A^even, B) — Lemmas 5 and 6 bound both by N·√OUT — and the subquery
+// reduces to one output-sensitive matrix multiplication. The n! subquery
+// results are ⊕-merged by the output attributes.
+package starquery
+
+import (
+	"fmt"
+	"sort"
+
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/estimate"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/matmul"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/twoway"
+)
+
+// Options tunes the algorithm.
+type Options struct {
+	// Est configures the estimator used inside the matmul subroutine.
+	Est estimate.Params
+	// Seed drives hash partitioning in subroutines.
+	Seed uint64
+}
+
+// Compute evaluates a star query given by its hypergraph view.
+func Compute[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[string]dist.Rel[W], opts Options) (dist.Rel[W], mpc.Stats, error) {
+	view, ok := q.StarView()
+	if !ok {
+		return dist.Rel[W]{}, mpc.Stats{}, fmt.Errorf("starquery: query is not a star query")
+	}
+	arms := make([]dist.Rel[W], len(view.ArmEdge))
+	leaves := make([][]dist.Attr, len(view.ArmEdge))
+	for i, ei := range view.ArmEdge {
+		arms[i] = rels[q.Edges[ei].Name]
+		leaves[i] = []dist.Attr{view.Leaves[i]}
+	}
+	res, st := Run(sr, arms, leaves, view.Center, opts)
+	return res, st, nil
+}
+
+// Run is the core algorithm over explicit arms: arms[i] spans
+// leaves[i] ∪ {b}. Leaves may be composite attribute lists (combined
+// attributes from the tree-query reduction); the center b is a single
+// attribute. The output schema is the concatenation of the leaves.
+func Run[W any](sr semiring.Semiring[W], arms []dist.Rel[W], leaves [][]dist.Attr, b dist.Attr, opts Options) (dist.Rel[W], mpc.Stats) {
+	n := len(arms)
+	if n < 2 {
+		panic("starquery: need at least 2 arms")
+	}
+	p := arms[0].P()
+	var outSchema []dist.Attr
+	for _, l := range leaves {
+		outSchema = append(outSchema, l...)
+	}
+
+	// Remove dangling tuples: every b must appear in all arms.
+	arms = append([]dist.Rel[W](nil), arms...)
+	var st mpc.Stats
+	inter, s := dist.ProjectAgg(sr, arms[0], b)
+	st = mpc.Seq(st, s)
+	for i := 1; i < n; i++ {
+		bs, s1 := dist.ProjectAgg(sr, arms[i], b)
+		filtered, s2 := dist.Semijoin(inter, bs)
+		inter = filtered
+		st = mpc.Seq(st, s1, s2)
+	}
+	for i := range arms {
+		filtered, s := dist.Semijoin(arms[i], inter)
+		arms[i] = filtered
+		st = mpc.Seq(st, s)
+	}
+	nb, sc := mpc.TotalCount(inter.Part)
+	st = mpc.Seq(st, sc)
+	if nb == 0 {
+		return dist.Empty[W](outSchema, p), st
+	}
+
+	// Step 1: per-arm degrees d_i(b) and the per-b sorting permutation.
+	type armDeg struct {
+		b   relation.Value
+		arm int
+		deg int64
+	}
+	degTagged := mpc.NewPart[armDeg](p)
+	for i := range arms {
+		deg, s := dist.Degrees(arms[i], b)
+		st = mpc.Seq(st, s)
+		tagged := mpc.Map(deg, func(kc mpc.KeyCount[int64]) armDeg {
+			return armDeg{b: relation.Value(kc.Key), arm: i, deg: kc.Count}
+		})
+		for sh, shard := range tagged.Shards {
+			degTagged.Shards[sh] = append(degTagged.Shards[sh], shard...)
+		}
+	}
+	grouped, s2 := mpc.GroupByKey(degTagged, func(ad armDeg) int64 { return int64(ad.b) })
+	st = mpc.Seq(st, s2)
+
+	// One permutation id per b (bases are local after grouping).
+	type bPerm struct {
+		b    relation.Value
+		perm int64
+	}
+	perms := mpc.MapShards(grouped, func(_ int, shard []armDeg) []bPerm {
+		var out []bPerm
+		byB := make(map[relation.Value][]armDeg)
+		for _, ad := range shard {
+			byB[ad.b] = append(byB[ad.b], ad)
+		}
+		for bv, ads := range byB {
+			sort.Slice(ads, func(i, j int) bool {
+				if ads[i].deg != ads[j].deg {
+					return ads[i].deg < ads[j].deg
+				}
+				return ads[i].arm < ads[j].arm
+			})
+			order := make([]int, len(ads))
+			for i, ad := range ads {
+				order[i] = ad.arm
+			}
+			out = append(out, bPerm{b: bv, perm: encodePerm(order, n)})
+		}
+		return out
+	})
+
+	// Distinct occurring permutations (≤ n!, usually far fewer).
+	distinctPerms, s3 := mpc.ReduceByKey(perms, func(bp bPerm) int64 { return bp.perm },
+		func(a, b bPerm) bPerm { return a })
+	permIDsPart, s4 := mpc.Gather(mpc.Map(distinctPerms, func(bp bPerm) int64 { return bp.perm }), 0)
+	permBcast, s5 := mpc.Broadcast(permIDsPart)
+	st = mpc.Seq(st, s3, s4, s5)
+	permIDs := append([]int64(nil), permBcast.Shards[0]...)
+	sort.Slice(permIDs, func(i, j int) bool { return permIDs[i] < permIDs[j] })
+
+	// Tag every arm row with its b's permutation class.
+	tagged := make([]mpc.Part[rowPerm[W]], n)
+	for i := range arms {
+		bCol := arms[i].Cols(b)[0]
+		looked, s := mpc.LookupJoin(arms[i].Part, perms,
+			func(r relation.Row[W]) int64 { return int64(r.Vals[bCol]) },
+			func(bp bPerm) int64 { return int64(bp.b) })
+		st = mpc.Seq(st, s)
+		tagged[i] = mpc.Map(looked, func(pr mpc.Pred[relation.Row[W], bPerm]) rowPerm[W] {
+			perm := int64(-1)
+			if pr.Found {
+				perm = pr.Y.perm
+			}
+			return rowPerm[W]{row: pr.X, perm: perm}
+		})
+	}
+
+	// Steps 2–3: per-permutation subqueries, each reduced to one matrix
+	// multiplication; results ⊕-merged at the end. The (constantly many)
+	// subqueries run on disjoint O(p)-server groups simultaneously, so
+	// their costs compose with Par, as in the paper's accounting.
+	var results []dist.Rel[W]
+	var classStats []mpc.Stats
+	for _, pid := range permIDs {
+		var cst mpc.Stats
+		order := decodePerm(pid, n)
+
+		// Interleave sorted arms into odd/even halves (1-indexed odds).
+		var oddIdx, evenIdx []int
+		for pos, armIdx := range order {
+			if pos%2 == 0 {
+				oddIdx = append(oddIdx, armIdx)
+			} else {
+				evenIdx = append(evenIdx, armIdx)
+			}
+		}
+
+		classArm := func(i int) dist.Rel[W] {
+			rows := mpc.Map(mpc.Filter(tagged[i], func(rp rowPerm[W]) bool { return rp.perm == pid }),
+				func(rp rowPerm[W]) relation.Row[W] { return rp.row })
+			return dist.Rel[W]{Schema: arms[i].Schema, Part: rows}
+		}
+
+		fold := func(idx []int) dist.Rel[W] {
+			acc := classArm(idx[0])
+			for _, i := range idx[1:] {
+				joined, _, s := twoway.Join(sr, acc, classArm(i))
+				cst = mpc.Seq(cst, s)
+				acc = dist.Reshape(joined, p)
+			}
+			return acc
+		}
+		rOdd := fold(oddIdx)
+		rEven := fold(evenIdx)
+
+		res, s, err := matmul.Compute(sr, matmul.Input[W]{R1: rOdd, R2: rEven, B: b},
+			matmul.Options{Est: opts.Est, Seed: opts.Seed ^ uint64(pid), SkipDangling: true})
+		if err != nil {
+			panic(err)
+		}
+		cst = mpc.Seq(cst, s)
+		classStats = append(classStats, cst)
+		results = append(results, dist.Reshape(dist.Reorder(res, outSchema), p))
+	}
+	st = mpc.Seq(st, mpc.Par(classStats...))
+	if len(results) == 0 {
+		return dist.Empty[W](outSchema, p), st
+	}
+
+	final, s6 := dist.UnionAgg(sr, results...)
+	return final, mpc.Seq(st, s6)
+}
+
+// rowPerm tags a row with its b value's permutation class.
+type rowPerm[W any] struct {
+	row  relation.Row[W]
+	perm int64
+}
+
+// encodePerm packs an arm order into an int64 (base-n digits; n ≤ 15).
+func encodePerm(order []int, n int) int64 {
+	if n > 15 {
+		panic("starquery: more than 15 arms unsupported")
+	}
+	var id int64
+	for i := len(order) - 1; i >= 0; i-- {
+		id = id*int64(n) + int64(order[i])
+	}
+	return id
+}
+
+// decodePerm inverts encodePerm.
+func decodePerm(id int64, n int) []int {
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		order[i] = int(id % int64(n))
+		id /= int64(n)
+	}
+	return order
+}

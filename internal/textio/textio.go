@@ -1,0 +1,161 @@
+// Package textio reads and writes query specs and relation data as plain
+// text, the interchange format between cmd/datagen and cmd/mpcrun:
+//
+//	dir/query.txt   rel <name> <attr> [<attr>]   (one line per relation)
+//	                output <attr> …              (one line; may be empty)
+//	dir/<name>.tsv  value … value weight         (tab-separated, one tuple
+//	                                              per line; # starts a comment)
+//
+// Annotations are int64 (the counting semiring); other semirings are
+// reachable through the library API.
+package textio
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/relation"
+)
+
+// WriteInstance writes the query spec and all relations into dir.
+func WriteInstance(dir string, q *hypergraph.Query, inst db.Instance[int64]) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var spec strings.Builder
+	for _, e := range q.Edges {
+		spec.WriteString("rel " + e.Name)
+		for _, a := range e.Attrs {
+			spec.WriteString(" " + string(a))
+		}
+		spec.WriteString("\n")
+	}
+	spec.WriteString("output")
+	for _, a := range q.Output {
+		spec.WriteString(" " + string(a))
+	}
+	spec.WriteString("\n")
+	if err := os.WriteFile(filepath.Join(dir, "query.txt"), []byte(spec.String()), 0o644); err != nil {
+		return err
+	}
+
+	for _, e := range q.Edges {
+		r := inst[e.Name]
+		f, err := os.Create(filepath.Join(dir, e.Name+".tsv"))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		fmt.Fprintf(w, "# %s(%s) weight\n", e.Name, joinAttrs(e.Attrs))
+		for _, row := range r.Rows {
+			for _, v := range row.Vals {
+				fmt.Fprintf(w, "%d\t", int64(v))
+			}
+			fmt.Fprintf(w, "%d\n", row.W)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadInstance loads a query spec and its relations from dir.
+func ReadInstance(dir string) (*hypergraph.Query, db.Instance[int64], error) {
+	specBytes, err := os.ReadFile(filepath.Join(dir, "query.txt"))
+	if err != nil {
+		return nil, nil, err
+	}
+	q := &hypergraph.Query{}
+	for ln, line := range strings.Split(string(specBytes), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "rel":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, nil, fmt.Errorf("textio: query.txt line %d: rel needs a name and 1–2 attributes", ln+1)
+			}
+			e := hypergraph.Edge{Name: fields[1]}
+			for _, a := range fields[2:] {
+				e.Attrs = append(e.Attrs, hypergraph.Attr(a))
+			}
+			q.Edges = append(q.Edges, e)
+		case "output":
+			for _, a := range fields[1:] {
+				q.Output = append(q.Output, hypergraph.Attr(a))
+			}
+		default:
+			return nil, nil, fmt.Errorf("textio: query.txt line %d: unknown directive %q", ln+1, fields[0])
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	inst := make(db.Instance[int64], len(q.Edges))
+	for _, e := range q.Edges {
+		r := relation.New[int64](e.Attrs...)
+		f, err := os.Open(filepath.Join(dir, e.Name+".tsv"))
+		if err != nil {
+			return nil, nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != len(e.Attrs)+1 {
+				f.Close()
+				return nil, nil, fmt.Errorf("textio: %s.tsv line %d: want %d values + weight, got %d fields",
+					e.Name, lineNo, len(e.Attrs), len(fields))
+			}
+			vals := make([]relation.Value, len(e.Attrs))
+			for i := range vals {
+				x, err := strconv.ParseInt(fields[i], 10, 64)
+				if err != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("textio: %s.tsv line %d: %v", e.Name, lineNo, err)
+				}
+				vals[i] = relation.Value(x)
+			}
+			w, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("textio: %s.tsv line %d: %v", e.Name, lineNo, err)
+			}
+			r.AppendRow(relation.Row[int64]{Vals: vals, W: w})
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		f.Close()
+		inst[e.Name] = r
+	}
+	return q, inst, nil
+}
+
+func joinAttrs(attrs []hypergraph.Attr) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = string(a)
+	}
+	return strings.Join(parts, ", ")
+}

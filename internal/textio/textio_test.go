@@ -1,0 +1,82 @@
+package textio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/workload"
+)
+
+func TestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	q := hypergraph.LineQuery(3)
+	inst, _ := workload.Blocks(q, 5, 2)
+	if err := WriteInstance(dir, q, inst); err != nil {
+		t.Fatal(err)
+	}
+	q2, inst2, err := ReadInstance(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.Edges) != len(q.Edges) || len(q2.Output) != len(q.Output) {
+		t.Fatalf("query mismatch: %+v", q2)
+	}
+	sr := semiring.IntSumProd{}
+	for _, e := range q.Edges {
+		if !relation.Equal[int64](sr, func(a, b int64) bool { return a == b }, inst[e.Name], inst2[e.Name]) {
+			t.Fatalf("relation %s mismatch", e.Name)
+		}
+	}
+}
+
+func TestRoundtripUnaryAndScalar(t *testing.T) {
+	dir := t.TempDir()
+	q := hypergraph.NewQuery([]hypergraph.Edge{
+		hypergraph.Bin("R", "A", "B"), hypergraph.Un("U", "B"),
+	}) // empty output: scalar aggregate
+	r := relation.New[int64]("A", "B")
+	r.Append(3, -5, 7) // negative values must survive
+	u := relation.New[int64]("B")
+	u.Append(2, 7)
+	inst := map[string]*relation.Relation[int64]{"R": r, "U": u}
+	if err := WriteInstance(dir, q, inst); err != nil {
+		t.Fatal(err)
+	}
+	q2, inst2, err := ReadInstance(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.Output) != 0 {
+		t.Fatalf("output = %v", q2.Output)
+	}
+	if inst2["R"].Rows[0].Vals[0] != -5 || inst2["U"].Rows[0].W != 2 {
+		t.Fatalf("values corrupted: %v %v", inst2["R"].Rows, inst2["U"].Rows)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := ReadInstance(dir); err == nil {
+		t.Fatal("missing query.txt must fail")
+	}
+	os.WriteFile(filepath.Join(dir, "query.txt"), []byte("rel R A B\noutput A\n"), 0o644)
+	if _, _, err := ReadInstance(dir); err == nil {
+		t.Fatal("missing tsv must fail")
+	}
+	os.WriteFile(filepath.Join(dir, "R.tsv"), []byte("1\t2\n"), 0o644) // missing weight
+	if _, _, err := ReadInstance(dir); err == nil {
+		t.Fatal("short row must fail")
+	}
+	os.WriteFile(filepath.Join(dir, "R.tsv"), []byte("1\tx\t1\n"), 0o644)
+	if _, _, err := ReadInstance(dir); err == nil {
+		t.Fatal("non-numeric must fail")
+	}
+	os.WriteFile(filepath.Join(dir, "query.txt"), []byte("bogus line\n"), 0o644)
+	if _, _, err := ReadInstance(dir); err == nil {
+		t.Fatal("unknown directive must fail")
+	}
+}

@@ -1,0 +1,249 @@
+// Package twoway implements the worst-case optimal MPC algorithm for a
+// two-way natural join (Beame–Koutris–Suciu; Hu–Tao–Yi), the primitive the
+// distributed Yannakakis baseline plugs in (§1.4 of Hu–Yi PODS'20).
+//
+// Given R and S with join-key degree vectors d_R, d_S, the full join has
+// OUT_f = Σ_k d_R(k)·d_S(k) results. The algorithm computes the join in
+// O(1) rounds with load O((|R|+|S|)/p + √(OUT_f/p)):
+//
+//   - keys with d_R, d_S ≤ L are packed whole into groups of total degree
+//     O(L) (parallel-packing) and joined locally on one server per group;
+//   - a heavy key k is given a ⌈d_R/L⌉ × ⌈d_S/L⌉ grid of servers; its
+//     R-tuples are split across grid rows and replicated across columns
+//     (and symmetrically for S), so every cell holds O(L) tuples and the
+//     cells tile all d_R·d_S output pairs.
+//
+// The join output is produced in place (each server holds the results its
+// tuples generate) and is NOT rebalanced: in the MPC model outputs are
+// emitted, not shuffled, and downstream operators (aggregation) pay their
+// own shuffle cost — which is exactly how the distributed Yannakakis
+// baseline ends up with its O(J/p) term.
+package twoway
+
+import (
+	"math"
+
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+// sideRow tags a row with the relation it came from so both inputs travel
+// in a single exchange round (loads on shared destinations must add up).
+type sideRow[W any] struct {
+	left bool
+	row  relation.Row[W]
+}
+
+// keyStat carries per-join-key degrees.
+type keyStat struct {
+	key    string
+	dr, ds int64
+}
+
+// gridAssign is a heavy key's server block: servers [offset, offset+ar*bs).
+type gridAssign struct {
+	key    string
+	offset int
+	ar, bs int
+}
+
+// binAssign is a light key's packed group.
+type binAssign struct {
+	key string
+	bin int
+}
+
+// Join computes the full natural join r ⋈ s on their shared attributes,
+// annotations ⊗-multiplied. The result spans O(p) virtual servers and is
+// left where it is produced. Returns the result, the exact full-join size,
+// and the metered cost.
+func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64, mpc.Stats) {
+	shared := dist.SharedAttrs(r, s)
+	if len(shared) == 0 {
+		panic("twoway: relations share no attributes")
+	}
+	p := r.P()
+	rKey := r.Key(shared...)
+	sKey := s.Key(shared...)
+
+	// Degree statistics per side.
+	dr, st1 := mpc.CountByKey(r.Part, rKey)
+	ds, st2 := mpc.CountByKey(s.Part, sKey)
+
+	// Per-key (d_R, d_S) for keys present on both sides.
+	pairs, st3 := mpc.LookupJoin(dr, ds,
+		func(kc mpc.KeyCount[string]) string { return kc.Key },
+		func(kc mpc.KeyCount[string]) string { return kc.Key })
+	stats := mpc.Map(mpc.Filter(pairs, func(pr mpc.Pred[mpc.KeyCount[string], mpc.KeyCount[string]]) bool {
+		return pr.Found
+	}), func(pr mpc.Pred[mpc.KeyCount[string], mpc.KeyCount[string]]) keyStat {
+		return keyStat{key: pr.X.Key, dr: pr.X.Count, ds: pr.Y.Count}
+	})
+
+	// OUT_f = Σ d_R·d_S via a coordinator round.
+	outf, st4 := sumInt64(mpc.Map(stats, func(ks keyStat) int64 { return ks.dr * ks.ds }))
+
+	// Load target.
+	n := int64(r.N() + s.N())
+	load := n / int64(p)
+	if l := int64(math.Ceil(math.Sqrt(float64(outf) / float64(p)))); l > load {
+		load = l
+	}
+	if load < 1 {
+		load = 1
+	}
+
+	// Split stats into heavy and light keys.
+	heavy := mpc.Filter(stats, func(ks keyStat) bool { return ks.dr > load || ks.ds > load })
+	light := mpc.Filter(stats, func(ks keyStat) bool { return ks.dr <= load && ks.ds <= load })
+
+	// Heavy grid assignment at the coordinator (O(p) heavy keys).
+	heavyGathered, st5 := mpc.Gather(heavy, 0)
+	var grids []gridAssign
+	heavyServers := 0
+	for _, ks := range heavyGathered.Shards[0] {
+		ar := int((ks.dr + load - 1) / load)
+		bs := int((ks.ds + load - 1) / load)
+		grids = append(grids, gridAssign{key: ks.key, offset: heavyServers, ar: ar, bs: bs})
+		heavyServers += ar * bs
+	}
+	gridPart := mpc.NewPart[gridAssign](p)
+	gridPart.Shards[0] = grids
+	gridBcast, st6 := mpc.Broadcast(gridPart)
+
+	// Light bin assignment by parallel-packing with capacity 2L (each key
+	// weighs d_R + d_S ≤ 2L).
+	binned, nBins, st7 := mpc.ParallelPack(light, func(ks keyStat) int64 { return ks.dr + ks.ds }, 2*load)
+	binTable := mpc.Map(binned, func(b mpc.Binned[keyStat]) binAssign {
+		return binAssign{key: b.X.key, bin: b.Bin}
+	})
+
+	// Tell every light tuple its bin via multi-search lookups.
+	rBins, st8 := mpc.LookupJoin(r.Part, binTable, rKey, func(b binAssign) string { return b.key })
+	sBins, st9 := mpc.LookupJoin(s.Part, binTable, sKey, func(b binAssign) string { return b.key })
+
+	// One exchange routes both relations onto the heavy grids and light
+	// bins. Destination space: [0, heavyServers) grids, then bins.
+	pDst := heavyServers + nBins
+	if pDst == 0 {
+		pDst = 1
+	}
+	out := make([][][]sideRow[W], p)
+	for src := range out {
+		out[src] = make([][]sideRow[W], pDst)
+	}
+	gridByKey := make(map[string]gridAssign, len(gridBcast.Shards[0]))
+	// Every server sees the same broadcast table; use shard 0's copy for
+	// the routing closure (identical content).
+	for _, g := range gridBcast.Shards[0] {
+		gridByKey[g.key] = g
+	}
+	rowRR := make(map[string]int) // per-key round-robin across grid rows
+	colRR := make(map[string]int)
+	for src := 0; src < p; src++ {
+		for _, pr := range rBins.Shards[src] {
+			row := pr.X
+			k := rKey(row)
+			if g, isHeavy := gridByKey[k]; isHeavy {
+				i := rowRR[k] % g.ar
+				rowRR[k]++
+				for j := 0; j < g.bs; j++ {
+					out[src][g.offset+i*g.bs+j] = append(out[src][g.offset+i*g.bs+j], sideRow[W]{left: true, row: row})
+				}
+				continue
+			}
+			if pr.Found {
+				out[src][heavyServers+pr.Y.bin] = append(out[src][heavyServers+pr.Y.bin], sideRow[W]{left: true, row: row})
+			}
+			// Keys absent from the other side are dropped: they cannot
+			// produce join results.
+		}
+		for _, pr := range sBins.Shards[src] {
+			row := pr.X
+			k := sKey(row)
+			if g, isHeavy := gridByKey[k]; isHeavy {
+				j := colRR[k] % g.bs
+				colRR[k]++
+				for i := 0; i < g.ar; i++ {
+					out[src][g.offset+i*g.bs+j] = append(out[src][g.offset+i*g.bs+j], sideRow[W]{left: false, row: row})
+				}
+				continue
+			}
+			if pr.Found {
+				out[src][heavyServers+pr.Y.bin] = append(out[src][heavyServers+pr.Y.bin], sideRow[W]{left: false, row: row})
+			}
+		}
+	}
+	routed, st10 := mpc.ExchangeTo(pDst, out)
+
+	// Local joins.
+	outSchema := joinSchema(r.Schema, s.Schema)
+	result := mpc.MapShards(routed, func(_ int, shard []sideRow[W]) []relation.Row[W] {
+		left := relation.New[W](r.Schema...)
+		right := relation.New[W](s.Schema...)
+		for _, sr2 := range shard {
+			if sr2.left {
+				left.AppendRow(sr2.row)
+			} else {
+				right.AppendRow(sr2.row)
+			}
+		}
+		return relation.Join(sr, left, right).Rows
+	})
+
+	st := mpc.Seq(st1, st2, st3, st4, st5, st6, st7, st8, st9, st10)
+	return dist.Rel[W]{Schema: outSchema, Part: result}, outf, st
+}
+
+// JoinAgg computes π̂_attrs(r ⋈ s): the two-way join followed by the
+// distributed ⊕-aggregation onto attrs. This is one Yannakakis fold step;
+// its load is O((|r|+|s|)/p + √(OUT_f/p) + J/p) where J = OUT_f is the
+// intermediate join size — the aggregation's shuffle of J rows is the
+// dominant term, exactly as in the distributed Yannakakis analysis.
+func JoinAgg[W any](sr semiring.Semiring[W], r, s dist.Rel[W], attrs ...relation.Attr) (dist.Rel[W], mpc.Stats) {
+	joined, _, st := Join(sr, r, s)
+	agg, st2 := dist.ProjectAgg(sr, joined, attrs...)
+	return agg, mpc.Seq(st, st2)
+}
+
+func joinSchema(a, b []relation.Attr) []relation.Attr {
+	out := append([]relation.Attr(nil), a...)
+	for _, x := range b {
+		dup := false
+		for _, y := range a {
+			if x == y {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// sumInt64 sums a distributed set of int64 via the coordinator and returns
+// the total (broadcast back so every server knows it).
+func sumInt64(pt mpc.Part[int64]) (int64, mpc.Stats) {
+	p := pt.P()
+	local := mpc.NewPart[int64](p)
+	for s, shard := range pt.Shards {
+		var t int64
+		for _, x := range shard {
+			t += x
+		}
+		local.Shards[s] = []int64{t}
+	}
+	g, st1 := mpc.Gather(local, 0)
+	var total int64
+	for _, x := range g.Shards[0] {
+		total += x
+	}
+	tot := mpc.NewPart[int64](p)
+	tot.Shards[0] = []int64{total}
+	_, st2 := mpc.Broadcast(tot)
+	return total, mpc.Seq(st1, st2)
+}

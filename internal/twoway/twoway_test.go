@@ -1,0 +1,148 @@
+package twoway
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+var intSR = semiring.IntSumProd{}
+
+func intEq(a, b int64) bool { return a == b }
+
+func randomRel(rng *rand.Rand, schema []relation.Attr, n, dom int) *relation.Relation[int64] {
+	r := relation.New[int64](schema...)
+	for i := 0; i < n; i++ {
+		vals := make([]relation.Value, len(schema))
+		for j := range vals {
+			vals[j] = relation.Value(rng.Intn(dom))
+		}
+		r.AppendRow(relation.Row[int64]{Vals: vals, W: int64(rng.Intn(5) + 1)})
+	}
+	return r
+}
+
+func TestJoinMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := rng.Intn(10) + 2
+		r := randomRel(rng, []relation.Attr{"A", "B"}, rng.Intn(150)+1, 8)
+		s := randomRel(rng, []relation.Attr{"B", "C"}, rng.Intn(150)+1, 8)
+		got, outf, _ := Join[int64](intSR, dist.FromRelation(r, p), dist.FromRelation(s, p))
+		want := relation.Join[int64](intSR, r, s)
+		if int(outf) != want.Len() {
+			return false
+		}
+		return relation.Equal[int64](intSR, intEq, dist.ToRelation(got), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinAggMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := rng.Intn(8) + 2
+		r := randomRel(rng, []relation.Attr{"A", "B"}, rng.Intn(120)+1, 6)
+		s := randomRel(rng, []relation.Attr{"B", "C"}, rng.Intn(120)+1, 6)
+		got, _ := JoinAgg[int64](intSR, dist.FromRelation(r, p), dist.FromRelation(s, p), "A", "C")
+		want := relation.ProjectAgg[int64](intSR, relation.Join[int64](intSR, r, s), "A", "C")
+		return relation.Equal[int64](intSR, intEq, dist.ToRelation(got), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinEmptySides(t *testing.T) {
+	r := relation.New[int64]("A", "B")
+	s := relation.New[int64]("B", "C")
+	s.Append(1, 1, 2)
+	got, outf, _ := Join[int64](intSR, dist.FromRelation(r, 4), dist.FromRelation(s, 4))
+	if got.N() != 0 || outf != 0 {
+		t.Fatalf("empty join produced %d rows (outf %d)", got.N(), outf)
+	}
+}
+
+func TestJoinSingleHotKeyLoad(t *testing.T) {
+	// All tuples share one join key: OUT_f = n², so the optimal load is
+	// Θ(√(n²/p)) = n/√p, far below the naive n (one server gets everything)
+	// and below the output-shuffle bound n²/p for small p.
+	const n, p = 2000, 16
+	r := relation.New[int64]("A", "B")
+	s := relation.New[int64]("B", "C")
+	for i := 0; i < n; i++ {
+		r.Append(1, relation.Value(i), 0)
+		s.Append(1, 0, relation.Value(i))
+	}
+	got, outf, st := Join[int64](intSR, dist.FromRelation(r, p), dist.FromRelation(s, p))
+	if outf != int64(n)*int64(n) {
+		t.Fatalf("outf = %d", outf)
+	}
+	if got.N() != n*n {
+		t.Fatalf("result rows = %d", got.N())
+	}
+	bound := 6 * int(math.Sqrt(float64(n)*float64(n)/float64(p)))
+	if st.MaxLoad > bound {
+		t.Fatalf("hot-key join load %d exceeds ~6·√(OUT_f/p) = %d", st.MaxLoad, bound)
+	}
+}
+
+func TestJoinSkewMixture(t *testing.T) {
+	// A mix of one heavy key and many light keys must stay correct.
+	rng := rand.New(rand.NewSource(9))
+	r := relation.New[int64]("A", "B")
+	s := relation.New[int64]("B", "C")
+	for i := 0; i < 500; i++ {
+		r.Append(int64(rng.Intn(3)+1), relation.Value(i), 0) // heavy b=0
+		s.Append(int64(rng.Intn(3)+1), 0, relation.Value(i))
+	}
+	for i := 0; i < 500; i++ {
+		b := relation.Value(rng.Intn(200) + 1)
+		r.Append(1, relation.Value(i+1000), b)
+		s.Append(1, b, relation.Value(i+1000))
+	}
+	const p = 8
+	got, _, _ := Join[int64](intSR, dist.FromRelation(r, p), dist.FromRelation(s, p))
+	want := relation.Join[int64](intSR, r, s)
+	if !relation.Equal[int64](intSR, intEq, dist.ToRelation(got), want) {
+		t.Fatal("skew mixture join mismatch")
+	}
+}
+
+func TestJoinLinearLoadOnLightData(t *testing.T) {
+	// Uniform light data: load should be O(N/p).
+	rng := rand.New(rand.NewSource(10))
+	const n, p = 8000, 16
+	r := relation.New[int64]("A", "B")
+	s := relation.New[int64]("B", "C")
+	for i := 0; i < n; i++ {
+		r.Append(1, relation.Value(rng.Intn(n)), relation.Value(rng.Intn(n)))
+		s.Append(1, relation.Value(rng.Intn(n)), relation.Value(rng.Intn(n)))
+	}
+	_, _, st := Join[int64](intSR, dist.FromRelation(r, p), dist.FromRelation(s, p))
+	if st.MaxLoad > 8*(2*n)/p+p*p {
+		t.Fatalf("light join load %d not O(N/p) (N/p = %d)", st.MaxLoad, 2*n/p)
+	}
+}
+
+func TestJoinConstantRounds(t *testing.T) {
+	// Rounds must not depend on data size.
+	rounds := map[int]int{}
+	for _, n := range []int{100, 1000, 4000} {
+		rng := rand.New(rand.NewSource(11))
+		r := randomRel(rng, []relation.Attr{"A", "B"}, n, 50)
+		s := randomRel(rng, []relation.Attr{"B", "C"}, n, 50)
+		_, _, st := Join[int64](intSR, dist.FromRelation(r, 8), dist.FromRelation(s, 8))
+		rounds[st.Rounds] = n
+	}
+	if len(rounds) != 1 {
+		t.Fatalf("rounds vary with data size: %v", rounds)
+	}
+}

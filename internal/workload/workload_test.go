@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/refengine"
+	"mpcjoin/internal/semiring"
+)
+
+var intSR = semiring.IntSumProd{}
+
+func TestBlocksOutExactMatMul(t *testing.T) {
+	inst, meta := MatMulBlocks(8, 3, 5)
+	q := hypergraph.MatMulQuery()
+	if err := db.Validate(q, inst); err != nil {
+		t.Fatal(err)
+	}
+	out, err := refengine.CountOutput[int64](intSR, q, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(out) != meta.Out || meta.Out != 8*3*5 {
+		t.Fatalf("OUT = %d, meta %d, want %d", out, meta.Out, 8*3*5)
+	}
+	if meta.PerEdge["R1"] != 8*3 || meta.PerEdge["R2"] != 8*5 {
+		t.Fatalf("sizes = %v", meta.PerEdge)
+	}
+}
+
+func TestBlocksOutExactAcrossShapes(t *testing.T) {
+	queries := []*hypergraph.Query{
+		hypergraph.LineQuery(3),
+		hypergraph.StarQuery(3),
+		hypergraph.Fig3Twig(),
+	}
+	for _, q := range queries {
+		inst, meta := Blocks(q, 4, 2)
+		out, err := refengine.CountOutput[int64](intSR, q, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(out) != meta.Out {
+			t.Fatalf("%v: OUT = %d, meta %d", q.Output, out, meta.Out)
+		}
+		want := int64(4)
+		for range q.Output {
+			want *= 2
+		}
+		if meta.Out != want {
+			t.Fatalf("%v: meta.Out = %d, want %d", q.Output, meta.Out, want)
+		}
+	}
+}
+
+func TestFanForOut(t *testing.T) {
+	q := hypergraph.MatMulQuery()
+	fan := FanForOut(q, 10, 4000) // fan² = 400 → fan = 20
+	if fan != 20 {
+		t.Fatalf("fan = %d", fan)
+	}
+	if f := FanForOut(q, 1000, 10); f != 1 {
+		t.Fatalf("tiny out fan = %d", f)
+	}
+}
+
+func TestUniformAndZipf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := hypergraph.LineQuery(3)
+	inst, meta := Uniform(q, 200, 50, rng)
+	if meta.N == 0 || meta.Out != -1 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if err := db.Validate(q, inst); err != nil {
+		t.Fatal(err)
+	}
+
+	zinst, zmeta := Zipf(q, 500, 100, 1.5, rng)
+	if err := db.Validate(q, zinst); err != nil {
+		t.Fatal(err)
+	}
+	// Zipf must produce at least one genuinely heavy value.
+	deg := map[int64]int{}
+	for _, row := range zinst["R1"].Rows {
+		deg[int64(row.Vals[1])] += int(row.W)
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 50 {
+		t.Fatalf("Zipf skew too weak: max degree %d", max)
+	}
+	_ = zmeta
+}
+
+func TestMatMulZipfAndUnequal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := hypergraph.MatMulQuery()
+	inst, _ := MatMulZipf(300, 50, 1.8, rng)
+	if err := db.Validate(q, inst); err != nil {
+		t.Fatal(err)
+	}
+	inst2, meta2 := MatMulUnequal(10, 1000, 5, rng)
+	if err := db.Validate(q, inst2); err != nil {
+		t.Fatal(err)
+	}
+	if meta2.PerEdge["R1"] >= meta2.PerEdge["R2"] {
+		t.Fatalf("unequal sizes wrong: %v", meta2.PerEdge)
+	}
+}
+
+func TestInjectDanglingPreservesAnswer(t *testing.T) {
+	q := hypergraph.MatMulQuery()
+	inst, _ := MatMulBlocks(5, 2, 3)
+	noisy := InjectDangling(inst, int64(1), 0.5)
+	if db.InputSize(noisy) <= db.InputSize(inst) {
+		t.Fatal("no dangling injected")
+	}
+	a, _ := refengine.BruteForce[int64](intSR, q, inst)
+	b, _ := refengine.BruteForce[int64](intSR, q, noisy)
+	if a.Len() != b.Len() {
+		t.Fatalf("dangling changed answer: %d vs %d", a.Len(), b.Len())
+	}
+}

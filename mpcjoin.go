@@ -1,0 +1,305 @@
+// Package mpcjoin computes join-aggregate queries over annotated relations
+// on a simulated Massively Parallel Computation (MPC) cluster, implementing
+// the algorithms of Hu and Yi, "Parallel Algorithms for Sparse Matrix
+// Multiplication and Join-Aggregate Queries" (PODS 2020).
+//
+// A query is a tree of binary relations with an arbitrary set of output
+// (GROUP BY) attributes; every tuple carries an annotation from a
+// commutative semiring, annotations of joined tuples are ⊗-multiplied, and
+// annotations of join results in the same output group are ⊕-added. Sparse
+// matrix multiplication is the special case ∑_B R1(A,B) ⋈ R2(B,C).
+//
+// The engine classifies each query (matrix multiplication, line, star,
+// star-like, general tree, or free-connex) and runs the matching algorithm
+// from the paper; the distributed Yannakakis baseline is available for
+// comparison. Execution is simulated on p servers with every message
+// metered, and results report the model's cost measures — rounds and load
+// (maximum per-server incoming communication per round) — alongside the
+// answer.
+//
+// Quick start:
+//
+//	q := mpcjoin.NewQuery().
+//		Relation("R1", "A", "B").
+//		Relation("R2", "B", "C").
+//		GroupBy("A", "C")
+//
+//	data := mpcjoin.Instance[int64]{
+//		"R1": mpcjoin.NewRelation[int64]("A", "B"),
+//		"R2": mpcjoin.NewRelation[int64]("B", "C"),
+//	}
+//	data["R1"].Add(2, 0, 7) // a=0, b=7, annotation 2
+//	data["R2"].Add(3, 7, 1) // b=7, c=1, annotation 3
+//
+//	res, err := mpcjoin.Execute[int64](mpcjoin.Ints(), q, data,
+//		mpcjoin.WithServers(16))
+//	// res.Rows == [{Vals:[0 1] Annot:6}], res.Stats.MaxLoad == …
+package mpcjoin
+
+import (
+	"fmt"
+	"sort"
+
+	"mpcjoin/internal/core"
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/estimate"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+// Value is a domain value; map your native domains onto int64.
+type Value = relation.Value
+
+// Semiring is the annotation algebra interface; see the semiring
+// constructors in this package for ready-made instances.
+type Semiring[W any] = semiring.Semiring[W]
+
+// Stats is the metered MPC cost of an execution: Rounds, MaxLoad (the
+// model's load L — maximum units received by any server in any round) and
+// TotalComm.
+type Stats = mpc.Stats
+
+// ---------------------------------------------------------------------------
+// Query construction
+// ---------------------------------------------------------------------------
+
+// Query is a join-aggregate query under construction. Build with NewQuery,
+// then chain Relation and GroupBy. Errors surface at Execute.
+type Query struct {
+	q   *hypergraph.Query
+	err error
+}
+
+// NewQuery returns an empty query.
+func NewQuery() *Query {
+	return &Query{q: &hypergraph.Query{}}
+}
+
+// Relation declares a relation symbol over one or two attributes.
+func (q *Query) Relation(name string, attrs ...string) *Query {
+	if q.err != nil {
+		return q
+	}
+	if len(attrs) < 1 || len(attrs) > 2 {
+		q.err = fmt.Errorf("mpcjoin: relation %q must have 1 or 2 attributes, got %d", name, len(attrs))
+		return q
+	}
+	as := make([]hypergraph.Attr, len(attrs))
+	for i, a := range attrs {
+		as[i] = hypergraph.Attr(a)
+	}
+	q.q.Edges = append(q.q.Edges, hypergraph.Edge{Name: name, Attrs: as})
+	return q
+}
+
+// GroupBy declares the output attributes y; non-output attributes are
+// ⊕-aggregated away. Calling GroupBy with no attributes (or never) yields
+// a single scalar aggregate.
+func (q *Query) GroupBy(attrs ...string) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.q.Output = nil
+	for _, a := range attrs {
+		q.q.Output = append(q.q.Output, hypergraph.Attr(a))
+	}
+	return q
+}
+
+// Validate checks the query is a well-formed tree query.
+func (q *Query) Validate() error {
+	if q.err != nil {
+		return q.err
+	}
+	return q.q.Validate()
+}
+
+// Class returns the query's structural class as a string
+// ("matmul", "line", "star", "star-like", "tree", "free-connex").
+func (q *Query) Class() (string, error) {
+	if err := q.Validate(); err != nil {
+		return "", err
+	}
+	return q.q.Classify().String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Data
+// ---------------------------------------------------------------------------
+
+// Relation is an annotated relation: a multiset of tuples, each carrying a
+// semiring annotation.
+type Relation[W any] struct {
+	rel *relation.Relation[W]
+}
+
+// NewRelation returns an empty relation with the given attribute schema.
+func NewRelation[W any](attrs ...string) *Relation[W] {
+	as := make([]relation.Attr, len(attrs))
+	for i, a := range attrs {
+		as[i] = relation.Attr(a)
+	}
+	return &Relation[W]{rel: relation.New[W](as...)}
+}
+
+// Add appends a tuple with the given annotation.
+func (r *Relation[W]) Add(annot W, vals ...Value) *Relation[W] {
+	r.rel.Append(annot, vals...)
+	return r
+}
+
+// Len returns the number of tuples.
+func (r *Relation[W]) Len() int { return r.rel.Len() }
+
+// Attrs returns the schema.
+func (r *Relation[W]) Attrs() []string {
+	out := make([]string, r.rel.Arity())
+	for i, a := range r.rel.Schema() {
+		out[i] = string(a)
+	}
+	return out
+}
+
+// Instance binds relation symbols to relations.
+type Instance[W any] map[string]*Relation[W]
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+// Row is one output tuple.
+type Row[W any] struct {
+	// Vals holds the output attribute values, in Result.Attrs order.
+	Vals []Value
+	// Annot is the ⊕-aggregated annotation of the group.
+	Annot W
+}
+
+// Result is a query answer plus its metered cost and plan information.
+type Result[W any] struct {
+	// Attrs is the output schema.
+	Attrs []string
+	// Rows are the output tuples (sorted lexicographically by Vals).
+	Rows []Row[W]
+	// Stats is the metered MPC cost.
+	Stats Stats
+	// Class is the query's structural class.
+	Class string
+	// Engine is the algorithm that ran ("matmul", "line", "star",
+	// "star-like", "tree" or "yannakakis").
+	Engine string
+}
+
+// Option configures Execute.
+type Option func(*core.Options)
+
+// WithServers sets the simulated cluster size p (default 16).
+func WithServers(p int) Option {
+	return func(o *core.Options) { o.Servers = p }
+}
+
+// WithBaseline forces the distributed Yannakakis baseline.
+func WithBaseline() Option {
+	return func(o *core.Options) { o.Strategy = core.StrategyYannakakis }
+}
+
+// WithTreeEngine forces the general §7 tree engine.
+func WithTreeEngine() Option {
+	return func(o *core.Options) { o.Strategy = core.StrategyTree }
+}
+
+// WithSeed fixes the randomness seed (hash partitioning, estimators);
+// executions are fully reproducible for a given seed.
+func WithSeed(seed uint64) Option {
+	return func(o *core.Options) { o.Seed = seed }
+}
+
+// WithEstimator sets the §2.2 estimator's sketch size and repetition
+// count; zero values keep the defaults.
+func WithEstimator(k, reps int) Option {
+	return func(o *core.Options) { o.Est = estimate.Params{K: k, Reps: reps, Seed: o.Seed + 0xabc} }
+}
+
+// WithOutOracle supplies the exact output size to the matmul and line
+// engines instead of the §2.2 estimate (experiment support).
+func WithOutOracle(out int64) Option {
+	return func(o *core.Options) { o.OutOracle = out }
+}
+
+// Execute runs the query over the instance under the semiring and returns
+// the answer with its metered MPC cost.
+func Execute[W any](sr Semiring[W], q *Query, data Instance[W], opts ...Option) (*Result[W], error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	inst := make(db.Instance[W], len(data))
+	for name, r := range data {
+		inst[name] = r.rel
+	}
+	pl, err := core.PlanQuery(q.q, o.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	rel, st, err := core.Execute(sr, q.q, inst, o)
+	if err != nil {
+		return nil, err
+	}
+	rel.SortRows()
+
+	res := &Result[W]{
+		Stats:  st,
+		Class:  pl.Class.String(),
+		Engine: pl.Engine,
+	}
+	for _, a := range rel.Schema() {
+		res.Attrs = append(res.Attrs, string(a))
+	}
+	for _, row := range rel.Rows {
+		res.Rows = append(res.Rows, Row[W]{Vals: append([]Value(nil), row.Vals...), Annot: row.W})
+	}
+	return res, nil
+}
+
+// Lookup returns the annotation of the output tuple with the given values
+// and whether it exists.
+func (r *Result[W]) Lookup(vals ...Value) (W, bool) {
+	i := sort.Search(len(r.Rows), func(i int) bool {
+		return !lessVals(r.Rows[i].Vals, vals)
+	})
+	if i < len(r.Rows) && equalVals(r.Rows[i].Vals, vals) {
+		return r.Rows[i].Annot, true
+	}
+	var zero W
+	return zero, false
+}
+
+func lessVals(a, b []Value) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func equalVals(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,208 @@
+package mpcjoin
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func matMulQuery() *Query {
+	return NewQuery().
+		Relation("R1", "A", "B").
+		Relation("R2", "B", "C").
+		GroupBy("A", "C")
+}
+
+func TestQuickstartMatMul(t *testing.T) {
+	q := matMulQuery()
+	data := Instance[int64]{
+		"R1": NewRelation[int64]("A", "B"),
+		"R2": NewRelation[int64]("B", "C"),
+	}
+	data["R1"].Add(2, 0, 7)
+	data["R1"].Add(5, 0, 8)
+	data["R2"].Add(3, 7, 1)
+	data["R2"].Add(7, 8, 1)
+
+	res, err := Execute[int64](Ints(), q, data, WithServers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != "matmul" || res.Engine != "matmul" {
+		t.Fatalf("class/engine = %s/%s", res.Class, res.Engine)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// (0,1) via b=7: 2·3=6; via b=8: 5·7=35. Total 41.
+	if got, ok := res.Lookup(0, 1); !ok || got != 41 {
+		t.Fatalf("Lookup(0,1) = %v, %v", got, ok)
+	}
+	if _, ok := res.Lookup(9, 9); ok {
+		t.Fatal("Lookup on absent tuple must fail")
+	}
+	if res.Stats.Rounds == 0 {
+		t.Fatal("no rounds metered")
+	}
+}
+
+func TestBaselineAgreesWithAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := NewQuery().
+		Relation("R1", "A1", "A2").
+		Relation("R2", "A2", "A3").
+		Relation("R3", "A3", "A4").
+		GroupBy("A1", "A4")
+	mk := func() Instance[int64] {
+		data := Instance[int64]{
+			"R1": NewRelation[int64]("A1", "A2"),
+			"R2": NewRelation[int64]("A2", "A3"),
+			"R3": NewRelation[int64]("A3", "A4"),
+		}
+		for i := 0; i < 80; i++ {
+			data["R1"].Add(1, Value(rng.Intn(10)), Value(rng.Intn(10)))
+			data["R2"].Add(1, Value(rng.Intn(10)), Value(rng.Intn(10)))
+			data["R3"].Add(1, Value(rng.Intn(10)), Value(rng.Intn(10)))
+		}
+		return data
+	}
+	data := mk()
+	auto, err := Execute[int64](Ints(), q, data, WithServers(6), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Execute[int64](Ints(), q, data, WithServers(6), WithBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Execute[int64](Ints(), q, data, WithServers(6), WithTreeEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Engine != "line" || base.Engine != "yannakakis" || tree.Engine != "tree" {
+		t.Fatalf("engines: %s %s %s", auto.Engine, base.Engine, tree.Engine)
+	}
+	if len(auto.Rows) != len(base.Rows) || len(auto.Rows) != len(tree.Rows) {
+		t.Fatalf("row counts diverge: %d %d %d", len(auto.Rows), len(base.Rows), len(tree.Rows))
+	}
+	for i := range auto.Rows {
+		if !equalVals(auto.Rows[i].Vals, base.Rows[i].Vals) || auto.Rows[i].Annot != base.Rows[i].Annot {
+			t.Fatalf("row %d: auto %v vs base %v", i, auto.Rows[i], base.Rows[i])
+		}
+		if !equalVals(auto.Rows[i].Vals, tree.Rows[i].Vals) || auto.Rows[i].Annot != tree.Rows[i].Annot {
+			t.Fatalf("row %d: auto %v vs tree %v", i, auto.Rows[i], tree.Rows[i])
+		}
+	}
+}
+
+func TestSemiringConstructors(t *testing.T) {
+	if IsIdempotent(Ints()) {
+		t.Fatal("Ints must not be idempotent")
+	}
+	for _, s := range []any{Bools(), MinPlus(), MaxPlus(), MaxMin(), Why(), Security()} {
+		if !IsIdempotent(s) {
+			t.Fatalf("%T must be idempotent", s)
+		}
+	}
+	if MinPlus().Add(MinPlusInf, 5) != 5 {
+		t.Fatal("MinPlusInf broken")
+	}
+	if MaxPlus().Add(MaxPlusNegInf, 5) != 5 {
+		t.Fatal("MaxPlusNegInf broken")
+	}
+}
+
+func TestProvenanceEndToEnd(t *testing.T) {
+	q := matMulQuery()
+	data := Instance[Provenance]{
+		"R1": NewRelation[Provenance]("A", "B"),
+		"R2": NewRelation[Provenance]("B", "C"),
+	}
+	data["R1"].Add(WhyOf(1), 0, 7)
+	data["R1"].Add(WhyOf(2), 0, 8)
+	data["R2"].Add(WhyOf(3), 7, 1)
+	data["R2"].Add(WhyOf(4), 8, 1)
+
+	res, err := Execute[Provenance](Why(), q, data, WithServers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := res.Lookup(0, 1)
+	if !ok {
+		t.Fatal("missing output")
+	}
+	// Two derivations: {1,3} and {2,4}.
+	want := Why().Add(
+		Why().Mul(WhyOf(1), WhyOf(3)),
+		Why().Mul(WhyOf(2), WhyOf(4)))
+	if !Why().Equal(got, want) {
+		t.Fatalf("provenance = %v, want %v", got, want)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	if err := NewQuery().Relation("R", "A", "B", "C").Validate(); err == nil {
+		t.Fatal("arity-3 relation must fail")
+	}
+	if err := NewQuery().Validate(); err == nil {
+		t.Fatal("empty query must fail")
+	}
+	q := NewQuery().Relation("R", "A", "B").GroupBy("Z")
+	if _, err := Execute[int64](Ints(), q, Instance[int64]{"R": NewRelation[int64]("A", "B")}); err == nil {
+		t.Fatal("unknown output attr must fail")
+	}
+}
+
+func TestClassReporting(t *testing.T) {
+	cases := []struct {
+		q    *Query
+		want string
+	}{
+		{matMulQuery(), "matmul"},
+		{NewQuery().Relation("R1", "A1", "A2").Relation("R2", "A2", "A3").
+			Relation("R3", "A3", "A4").GroupBy("A1", "A4"), "line"},
+		{NewQuery().Relation("R1", "A1", "B").Relation("R2", "A2", "B").
+			Relation("R3", "A3", "B").GroupBy("A1", "A2", "A3"), "star"},
+		{NewQuery().Relation("R1", "A", "B").Relation("R2", "B", "C").
+			GroupBy("A", "B", "C"), "free-connex"},
+	}
+	for _, c := range cases {
+		got, err := c.q.Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("class = %s, want %s", got, c.want)
+		}
+	}
+}
+
+func TestScalarAggregate(t *testing.T) {
+	// COUNT of full join via no GroupBy.
+	q := NewQuery().Relation("R1", "A", "B").Relation("R2", "B", "C")
+	data := Instance[int64]{
+		"R1": NewRelation[int64]("A", "B"),
+		"R2": NewRelation[int64]("B", "C"),
+	}
+	for i := 0; i < 5; i++ {
+		data["R1"].Add(1, Value(i), 0)
+		data["R2"].Add(1, 0, Value(i))
+	}
+	res, err := Execute[int64](Ints(), q, data, WithServers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Annot != 25 {
+		t.Fatalf("scalar = %v", res.Rows)
+	}
+}
+
+func TestRelationAccessors(t *testing.T) {
+	r := NewRelation[int64]("A", "B").Add(1, 2, 3)
+	if r.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+	attrs := r.Attrs()
+	if len(attrs) != 2 || attrs[0] != "A" || attrs[1] != "B" {
+		t.Fatalf("Attrs = %v", attrs)
+	}
+}

@@ -1,0 +1,70 @@
+package mpcjoin
+
+import "mpcjoin/internal/semiring"
+
+// Ready-made commutative semirings. Each constructor returns a stateless
+// value implementing Semiring for its carrier type; see the paper's §1.1
+// and Green et al. (PODS'07) for the annotated-relation semantics.
+
+// Ints returns (ℤ, +, ×): sum-of-products — ordinary sparse matrix
+// multiplication, COUNT(*) GROUP BY when all annotations are 1.
+func Ints() semiring.IntSumProd { return semiring.IntSumProd{} }
+
+// Floats returns (ℝ, +, ×) over float64. Floating-point addition is not
+// exactly associative; prefer Ints for exact experiments.
+func Floats() semiring.FloatSumProd { return semiring.FloatSumProd{} }
+
+// Bools returns ({false,true}, ∨, ∧): set-semantics join-project
+// (conjunctive query) evaluation. Idempotent.
+func Bools() semiring.BoolOrAnd { return semiring.BoolOrAnd{} }
+
+// MinPlus returns the tropical semiring (ℤ∪{∞}, min, +): per output group,
+// the minimum total annotation over its join results — shortest paths when
+// the query is a line query over weighted edges. Idempotent.
+func MinPlus() semiring.MinPlus { return semiring.MinPlus{} }
+
+// MaxPlus returns (ℤ∪{−∞}, max, +): maximum-weight derivations (critical
+// paths). Idempotent.
+func MaxPlus() semiring.MaxPlus { return semiring.MaxPlus{} }
+
+// MaxMin returns the bottleneck semiring (max, min): the widest-bottleneck
+// derivation per group. Idempotent.
+func MaxMin() semiring.MaxMin { return semiring.MaxMin{} }
+
+// Why returns the why-provenance semiring: annotations are sets of witness
+// sets identifying which base tuples derive each output. Idempotent.
+func Why() semiring.WhyProvenance { return semiring.WhyProvenance{} }
+
+// Security returns the access-control semiring over clearance levels
+// (min of maxes). Idempotent.
+func Security() semiring.Security { return semiring.Security{} }
+
+// Witness identifies a base tuple in why-provenance annotations.
+type Witness = semiring.Witness
+
+// Provenance is a why-provenance annotation: a set of witness sets.
+type Provenance = semiring.Provenance
+
+// WhyOf builds the provenance annotation of a base tuple: {{w}}.
+func WhyOf(w Witness) Provenance { return semiring.Why(w) }
+
+// Clearance levels for the Security semiring.
+const (
+	Public    = semiring.Public
+	Internal  = semiring.Internal
+	Secret    = semiring.Secret
+	TopSecret = semiring.TopSecret
+	Denied    = semiring.Denied
+)
+
+// Infinity sentinels for the tropical semirings.
+var (
+	// MinPlusInf is the ⊕-identity ("+∞") of MinPlus.
+	MinPlusInf = semiring.MinPlus{}.Zero()
+	// MaxPlusNegInf is the ⊕-identity ("−∞") of MaxPlus.
+	MaxPlusNegInf = semiring.MaxPlus{}.Zero()
+)
+
+// IsIdempotent reports whether a semiring declares an idempotent ⊕ —
+// the class the paper's lower bounds (Theorems 2–3) hold for.
+func IsIdempotent(s any) bool { return semiring.IsIdempotent(s) }
