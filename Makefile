@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent runtime and the mpc primitives it drives are the only
+# packages that spawn goroutines; run them under the race detector.
+race:
+	$(GO) test -race ./internal/runtime/... ./internal/mpc/...
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x .

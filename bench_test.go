@@ -10,9 +10,12 @@ package mpcjoin
 // EXPERIMENTS.md records the full-size numbers.
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"mpcjoin/internal/experiments"
 )
@@ -163,3 +166,51 @@ func BenchmarkAltFullJoin(b *testing.B) { benchExperiment(b, "ALT-fulljoin") }
 
 // The O(1)-rounds claim: round counts must not grow with the data size.
 func BenchmarkRoundsConstant(b *testing.B) { benchExperiment(b, "T1-rounds") }
+
+// BenchmarkRuntimeScaling runs one fixed matmul instance under worker
+// counts 1, 2, 4 and 8. The runtime contract says the metered MaxLoad is
+// identical for every count (checked hard, every iteration); wall-clock
+// time should improve monotonically while the worker count stays within
+// the host's core count (checked with slack — beyond NumCPU extra workers
+// only add scheduling overhead, so those points are reported but not
+// asserted).
+func BenchmarkRuntimeScaling(b *testing.B) {
+	q, data := buildMatMulData(4096, rand.New(rand.NewSource(3)))
+	workerCounts := []int{1, 2, 4, 8}
+	baseLoad := -1
+	avg := make(map[int]time.Duration, len(workerCounts))
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				res, err := Execute[int64](Ints(), q, data, WithServers(16), WithWorkers(w))
+				total += time.Since(t0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if baseLoad < 0 {
+					baseLoad = res.Stats.MaxLoad
+				}
+				if res.Stats.MaxLoad != baseLoad {
+					b.Fatalf("workers=%d changed MaxLoad: got %d, serial %d", w, res.Stats.MaxLoad, baseLoad)
+				}
+			}
+			avg[w] = total / time.Duration(b.N)
+		})
+	}
+	cpus := runtime.NumCPU()
+	for i := 1; i < len(workerCounts); i++ {
+		prev, cur := workerCounts[i-1], workerCounts[i]
+		b.Logf("workers=%d: %v per run (MaxLoad %d)", cur, avg[cur], baseLoad)
+		if cur > cpus {
+			continue // oversubscribed: no speedup to assert on this host
+		}
+		// Allow 25% noise; the requirement is "no slower", not a strict
+		// speedup factor, since small instances are sync-dominated.
+		if avg[cur] > avg[prev]+avg[prev]/4 {
+			b.Errorf("workers=%d slower than workers=%d: %v vs %v (NumCPU=%d)",
+				cur, prev, avg[cur], avg[prev], cpus)
+		}
+	}
+}

@@ -9,6 +9,13 @@
 //	mpcbench -list
 //	mpcbench -experiment all            # full-size run (minutes)
 //	mpcbench -experiment T1-MM-load,LB-Thm3 -quick
+//	mpcbench -experiment T1-MM-load -workers 8 -json BENCH_runtime.json
+//
+// -workers sizes the concurrent execution runtime (default: one worker
+// per CPU); it changes wall-clock time only — metered loads are identical
+// for every worker count. -json appends one row per (experiment, data
+// point) with the measured wall-clock time and the runtime's worker count
+// to the given file.
 //
 // Every experiment verifies its results against the distributed
 // Yannakakis baseline (or the sequential reference) as it runs; a
@@ -16,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,10 +35,12 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		exper = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
-		quick = flag.Bool("quick", false, "shrink instance sizes for a fast pass")
-		seed  = flag.Uint64("seed", 7, "randomness seed (runs are reproducible per seed)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exper   = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
+		quick   = flag.Bool("quick", false, "shrink instance sizes for a fast pass")
+		seed    = flag.Uint64("seed", 7, "randomness seed (runs are reproducible per seed)")
+		workers = flag.Int("workers", -1, "concurrent runtime workers (1 = serial, <=0 = one per CPU)")
+		jsonOut = flag.String("json", "", "write per-experiment benchmark rows as JSON to this file")
 	)
 	flag.Parse()
 
@@ -48,8 +58,9 @@ func main() {
 		ids = strings.Split(*exper, ",")
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	failed := false
+	var bench []experiments.BenchRow
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		t0 := time.Now()
@@ -64,6 +75,20 @@ func main() {
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
 		if strings.Contains(out, "MISMATCH") {
 			fmt.Fprintf(os.Stderr, "mpcbench: %s: verification MISMATCH\n", id)
+			failed = true
+		}
+		bench = append(bench, tab.Bench...)
+	}
+	if *jsonOut != "" {
+		if bench == nil {
+			bench = []experiments.BenchRow{} // marshal as [], not null
+		}
+		buf, err := json.MarshalIndent(bench, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: writing %s: %v\n", *jsonOut, err)
 			failed = true
 		}
 	}

@@ -7,6 +7,11 @@
 //	datagen -query line3 -kind blocks -blocks 16 -fan 4 -out /tmp/ln
 //	mpcrun -data /tmp/ln -p 16
 //	mpcrun -data /tmp/ln -p 16 -engine yannakakis    # the baseline
+//	mpcrun -data /tmp/ln -p 16 -workers 8            # concurrent simulator
+//
+// -workers sizes the concurrent execution runtime the per-server work runs
+// on (default: one worker per CPU). It affects the reported wall-clock time
+// only; the answer and the metered cost are identical for every setting.
 //
 // The data directory holds query.txt plus one <relation>.tsv per relation
 // (see internal/textio for the format). Annotations are integers under the
@@ -17,9 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mpcjoin/internal/core"
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/hypergraph"
 	"mpcjoin/internal/relation"
+	xrt "mpcjoin/internal/runtime"
 	"mpcjoin/internal/semiring"
 	"mpcjoin/internal/textio"
 )
@@ -30,8 +39,9 @@ func main() {
 		p      = flag.Int("p", 16, "number of simulated servers")
 		engine = flag.String("engine", "auto", "auto|yannakakis|tree")
 		seed   = flag.Uint64("seed", 1, "randomness seed")
-		limit  = flag.Int("limit", 10, "print at most this many result rows (0 = none)")
-		verify = flag.Bool("verify", false, "also run the Yannakakis baseline and cross-check the answers")
+		limit   = flag.Int("limit", 10, "print at most this many result rows (0 = none)")
+		verify  = flag.Bool("verify", false, "also run the Yannakakis baseline and cross-check the answers")
+		workers = flag.Int("workers", -1, "concurrent runtime workers (1 = serial, <=0 = one per CPU)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -45,7 +55,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := core.Options{Servers: *p, Seed: *seed}
+	opts := core.Options{Servers: *p, Seed: *seed, Workers: *workers}
 	switch *engine {
 	case "auto":
 	case "yannakakis":
@@ -71,7 +81,9 @@ func main() {
 		len(q.Edges), q.Output, pl.Class, pl.Engine)
 	fmt.Printf("input: N = %d tuples across %d servers\n", n, *p)
 
+	t0 := time.Now()
 	res, st, err := core.Execute(semiring.IntSumProd{}, q, inst, opts)
+	wall := time.Since(t0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpcrun:", err)
 		os.Exit(1)
@@ -81,6 +93,7 @@ func main() {
 	fmt.Printf("result: OUT = %d tuples\n", res.Len())
 	fmt.Printf("cost:   rounds = %d, load L = %d, total communication = %d units\n",
 		st.Rounds, st.MaxLoad, st.TotalComm)
+	fmt.Printf("wall:   %v (workers = %d)\n", wall.Round(time.Microsecond), effectiveWorkers(*workers))
 	if *limit > 0 {
 		fmt.Printf("rows (first %d):\n", *limit)
 		for i, row := range res.Rows {
@@ -93,18 +106,30 @@ func main() {
 	}
 
 	if *verify {
-		base, stB, err := core.Execute(semiring.IntSumProd{}, q, inst,
-			core.Options{Servers: *p, Strategy: core.StrategyYannakakis, Seed: *seed})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mpcrun: baseline:", err)
-			os.Exit(1)
-		}
-		sr := semiring.IntSumProd{}
-		if relation.Equal[int64](sr, sr.Equal, res, base) {
-			fmt.Printf("verify: answers match the Yannakakis baseline (baseline load L = %d)\n", stB.MaxLoad)
-		} else {
-			fmt.Fprintln(os.Stderr, "verify: MISMATCH against the Yannakakis baseline")
-			os.Exit(1)
-		}
+		verifyBaseline(q, inst, *p, *seed, res)
+	}
+}
+
+// effectiveWorkers reports the worker count the -workers flag resolves to.
+func effectiveWorkers(n int) int {
+	if n <= 0 {
+		n = 0 // runtime.New(0) sizes to GOMAXPROCS
+	}
+	return xrt.New(n).Workers()
+}
+
+func verifyBaseline(q *hypergraph.Query, inst db.Instance[int64], p int, seed uint64, res *relation.Relation[int64]) {
+	base, stB, err := core.Execute(semiring.IntSumProd{}, q, inst,
+		core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcrun: baseline:", err)
+		os.Exit(1)
+	}
+	sr := semiring.IntSumProd{}
+	if relation.Equal[int64](sr, sr.Equal, res, base) {
+		fmt.Printf("verify: answers match the Yannakakis baseline (baseline load L = %d)\n", stB.MaxLoad)
+	} else {
+		fmt.Fprintln(os.Stderr, "verify: MISMATCH against the Yannakakis baseline")
+		os.Exit(1)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"mpcjoin/internal/matmul"
 	"mpcjoin/internal/mpc"
 	"mpcjoin/internal/relation"
+	"mpcjoin/internal/runtime"
 	"mpcjoin/internal/semiring"
 	"mpcjoin/internal/starlike"
 	"mpcjoin/internal/starquery"
@@ -66,6 +67,13 @@ type Options struct {
 	// OutOracle, when positive, replaces estimated output sizes in the
 	// matmul/line engines (experiment support).
 	OutOracle int64
+	// Workers sizes the concurrent execution runtime the simulator's
+	// per-server work runs on. 0 inherits the ambient runtime (serial
+	// unless a caller installed one); 1 forces serial execution; n > 1
+	// uses n OS workers; negative selects GOMAXPROCS. Results and metered
+	// Stats are identical for every setting — Workers changes wall-clock
+	// time only.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -129,6 +137,14 @@ func Execute[W any](sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instan
 // MPC model does.
 func ExecuteDistributed[W any](sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instance[W], opts Options) (dist.Rel[W], mpc.Stats, error) {
 	opts = opts.withDefaults()
+	if opts.Workers != 0 {
+		n := opts.Workers
+		if n < 0 {
+			n = 0 // runtime.New(0) sizes to GOMAXPROCS
+		}
+		prev := mpc.SetRuntime(runtime.New(n))
+		defer mpc.SetRuntime(prev)
+	}
 	if err := q.Validate(); err != nil {
 		return dist.Rel[W]{}, mpc.Stats{}, err
 	}

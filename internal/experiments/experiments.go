@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"mpcjoin/internal/core"
 	"mpcjoin/internal/db"
@@ -25,6 +26,7 @@ import (
 	"mpcjoin/internal/mpc"
 	"mpcjoin/internal/refengine"
 	"mpcjoin/internal/relation"
+	"mpcjoin/internal/runtime"
 	"mpcjoin/internal/semiring"
 	"mpcjoin/internal/workload"
 )
@@ -38,6 +40,33 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Bench holds the machine-readable benchmark records backing the text
+	// rows, for cmd/mpcbench -json. Experiments that don't time engine
+	// runs leave it empty.
+	Bench []BenchRow
+}
+
+// BenchRow is one machine-readable benchmark record: the experiment it
+// came from, the instance shape, the metered cost of the new engine's run,
+// and its wall-clock time under the configured worker count. Run stamps
+// ID and Workers uniformly after an experiment returns.
+type BenchRow struct {
+	ID      string `json:"id"`
+	P       int    `json:"p"`
+	N       int64  `json:"N"`
+	Out     int64  `json:"OUT"`
+	MaxLoad int    `json:"maxLoad"`
+	Rounds  int    `json:"rounds"`
+	WallNs  int64  `json:"wallNs"`
+	Workers int    `json:"workers"`
+}
+
+// addBench records one benchmark row (ID/Workers are stamped by Run).
+func (t *Table) addBench(p int, n, out int64, st mpc.Stats, wall time.Duration) {
+	t.Bench = append(t.Bench, BenchRow{
+		P: p, N: n, Out: out,
+		MaxLoad: st.MaxLoad, Rounds: st.Rounds, WallNs: wall.Nanoseconds(),
+	})
 }
 
 // Format renders a Table as aligned text.
@@ -77,6 +106,23 @@ type Config struct {
 	Quick bool
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Workers sizes the concurrent execution runtime for the experiment
+	// (0 = keep the ambient runtime, 1 = serial, n > 1 = n OS workers,
+	// negative = GOMAXPROCS). Loads and all table contents are identical
+	// for every setting; only wallNs in Bench rows changes.
+	Workers int
+}
+
+// effectiveWorkers resolves Config.Workers to the pool size runs use.
+func (c Config) effectiveWorkers() int {
+	switch {
+	case c.Workers > 0:
+		return c.Workers
+	case c.Workers < 0:
+		return runtime.New(0).Workers()
+	default:
+		return mpc.CurrentRuntime().Workers()
+	}
 }
 
 func (c Config) scale(full, quick int) int {
@@ -100,8 +146,27 @@ func IDs() []string {
 	}
 }
 
-// Run executes one experiment.
+// Run executes one experiment. If cfg.Workers is non-zero the experiment
+// runs on a correspondingly sized concurrent runtime, restored afterwards.
 func Run(id string, cfg Config) (Table, error) {
+	if cfg.Workers != 0 {
+		n := cfg.Workers
+		if n < 0 {
+			n = 0 // runtime.New(0) sizes to GOMAXPROCS
+		}
+		prev := mpc.SetRuntime(runtime.New(n))
+		defer mpc.SetRuntime(prev)
+	}
+	t, err := run(id, cfg)
+	workers := cfg.effectiveWorkers()
+	for i := range t.Bench {
+		t.Bench[i].ID = t.ID
+		t.Bench[i].Workers = workers
+	}
+	return t, err
+}
+
+func run(id string, cfg Config) (Table, error) {
 	switch id {
 	case "T1-MM-load":
 		return mmLoad(cfg), nil
@@ -139,10 +204,22 @@ func Run(id string, cfg Config) (Table, error) {
 	return Table{}, fmt.Errorf("experiments: unknown id %q", id)
 }
 
+// bothRun is runBoth's result: the full metered Stats of both engines, the
+// new engine's wall-clock time on the current runtime, the chosen engine,
+// and whether the two answers agree.
+type bothRun struct {
+	stNew, stY mpc.Stats
+	wall       time.Duration
+	engine     string
+	verified   bool
+}
+
 // runBoth executes the query under both the auto engine and the baseline,
-// verifying they agree, and returns the loads plus the chosen engine.
-func runBoth(q *hypergraph.Query, inst db.Instance[int64], p int, seed uint64) (newLoad, yannLoad int, engine string, verified bool) {
+// verifying they agree.
+func runBoth(q *hypergraph.Query, inst db.Instance[int64], p int, seed uint64) bothRun {
+	t0 := time.Now()
 	resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: seed})
+	wall := time.Since(t0)
 	if err != nil {
 		panic(err)
 	}
@@ -152,7 +229,7 @@ func runBoth(q *hypergraph.Query, inst db.Instance[int64], p int, seed uint64) (
 	}
 	pl, _ := core.PlanQuery(q, core.StrategyAuto)
 	eq := relation.Equal[int64](intSR, func(a, b int64) bool { return a == b }, resNew, resY)
-	return stNew.MaxLoad, stY.MaxLoad, pl.Engine, eq
+	return bothRun{stNew: stNew, stY: stY, wall: wall, engine: pl.Engine, verified: eq}
 }
 
 // ---------------------------------------------------------------------------
@@ -178,7 +255,9 @@ func mmLoad(cfg Config) Table {
 		blocks := n / fan
 		inst, meta := workload.MatMulBlocks(blocks, fan, fan)
 		n1 := int64(meta.PerEdge["R1"])
-		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(q, inst, p, cfg.Seed)
+		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
+		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
 		bn := math.Min(math.Sqrt(float64(n1*n1)/float64(p)),
 			math.Cbrt(float64(n1*n1)*float64(meta.Out))/math.Pow(float64(p), 2.0/3.0))
 		by := float64(n1) * math.Sqrt(float64(meta.Out)) / float64(p)
@@ -260,7 +339,9 @@ func mmUnequal(cfg Config) Table {
 		cPer := maxi(n2/blocks, 1)
 		inst, meta := workload.MatMulBlocks(blocks, aPer, cPer)
 		rn1, rn2 := int64(meta.PerEdge["R1"]), int64(meta.PerEdge["R2"])
-		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(q, inst, p, cfg.Seed)
+		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
+		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
 		bn := float64(rn1+rn2)/float64(p) + math.Min(
 			math.Sqrt(float64(rn1*rn2)/float64(p)),
 			math.Cbrt(float64(rn1*rn2)*float64(meta.Out))/math.Pow(float64(p), 2.0/3.0))
@@ -295,7 +376,9 @@ func classLoad(cfg Config, id string, q *hypergraph.Query, name string) Table {
 		}
 		inst, meta := workload.Blocks(q, blocks, fan)
 		j, _ := refengine.MaxIntermediateJoin[int64](intSR, q, inst)
-		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(q, inst, p, cfg.Seed)
+		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
+		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
 		t.Rows = append(t.Rows, []string{
 			itoa(fan), itoa(meta.N), i64(meta.Out), itoa(j), itoa(lNew), itoa(lY),
 			f2(float64(lY) / float64(maxi(lNew, 1))), tick(ok),
@@ -323,7 +406,9 @@ func treeLoad(cfg Config) Table {
 	} {
 		inst, meta := workload.BlocksMulti(q, sc.blocks, sc.fan, sc.mult)
 		j, _ := refengine.MaxIntermediateJoin[int64](intSR, q, inst)
-		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(q, inst, p, cfg.Seed)
+		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
+		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
 		t.Rows = append(t.Rows, []string{
 			itoa(sc.blocks), fmt.Sprintf("%d/%d", sc.fan, sc.mult), itoa(meta.N), i64(meta.Out),
 			itoa(j), itoa(lNew), itoa(lY), f2(float64(lY) / float64(maxi(lNew, 1))), tick(ok),
@@ -519,9 +604,11 @@ func fig1(cfg Config) Table {
 		view.Center, len(view.Arms)))
 	for _, sc := range []struct{ blocks, fan int }{{cfg.scale(128, 16), 1}, {cfg.scale(64, 8), 2}} {
 		inst, meta := workload.Blocks(q, sc.blocks, sc.fan)
-		lNew, lY, engine, ok := runBoth(q, inst, p, cfg.Seed)
-		if engine != "star-like" {
-			panic("FIG1 must dispatch to the star-like engine, got " + engine)
+		rb := runBoth(q, inst, p, cfg.Seed)
+		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
+		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
+		if rb.engine != "star-like" {
+			panic("FIG1 must dispatch to the star-like engine, got " + rb.engine)
 		}
 		t.Rows = append(t.Rows, []string{
 			itoa(sc.blocks), itoa(sc.fan), i64(meta.Out), itoa(lNew), itoa(lY), tick(ok),
@@ -552,7 +639,9 @@ func fig2(cfg Config) Table {
 		len(steps), len(twigs), fmtClasses(classes)))
 	for _, sc := range []struct{ blocks, fan int }{{cfg.scale(64, 8), 1}, {cfg.scale(16, 4), 2}} {
 		inst, meta := workload.Blocks(q, sc.blocks, sc.fan)
-		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(q, inst, p, cfg.Seed)
+		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
+		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
 		t.Rows = append(t.Rows, []string{
 			itoa(sc.blocks), itoa(sc.fan), i64(meta.Out), itoa(lNew), itoa(lY), tick(ok),
 		})
@@ -719,7 +808,9 @@ func altFullJoin(cfg Config) Table {
 			rels[e.Name] = dist.FromRelation(inst[e.Name], p)
 		}
 		resHC, stHC := hypercube.JoinAggregate(intSR, q, rels, cfg.Seed)
-		lNew, lY, _, ok := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(q, inst, p, cfg.Seed)
+		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
+		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
 		resY, _, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed})
 		if err != nil {
 			panic(err)

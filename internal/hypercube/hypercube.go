@@ -124,11 +124,17 @@ func FullJoin[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[stri
 	for src := range out {
 		out[src] = make([][]hcRow, grid)
 	}
+	// Source-major (edge inner) so each source's outbox builds on one
+	// worker; within a source the append order is edge-major, matching the
+	// serial edge-outer iteration exactly.
+	edgeCols := make([][]int, len(q.Edges))
 	for ei, e := range q.Edges {
-		rel := rels[e.Name]
-		cols := rel.Cols(e.Attrs...)
-		for src, shard := range rel.Part.Shards {
-			for _, row := range shard {
+		edgeCols[ei] = rels[e.Name].Cols(e.Attrs...)
+	}
+	mpc.CurrentRuntime().ForEachShard(p, func(src int) {
+		for ei, e := range q.Edges {
+			cols := edgeCols[ei]
+			for _, row := range rels[e.Name].Part.Shards[src] {
 				// Fixed coordinates from the tuple's values.
 				fixed := make(map[int]int, len(cols))
 				for i, c := range cols {
@@ -140,7 +146,7 @@ func FullJoin[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[stri
 				})
 			}
 		}
-	}
+	})
 	routed, s := mpc.ExchangeTo(grid, out)
 	st = mpc.Seq(st, s)
 

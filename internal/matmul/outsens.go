@@ -140,7 +140,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 	for src := range outA {
 		outA[src] = make([][]sideRow[W], totalA)
 	}
-	for src := 0; src < p; src++ {
+	mpc.CurrentRuntime().ForEachShard(p, func(src int) {
 		for _, pr := range grouped.Shards[src] {
 			blk, ok := blockOf[int64(pr.Y.Bin)]
 			if !ok {
@@ -157,7 +157,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 				outA[src][d] = append(outA[src][d], sideRow[W]{left: false, row: row})
 			}
 		}
-	}
+	})
 	routedA, stA := mpc.ExchangeTo(totalA, outA)
 	st = mpc.Seq(st, stA)
 
@@ -294,7 +294,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 	for src := range outB {
 		outB[src] = make([][]sideRow[W], totalB)
 	}
-	for src := 0; src < totalA; src++ {
+	mpc.CurrentRuntime().ForEachShard(totalA, func(src int) {
 		for _, r := range r1Blk.Part.Shards[src] {
 			g := int64(r.Vals[gCol1])
 			b := r.Vals[b1]
@@ -323,7 +323,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 			// Neither heavy nor binned: the (group, c) pair has no matching
 			// group rows — it cannot produce output; drop.
 		}
-	}
+	})
 	routedB, stB := mpc.ExchangeTo(totalB, outB)
 	st = mpc.Seq(st, stB)
 

@@ -81,14 +81,16 @@ func linearSparseMM[W any](sr semiring.Semiring[W], in Input[W]) (dist.Rel[W], m
 	bCol2 := in.R2.Cols(in.B)[0]
 
 	merged := mpc.NewPart[sideRow[W]](p)
-	for s := 0; s < p; s++ {
+	mpc.CurrentRuntime().ForEachShard(p, func(s int) {
+		rows := make([]sideRow[W], 0, len(in.R1.Part.Shards[s])+len(in.R2.Part.Shards[s]))
 		for _, r := range in.R1.Part.Shards[s] {
-			merged.Shards[s] = append(merged.Shards[s], sideRow[W]{left: true, row: r})
+			rows = append(rows, sideRow[W]{left: true, row: r})
 		}
 		for _, r := range in.R2.Part.Shards[s] {
-			merged.Shards[s] = append(merged.Shards[s], sideRow[W]{left: false, row: r})
+			rows = append(rows, sideRow[W]{left: false, row: r})
 		}
-	}
+		merged.Shards[s] = rows
+	})
 	grouped, st1 := mpc.GroupByKey(merged, func(x sideRow[W]) relation.Value {
 		if x.left {
 			return x.row.Vals[bCol1]

@@ -74,12 +74,14 @@ func worstCase[W any](sr semiring.Semiring[W], in Input[W], n1, n2 int64, seed u
 	// broadcast heavy lists.
 	lay := newWCLayout(hABcast.Shards[0], hCBcast.Shards[0], n1, n2, load, kBins, lBins)
 
-	// One exchange routes everything.
+	// One exchange routes everything. The layout is read-only and each
+	// source owns its outbox row, so the builds run concurrently on the
+	// ambient runtime.
 	out := make([][][]sideRow[W], p)
 	for src := range out {
 		out[src] = make([][]sideRow[W], lay.total)
 	}
-	for src := 0; src < p; src++ {
+	mpc.CurrentRuntime().ForEachShard(p, func(src int) {
 		for _, pr := range rLook.Shards[src] {
 			row := pr.X
 			b := row.Vals[bCol1]
@@ -131,7 +133,7 @@ func worstCase[W any](sr semiring.Semiring[W], in Input[W], n1, n2 int64, seed u
 				out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: false, row: row})
 			}
 		}
-	}
+	})
 	routed, stx := mpc.ExchangeTo(lay.total, out)
 
 	partials := mpc.MapShards(routed, func(_ int, shard []sideRow[W]) []relation.Row[W] {

@@ -25,23 +25,50 @@
 // of ⌈·⌉ allocations), the simulator uses that many virtual servers; the
 // reported load is the maximum over virtual servers, which matches the
 // paper's accounting up to the same constant factors its analysis hides.
+//
+// Execution vs. model: primitives run their per-server work on the ambient
+// execution runtime (see SetRuntime and internal/runtime), which is serial
+// by default and may be a real worker pool. The runtime affects only
+// wall-clock time; results and Stats are bit-for-bit identical across
+// runtimes, because per-server work is independent within a round and all
+// cross-server assembly (Exchange) is owned per destination with metering
+// aggregated after the round barrier. Per-element callbacks passed to
+// primitives must therefore be safe for concurrent invocation across
+// servers (pure functions and read-only captures qualify).
 package mpc
 
-import "fmt"
+import (
+	"fmt"
+
+	xrt "mpcjoin/internal/runtime"
+)
 
 // Stats is the metered cost of an MPC computation fragment.
 type Stats struct {
 	// Rounds is the number of communication rounds.
 	Rounds int
 	// MaxLoad is the maximum number of units received by any server in any
-	// single round.
+	// single round. This is the model's load L: per-round, so sequential
+	// composition takes the max across steps, not the sum (a server that
+	// receives N/p units in each of 3 rounds has load N/p, not 3N/p).
 	MaxLoad int
 	// TotalComm is the total number of units sent over the network across
 	// all rounds and servers.
 	TotalComm int64
+	// SumLoad is the sum over rounds of that round's maximum per-server
+	// received volume — the total-volume counterpart of MaxLoad. For a
+	// single exchange SumLoad == MaxLoad; sequential steps add it while
+	// MaxLoad maxes. Use it for total-traffic analyses (e.g. how much a
+	// bottleneck server receives over a whole algorithm); MaxLoad remains
+	// the quantity the paper's bounds are stated in.
+	SumLoad int64
 }
 
-// Seq composes costs of steps executed one after another.
+// Seq composes costs of steps executed one after another: rounds and
+// SumLoad accumulate, while MaxLoad takes the max across steps because the
+// model defines load per round — Seq(a, b) costs a.Rounds+b.Rounds rounds
+// at load max(a.MaxLoad, b.MaxLoad), exactly how the paper composes "run X,
+// then Y" (e.g. Lemma 1's O(1)-round primitives chained at load O(N/p)).
 func Seq(ss ...Stats) Stats {
 	var out Stats
 	for _, s := range ss {
@@ -50,12 +77,16 @@ func Seq(ss ...Stats) Stats {
 			out.MaxLoad = s.MaxLoad
 		}
 		out.TotalComm += s.TotalComm
+		out.SumLoad += s.SumLoad
 	}
 	return out
 }
 
 // Par composes costs of sub-algorithms that run simultaneously on disjoint
-// server groups.
+// server groups: rounds and MaxLoad take the max (the groups share the
+// rounds), TotalComm adds, and SumLoad takes the max — each round's
+// bottleneck server is the worst over the groups, and summing per-group
+// bottlenecks would double-count rounds the groups share.
 func Par(ss ...Stats) Stats {
 	var out Stats
 	for _, s := range ss {
@@ -66,6 +97,9 @@ func Par(ss ...Stats) Stats {
 			out.MaxLoad = s.MaxLoad
 		}
 		out.TotalComm += s.TotalComm
+		if s.SumLoad > out.SumLoad {
+			out.SumLoad = s.SumLoad
+		}
 	}
 	return out
 }
@@ -146,31 +180,20 @@ func Collect[T any](pt Part[T]) []T {
 // concatenation over src (in src order, preserving order within each
 // message). The returned Stats has Rounds=1 and MaxLoad equal to the
 // largest per-destination received volume.
+//
+// Inbox assembly runs on the ambient runtime (one worker per
+// destination); see internal/runtime.Exchange for why the result and
+// metering are identical to serial execution.
 func Exchange[T any](p int, out [][][]T) (Part[T], Stats) {
 	if len(out) != p {
 		panic(fmt.Sprintf("mpc: Exchange expects %d source servers, got %d", p, len(out)))
 	}
-	res := NewPart[T](p)
-	st := Stats{Rounds: 1}
 	for src := range out {
 		if len(out[src]) != p {
 			panic(fmt.Sprintf("mpc: Exchange source %d has %d destinations, want %d", src, len(out[src]), p))
 		}
-		for dst := range out[src] {
-			msg := out[src][dst]
-			if len(msg) == 0 {
-				continue
-			}
-			res.Shards[dst] = append(res.Shards[dst], msg...)
-			st.TotalComm += int64(len(msg))
-		}
 	}
-	for dst := range res.Shards {
-		if l := len(res.Shards[dst]); l > st.MaxLoad {
-			st.MaxLoad = l
-		}
-	}
-	return res, st
+	return exchangeOnRuntime(p, out)
 }
 
 // ExchangeTo performs one communication round from the current server set
@@ -179,67 +202,72 @@ func Exchange[T any](p int, out [][][]T) (Part[T], Stats) {
 // how "allocate p_i servers to subquery i" steps route each subquery's
 // input onto its group of (virtual) servers in a single metered round.
 func ExchangeTo[T any](pDst int, out [][][]T) (Part[T], Stats) {
-	res := NewPart[T](pDst)
-	st := Stats{Rounds: 1}
 	for src := range out {
 		if len(out[src]) != pDst {
 			panic(fmt.Sprintf("mpc: ExchangeTo source %d has %d destinations, want %d", src, len(out[src]), pDst))
 		}
-		for dst := range out[src] {
-			msg := out[src][dst]
-			if len(msg) == 0 {
-				continue
-			}
-			res.Shards[dst] = append(res.Shards[dst], msg...)
-			st.TotalComm += int64(len(msg))
-		}
 	}
-	for dst := range res.Shards {
-		if l := len(res.Shards[dst]); l > st.MaxLoad {
-			st.MaxLoad = l
+	return exchangeOnRuntime(pDst, out)
+}
+
+// exchangeOnRuntime assembles the round's inboxes on the ambient runtime
+// (shape already validated by the caller) and aggregates the
+// per-destination received counts into Stats after the barrier, keeping
+// the metering deterministic regardless of worker count.
+func exchangeOnRuntime[T any](pDst int, out [][][]T) (Part[T], Stats) {
+	shards, recv := xrt.Exchange(CurrentRuntime(), pDst, out)
+	st := Stats{Rounds: 1}
+	for _, n := range recv {
+		if int(n) > st.MaxLoad {
+			st.MaxLoad = int(n)
 		}
+		st.TotalComm += n
 	}
-	return res, st
+	st.SumLoad = int64(st.MaxLoad)
+	return Part[T]{Shards: shards}, st
 }
 
 // RouteTo performs one exchange onto pDst destination servers, with each
 // element's destinations chosen by dest (returning one or more targets —
-// replication is allowed, as in grid joins).
+// replication is allowed, as in grid joins). The per-source outbox builds
+// run on the ambient runtime, so dest must be safe for concurrent calls
+// across source servers (pure functions and read-only captures are; it is
+// invoked serially within one source, in element order).
 func RouteTo[T any](pt Part[T], pDst int, dest func(src int, x T) []int) (Part[T], Stats) {
 	out := make([][][]T, pt.P())
-	for src := range out {
-		out[src] = make([][]T, pDst)
-	}
-	for src, shard := range pt.Shards {
-		for _, x := range shard {
+	CurrentRuntime().ForEachShard(pt.P(), func(src int) {
+		row := make([][]T, pDst)
+		for _, x := range pt.Shards[src] {
 			for _, d := range dest(src, x) {
 				if d < 0 || d >= pDst {
 					panic(fmt.Sprintf("mpc: RouteTo destination %d out of range [0,%d)", d, pDst))
 				}
-				out[src][d] = append(out[src][d], x)
+				row[d] = append(row[d], x)
 			}
 		}
-	}
+		out[src] = row
+	})
 	return ExchangeTo(pDst, out)
 }
 
 // Route performs one exchange where each element is sent to the server
 // chosen by dest (given the element's current server and the element).
+// Like RouteTo, dest must be safe for concurrent calls across source
+// servers.
 func Route[T any](pt Part[T], dest func(src int, x T) int) (Part[T], Stats) {
 	p := pt.P()
 	out := make([][][]T, p)
-	for src := range out {
-		out[src] = make([][]T, p)
-	}
-	for src, shard := range pt.Shards {
-		for _, x := range shard {
+	CurrentRuntime().ForEachShard(p, func(src int) {
+		row := make([][]T, p)
+		for _, x := range pt.Shards[src] {
 			d := dest(src, x)
 			if d < 0 || d >= p {
 				panic(fmt.Sprintf("mpc: Route destination %d out of range [0,%d)", d, p))
 			}
-			out[src][d] = append(out[src][d], x)
+			row[d] = append(row[d], x)
 		}
-	}
+		out[src] = row
+	})
 	return Exchange(p, out)
 }
 
@@ -264,52 +292,64 @@ func Gather[T any](pt Part[T], dst int) (Part[T], Stats) {
 	return Route(pt, func(int, T) int { return dst })
 }
 
-// Map applies f to every element locally; zero rounds, zero load.
+// Map applies f to every element locally; zero rounds, zero load. The
+// per-shard loops run on the ambient runtime, so f must be safe for
+// concurrent calls across servers (as must the callbacks of FlatMap,
+// Filter and MapShards — within one server they run serially in element
+// order).
 func Map[T, U any](pt Part[T], f func(T) U) Part[U] {
 	out := NewPart[U](pt.P())
-	for i, shard := range pt.Shards {
+	CurrentRuntime().ForEachShard(pt.P(), func(i int) {
+		shard := pt.Shards[i]
 		if len(shard) == 0 {
-			continue
+			return
 		}
 		us := make([]U, len(shard))
 		for j, x := range shard {
 			us[j] = f(x)
 		}
 		out.Shards[i] = us
-	}
+	})
 	return out
 }
 
 // FlatMap applies f to every element locally, concatenating results.
 func FlatMap[T, U any](pt Part[T], f func(T) []U) Part[U] {
 	out := NewPart[U](pt.P())
-	for i, shard := range pt.Shards {
-		for _, x := range shard {
-			out.Shards[i] = append(out.Shards[i], f(x)...)
+	CurrentRuntime().ForEachShard(pt.P(), func(i int) {
+		var us []U
+		for _, x := range pt.Shards[i] {
+			us = append(us, f(x)...)
 		}
-	}
+		out.Shards[i] = us
+	})
 	return out
 }
 
 // Filter keeps the elements satisfying pred; local, zero cost.
 func Filter[T any](pt Part[T], pred func(T) bool) Part[T] {
 	out := NewPart[T](pt.P())
-	for i, shard := range pt.Shards {
-		for _, x := range shard {
+	CurrentRuntime().ForEachShard(pt.P(), func(i int) {
+		var keep []T
+		for _, x := range pt.Shards[i] {
 			if pred(x) {
-				out.Shards[i] = append(out.Shards[i], x)
+				keep = append(keep, x)
 			}
 		}
-	}
+		out.Shards[i] = keep
+	})
 	return out
 }
 
 // MapShards applies f to each shard locally (f receives the server index).
+// This is how algorithm packages run their per-server local joins: the
+// shard closures execute concurrently on the ambient runtime, one call
+// per server, each owning its output slice.
 func MapShards[T, U any](pt Part[T], f func(server int, shard []T) []U) Part[U] {
 	out := NewPart[U](pt.P())
-	for i, shard := range pt.Shards {
-		out.Shards[i] = f(i, shard)
-	}
+	CurrentRuntime().ForEachShard(pt.P(), func(i int) {
+		out.Shards[i] = f(i, pt.Shards[i])
+	})
 	return out
 }
 
@@ -370,15 +410,28 @@ func Slice[T any](pt Part[T], lo, hi int) Part[T] {
 	return Part[T]{Shards: pt.Shards[lo:hi]}
 }
 
-// Rebalance spreads pt's elements evenly (round-robin by arrival order)
-// across its servers in one metered round. Useful after filters that leave
-// skewed shards.
+// Rebalance spreads pt's elements evenly (round-robin by global arrival
+// order: server-major, then local order) across its servers in one metered
+// round. Useful after filters that leave skewed shards. Destinations are
+// computed from per-server prefix offsets rather than a shared counter, so
+// the outbox build parallelizes with the same assignment serial round-robin
+// would produce.
 func Rebalance[T any](pt Part[T]) (Part[T], Stats) {
-	i := 0
 	p := pt.P()
-	return Route(pt, func(int, T) int {
-		d := i % p
-		i++
-		return d
+	base := make([]int, p)
+	at := 0
+	for s, shard := range pt.Shards {
+		base[s] = at
+		at += len(shard)
+	}
+	out := make([][][]T, p)
+	CurrentRuntime().ForEachShard(p, func(src int) {
+		row := make([][]T, p)
+		for j, x := range pt.Shards[src] {
+			d := (base[src] + j) % p
+			row[d] = append(row[d], x)
+		}
+		out[src] = row
 	})
+	return Exchange(p, out)
 }

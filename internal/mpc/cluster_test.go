@@ -24,6 +24,46 @@ func TestStatsSeqPar(t *testing.T) {
 	}
 }
 
+func TestSumLoadAccounting(t *testing.T) {
+	// Two sequential steps with bottleneck loads 10 and 7: the model's
+	// load L (MaxLoad) is the max across rounds, while SumLoad adds the
+	// per-round bottlenecks — the distinction this field exists for.
+	a := Stats{Rounds: 2, MaxLoad: 10, TotalComm: 100, SumLoad: 12}
+	b := Stats{Rounds: 3, MaxLoad: 7, TotalComm: 50, SumLoad: 9}
+
+	s := Seq(a, b)
+	if s.MaxLoad != 10 || s.SumLoad != 21 {
+		t.Fatalf("Seq: MaxLoad = %d SumLoad = %d, want 10 and 21", s.MaxLoad, s.SumLoad)
+	}
+	p := Par(a, b)
+	if p.MaxLoad != 10 || p.SumLoad != 12 {
+		t.Fatalf("Par: MaxLoad = %d SumLoad = %d, want 10 and 12", p.MaxLoad, p.SumLoad)
+	}
+
+	// A single Exchange is one round, so its SumLoad is its MaxLoad.
+	out := [][][]int{
+		{{7}, {1, 2}, nil},
+		{nil, nil, nil},
+		{nil, {3, 4, 5}, nil},
+	}
+	_, st := Exchange(3, out)
+	if st.SumLoad != int64(st.MaxLoad) || st.SumLoad != 5 {
+		t.Fatalf("Exchange: SumLoad = %d MaxLoad = %d, want both 5", st.SumLoad, st.MaxLoad)
+	}
+
+	// Chaining two exchanges: MaxLoad stays at the bottleneck round,
+	// SumLoad accumulates across rounds.
+	_, st2 := Exchange(3, [][][]int{
+		{{1}, nil, nil},
+		{nil, {2, 3}, nil},
+		{nil, nil, {4}},
+	})
+	total := Seq(st, st2)
+	if total.MaxLoad != 5 || total.SumLoad != 7 {
+		t.Fatalf("Seq of exchanges: MaxLoad = %d SumLoad = %d, want 5 and 7", total.MaxLoad, total.SumLoad)
+	}
+}
+
 func TestDistributeCollect(t *testing.T) {
 	data := make([]int, 103)
 	for i := range data {

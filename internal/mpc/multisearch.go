@@ -45,8 +45,9 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 		panic("mpc: MultiSearch parts span different server counts")
 	}
 
+	rt := CurrentRuntime()
 	merged := NewPart[msItem[X, Y, K]](p)
-	for s := range merged.Shards {
+	rt.ForEachShard(p, func(s int) {
 		items := make([]msItem[X, Y, K], 0, len(xs.Shards[s])+len(ys.Shards[s]))
 		for _, y := range ys.Shards[s] {
 			items = append(items, msItem[X, Y, K]{k: ykey(y), y: y})
@@ -55,7 +56,7 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 			items = append(items, msItem[X, Y, K]{k: xkey(x), isX: true, x: x})
 		}
 		merged.Shards[s] = items
-	}
+	})
 
 	// Sort by (key, Y-before-X): on equal keys every Y globally precedes
 	// every X, so the local scan plus the cross-server carry below sees the
@@ -69,7 +70,8 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 
 	// Each server's greatest local Y → coordinator.
 	lasts := NewPart[lastY[Y, K]](p)
-	for s, shard := range sorted.Shards {
+	rt.ForEachShard(p, func(s int) {
+		shard := sorted.Shards[s]
 		l := lastY[Y, K]{src: s}
 		for i := len(shard) - 1; i >= 0; i-- {
 			if !shard[i].isX {
@@ -80,7 +82,7 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 			}
 		}
 		lasts.Shards[s] = []lastY[Y, K]{l}
-	}
+	})
 	gathered, stA := Gather(lasts, 0)
 	byServer := make([]lastY[Y, K], p)
 	for _, l := range gathered.Shards[0] {
@@ -108,29 +110,28 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 	}
 	carried, stB := Exchange(p, carryOut)
 
-	// Local scan.
+	// Local scan (one worker per server; each consults only its carry).
 	out := NewPart[Pred[X, Y]](p)
-	for s, shard := range sorted.Shards {
+	rt.ForEachShard(p, func(s int) {
 		var (
 			have bool
-			bk   K
 			by   Y
 		)
 		if len(carried.Shards[s]) == 1 && carried.Shards[s][0].have {
 			have = true
-			bk = carried.Shards[s][0].k
 			by = carried.Shards[s][0].y
 		}
-		_ = bk
-		for _, it := range shard {
+		var preds []Pred[X, Y]
+		for _, it := range sorted.Shards[s] {
 			if it.isX {
-				out.Shards[s] = append(out.Shards[s], Pred[X, Y]{X: it.x, Y: by, Found: have})
+				preds = append(preds, Pred[X, Y]{X: it.x, Y: by, Found: have})
 			} else {
 				have = true
 				by = it.y
 			}
 		}
-	}
+		out.Shards[s] = preds
+	})
 	return out, Seq(st, stA, stB)
 }
 

@@ -39,15 +39,16 @@ func ParallelPack[T any](pt Part[T], weight func(T) int64, cap int64) (Part[Binn
 	}
 	p := pt.P()
 
-	// Round 1: local totals to coordinator.
+	// Round 1: local totals to coordinator (per-server sums run on the
+	// ambient runtime; weight must be safe for concurrent calls).
 	totals := NewPart[int64](p)
-	for s, shard := range pt.Shards {
+	CurrentRuntime().ForEachShard(p, func(s int) {
 		var t int64
-		for _, x := range shard {
+		for _, x := range pt.Shards[s] {
 			t += weight(x)
 		}
 		totals.Shards[s] = []int64{t}
-	}
+	})
 	// Keep per-server order: tag with src via KeyCount.
 	tagged := NewPart[KeyCount[int]](p)
 	for s := range totals.Shards {
@@ -76,17 +77,23 @@ func ParallelPack[T any](pt Part[T], weight func(T) int64, cap int64) (Part[Binn
 	}
 	basePart, st2 := Exchange(p, baseOut)
 
-	// Local assignment.
+	// Local assignment (each server owns its prefix offset).
 	out := NewPart[Binned[T]](p)
-	for s, shard := range pt.Shards {
+	CurrentRuntime().ForEachShard(p, func(s int) {
+		shard := pt.Shards[s]
+		if len(shard) == 0 {
+			return
+		}
 		prefix := basePart.Shards[s][0]
+		bs := make([]Binned[T], 0, len(shard))
 		for _, x := range shard {
 			// Assign by the window containing the element's start.
 			bin := int(prefix / cap)
-			out.Shards[s] = append(out.Shards[s], Binned[T]{X: x, Bin: bin})
+			bs = append(bs, Binned[T]{X: x, Bin: bin})
 			prefix += weight(x)
 		}
-	}
+		out.Shards[s] = bs
+	})
 	numBins := int((grandTotal+cap-1)/cap) + 1
 	if grandTotal == 0 {
 		numBins = 1

@@ -17,6 +17,9 @@ import (
 // tie-broken sample sort balances the shuffle, a second local combine
 // leaves one element per key per server, and a constant-size coordinator
 // round stitches runs that straddle server boundaries.
+//
+// The per-server phases run on the ambient runtime: key and combine must
+// be safe for concurrent calls across servers.
 func ReduceByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K, combine func(a, b T) T) (Part[T], Stats) {
 	p := pt.P()
 
@@ -123,11 +126,13 @@ func ReduceByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K, combine func(a
 	}
 	instrPart, stB := Exchange(p, instrOut)
 
+	// Apply instructions per server; each worker touches only shard s.
 	out := NewPart[T](p)
-	for s, shard := range reduced.Shards {
+	CurrentRuntime().ForEachShard(p, func(s int) {
+		shard := reduced.Shards[s]
 		if len(instrPart.Shards[s]) == 0 {
 			out.Shards[s] = shard
-			continue
+			return
 		}
 		drop := make(map[K]bool)
 		repl := make(map[K]T)
@@ -138,19 +143,21 @@ func ReduceByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K, combine func(a
 				drop[in.k] = true
 			}
 		}
+		var kept []T
 		for _, x := range shard {
 			k := key(x)
 			if drop[k] {
 				continue
 			}
 			if item, ok := repl[k]; ok {
-				out.Shards[s] = append(out.Shards[s], item)
+				kept = append(kept, item)
 				delete(repl, k)
 				continue
 			}
-			out.Shards[s] = append(out.Shards[s], x)
+			kept = append(kept, x)
 		}
-	}
+		out.Shards[s] = kept
+	})
 	return out, Seq(st, stA, stB)
 }
 

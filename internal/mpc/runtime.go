@@ -1,0 +1,37 @@
+package mpc
+
+import (
+	"sync/atomic"
+
+	xrt "mpcjoin/internal/runtime"
+)
+
+// ambient is the execution runtime every primitive in this package runs
+// on. It defaults to the serial runtime, so the simulator behaves
+// exactly as before unless a caller opts into concurrency. The pointer
+// is swapped atomically; primitives snapshot it once per call.
+//
+// Execution concurrency is orthogonal to the cost model: Stats depend
+// only on what data moves where, never on the runtime, so any runtime
+// yields identical metering (see internal/runtime for why).
+var ambient atomic.Pointer[xrt.Runtime]
+
+func init() { ambient.Store(xrt.Serial()) }
+
+// SetRuntime installs rt as the ambient execution runtime for all mpc
+// primitives and returns the previously installed one, so callers can
+// restore it (typically with defer). A nil rt installs Serial().
+//
+// The swap is atomic but the setting is process-global: concurrent
+// executions that want different pool sizes should serialize their
+// SetRuntime/restore windows. Results and Stats are runtime-independent
+// either way.
+func SetRuntime(rt *xrt.Runtime) *xrt.Runtime {
+	if rt == nil {
+		rt = xrt.Serial()
+	}
+	return ambient.Swap(rt)
+}
+
+// CurrentRuntime returns the ambient execution runtime.
+func CurrentRuntime() *xrt.Runtime { return ambient.Load() }

@@ -24,6 +24,9 @@ type tagged[T any] struct {
 //
 // Cost: 3 rounds — samples to coordinator (≤ p² units), splitter broadcast
 // (≤ p units per server), and the data reshuffle (≈ 2N/p per server).
+//
+// The per-server sort and partition phases run on the ambient runtime, so
+// less must be safe for concurrent calls across servers.
 func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 	p := pt.P()
 	tless := func(a, b tagged[T]) bool {
@@ -39,9 +42,13 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 		return a.idx < b.idx
 	}
 
-	// Local sort; tag with (src, idx) for global uniqueness.
+	rt := CurrentRuntime()
+
+	// Local sort; tag with (src, idx) for global uniqueness. One worker
+	// per server — less must be safe for concurrent calls across servers.
 	local := make([][]tagged[T], p)
-	for s, shard := range pt.Shards {
+	rt.ForEachShard(p, func(s int) {
+		shard := pt.Shards[s]
 		ts := make([]tagged[T], len(shard))
 		for i, x := range shard {
 			ts[i] = tagged[T]{src: s, x: x}
@@ -51,7 +58,7 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 			ts[i].idx = i
 		}
 		local[s] = ts
-	}
+	})
 
 	// Round 1: regular samples to the coordinator (server 0).
 	samplePart := NewPart[tagged[T]](p)
@@ -87,33 +94,35 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 	splits = bcast.Shards[0] // identical on every server
 
 	// Round 3: route each element to its bucket (= number of splitters ≤ it).
+	// The splitter slice is read-only from here on, so the per-source
+	// bucket builds are independent.
 	out := make([][][]tagged[T], p)
-	for src := range out {
-		out[src] = make([][]tagged[T], p)
-	}
-	for s, ts := range local {
-		for _, t := range ts {
+	rt.ForEachShard(p, func(s int) {
+		row := make([][]tagged[T], p)
+		for _, t := range local[s] {
 			b := sort.Search(len(splits), func(i int) bool {
 				return tless(t, splits[i]) // first splitter strictly greater
 			})
-			out[s][b] = append(out[s][b], t)
+			row[b] = append(row[b], t)
 		}
-	}
+		out[s] = row
+	})
 	routed, st3 := Exchange(p, out)
 
 	// Final local sort.
 	res := NewPart[T](p)
-	for s, ts := range routed.Shards {
+	rt.ForEachShard(p, func(s int) {
+		ts := routed.Shards[s]
 		sort.Slice(ts, func(i, j int) bool { return tless(ts[i], ts[j]) })
 		if len(ts) == 0 {
-			continue
+			return
 		}
 		xs := make([]T, len(ts))
 		for i, t := range ts {
 			xs[i] = t.x
 		}
 		res.Shards[s] = xs
-	}
+	})
 	return res, Seq(st1, st2, st3)
 }
 
@@ -196,25 +205,25 @@ func GroupByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[T], Stats
 	}
 	instrPart, stB := Exchange(p, instrOut)
 
-	// Round C: move chained-key elements to their owners.
+	// Round C: move chained-key elements to their owners. Each server
+	// consults only its own instruction shard, so the builds parallelize.
 	moveOut := make([][][]T, p)
-	for src := range moveOut {
-		moveOut[src] = make([][]T, p)
-	}
 	res := NewPart[T](p)
-	for s, shard := range sorted.Shards {
+	CurrentRuntime().ForEachShard(p, func(s int) {
+		row := make([][]T, p)
 		target := make(map[K]int)
 		for _, in := range instrPart.Shards[s] {
 			target[in.k] = in.target
 		}
-		for _, x := range shard {
+		for _, x := range sorted.Shards[s] {
 			if t, ok := target[key(x)]; ok {
-				moveOut[s][t] = append(moveOut[s][t], x)
+				row[t] = append(row[t], x)
 			} else {
 				res.Shards[s] = append(res.Shards[s], x)
 			}
 		}
-	}
+		moveOut[s] = row
+	})
 	moved, stC := Exchange(p, moveOut)
 	for s := range res.Shards {
 		res.Shards[s] = append(res.Shards[s], moved.Shards[s]...)

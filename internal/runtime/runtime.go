@@ -1,0 +1,159 @@
+// Package runtime is the concurrent execution engine under the MPC
+// simulator. It runs the per-server work of a simulated round — local
+// computation and exchange assembly — on a pool of OS workers, while
+// leaving the simulated cost model untouched: results and metered
+// Stats are bit-for-bit identical to serial execution.
+//
+// The design exploits the structure of the MPC model itself. Within a
+// round, the p simulated servers are independent by definition: each
+// reads only its own shard (plus read-only broadcast state) and writes
+// only its own outputs. ForEachShard maps that independence onto real
+// parallelism. Exchange is the one primitive where servers' outputs
+// meet; there, each *destination* server owns its inbox — one worker
+// assembles shard dst by concatenating the messages out[0][dst],
+// out[1][dst], ... in ascending source order, so no two workers ever
+// write the same slice and the serial concatenation order is preserved
+// exactly. Per-destination received-unit counts are collected into a
+// worker-owned vector and aggregated only after the barrier, which is
+// why load accounting stays deterministic under any interleaving.
+//
+// A Runtime is a value-like handle: it carries only the worker count.
+// Goroutines are forked per call (fork–join), bounded by the worker
+// count, and joined before the call returns, so no pool state outlives
+// a primitive and a Runtime is safe for concurrent use.
+package runtime
+
+import (
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runtime executes per-shard work on up to workers concurrent OS
+// workers. The zero value is not valid; use New, Default or Serial.
+type Runtime struct {
+	workers int
+}
+
+var serial = &Runtime{workers: 1}
+
+// New returns a Runtime with the given worker count. workers <= 0
+// selects GOMAXPROCS (the Default sizing); workers == 1 is equivalent
+// to Serial.
+func New(workers int) *Runtime {
+	if workers <= 0 {
+		workers = stdruntime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return serial
+	}
+	return &Runtime{workers: workers}
+}
+
+// Default returns a Runtime sized to GOMAXPROCS — one worker per
+// available CPU, the right default because shard work is CPU-bound.
+func Default() *Runtime { return New(0) }
+
+// Serial returns the single-worker Runtime: every ForEachShard and
+// Exchange runs inline on the calling goroutine, with no goroutines
+// forked. It is the escape hatch for debugging and the reference
+// semantics the concurrent paths must reproduce exactly.
+func Serial() *Runtime { return serial }
+
+// Workers returns the pool size.
+func (rt *Runtime) Workers() int { return rt.workers }
+
+// ForEachShard invokes fn(i) for every i in [0, n), each exactly once.
+// With one worker the calls run inline in ascending order; otherwise
+// they run on up to Workers() goroutines which are joined before
+// ForEachShard returns (fork–join barrier). fn must therefore confine
+// its writes to state owned by shard i; reads of shared state are safe
+// only if no worker writes it.
+//
+// If any invocation panics, ForEachShard waits for the remaining
+// workers and then re-panics with the first panic value observed, so
+// the simulator's panic-on-misuse contracts survive parallelism.
+func (rt *Runtime) ForEachShard(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := rt.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal atomic.Value
+	)
+	body := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if panicked.CompareAndSwap(false, true) {
+					panicVal.Store(&r)
+				}
+			}
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || panicked.Load() {
+				return
+			}
+			fn(i)
+		}
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go body()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(*panicVal.Load().(*any))
+	}
+}
+
+// Exchange assembles the inboxes of one simulated communication round:
+// out[src][dst] is the message source server src sends to destination
+// dst, and shard dst of the result is the concatenation of
+// out[0][dst], out[1][dst], ... in ascending src order (message order
+// preserved), exactly as in serial execution. Each destination's inbox
+// is built by a single worker into a buffer it owns, so the function
+// involves no shared-slice writes; destinations with no incoming units
+// keep a nil shard.
+//
+// recv[dst] is the number of units destination dst received. It is
+// written once per destination before the join barrier and read by the
+// caller only after Exchange returns, making the metering aggregation
+// (max → MaxLoad, sum → TotalComm) independent of scheduling.
+//
+// Exchange validates only pDst-conformance of out's rows that it
+// touches; callers perform shape validation (with their own panic
+// messages) before calling.
+func Exchange[T any](rt *Runtime, pDst int, out [][][]T) (shards [][]T, recv []int64) {
+	shards = make([][]T, pDst)
+	recv = make([]int64, pDst)
+	rt.ForEachShard(pDst, func(dst int) {
+		total := 0
+		for src := range out {
+			total += len(out[src][dst])
+		}
+		if total == 0 {
+			return
+		}
+		inbox := make([]T, 0, total)
+		for src := range out {
+			inbox = append(inbox, out[src][dst]...)
+		}
+		shards[dst] = inbox
+		recv[dst] = int64(total)
+	})
+	return shards, recv
+}

@@ -120,10 +120,17 @@ func Run[W any](sr semiring.Semiring[W], arms []dist.Rel[W], leaves [][]dist.Att
 	perms := mpc.MapShards(grouped, func(_ int, shard []armDeg) []bPerm {
 		var out []bPerm
 		byB := make(map[relation.Value][]armDeg)
+		var bOrder []relation.Value
 		for _, ad := range shard {
+			if _, seen := byB[ad.b]; !seen {
+				bOrder = append(bOrder, ad.b)
+			}
 			byB[ad.b] = append(byB[ad.b], ad)
 		}
-		for bv, ads := range byB {
+		// First-seen key order, not map order: shard contents must be
+		// reproducible run to run for the determinism guarantees.
+		for _, bv := range bOrder {
+			ads := byB[bv]
 			sort.Slice(ads, func(i, j int) bool {
 				if ads[i].deg != ads[j].deg {
 					return ads[i].deg < ads[j].deg

@@ -140,9 +140,53 @@ func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64,
 	for _, g := range gridBcast.Shards[0] {
 		gridByKey[g.key] = g
 	}
-	rowRR := make(map[string]int) // per-key round-robin across grid rows
-	colRR := make(map[string]int)
+	// A heavy key's tuples round-robin across its grid rows (columns for
+	// the S side) in global arrival order — a counter that, serially, runs
+	// across source servers. To build the outboxes concurrently with the
+	// exact same assignment, split the counter: count each source's heavy
+	// occurrences per key (parallel), prefix-sum the counts across sources
+	// in ascending order (serial, touches only per-key totals), then let
+	// each source assign from its own base offset (parallel). Every tuple
+	// gets precisely the row/column serial execution would give it.
+	rt := mpc.CurrentRuntime()
+	rCount := make([]map[string]int, p)
+	sCount := make([]map[string]int, p)
+	rt.ForEachShard(p, func(src int) {
+		rc := make(map[string]int)
+		for _, pr := range rBins.Shards[src] {
+			if k := rKey(pr.X); gridByKey[k].ar > 0 {
+				rc[k]++
+			}
+		}
+		sc := make(map[string]int)
+		for _, pr := range sBins.Shards[src] {
+			if k := sKey(pr.X); gridByKey[k].ar > 0 {
+				sc[k]++
+			}
+		}
+		rCount[src], sCount[src] = rc, sc
+	})
+	rBase := make([]map[string]int, p)
+	sBase := make([]map[string]int, p)
+	rowRun := make(map[string]int)
+	colRun := make(map[string]int)
 	for src := 0; src < p; src++ {
+		rb := make(map[string]int, len(rCount[src]))
+		for k, c := range rCount[src] {
+			rb[k] = rowRun[k]
+			rowRun[k] += c
+		}
+		sb := make(map[string]int, len(sCount[src]))
+		for k, c := range sCount[src] {
+			sb[k] = colRun[k]
+			colRun[k] += c
+		}
+		rBase[src], sBase[src] = rb, sb
+	}
+	rt.ForEachShard(p, func(src int) {
+		dsts := out[src]
+		rowRR := rBase[src] // owned by this source from here on
+		colRR := sBase[src]
 		for _, pr := range rBins.Shards[src] {
 			row := pr.X
 			k := rKey(row)
@@ -150,12 +194,12 @@ func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64,
 				i := rowRR[k] % g.ar
 				rowRR[k]++
 				for j := 0; j < g.bs; j++ {
-					out[src][g.offset+i*g.bs+j] = append(out[src][g.offset+i*g.bs+j], sideRow[W]{left: true, row: row})
+					dsts[g.offset+i*g.bs+j] = append(dsts[g.offset+i*g.bs+j], sideRow[W]{left: true, row: row})
 				}
 				continue
 			}
 			if pr.Found {
-				out[src][heavyServers+pr.Y.bin] = append(out[src][heavyServers+pr.Y.bin], sideRow[W]{left: true, row: row})
+				dsts[heavyServers+pr.Y.bin] = append(dsts[heavyServers+pr.Y.bin], sideRow[W]{left: true, row: row})
 			}
 			// Keys absent from the other side are dropped: they cannot
 			// produce join results.
@@ -167,15 +211,15 @@ func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64,
 				j := colRR[k] % g.bs
 				colRR[k]++
 				for i := 0; i < g.ar; i++ {
-					out[src][g.offset+i*g.bs+j] = append(out[src][g.offset+i*g.bs+j], sideRow[W]{left: false, row: row})
+					dsts[g.offset+i*g.bs+j] = append(dsts[g.offset+i*g.bs+j], sideRow[W]{left: false, row: row})
 				}
 				continue
 			}
 			if pr.Found {
-				out[src][heavyServers+pr.Y.bin] = append(out[src][heavyServers+pr.Y.bin], sideRow[W]{left: false, row: row})
+				dsts[heavyServers+pr.Y.bin] = append(dsts[heavyServers+pr.Y.bin], sideRow[W]{left: false, row: row})
 			}
 		}
-	}
+	})
 	routed, st10 := mpc.ExchangeTo(pDst, out)
 
 	// Local joins.

@@ -11,6 +11,13 @@
 // intermediate join size — O(OUT) for free-connex queries, N·√OUT for
 // matrix multiplication, N·OUT^{1−1/n} for stars, and N·OUT in general,
 // which is precisely the column of Table 1 the paper improves on.
+//
+// Execution: the folds themselves are sequentially dependent (a parent is
+// joined only after its child leaves fold in), but each fold's per-server
+// work — the twoway local hash joins and the ProjectAgg local combines —
+// runs concurrently on the ambient mpc runtime, one worker per simulated
+// server. Folding order, results and metered Stats are identical under any
+// worker count.
 package yannakakis
 
 import (

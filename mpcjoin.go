@@ -57,8 +57,8 @@ type Value = relation.Value
 type Semiring[W any] = semiring.Semiring[W]
 
 // Stats is the metered MPC cost of an execution: Rounds, MaxLoad (the
-// model's load L — maximum units received by any server in any round) and
-// TotalComm.
+// model's load L — maximum units received by any server in any round),
+// TotalComm, and SumLoad (per-round bottleneck loads summed over rounds).
 type Stats = mpc.Stats
 
 // ---------------------------------------------------------------------------
@@ -226,6 +226,21 @@ func WithEstimator(k, reps int) Option {
 // engines instead of the §2.2 estimate (experiment support).
 func WithOutOracle(out int64) Option {
 	return func(o *core.Options) { o.OutOracle = out }
+}
+
+// WithWorkers runs the simulator's per-server work on n concurrent OS
+// workers instead of serially; n <= 0 selects one worker per CPU
+// (GOMAXPROCS). The choice affects wall-clock time only: results and
+// metered Stats are bit-for-bit identical for every worker count, because
+// per-server work is independent within a round and load accounting is
+// aggregated after each round's barrier.
+func WithWorkers(n int) Option {
+	return func(o *core.Options) {
+		if n <= 0 {
+			n = -1 // core: negative means GOMAXPROCS
+		}
+		o.Workers = n
+	}
 }
 
 // Execute runs the query over the instance under the semiring and returns
