@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench bench-smoke
 
 ci: vet build test race
 
@@ -20,3 +20,9 @@ race:
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x .
+
+# One iteration of every benchmark in the repo with allocation counts —
+# cheap enough for CI, and enough to catch an allocation regression in
+# the exchange/sort kernels (compare against BENCH_kernels.json).
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x -benchmem ./... | tee bench-smoke.txt

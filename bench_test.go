@@ -161,6 +161,26 @@ func BenchmarkExecuteLine3(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulKernel is the kernel-level wall-clock/allocation target
+// of the allocation-lean exchange/sort work: one p=16 matrix
+// multiplication over N = 16384 total tuples (8192 per relation), the
+// same shape as the BENCH_runtime.json matmul row. Run with -benchmem;
+// BENCH_kernels.json records before/after rows for it.
+func BenchmarkMatMulKernel(b *testing.B) {
+	q, data := buildMatMulData(8192, rand.New(rand.NewSource(5)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Execute[int64](Ints(), q, data, WithServers(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.MaxLoad == 0 {
+			b.Fatal("no load")
+		}
+	}
+}
+
 // §1.4's alternative route: HyperCube full join + aggregation.
 func BenchmarkAltFullJoin(b *testing.B) { benchExperiment(b, "ALT-fulljoin") }
 

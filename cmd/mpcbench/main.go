@@ -17,6 +17,11 @@
 // point) with the measured wall-clock time and the runtime's worker count
 // to the given file.
 //
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments (the memory profile is a heap snapshot taken after the runs,
+// with allocation sites recorded); inspect with `go tool pprof`. See the
+// README's profiling quick-start.
+//
 // Every experiment verifies its results against the distributed
 // Yannakakis baseline (or the sequential reference) as it runs; a
 // "MISMATCH" in any verified column is a bug.
@@ -27,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,6 +41,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so deferred profile writers execute before the
+// process exits (os.Exit skips defers).
+func run() int {
 	var (
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		exper   = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
@@ -41,14 +54,46 @@ func main() {
 		seed    = flag.Uint64("seed", 7, "randomness seed (runs are reproducible per seed)")
 		workers = flag.Int("workers", -1, "concurrent runtime workers (1 = serial, <=0 = one per CPU)")
 		jsonOut = flag.String("json", "", "write per-experiment benchmark rows as JSON to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (post-run snapshot) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpcbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mpcbench: writing heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 
 	var ids []string
@@ -93,6 +138,7 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

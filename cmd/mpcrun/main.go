@@ -55,7 +55,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := core.Options{Servers: *p, Seed: *seed, Workers: *workers}
+	// The loaded instance is executed once, so hand its rows over to the
+	// execution — unless -verify re-runs it through the baseline.
+	opts := core.Options{Servers: *p, Seed: *seed, Workers: *workers, OwnInput: !*verify}
 	switch *engine {
 	case "auto":
 	case "yannakakis":

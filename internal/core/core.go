@@ -74,6 +74,13 @@ type Options struct {
 	// Stats are identical for every setting — Workers changes wall-clock
 	// time only.
 	Workers int
+	// OwnInput transfers ownership of the instance's relations to the
+	// execution: the initial placement aliases their row slices instead
+	// of copying them, and the caller must not reuse the instance
+	// afterwards (rows may be reordered in place). Drivers that build an
+	// instance, execute it once and discard it (cmd/mpcrun, generated
+	// experiment inputs) set this to skip one full input copy.
+	OwnInput bool
 }
 
 func (o Options) withDefaults() Options {
@@ -158,7 +165,11 @@ func ExecuteDistributed[W any](sr semiring.Semiring[W], q *hypergraph.Query, ins
 
 	rels := make(map[string]dist.Rel[W], len(q.Edges))
 	for _, e := range q.Edges {
-		rels[e.Name] = dist.FromRelation(inst[e.Name], opts.Servers)
+		if opts.OwnInput {
+			rels[e.Name] = dist.FromRelationOwned(inst[e.Name], opts.Servers)
+		} else {
+			rels[e.Name] = dist.FromRelation(inst[e.Name], opts.Servers)
+		}
 	}
 
 	res, st, err := dispatch(sr, q, rels, pl, opts)

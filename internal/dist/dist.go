@@ -25,11 +25,24 @@ type Rel[W any] struct {
 }
 
 // FromRelation distributes r evenly over p servers (the model's uncounted
-// initial placement).
+// initial placement). Shards are defensive copies; the caller keeps
+// ownership of r.
 func FromRelation[W any](r *relation.Relation[W], p int) Rel[W] {
 	return Rel[W]{
 		Schema: append([]Attr(nil), r.Schema()...),
 		Part:   mpc.Distribute(r.Rows, p),
+	}
+}
+
+// FromRelationOwned is FromRelation with ownership transfer: shards alias
+// r.Rows instead of copying it. The caller must not mutate r afterwards
+// and must tolerate primitives reordering rows in place. Use it for
+// freshly built instances handed to exactly one execution (loaded or
+// generated inputs); keep FromRelation for relations that are reused.
+func FromRelationOwned[W any](r *relation.Relation[W], p int) Rel[W] {
+	return Rel[W]{
+		Schema: append([]Attr(nil), r.Schema()...),
+		Part:   mpc.DistributeOwned(r.Rows, p),
 	}
 }
 
@@ -244,9 +257,21 @@ func UnionAgg[W any](sr semiring.Semiring[W], rels ...Rel[W]) (Rel[W], mpc.Stats
 	return res, st
 }
 
-// Reorder permutes columns to the given schema (local, zero cost).
+// Reorder permutes columns to the given schema (local, zero cost). When
+// the columns are already in the requested order the rows are returned
+// as-is, not rebuilt.
 func Reorder[W any](r Rel[W], schema []Attr) Rel[W] {
 	idx := r.Cols(schema...)
+	identity := len(idx) == len(r.Schema)
+	for i, c := range idx {
+		if c != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return Rel[W]{Schema: append([]Attr(nil), schema...), Part: r.Part}
+	}
 	part := mpc.Map(r.Part, func(row relation.Row[W]) relation.Row[W] {
 		vals := make([]relation.Value, len(idx))
 		for i, c := range idx {

@@ -77,6 +77,21 @@ func NewVec(p Params) Vec {
 	return v
 }
 
+// SingletonVec is NewVec(p).Insert(item) without the intermediate empty
+// vector: every repetition's one-element value list is carved out of one
+// backing buffer, so building the per-row base-case sketch costs two
+// allocations instead of one per repetition.
+func SingletonVec(p Params, item uint64) Vec {
+	v := Vec{Sk: make([]kmv.Sketch, p.Reps)}
+	buf := make([]uint64, p.Reps)
+	for i := range v.Sk {
+		seed := p.Seed + uint64(i)*0x9e37
+		buf[i] = kmv.Hash64(item, seed)
+		v.Sk[i] = kmv.Sketch{K: p.K, Seed: seed, Vals: buf[i : i+1 : i+1]}
+	}
+	return v
+}
+
 // Insert adds an item to every repetition.
 func (v Vec) Insert(item uint64) Vec {
 	out := Vec{Sk: make([]kmv.Sketch, len(v.Sk))}
@@ -86,11 +101,32 @@ func (v Vec) Insert(item uint64) Vec {
 	return out
 }
 
-// MergeVec merges two sketch vectors repetition-wise.
+// MergeVec merges two sketch vectors repetition-wise. All repetitions'
+// merged value lists are carved out of one backing buffer (sketch values
+// are immutable once built, so repetitions where one side is empty alias
+// the other side's values directly) — two allocations per merge instead
+// of one per repetition.
 func MergeVec(a, b Vec) Vec {
 	out := Vec{Sk: make([]kmv.Sketch, len(a.Sk))}
+	total := 0
 	for i := range a.Sk {
-		out.Sk[i] = kmv.Merge(a.Sk[i], b.Sk[i])
+		la, lb := len(a.Sk[i].Vals), len(b.Sk[i].Vals)
+		if la > 0 && lb > 0 {
+			total += min(la+lb, a.Sk[i].K)
+		}
+	}
+	buf := make([]uint64, 0, total)
+	for i := range a.Sk {
+		switch {
+		case len(b.Sk[i].Vals) == 0:
+			out.Sk[i] = a.Sk[i]
+		case len(a.Sk[i].Vals) == 0:
+			out.Sk[i] = kmv.Sketch{K: a.Sk[i].K, Seed: a.Sk[i].Seed, Vals: b.Sk[i].Vals}
+		default:
+			start := len(buf)
+			buf = kmv.AppendMerge(buf, a.Sk[i], b.Sk[i])
+			out.Sk[i] = kmv.Sketch{K: a.Sk[i].K, Seed: a.Sk[i].Seed, Vals: buf[start:len(buf):len(buf)]}
+		}
 	}
 	return out
 }
@@ -133,7 +169,7 @@ func SketchValues[W any](r dist.Rel[W], keyAttrs, itemAttrs []dist.Attr, p Param
 	singles := mpc.Map(r.Part, func(row relation.Row[W]) KeySketch {
 		return KeySketch{
 			Key: relation.EncodeKey(row.Vals, kc),
-			V:   NewVec(p).Insert(hashItem(relation.EncodeKey(row.Vals, ic))),
+			V:   SingletonVec(p, hashItem(relation.EncodeKey(row.Vals, ic))),
 		}
 	})
 	return mpc.ReduceByKey(singles,

@@ -499,11 +499,13 @@ func roundsConstant(cfg Config) Table {
 		for _, v := range instL {
 			nL += v.Len()
 		}
-		_, stS, err := core.Execute(intSR, c.q, instS, core.Options{Servers: p, Seed: cfg.Seed})
+		// Each generated instance is executed exactly once: hand over
+		// ownership and skip the initial-placement copy.
+		_, stS, err := core.Execute(intSR, c.q, instS, core.Options{Servers: p, Seed: cfg.Seed, OwnInput: true})
 		if err != nil {
 			panic(err)
 		}
-		_, stL, err := core.Execute(intSR, c.q, instL, core.Options{Servers: p, Seed: cfg.Seed})
+		_, stL, err := core.Execute(intSR, c.q, instL, core.Options{Servers: p, Seed: cfg.Seed, OwnInput: true})
 		if err != nil {
 			panic(err)
 		}
@@ -766,7 +768,7 @@ func ablPacking(cfg Config) Table {
 				maxDeg = d
 			}
 		}
-		pt := mpc.Distribute(keys, p)
+		pt := mpc.DistributeOwned(keys, p) // keys are not reused below
 		_, stSort := mpc.CountByKey(pt, func(k int64) int64 { return k })
 		// Naive: route by key hash, combine locally; load = max received.
 		_, stHash := mpc.Route(pt, func(_ int, k int64) int {

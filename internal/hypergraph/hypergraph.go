@@ -13,7 +13,8 @@ package hypergraph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"mpcjoin/internal/relation"
 )
@@ -413,13 +414,13 @@ func (q *Query) LineView() (*LineView, bool) {
 	if len(leaves) != 2 || len(q.Edges) < 2 {
 		return nil, false
 	}
-	sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+	slices.Sort(leaves)
 	// Outputs must be exactly the two leaves.
 	if len(q.Output) != 2 {
 		return nil, false
 	}
 	outs := append([]Attr(nil), q.Output...)
-	sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+	slices.Sort(outs)
 	if outs[0] != leaves[0] || outs[1] != leaves[1] {
 		return nil, false
 	}
@@ -565,6 +566,6 @@ func (q *Query) StarLikeView() (*StarLikeView, bool) {
 		return nil, false
 	}
 	// Deterministic arm order: by leaf name.
-	sort.Slice(v.Arms, func(i, j int) bool { return v.Arms[i].Leaf < v.Arms[j].Leaf })
+	slices.SortFunc(v.Arms, func(a, b Arm) int { return strings.Compare(string(a.Leaf), string(b.Leaf)) })
 	return v, true
 }

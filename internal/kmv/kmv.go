@@ -76,23 +76,45 @@ func Merge(a, b Sketch) Sketch {
 	if a.K != b.K || a.Seed != b.Seed {
 		panic("kmv: merging incompatible sketches")
 	}
-	vals := make([]uint64, 0, min(len(a.Vals)+len(b.Vals), a.K))
+	// Sketch values are immutable once built (Insert and Merge copy on
+	// write), so when one side contributes nothing the other can be
+	// returned as-is without copying its values.
+	if len(b.Vals) == 0 {
+		return a
+	}
+	if len(a.Vals) == 0 {
+		return Sketch{K: a.K, Seed: a.Seed, Vals: b.Vals}
+	}
+	vals := AppendMerge(make([]uint64, 0, min(len(a.Vals)+len(b.Vals), a.K)), a, b)
+	return Sketch{K: a.K, Seed: a.Seed, Vals: vals}
+}
+
+// AppendMerge appends the merged value list of a and b (the K smallest of
+// their union, ascending, deduplicated) to dst and returns the extended
+// slice. It is the allocation-free core of Merge for callers that batch
+// many merges into one backing buffer; dst must not alias a.Vals or b.Vals.
+func AppendMerge(dst []uint64, a, b Sketch) []uint64 {
+	if a.K != b.K || a.Seed != b.Seed {
+		panic("kmv: merging incompatible sketches")
+	}
+	n := 0
 	i, j := 0, 0
-	for (i < len(a.Vals) || j < len(b.Vals)) && len(vals) < a.K {
+	for (i < len(a.Vals) || j < len(b.Vals)) && n < a.K {
 		switch {
 		case j >= len(b.Vals) || (i < len(a.Vals) && a.Vals[i] < b.Vals[j]):
-			vals = append(vals, a.Vals[i])
+			dst = append(dst, a.Vals[i])
 			i++
 		case i >= len(a.Vals) || b.Vals[j] < a.Vals[i]:
-			vals = append(vals, b.Vals[j])
+			dst = append(dst, b.Vals[j])
 			j++
 		default: // equal
-			vals = append(vals, a.Vals[i])
+			dst = append(dst, a.Vals[i])
 			i++
 			j++
 		}
+		n++
 	}
-	return Sketch{K: a.K, Seed: a.Seed, Vals: vals}
+	return dst
 }
 
 // Estimate returns the estimated number of distinct inserted items:

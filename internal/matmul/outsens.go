@@ -1,13 +1,16 @@
 package matmul
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
+	"strings"
 
 	"mpcjoin/internal/dist"
 	"mpcjoin/internal/estimate"
 	"mpcjoin/internal/mpc"
 	"mpcjoin/internal/relation"
+	xrt "mpcjoin/internal/runtime"
 	"mpcjoin/internal/semiring"
 	"mpcjoin/internal/twoway"
 )
@@ -102,7 +105,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 	fGathered, stg := mpc.Gather(fCounts, 0)
 	st = mpc.Seq(st, stf, stg)
 	foot := append([]mpc.KeyCount[int64](nil), fGathered.Shards[0]...)
-	sort.Slice(foot, func(i, j int) bool { return foot[i].Key < foot[j].Key })
+	slices.SortFunc(foot, func(a, b mpc.KeyCount[int64]) int { return cmp.Compare(a.Key, b.Key) })
 
 	// Phase A block layout: group i gets ⌈(f_i + N2)/L⌉ virtual servers.
 	type blockA struct {
@@ -137,26 +140,54 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 	gSchema1 := append([]dist.Attr{"⟨G⟩"}, in.R1.Schema...)
 	gSchema2 := append([]dist.Attr{"⟨G⟩"}, in.R2.Schema...)
 	outA := make([][][]sideRow[W], p)
-	for src := range outA {
-		outA[src] = make([][]sideRow[W], totalA)
-	}
-	mpc.CurrentRuntime().ForEachShard(p, func(src int) {
-		for _, pr := range grouped.Shards[src] {
+	mpc.CurrentRuntime().ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
+		gShard := grouped.Shards[src]
+		r2Shard := in.R2.Part.Shards[src]
+		if len(gShard)+len(r2Shard) == 0 {
+			return
+		}
+		// Memoize destinations so the counted build's two passes pay the
+		// key encodings, hashes and map lookups once (-1 marks grouped
+		// rows with no block); the synthetic G column is prepended on the
+		// fill pass only, when the row is actually placed.
+		gDests := sc.Ints(len(gShard))
+		for j, pr := range gShard {
 			blk, ok := blockOf[int64(pr.Y.Bin)]
 			if !ok {
+				gDests[j] = -1
 				continue
 			}
-			row := withGroup(int64(pr.Y.Bin), pr.X)
-			d := blk.off + hashStr(aKey(pr.X), blk.size, seed)
-			outA[src][d] = append(outA[src][d], sideRow[W]{left: true, row: row})
+			gDests[j] = blk.off + hashStr(aKey(pr.X), blk.size, seed)
 		}
-		for _, r := range in.R2.Part.Shards[src] {
-			for _, blk := range layout {
-				row := withGroup(blk.group, r)
-				d := blk.off + hashStr(cKey(r), blk.size, seed^0x51ed)
-				outA[src][d] = append(outA[src][d], sideRow[W]{left: false, row: row})
+		r2Dests := sc.Ints(len(r2Shard) * len(layout))
+		for j, r := range r2Shard {
+			ck := cKey(r)
+			for l, blk := range layout {
+				r2Dests[j*len(layout)+l] = blk.off + hashStr(ck, blk.size, seed^0x51ed)
 			}
 		}
+		outA[src] = mpc.BuildOutbox[sideRow[W]](sc, totalA, "outputSensitive phase A", func(fill bool, emit func(int, sideRow[W])) {
+			for j, pr := range gShard {
+				d := gDests[j]
+				if d < 0 {
+					continue
+				}
+				var row relation.Row[W]
+				if fill {
+					row = withGroup(int64(pr.Y.Bin), pr.X)
+				}
+				emit(d, sideRow[W]{left: true, row: row})
+			}
+			for j, r := range r2Shard {
+				for l, blk := range layout {
+					var row relation.Row[W]
+					if fill {
+						row = withGroup(blk.group, r)
+					}
+					emit(r2Dests[j*len(layout)+l], sideRow[W]{left: false, row: row})
+				}
+			}
+		})
 	})
 	routedA, stA := mpc.ExchangeTo(totalA, outA)
 	st = mpc.Seq(st, stA)
@@ -244,7 +275,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 		footOf[blk.group] = blk.f
 	}
 	hlist := append([]mpc.KeyCount[string](nil), heavyG.Shards[0]...)
-	sort.Slice(hlist, func(i, j int) bool { return hlist[i].Key < hlist[j].Key })
+	slices.SortFunc(hlist, func(a, b mpc.KeyCount[string]) int { return strings.Compare(a.Key, b.Key) })
 	for _, kc := range hlist {
 		g := int64(relation.DecodeKey(kc.Key)[0])
 		sz := int(ceilDiv(footOf[g]+kc.Count, load))
@@ -252,7 +283,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 		bt += sz
 	}
 	blist := append([]mpc.KeyCount[string](nil), binSzG.Shards[0]...)
-	sort.Slice(blist, func(i, j int) bool { return blist[i].Key < blist[j].Key })
+	slices.SortFunc(blist, func(a, b mpc.KeyCount[string]) int { return strings.Compare(a.Key, b.Key) })
 	for _, kc := range blist {
 		g := int64(relation.DecodeKey(kc.Key)[0])
 		sz := int(ceilDiv(footOf[g]+kc.Count, load))
@@ -291,38 +322,49 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 	gCol1 := 0 // G is the leading column on both sides
 	b1 := r1Blk.Cols(in.B)[0]
 	outB := make([][][]sideRow[W], totalA)
-	for src := range outB {
-		outB[src] = make([][]sideRow[W], totalB)
-	}
-	mpc.CurrentRuntime().ForEachShard(totalA, func(src int) {
-		for _, r := range r1Blk.Part.Shards[src] {
-			g := int64(r.Vals[gCol1])
-			b := r.Vals[b1]
-			for _, sb := range perGroupSubs[g] {
-				d := sb.off + hashB(b, sb.size, seed^0xb10c)
-				outB[src][d] = append(outB[src][d], sideRow[W]{left: true, row: r})
-			}
+	mpc.CurrentRuntime().ForEachShardScratch(totalA, func(src int, sc *xrt.Scratch) {
+		r1Shard := r1Blk.Part.Shards[src]
+		r2Shard := r2WithBin.Shards[src]
+		if len(r1Shard)+len(r2Shard) == 0 {
+			return
 		}
-		for _, pr := range r2WithBin.Shards[src] {
+		// Memoize R2 destinations: the (G,C…) key encodings and block map
+		// lookups happen once, not once per counted pass (-1 marks rows
+		// that are neither heavy nor binned — the (group, c) pair has no
+		// matching group rows, cannot produce output, and is dropped).
+		// R1 destinations are cheap arithmetic re-derived per pass.
+		r2Dests := sc.Ints(len(r2Shard))
+		for j, pr := range r2Shard {
 			r := pr.X
 			gc := relation.EncodeKey(r.Vals, gcCols)
 			b := r.Vals[bCol2+1] // +1 for the leading G column
 			if sb, ok := heavyBlockOf[gc]; ok {
-				d := sb.off + hashB(b, sb.size, seed^0xb10c)
-				outB[src][d] = append(outB[src][d], sideRow[W]{left: false, row: r})
+				r2Dests[j] = sb.off + hashB(b, sb.size, seed^0xb10c)
 				continue
 			}
+			r2Dests[j] = -1
 			if pr.Found {
 				g := relation.DecodeKey(gc)[0]
 				bk := relation.EncodeKey([]relation.Value{g, relation.Value(pr.Y.Bin)}, []int{0, 1})
 				if sb, ok := binBlockOf[bk]; ok {
-					d := sb.off + hashB(b, sb.size, seed^0xb10c)
-					outB[src][d] = append(outB[src][d], sideRow[W]{left: false, row: r})
+					r2Dests[j] = sb.off + hashB(b, sb.size, seed^0xb10c)
 				}
 			}
-			// Neither heavy nor binned: the (group, c) pair has no matching
-			// group rows — it cannot produce output; drop.
 		}
+		outB[src] = mpc.BuildOutbox[sideRow[W]](sc, totalB, "outputSensitive phase B", func(fill bool, emit func(int, sideRow[W])) {
+			for _, r := range r1Shard {
+				g := int64(r.Vals[gCol1])
+				b := r.Vals[b1]
+				for _, sb := range perGroupSubs[g] {
+					emit(sb.off+hashB(b, sb.size, seed^0xb10c), sideRow[W]{left: true, row: r})
+				}
+			}
+			for j, pr := range r2Shard {
+				if d := r2Dests[j]; d >= 0 {
+					emit(d, sideRow[W]{left: false, row: pr.X})
+				}
+			}
+		})
 	})
 	routedB, stB := mpc.ExchangeTo(totalB, outB)
 	st = mpc.Seq(st, stB)

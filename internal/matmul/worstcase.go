@@ -2,11 +2,13 @@ package matmul
 
 import (
 	"math"
-	"sort"
+	"slices"
+	"strings"
 
 	"mpcjoin/internal/dist"
 	"mpcjoin/internal/mpc"
 	"mpcjoin/internal/relation"
+	xrt "mpcjoin/internal/runtime"
 	"mpcjoin/internal/semiring"
 )
 
@@ -78,61 +80,83 @@ func worstCase[W any](sr semiring.Semiring[W], in Input[W], n1, n2 int64, seed u
 	// source owns its outbox row, so the builds run concurrently on the
 	// ambient runtime.
 	out := make([][][]sideRow[W], p)
-	for src := range out {
-		out[src] = make([][]sideRow[W], lay.total)
-	}
-	mpc.CurrentRuntime().ForEachShard(p, func(src int) {
-		for _, pr := range rLook.Shards[src] {
-			row := pr.X
-			b := row.Vals[bCol1]
-			if ai, isHeavy := lay.heavyAIdx[aKey(row)]; isHeavy {
-				for cj := range lay.hC {
-					off, size := lay.hhBlock(ai, cj)
-					out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: true, row: row})
-				}
-				off, size := lay.hlOff[ai], lay.hlSize[ai]
-				out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: true, row: row})
-				continue
-			}
-			// Light a: its bin row of the LL grid plus every LH block.
-			bin := 0
-			if pr.Found {
-				bin = pr.Y.Bin
-			}
-			for j := 0; j < lay.lBins; j++ {
-				d := lay.llStart + bin*lay.lBins + j
-				out[src][d] = append(out[src][d], sideRow[W]{left: true, row: row})
-			}
-			for cj := range lay.hC {
-				off, size := lay.lhOff[cj], lay.lhSize[cj]
-				out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: true, row: row})
+	mpc.CurrentRuntime().ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
+		rShard := rLook.Shards[src]
+		sShard := sLook.Shards[src]
+		if len(rShard)+len(sShard) == 0 {
+			return
+		}
+		// Memoize each row's classification so the counted build's two
+		// passes pay the key encoding and map lookup once: tag t > 0 is
+		// heavy index t−1, t < 0 is light bin −t−1 (missing lookups are
+		// bin 0, hence tag −1).
+		rTags := sc.Ints(len(rShard))
+		for j, pr := range rShard {
+			if ai, isHeavy := lay.heavyAIdx[aKey(pr.X)]; isHeavy {
+				rTags[j] = ai + 1
+			} else if pr.Found {
+				rTags[j] = -(pr.Y.Bin + 1)
+			} else {
+				rTags[j] = -1
 			}
 		}
-		for _, pr := range sLook.Shards[src] {
-			row := pr.X
-			b := row.Vals[bCol2]
-			if cj, isHeavy := lay.heavyCIdx[cKey(row)]; isHeavy {
-				for ai := range lay.hA {
-					off, size := lay.hhBlock(ai, cj)
-					out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: false, row: row})
-				}
-				off, size := lay.lhOff[cj], lay.lhSize[cj]
-				out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: false, row: row})
-				continue
-			}
-			bin := 0
-			if pr.Found {
-				bin = pr.Y.Bin
-			}
-			for i := 0; i < lay.kBins; i++ {
-				d := lay.llStart + i*lay.lBins + bin
-				out[src][d] = append(out[src][d], sideRow[W]{left: false, row: row})
-			}
-			for ai := range lay.hA {
-				off, size := lay.hlOff[ai], lay.hlSize[ai]
-				out[src][off+hashB(b, size, seed)] = append(out[src][off+hashB(b, size, seed)], sideRow[W]{left: false, row: row})
+		sTags := sc.Ints(len(sShard))
+		for j, pr := range sShard {
+			if cj, isHeavy := lay.heavyCIdx[cKey(pr.X)]; isHeavy {
+				sTags[j] = cj + 1
+			} else if pr.Found {
+				sTags[j] = -(pr.Y.Bin + 1)
+			} else {
+				sTags[j] = -1
 			}
 		}
+		out[src] = mpc.BuildOutbox[sideRow[W]](sc, lay.total, "worstCase route", func(fill bool, emit func(int, sideRow[W])) {
+			for j, pr := range rShard {
+				row := pr.X
+				b := row.Vals[bCol1]
+				if t := rTags[j]; t > 0 {
+					ai := t - 1
+					for cj := range lay.hC {
+						off, size := lay.hhBlock(ai, cj)
+						emit(off+hashB(b, size, seed), sideRow[W]{left: true, row: row})
+					}
+					off, size := lay.hlOff[ai], lay.hlSize[ai]
+					emit(off+hashB(b, size, seed), sideRow[W]{left: true, row: row})
+				} else {
+					// Light a: its bin row of the LL grid plus every LH block.
+					bin := -t - 1
+					for j2 := 0; j2 < lay.lBins; j2++ {
+						emit(lay.llStart+bin*lay.lBins+j2, sideRow[W]{left: true, row: row})
+					}
+					for cj := range lay.hC {
+						off, size := lay.lhOff[cj], lay.lhSize[cj]
+						emit(off+hashB(b, size, seed), sideRow[W]{left: true, row: row})
+					}
+				}
+			}
+			for j, pr := range sShard {
+				row := pr.X
+				b := row.Vals[bCol2]
+				if t := sTags[j]; t > 0 {
+					cj := t - 1
+					for ai := range lay.hA {
+						off, size := lay.hhBlock(ai, cj)
+						emit(off+hashB(b, size, seed), sideRow[W]{left: false, row: row})
+					}
+					off, size := lay.lhOff[cj], lay.lhSize[cj]
+					emit(off+hashB(b, size, seed), sideRow[W]{left: false, row: row})
+				} else {
+					bin := -t - 1
+					for i := 0; i < lay.kBins; i++ {
+						emit(lay.llStart+i*lay.lBins+bin, sideRow[W]{left: false, row: row})
+					}
+					for ai := range lay.hA {
+						off, size := lay.hlOff[ai], lay.hlSize[ai]
+						emit(off+hashB(b, size, seed), sideRow[W]{left: false, row: row})
+					}
+				}
+			}
+		})
 	})
 	routed, stx := mpc.ExchangeTo(lay.total, out)
 
@@ -168,8 +192,8 @@ type wcLayout struct {
 }
 
 func newWCLayout(hA, hC []mpc.KeyCount[string], n1, n2, load int64, kBins, lBins int) *wcLayout {
-	sort.Slice(hA, func(i, j int) bool { return hA[i].Key < hA[j].Key })
-	sort.Slice(hC, func(i, j int) bool { return hC[i].Key < hC[j].Key })
+	slices.SortFunc(hA, func(a, b mpc.KeyCount[string]) int { return strings.Compare(a.Key, b.Key) })
+	slices.SortFunc(hC, func(a, b mpc.KeyCount[string]) int { return strings.Compare(a.Key, b.Key) })
 	lay := &wcLayout{
 		hA: hA, hC: hC,
 		heavyAIdx: make(map[string]int, len(hA)),

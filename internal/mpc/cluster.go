@@ -143,8 +143,25 @@ func (pt Part[T]) MaxShard() int {
 
 // Distribute splits data round-robin across p servers, modelling the
 // model's assumption that input starts evenly distributed (N/p per server).
-// It is the uncounted initial placement, not a communication step.
+// It is the uncounted initial placement, not a communication step. Each
+// shard is a defensive copy, so the caller may keep mutating data; when
+// the caller hands ownership instead, DistributeOwned skips the copies.
 func Distribute[T any](data []T, p int) Part[T] {
+	return distribute(data, p, true)
+}
+
+// DistributeOwned is Distribute without the per-shard defensive copy:
+// shards alias sub-slices of data. The caller transfers ownership — it
+// must not mutate data afterwards, and must tolerate primitives
+// reordering elements within it (local in-place sorts). Use it on
+// freshly built inputs that are handed to exactly one execution
+// (cmd/mpcrun's loaded instances, the experiment drivers' generated
+// ones); keep Distribute for inputs that are reused or shared.
+func DistributeOwned[T any](data []T, p int) Part[T] {
+	return distribute(data, p, false)
+}
+
+func distribute[T any](data []T, p int, copyShards bool) Part[T] {
 	pt := NewPart[T](p)
 	if len(data) == 0 {
 		return pt
@@ -159,7 +176,11 @@ func Distribute[T any](data []T, p int) Part[T] {
 		if hi > len(data) {
 			hi = len(data)
 		}
-		pt.Shards[i] = append([]T(nil), data[lo:hi]...)
+		if copyShards {
+			pt.Shards[i] = append([]T(nil), data[lo:hi]...)
+		} else {
+			pt.Shards[i] = data[lo:hi:hi]
+		}
 	}
 	return pt
 }
@@ -178,7 +199,9 @@ func Collect[T any](pt Part[T]) []T {
 // Exchange performs one communication round. out[src][dst] holds the units
 // server src sends to server dst; the result's shard dst is the
 // concatenation over src (in src order, preserving order within each
-// message). The returned Stats has Rounds=1 and MaxLoad equal to the
+// message). A nil out[src] row means server src sends nothing — sparse
+// senders (coordinator fan-outs) need not materialize p empty
+// destinations. The returned Stats has Rounds=1 and MaxLoad equal to the
 // largest per-destination received volume.
 //
 // Inbox assembly runs on the ambient runtime (one worker per
@@ -189,7 +212,7 @@ func Exchange[T any](p int, out [][][]T) (Part[T], Stats) {
 		panic(fmt.Sprintf("mpc: Exchange expects %d source servers, got %d", p, len(out)))
 	}
 	for src := range out {
-		if len(out[src]) != p {
+		if len(out[src]) != p && len(out[src]) != 0 {
 			panic(fmt.Sprintf("mpc: Exchange source %d has %d destinations, want %d", src, len(out[src]), p))
 		}
 	}
@@ -198,12 +221,13 @@ func Exchange[T any](p int, out [][][]T) (Part[T], Stats) {
 
 // ExchangeTo performs one communication round from the current server set
 // onto a (possibly different-sized) destination server set: out[src][dst]
-// with len(out) source servers and pDst destinations per source. This is
-// how "allocate p_i servers to subquery i" steps route each subquery's
-// input onto its group of (virtual) servers in a single metered round.
+// with len(out) source servers and pDst destinations per source (nil rows
+// allowed, as in Exchange). This is how "allocate p_i servers to subquery
+// i" steps route each subquery's input onto its group of (virtual)
+// servers in a single metered round.
 func ExchangeTo[T any](pDst int, out [][][]T) (Part[T], Stats) {
 	for src := range out {
-		if len(out[src]) != pDst {
+		if len(out[src]) != pDst && len(out[src]) != 0 {
 			panic(fmt.Sprintf("mpc: ExchangeTo source %d has %d destinations, want %d", src, len(out[src]), pDst))
 		}
 	}
@@ -235,17 +259,25 @@ func exchangeOnRuntime[T any](pDst int, out [][][]T) (Part[T], Stats) {
 // invoked serially within one source, in element order).
 func RouteTo[T any](pt Part[T], pDst int, dest func(src int, x T) []int) (Part[T], Stats) {
 	out := make([][][]T, pt.P())
-	CurrentRuntime().ForEachShard(pt.P(), func(src int) {
-		row := make([][]T, pDst)
-		for _, x := range pt.Shards[src] {
-			for _, d := range dest(src, x) {
-				if d < 0 || d >= pDst {
-					panic(fmt.Sprintf("mpc: RouteTo destination %d out of range [0,%d)", d, pDst))
-				}
-				row[d] = append(row[d], x)
-			}
+	CurrentRuntime().ForEachShardScratch(pt.P(), func(src int, sc *xrt.Scratch) {
+		shard := pt.Shards[src]
+		if len(shard) == 0 {
+			return
 		}
-		out[src] = row
+		// dest is invoked exactly once per element; the returned
+		// destination lists are memoized so both BuildOutbox passes see
+		// the same routing without re-running user code.
+		dlists := make([][]int, len(shard))
+		for j, x := range shard {
+			dlists[j] = dest(src, x)
+		}
+		out[src] = BuildOutbox[T](sc, pDst, "RouteTo", func(fill bool, emit func(int, T)) {
+			for j, x := range shard {
+				for _, d := range dlists[j] {
+					emit(d, x)
+				}
+			}
+		})
 	})
 	return ExchangeTo(pDst, out)
 }
@@ -257,16 +289,22 @@ func RouteTo[T any](pt Part[T], pDst int, dest func(src int, x T) []int) (Part[T
 func Route[T any](pt Part[T], dest func(src int, x T) int) (Part[T], Stats) {
 	p := pt.P()
 	out := make([][][]T, p)
-	CurrentRuntime().ForEachShard(p, func(src int) {
-		row := make([][]T, p)
-		for _, x := range pt.Shards[src] {
-			d := dest(src, x)
-			if d < 0 || d >= p {
-				panic(fmt.Sprintf("mpc: Route destination %d out of range [0,%d)", d, p))
-			}
-			row[d] = append(row[d], x)
+	CurrentRuntime().ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
+		shard := pt.Shards[src]
+		if len(shard) == 0 {
+			return
 		}
-		out[src] = row
+		// dest is invoked exactly once per element; destinations are
+		// memoized in the worker's arena for the two BuildOutbox passes.
+		dests := sc.Ints(len(shard))
+		for j, x := range shard {
+			dests[j] = dest(src, x)
+		}
+		out[src] = BuildOutbox[T](sc, p, "Route", func(fill bool, emit func(int, T)) {
+			for j, x := range shard {
+				emit(dests[j], x)
+			}
+		})
 	})
 	return Exchange(p, out)
 }
@@ -385,8 +423,18 @@ func Reshape[T any](pt Part[T], p int) Part[T] {
 		return pt
 	}
 	out := NewPart[T](p)
+	counts := make([]int, p)
 	for s, shard := range pt.Shards {
-		out.Shards[s%p] = append(out.Shards[s%p], shard...)
+		counts[s%p] += len(shard)
+	}
+	for d, c := range counts {
+		if c > 0 {
+			out.Shards[d] = make([]T, 0, c)
+		}
+	}
+	for s, shard := range pt.Shards {
+		d := s % p
+		out.Shards[d] = append(out.Shards[d], shard...)
 	}
 	return out
 }
@@ -425,13 +473,18 @@ func Rebalance[T any](pt Part[T]) (Part[T], Stats) {
 		at += len(shard)
 	}
 	out := make([][][]T, p)
-	CurrentRuntime().ForEachShard(p, func(src int) {
-		row := make([][]T, p)
-		for j, x := range pt.Shards[src] {
-			d := (base[src] + j) % p
-			row[d] = append(row[d], x)
+	CurrentRuntime().ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
+		shard := pt.Shards[src]
+		if len(shard) == 0 {
+			return
 		}
-		out[src] = row
+		// The round-robin destination is pure arithmetic, so both passes
+		// re-derive it instead of memoizing.
+		out[src] = BuildOutbox[T](sc, p, "Rebalance", func(fill bool, emit func(int, T)) {
+			for j, x := range shard {
+				emit((base[src]+j)%p, x)
+			}
+		})
 	})
 	return Exchange(p, out)
 }

@@ -1,0 +1,71 @@
+package mpc
+
+import (
+	"fmt"
+
+	xrt "mpcjoin/internal/runtime"
+)
+
+// kernels.go holds the allocation-lean routing kernel shared by every
+// primitive and engine that builds exchange outboxes. Historically each
+// call site grew p destination rows by repeated append — p slice
+// headers plus O(log) reallocation copies per row, every round. The
+// counted two-pass build replaces that with exactly three allocations
+// per source (row table, backing buffer, and a count vector that a
+// Scratch arena amortizes away): count per-destination sizes, carve
+// contiguous sub-slices of one buffer, fill.
+
+// BuildOutbox assembles one source server's destination rows for an
+// exchange onto pDst servers using a counted two-pass build. scan is
+// invoked exactly twice with an emit callback: the first invocation
+// (fill == false) tallies per-destination unit counts, the second
+// (fill == true) places elements into contiguous sub-slices of a
+// single backing buffer. scan must emit the same destination sequence
+// in both invocations — route from read-only state, or memoize the
+// decisions (a Scratch is the natural place). The element argument is
+// ignored during the count pass, so callers may defer constructing
+// expensive elements to the fill pass.
+//
+// Destinations that receive nothing keep a nil row, matching the
+// append-built outboxes this replaces. Out-of-range destinations panic
+// with what naming the calling primitive.
+//
+// sc, when non-nil, provides the count vector from the worker's arena;
+// a nil sc allocates it (serial helpers, tests).
+func BuildOutbox[T any](sc *xrt.Scratch, pDst int, what string, scan func(fill bool, emit func(dst int, x T))) [][]T {
+	var counts []int
+	if sc != nil {
+		counts = sc.Ints(pDst)
+	} else {
+		counts = make([]int, pDst)
+	}
+	total := 0
+	scan(false, func(dst int, _ T) {
+		if dst < 0 || dst >= pDst {
+			panic(fmt.Sprintf("mpc: %s destination %d out of range [0,%d)", what, dst, pDst))
+		}
+		counts[dst]++
+		total++
+	})
+	row := make([][]T, pDst)
+	if total == 0 {
+		return row
+	}
+	buf := make([]T, total)
+	at := 0
+	for d, c := range counts {
+		if c > 0 {
+			row[d] = buf[at:at : at+c]
+			at += c
+		}
+	}
+	scan(true, func(dst int, x T) {
+		row[dst] = append(row[dst], x)
+	})
+	for d, c := range counts {
+		if len(row[d]) != c {
+			panic(fmt.Sprintf("mpc: %s emitted %d units for destination %d on the fill pass, %d on the count pass", what, len(row[d]), d, c))
+		}
+	}
+	return row
+}

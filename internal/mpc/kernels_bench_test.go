@@ -1,0 +1,116 @@
+package mpc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// kernels_bench_test.go holds the primitive-level benchmarks of the
+// allocation-lean kernel work: steady-state Route, SortBy, GroupByKey and
+// ReduceByKey at p = 16 over a fixed 16k-element instance. Run with
+// -benchmem; BENCH_kernels.json records before/after rows.
+
+const (
+	benchP = 16
+	benchN = 16384
+)
+
+func benchPart(n, p int) Part[int64] {
+	rng := rand.New(rand.NewSource(42))
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(rng.Intn(n / 4))
+	}
+	return Distribute(data, p)
+}
+
+func BenchmarkRouteKernel(b *testing.B) {
+	pt := benchPart(benchN, benchP)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, st := Route(pt, func(_ int, x int64) int { return int(uint64(x) % benchP) })
+		if res.Len() != benchN || st.Rounds != 1 {
+			b.Fatal("route wrong")
+		}
+	}
+}
+
+func BenchmarkRebalanceKernel(b *testing.B) {
+	// Skewed input: everything on server 0.
+	pt := NewPart[int64](benchP)
+	pt.Shards[0] = make([]int64, benchN)
+	for i := range pt.Shards[0] {
+		pt.Shards[0][i] = int64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := Rebalance(pt)
+		if res.Len() != benchN {
+			b.Fatal("rebalance wrong")
+		}
+	}
+}
+
+func BenchmarkSortByKernel(b *testing.B) {
+	pt := benchPart(benchN, benchP)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := SortBy(pt, func(a, c int64) bool { return a < c })
+		if res.Len() != benchN {
+			b.Fatal("sort wrong")
+		}
+	}
+}
+
+func BenchmarkGroupByKeyKernel(b *testing.B) {
+	pt := benchPart(benchN, benchP)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := GroupByKey(pt, func(x int64) int64 { return x })
+		if res.Len() != benchN {
+			b.Fatal("group wrong")
+		}
+	}
+}
+
+func BenchmarkReduceByKeyKernel(b *testing.B) {
+	pt := benchPart(benchN, benchP)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := ReduceByKey(pt,
+			func(x int64) int64 { return x },
+			func(a, c int64) int64 { return a + c })
+		if res.Len() == 0 {
+			b.Fatal("reduce wrong")
+		}
+	}
+}
+
+// BenchmarkExchangeKernel measures the steady-state exchange alone: the
+// outboxes are prebuilt once, so each iteration pays only inbox assembly
+// and metering.
+func BenchmarkExchangeKernel(b *testing.B) {
+	pt := benchPart(benchN, benchP)
+	out := make([][][]int64, benchP)
+	CurrentRuntime().ForEachShard(benchP, func(src int) {
+		row := make([][]int64, benchP)
+		for _, x := range pt.Shards[src] {
+			d := int(uint64(x) % benchP)
+			row[d] = append(row[d], x)
+		}
+		out[src] = row
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, st := Exchange(benchP, out)
+		if res.Len() != benchN || st.MaxLoad == 0 {
+			b.Fatal("exchange wrong")
+		}
+	}
+}

@@ -101,13 +101,14 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 			cur = byServer[s]
 		}
 	}
+	// Only the coordinator sends carries: its row slices the prefix-max
+	// vector per destination, the other sources stay nil.
 	carryOut := make([][][]lastY[Y, K], p)
-	for src := range carryOut {
-		carryOut[src] = make([][]lastY[Y, K], p)
-	}
+	carryRow := make([][]lastY[Y, K], p)
 	for dst := 0; dst < p; dst++ {
-		carryOut[0][dst] = []lastY[Y, K]{carries[dst]}
+		carryRow[dst] = carries[dst : dst+1 : dst+1]
 	}
+	carryOut[0] = carryRow
 	carried, stB := Exchange(p, carryOut)
 
 	// Local scan (one worker per server; each consults only its carry).
@@ -121,7 +122,16 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 			have = true
 			by = carried.Shards[s][0].y
 		}
-		var preds []Pred[X, Y]
+		nx := 0
+		for _, it := range sorted.Shards[s] {
+			if it.isX {
+				nx++
+			}
+		}
+		if nx == 0 {
+			return
+		}
+		preds := make([]Pred[X, Y], 0, nx)
 		for _, it := range sorted.Shards[s] {
 			if it.isX {
 				preds = append(preds, Pred[X, Y]{X: it.x, Y: by, Found: have})

@@ -67,14 +67,14 @@ func ParallelPack[T any](pt Part[T], weight func(T) int64, cap int64) (Part[Binn
 	}
 	grandTotal := run
 
-	// Round 2: base offsets back to servers.
+	// Round 2: base offsets back to servers. Only the coordinator sends:
+	// its row slices the offset vector per destination, the rest stay nil.
 	baseOut := make([][][]int64, p)
-	for src := range baseOut {
-		baseOut[src] = make([][]int64, p)
-	}
+	baseRow := make([][]int64, p)
 	for dst := 0; dst < p; dst++ {
-		baseOut[0][dst] = []int64{base[dst]}
+		baseRow[dst] = base[dst : dst+1 : dst+1]
 	}
+	baseOut[0] = baseRow
 	basePart, st2 := Exchange(p, baseOut)
 
 	// Local assignment (each server owns its prefix offset).

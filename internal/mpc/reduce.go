@@ -2,7 +2,7 @@ package mpc
 
 import (
 	"cmp"
-	"sort"
+	"slices"
 )
 
 // ReduceByKey combines all elements sharing a key into one, using the
@@ -117,46 +117,41 @@ func ReduceByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K, combine func(a
 	}
 	closeRun()
 
+	// Only the coordinator sends instructions, so its row is the whole
+	// outbox (instrs is already indexed by destination server).
 	instrOut := make([][][]instr, p)
-	for src := range instrOut {
-		instrOut[src] = make([][]instr, p)
-	}
-	for dst, is := range instrs {
-		instrOut[0][dst] = is
-	}
+	instrOut[0] = instrs
 	instrPart, stB := Exchange(p, instrOut)
 
 	// Apply instructions per server; each worker touches only shard s.
+	// After the local combine a server holds one element per key, so the
+	// coordinator's instructions can only touch the shard's ends: at most
+	// one for the first key (drop, or replace when this server owns a
+	// run confined to that key) and one for the last key (replace, when
+	// this server opened a run that later servers continued). Apply them
+	// in place instead of hashing every element through drop/replace maps.
 	out := NewPart[T](p)
 	CurrentRuntime().ForEachShard(p, func(s int) {
 		shard := reduced.Shards[s]
-		if len(instrPart.Shards[s]) == 0 {
+		ins := instrPart.Shards[s]
+		if len(ins) == 0 {
 			out.Shards[s] = shard
 			return
 		}
-		drop := make(map[K]bool)
-		repl := make(map[K]T)
-		for _, in := range instrPart.Shards[s] {
-			if in.replace {
-				repl[in.k] = in.item
-			} else {
-				drop[in.k] = true
+		lo := 0
+		for _, in := range ins {
+			switch {
+			case len(shard) > 0 && in.k == key(shard[0]) && !in.replace:
+				lo = 1
+			case len(shard) > 0 && in.k == key(shard[0]) && lo == 0:
+				shard[0] = in.item
+			case len(shard) > 0 && in.k == key(shard[len(shard)-1]) && in.replace:
+				shard[len(shard)-1] = in.item
+			default:
+				panic("mpc: ReduceByKey internal error: instruction matches neither shard boundary")
 			}
 		}
-		var kept []T
-		for _, x := range shard {
-			k := key(x)
-			if drop[k] {
-				continue
-			}
-			if item, ok := repl[k]; ok {
-				kept = append(kept, item)
-				delete(repl, k)
-				continue
-			}
-			kept = append(kept, x)
-		}
-		out.Shards[s] = kept
+		out.Shards[s] = shard[lo:]
 	})
 	return out, Seq(st, stA, stB)
 }
@@ -257,5 +252,5 @@ func SortedRuns[T any, K cmp.Ordered](shard []T, key func(T) K) [][2]int {
 
 // SortLocal sorts a shard in place by key (local helper, zero cost).
 func SortLocal[T any, K cmp.Ordered](shard []T, key func(T) K) {
-	sort.Slice(shard, func(i, j int) bool { return key(shard[i]) < key(shard[j]) })
+	slices.SortFunc(shard, func(a, b T) int { return cmp.Compare(key(a), key(b)) })
 }

@@ -2,7 +2,10 @@ package mpc
 
 import (
 	"cmp"
+	"slices"
 	"sort"
+
+	xrt "mpcjoin/internal/runtime"
 )
 
 // tagged wraps an element with its provenance (source server and local
@@ -41,6 +44,21 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 		}
 		return a.idx < b.idx
 	}
+	// tcmp is tless as a three-way comparison for slices.SortFunc; the
+	// (src, idx) provenance tie-break makes it a total order, so the
+	// unstable pdqsort is deterministic.
+	tcmp := func(a, b tagged[T]) int {
+		if less(a.x, b.x) {
+			return -1
+		}
+		if less(b.x, a.x) {
+			return 1
+		}
+		if a.src != b.src {
+			return cmp.Compare(a.src, b.src)
+		}
+		return cmp.Compare(a.idx, b.idx)
+	}
 
 	rt := CurrentRuntime()
 
@@ -53,7 +71,15 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 		for i, x := range shard {
 			ts[i] = tagged[T]{src: s, x: x}
 		}
-		sort.SliceStable(ts, func(i, j int) bool { return less(ts[i].x, ts[j].x) })
+		slices.SortStableFunc(ts, func(a, b tagged[T]) int {
+			if less(a.x, b.x) {
+				return -1
+			}
+			if less(b.x, a.x) {
+				return 1
+			}
+			return 0
+		})
 		for i := range ts {
 			ts[i].idx = i
 		}
@@ -79,7 +105,7 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 
 	// Coordinator picks p−1 splitters at regular ranks.
 	samples := gathered.Shards[0]
-	sort.Slice(samples, func(i, j int) bool { return tless(samples[i], samples[j]) })
+	slices.SortFunc(samples, tcmp)
 	var splits []tagged[T]
 	if len(samples) > 0 {
 		for i := 1; i < p; i++ {
@@ -97,15 +123,24 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 	// The splitter slice is read-only from here on, so the per-source
 	// bucket builds are independent.
 	out := make([][][]tagged[T], p)
-	rt.ForEachShard(p, func(s int) {
-		row := make([][]tagged[T], p)
-		for _, t := range local[s] {
-			b := sort.Search(len(splits), func(i int) bool {
+	rt.ForEachShardScratch(p, func(s int, sc *xrt.Scratch) {
+		ts := local[s]
+		if len(ts) == 0 {
+			return
+		}
+		// Memoize each element's bucket so the counted build's two passes
+		// pay the binary search once.
+		buckets := sc.Ints(len(ts))
+		for j, t := range ts {
+			buckets[j] = sort.Search(len(splits), func(i int) bool {
 				return tless(t, splits[i]) // first splitter strictly greater
 			})
-			row[b] = append(row[b], t)
 		}
-		out[s] = row
+		out[s] = BuildOutbox[tagged[T]](sc, p, "SortBy", func(fill bool, emit func(int, tagged[T])) {
+			for j, t := range ts {
+				emit(buckets[j], t)
+			}
+		})
 	})
 	routed, st3 := Exchange(p, out)
 
@@ -113,7 +148,7 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 	res := NewPart[T](p)
 	rt.ForEachShard(p, func(s int) {
 		ts := routed.Shards[s]
-		sort.Slice(ts, func(i, j int) bool { return tless(ts[i], ts[j]) })
+		slices.SortFunc(ts, tcmp)
 		if len(ts) == 0 {
 			return
 		}
@@ -195,38 +230,41 @@ func GroupByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[T], Stats
 		open = true
 	}
 
-	// Round B: instructions back (coordinator → each server).
+	// Round B: instructions back. Only the coordinator sends, so its row
+	// is the whole outbox (instrs is already indexed by destination).
 	instrOut := make([][][]ownerInstr, p)
-	for src := range instrOut {
-		instrOut[src] = make([][]ownerInstr, p)
-	}
-	for dst, is := range instrs {
-		instrOut[0][dst] = is
-	}
+	instrOut[0] = instrs
 	instrPart, stB := Exchange(p, instrOut)
 
-	// Round C: move chained-key elements to their owners. Each server
-	// consults only its own instruction shard, so the builds parallelize.
+	// Round C: move chained-key elements to their owners. The coordinator
+	// issues at most one instruction per server, always for the shard's
+	// first key (only a shard's first key can continue the previous
+	// server's run), so the moved elements are exactly a sorted prefix of
+	// the shard: split it instead of hashing every element through a map.
 	moveOut := make([][][]T, p)
 	res := NewPart[T](p)
 	CurrentRuntime().ForEachShard(p, func(s int) {
+		shard := sorted.Shards[s]
+		ins := instrPart.Shards[s]
+		if len(ins) == 0 {
+			res.Shards[s] = shard
+			return
+		}
+		in := ins[0]
+		if len(ins) != 1 || len(shard) == 0 || key(shard[0]) != in.k {
+			panic("mpc: GroupByKey internal error: unexpected ownership instructions")
+		}
+		i := sort.Search(len(shard), func(j int) bool { return key(shard[j]) != in.k })
 		row := make([][]T, p)
-		target := make(map[K]int)
-		for _, in := range instrPart.Shards[s] {
-			target[in.k] = in.target
-		}
-		for _, x := range sorted.Shards[s] {
-			if t, ok := target[key(x)]; ok {
-				row[t] = append(row[t], x)
-			} else {
-				res.Shards[s] = append(res.Shards[s], x)
-			}
-		}
+		row[in.target] = shard[:i:i]
 		moveOut[s] = row
+		res.Shards[s] = shard[i:len(shard):len(shard)]
 	})
 	moved, stC := Exchange(p, moveOut)
 	for s := range res.Shards {
-		res.Shards[s] = append(res.Shards[s], moved.Shards[s]...)
+		if len(moved.Shards[s]) > 0 {
+			res.Shards[s] = append(res.Shards[s], moved.Shards[s]...)
+		}
 	}
 	return res, Seq(st, stA, stB, stC)
 }

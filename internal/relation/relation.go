@@ -15,8 +15,9 @@
 package relation
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"mpcjoin/internal/semiring"
@@ -130,19 +131,18 @@ func (r *Relation[W]) String() string {
 // or grouping key. The encoding flips the sign bit so lexicographic string
 // order equals lexicographic numeric order on the value vectors.
 func EncodeKey(vals []Value, idx []int) string {
-	var b [8]byte
-	out := make([]byte, 0, 8*len(idx))
+	// Keys of up to four columns (all of the paper's query classes) are
+	// assembled in a stack buffer; only the returned string is heap-allocated.
+	var stack [32]byte
+	out := stack[:0]
+	if 8*len(idx) > len(stack) {
+		out = make([]byte, 0, 8*len(idx))
+	}
 	for _, i := range idx {
 		v := uint64(vals[i]) ^ (1 << 63) // order-preserving for signed values
-		b[0] = byte(v >> 56)
-		b[1] = byte(v >> 48)
-		b[2] = byte(v >> 40)
-		b[3] = byte(v >> 32)
-		b[4] = byte(v >> 24)
-		b[5] = byte(v >> 16)
-		b[6] = byte(v >> 8)
-		b[7] = byte(v)
-		out = append(out, b[:]...)
+		out = append(out,
+			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 	}
 	return string(out)
 }
@@ -166,19 +166,16 @@ func DecodeKey(k string) []Value {
 // key encodes the projection of vals onto the column indices idx as a
 // comparable string (8 little-endian bytes per value).
 func key(vals []Value, idx []int) string {
-	var b [8]byte
-	out := make([]byte, 0, 8*len(idx))
+	var stack [32]byte // ≤ 4 columns encode without a heap buffer
+	out := stack[:0]
+	if 8*len(idx) > len(stack) {
+		out = make([]byte, 0, 8*len(idx))
+	}
 	for _, i := range idx {
 		v := uint64(vals[i])
-		b[0] = byte(v)
-		b[1] = byte(v >> 8)
-		b[2] = byte(v >> 16)
-		b[3] = byte(v >> 24)
-		b[4] = byte(v >> 32)
-		b[5] = byte(v >> 40)
-		b[6] = byte(v >> 48)
-		b[7] = byte(v >> 56)
-		out = append(out, b[:]...)
+		out = append(out,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 	}
 	return string(out)
 }
@@ -450,14 +447,14 @@ func Degrees[W any](r *Relation[W], a Attr) map[Value]int {
 
 // SortRows orders rows lexicographically by value vector, in place.
 func (r *Relation[W]) SortRows() {
-	sort.Slice(r.Rows, func(i, j int) bool {
-		a, b := r.Rows[i].Vals, r.Rows[j].Vals
+	slices.SortFunc(r.Rows, func(x, y Row[W]) int {
+		a, b := x.Vals, y.Vals
 		for k := range a {
 			if a[k] != b[k] {
-				return a[k] < b[k]
+				return cmp.Compare(a[k], b[k])
 			}
 		}
-		return false
+		return 0
 	})
 }
 

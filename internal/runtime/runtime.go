@@ -63,6 +63,57 @@ func Serial() *Runtime { return serial }
 // Workers returns the pool size.
 func (rt *Runtime) Workers() int { return rt.workers }
 
+// Scratch is a per-worker scratch arena handed to ForEachShardScratch
+// callbacks. It amortizes the small bookkeeping buffers a shard
+// callback needs every round (destination counts, memoized routing
+// decisions) across rounds: the backing storage lives in a sync.Pool
+// and is reused, so steady-state rounds allocate nothing for them.
+//
+// Buffers carved from a Scratch are valid only within the callback
+// invocation that carved them — the arena is reset between invocations
+// and the Scratch returns to the pool at the round barrier. Callbacks
+// must not let carved slices escape (store them in round outputs,
+// capture them in closures that outlive the call). Data that crosses
+// the round barrier must be allocated normally.
+type Scratch struct {
+	ints []int
+	at   int
+}
+
+// reset recycles the arena for the next callback invocation. Carved
+// slices from the previous invocation must no longer be referenced.
+func (sc *Scratch) reset() { sc.at = 0 }
+
+// Ints carves a zeroed length-n []int from the arena. Successive calls
+// within one callback return disjoint slices.
+func (sc *Scratch) Ints(n int) []int {
+	if sc.at+n > len(sc.ints) {
+		// Grow the backing array. Slices carved earlier in this callback
+		// keep the old backing, so disjointness is preserved.
+		sc.ints = make([]int, 2*len(sc.ints)+n)
+		sc.at = 0
+	}
+	s := sc.ints[sc.at : sc.at+n]
+	sc.at += n
+	clear(s)
+	return s
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch checks a Scratch out of the shared pool for callers that
+// run per-shard work outside ForEachShardScratch (e.g. serial helpers).
+// Pair with PutScratch.
+func GetScratch() *Scratch {
+	sc := scratchPool.Get().(*Scratch)
+	sc.reset()
+	return sc
+}
+
+// PutScratch returns a Scratch to the pool. The caller must not use it
+// or any slice carved from it afterwards.
+func PutScratch(sc *Scratch) { scratchPool.Put(sc) }
+
 // ForEachShard invokes fn(i) for every i in [0, n), each exactly once.
 // With one worker the calls run inline in ascending order; otherwise
 // they run on up to Workers() goroutines which are joined before
@@ -74,6 +125,20 @@ func (rt *Runtime) Workers() int { return rt.workers }
 // workers and then re-panics with the first panic value observed, so
 // the simulator's panic-on-misuse contracts survive parallelism.
 func (rt *Runtime) ForEachShard(n int, fn func(i int)) {
+	rt.forEachShard(n, false, func(i int, _ *Scratch) { fn(i) })
+}
+
+// ForEachShardScratch is ForEachShard with a per-worker Scratch arena:
+// every invocation of fn receives the scratch owned by the worker
+// running it, freshly reset. The arenas come from a shared sync.Pool
+// and return to it before ForEachShardScratch returns, so steady-state
+// rounds reuse the same backing buffers instead of reallocating them.
+// The Scratch escape rules apply (see Scratch).
+func (rt *Runtime) ForEachShardScratch(n int, fn func(i int, sc *Scratch)) {
+	rt.forEachShard(n, true, fn)
+}
+
+func (rt *Runtime) forEachShard(n int, scratch bool, fn func(i int, sc *Scratch)) {
 	if n <= 0 {
 		return
 	}
@@ -82,8 +147,16 @@ func (rt *Runtime) ForEachShard(n int, fn func(i int)) {
 		w = n
 	}
 	if w <= 1 {
+		var sc *Scratch
+		if scratch {
+			sc = GetScratch()
+			defer PutScratch(sc)
+		}
 		for i := 0; i < n; i++ {
-			fn(i)
+			if scratch {
+				sc.reset()
+			}
+			fn(i, sc)
 		}
 		return
 	}
@@ -102,12 +175,20 @@ func (rt *Runtime) ForEachShard(n int, fn func(i int)) {
 				}
 			}
 		}()
+		var sc *Scratch
+		if scratch {
+			sc = GetScratch()
+			defer PutScratch(sc)
+		}
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n || panicked.Load() {
 				return
 			}
-			fn(i)
+			if scratch {
+				sc.reset()
+			}
+			fn(i, sc)
 		}
 	}
 	wg.Add(w)
@@ -134,8 +215,11 @@ func (rt *Runtime) ForEachShard(n int, fn func(i int)) {
 // caller only after Exchange returns, making the metering aggregation
 // (max → MaxLoad, sum → TotalComm) independent of scheduling.
 //
-// Exchange validates only pDst-conformance of out's rows that it
-// touches; callers perform shape validation (with their own panic
+// A nil (or empty) out[src] row means source src sends nothing this
+// round; sparse senders (coordinator fan-outs, boundary fix-ups) use
+// this to avoid materializing p empty destination rows per silent
+// source. Exchange validates only pDst-conformance of out's rows that
+// it touches; callers perform shape validation (with their own panic
 // messages) before calling.
 func Exchange[T any](rt *Runtime, pDst int, out [][][]T) (shards [][]T, recv []int64) {
 	shards = make([][]T, pDst)
@@ -143,6 +227,9 @@ func Exchange[T any](rt *Runtime, pDst int, out [][][]T) (shards [][]T, recv []i
 	rt.ForEachShard(pDst, func(dst int) {
 		total := 0
 		for src := range out {
+			if len(out[src]) == 0 {
+				continue
+			}
 			total += len(out[src][dst])
 		}
 		if total == 0 {
@@ -150,6 +237,9 @@ func Exchange[T any](rt *Runtime, pDst int, out [][][]T) (shards [][]T, recv []i
 		}
 		inbox := make([]T, 0, total)
 		for src := range out {
+			if len(out[src]) == 0 {
+				continue
+			}
 			inbox = append(inbox, out[src][dst]...)
 		}
 		shards[dst] = inbox

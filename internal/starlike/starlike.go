@@ -20,8 +20,9 @@
 package starlike
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mpcjoin/internal/dist"
 	"mpcjoin/internal/estimate"
@@ -161,11 +162,11 @@ func Run[W any](sr semiring.Semiring[W], arms []Arm[W], b dist.Attr, opts Option
 		// reproducible run to run for the determinism guarantees.
 		for _, bv := range bOrder {
 			ads := byB[bv]
-			sort.Slice(ads, func(i, j int) bool {
-				if ads[i].deg != ads[j].deg {
-					return ads[i].deg < ads[j].deg
+			slices.SortFunc(ads, func(x, y armDeg) int {
+				if x.deg != y.deg {
+					return cmp.Compare(x.deg, y.deg)
 				}
-				return ads[i].arm < ads[j].arm
+				return cmp.Compare(x.arm, y.arm)
 			})
 			order := make([]int, len(ads))
 			var prod int64 = 1
@@ -190,7 +191,7 @@ func Run[W any](sr semiring.Semiring[W], arms []Arm[W], b dist.Attr, opts Option
 	idsBcast, s5 := mpc.Broadcast(idsPart)
 	st = mpc.Seq(st, s3, s4, s5)
 	classIDs := append([]int64(nil), idsBcast.Shards[0]...)
-	sort.Slice(classIDs, func(i, j int) bool { return classIDs[i] < classIDs[j] })
+	slices.Sort(classIDs)
 
 	// Tag the B-incident relation of every arm with its b's class.
 	taggedInner := make([]mpc.Part[rowClass[W]], n)
@@ -340,7 +341,7 @@ func runLarge[W any](sr semiring.Semiring[W], arms []Arm[W], order []int, b dist
 	clBcast, s3 := mpc.Broadcast(clPart)
 	st = mpc.Seq(st, s1, s2, s3)
 	classIDs := append([]int64(nil), clBcast.Shards[0]...)
-	sort.Slice(classIDs, func(i, j int) bool { return classIDs[i] < classIDs[j] })
+	slices.Sort(classIDs)
 
 	bColI := rI.Cols(b)[0]
 	bColJ := rJ.Cols(b)[0]

@@ -18,8 +18,9 @@
 package starquery
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mpcjoin/internal/dist"
 	"mpcjoin/internal/estimate"
@@ -131,11 +132,11 @@ func Run[W any](sr semiring.Semiring[W], arms []dist.Rel[W], leaves [][]dist.Att
 		// reproducible run to run for the determinism guarantees.
 		for _, bv := range bOrder {
 			ads := byB[bv]
-			sort.Slice(ads, func(i, j int) bool {
-				if ads[i].deg != ads[j].deg {
-					return ads[i].deg < ads[j].deg
+			slices.SortFunc(ads, func(x, y armDeg) int {
+				if x.deg != y.deg {
+					return cmp.Compare(x.deg, y.deg)
 				}
-				return ads[i].arm < ads[j].arm
+				return cmp.Compare(x.arm, y.arm)
 			})
 			order := make([]int, len(ads))
 			for i, ad := range ads {
@@ -153,7 +154,7 @@ func Run[W any](sr semiring.Semiring[W], arms []dist.Rel[W], leaves [][]dist.Att
 	permBcast, s5 := mpc.Broadcast(permIDsPart)
 	st = mpc.Seq(st, s3, s4, s5)
 	permIDs := append([]int64(nil), permBcast.Shards[0]...)
-	sort.Slice(permIDs, func(i, j int) bool { return permIDs[i] < permIDs[j] })
+	slices.Sort(permIDs)
 
 	// Tag every arm row with its b's permutation class.
 	tagged := make([]mpc.Part[rowPerm[W]], n)

@@ -28,7 +28,7 @@ package treequery
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"mpcjoin/internal/dist"
 	"mpcjoin/internal/estimate"
@@ -198,7 +198,7 @@ func skeletonRecurse[W any](sr semiring.Semiring[W], vt *vtree[W], opts Options)
 			roots = append(roots, s)
 		}
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	slices.Sort(roots)
 
 	var st mpc.Stats
 

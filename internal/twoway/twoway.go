@@ -26,6 +26,7 @@ import (
 	"mpcjoin/internal/dist"
 	"mpcjoin/internal/mpc"
 	"mpcjoin/internal/relation"
+	xrt "mpcjoin/internal/runtime"
 	"mpcjoin/internal/semiring"
 )
 
@@ -131,9 +132,6 @@ func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64,
 		pDst = 1
 	}
 	out := make([][][]sideRow[W], p)
-	for src := range out {
-		out[src] = make([][]sideRow[W], pDst)
-	}
 	gridByKey := make(map[string]gridAssign, len(gridBcast.Shards[0]))
 	// Every server sees the same broadcast table; use shard 0's copy for
 	// the routing closure (identical content).
@@ -183,42 +181,78 @@ func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64,
 		}
 		rBase[src], sBase[src] = rb, sb
 	}
-	rt.ForEachShard(p, func(src int) {
-		dsts := out[src]
+	rt.ForEachShardScratch(p, func(src int, scr *xrt.Scratch) {
+		rShard := rBins.Shards[src]
+		sShard := sBins.Shards[src]
+		if len(rShard)+len(sShard) == 0 {
+			return
+		}
 		rowRR := rBase[src] // owned by this source from here on
 		colRR := sBase[src]
-		for _, pr := range rBins.Shards[src] {
-			row := pr.X
-			k := rKey(row)
+		// Memoize each tuple's grid placement so the stateful round-robin
+		// counters advance exactly once and the counted build's two
+		// passes replay identical destinations. An R tuple's replicas are
+		// the contiguous cells base..base+n-1 of its grid row; an S
+		// tuple's stride down its column: base + i·step for i < n. n = 0
+		// encodes a single light-bin destination, n = -1 a dropped tuple
+		// (its key is absent from the other side: no join results).
+		rMemo := scr.Ints(2 * len(rShard))
+		for m, pr := range rShard {
+			k := rKey(pr.X)
 			if g, isHeavy := gridByKey[k]; isHeavy {
 				i := rowRR[k] % g.ar
 				rowRR[k]++
-				for j := 0; j < g.bs; j++ {
-					dsts[g.offset+i*g.bs+j] = append(dsts[g.offset+i*g.bs+j], sideRow[W]{left: true, row: row})
-				}
-				continue
+				rMemo[2*m] = g.offset + i*g.bs
+				rMemo[2*m+1] = g.bs
+			} else if pr.Found {
+				rMemo[2*m] = heavyServers + pr.Y.bin
+				rMemo[2*m+1] = 0
+			} else {
+				rMemo[2*m+1] = -1
 			}
-			if pr.Found {
-				dsts[heavyServers+pr.Y.bin] = append(dsts[heavyServers+pr.Y.bin], sideRow[W]{left: true, row: row})
-			}
-			// Keys absent from the other side are dropped: they cannot
-			// produce join results.
 		}
-		for _, pr := range sBins.Shards[src] {
-			row := pr.X
-			k := sKey(row)
+		sMemo := scr.Ints(3 * len(sShard))
+		for m, pr := range sShard {
+			k := sKey(pr.X)
 			if g, isHeavy := gridByKey[k]; isHeavy {
 				j := colRR[k] % g.bs
 				colRR[k]++
-				for i := 0; i < g.ar; i++ {
-					dsts[g.offset+i*g.bs+j] = append(dsts[g.offset+i*g.bs+j], sideRow[W]{left: false, row: row})
-				}
-				continue
-			}
-			if pr.Found {
-				dsts[heavyServers+pr.Y.bin] = append(dsts[heavyServers+pr.Y.bin], sideRow[W]{left: false, row: row})
+				sMemo[3*m] = g.offset + j
+				sMemo[3*m+1] = g.bs
+				sMemo[3*m+2] = g.ar
+			} else if pr.Found {
+				sMemo[3*m] = heavyServers + pr.Y.bin
+				sMemo[3*m+2] = 0
+			} else {
+				sMemo[3*m+2] = -1
 			}
 		}
+		out[src] = mpc.BuildOutbox[sideRow[W]](scr, pDst, "twoway route", func(fill bool, emit func(int, sideRow[W])) {
+			for m, pr := range rShard {
+				base, n := rMemo[2*m], rMemo[2*m+1]
+				switch {
+				case n < 0:
+				case n == 0:
+					emit(base, sideRow[W]{left: true, row: pr.X})
+				default:
+					for j := 0; j < n; j++ {
+						emit(base+j, sideRow[W]{left: true, row: pr.X})
+					}
+				}
+			}
+			for m, pr := range sShard {
+				base, step, n := sMemo[3*m], sMemo[3*m+1], sMemo[3*m+2]
+				switch {
+				case n < 0:
+				case n == 0:
+					emit(base, sideRow[W]{left: false, row: pr.X})
+				default:
+					for i := 0; i < n; i++ {
+						emit(base+i*step, sideRow[W]{left: false, row: pr.X})
+					}
+				}
+			}
+		})
 	})
 	routed, st10 := mpc.ExchangeTo(pDst, out)
 

@@ -276,8 +276,18 @@ func Execute[W any](sr Semiring[W], q *Query, data Instance[W], opts ...Option) 
 	for _, a := range rel.Schema() {
 		res.Attrs = append(res.Attrs, string(a))
 	}
-	for _, row := range rel.Rows {
-		res.Rows = append(res.Rows, Row[W]{Vals: append([]Value(nil), row.Vals...), Annot: row.W})
+	// Materialize the result in one backing buffer (every row has the
+	// output schema's width) rather than one allocation per row.
+	w := len(res.Attrs)
+	buf := make([]Value, len(rel.Rows)*w)
+	res.Rows = make([]Row[W], len(rel.Rows))
+	for i, row := range rel.Rows {
+		var vals []Value // width 0 (full aggregation) keeps Vals nil
+		if w > 0 {
+			vals = buf[i*w : (i+1)*w : (i+1)*w]
+			copy(vals, row.Vals)
+		}
+		res.Rows[i] = Row[W]{Vals: vals, Annot: row.W}
 	}
 	return res, nil
 }
