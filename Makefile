@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke
+.PHONY: ci vet build test race bench bench-smoke service-smoke
 
 ci: vet build test race
 
@@ -13,10 +13,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrent runtime and the mpc primitives it drives are the only
-# packages that spawn goroutines; run them under the race detector.
+# Run every package that spawns goroutines under the race detector: the
+# worker-pool runtime, the mpc primitives it drives, the engine dispatch
+# (concurrent executions + cancellation), and the query service.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/mpc/...
+	$(GO) test -race ./internal/runtime/... ./internal/mpc/... ./internal/core/... ./internal/server/...
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x .
@@ -26,3 +27,9 @@ bench:
 # the exchange/sort kernels (compare against BENCH_kernels.json).
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x -benchmem ./... | tee bench-smoke.txt
+
+# End-to-end lane for the mpcd daemon: the test builds the binary with
+# -race, boots it on an ephemeral port, registers a dataset, queries it
+# under every strategy, scrapes /metrics, and SIGTERM-drains it.
+service-smoke:
+	$(GO) test -run TestServiceSmoke -count=1 -v ./cmd/mpcd

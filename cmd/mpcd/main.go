@@ -1,0 +1,71 @@
+// Command mpcd serves join-aggregate queries over the simulated MPC engine
+// as a long-lived HTTP/JSON service: register datasets once, query them
+// concurrently with per-request strategy, cluster size, semiring, worker
+// pool and deadline. See internal/server for the HTTP surface.
+//
+//	mpcd -addr :8080
+//
+// The daemon drains gracefully on SIGTERM/SIGINT: new queries are shed
+// with 503 while in-flight queries run to completion (bounded by
+// -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpcjoin/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		capacity     = flag.Int64("capacity", 0, "admission capacity in worker units (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 64, "bounded admission queue length; beyond it queries get 429")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{Capacity: *capacity, MaxQueue: *maxQueue})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mpcd: listen %s: %v", *addr, err)
+	}
+	// The resolved address line is machine-readable on purpose: harness
+	// scripts pass -addr :0 and scrape the chosen port from stdout.
+	fmt.Printf("mpcd listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		log.Fatalf("mpcd: serve: %v", err)
+	}
+
+	// Graceful drain: flip the drain flag first so keep-alive connections
+	// see 503 on new queries, then let Shutdown wait for in-flight ones.
+	log.Printf("mpcd: draining (up to %v)", *drainTimeout)
+	srv.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mpcd: shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("mpcd: drained, exiting")
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServiceSmoke is the end-to-end smoke lane: build the daemon with the
+// race detector, boot it on an ephemeral port, register a generated
+// dataset, run one query per strategy, scrape /metrics, and shut down
+// gracefully with SIGTERM while confirming the drain completes cleanly.
+// `make service-smoke` runs exactly this test.
+func TestServiceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping e2e smoke in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "mpcd")
+	build := exec.Command("go", "build", "-race", "-o", bin, "mpcjoin/cmd/mpcd")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain-timeout", "30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// exitErr is closed-over by the waiter goroutine; exited is closed
+	// (not sent on) so both the test body and Cleanup can observe it.
+	var exitErr error
+	exited := make(chan struct{})
+	go func() { exitErr = cmd.Wait(); close(exited) }()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-exited
+	})
+
+	// The daemon prints "mpcd listening on HOST:PORT" once bound.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "mpcd listening on "); ok {
+			base = "http://" + strings.TrimSpace(addr)
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never reported its address: %v", sc.Err())
+	}
+	go func() { // drain remaining output so the child never blocks on stdout
+		for sc.Scan() {
+		}
+	}()
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	// Liveness.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// Register a generated dataset and query it under every strategy.
+	code, out := post("/v1/datasets", `{"name":"E","arity":2,"generate":{"n":1500,"dom":40,"seed":42}}`)
+	if code != http.StatusOK {
+		t.Fatalf("register: %d %s", code, out)
+	}
+	var rows []string
+	for _, strat := range []string{"auto", "yannakakis", "tree"} {
+		body := fmt.Sprintf(`{"relations":[{"name":"R1","attrs":["A","B"],"dataset":"E"},{"name":"R2","attrs":["B","C"],"dataset":"E"}],"group_by":["A"],"strategy":%q,"workers":2,"seed":9}`, strat)
+		code, out := post("/v1/query", body)
+		if code != http.StatusOK {
+			t.Fatalf("query %s: %d %s", strat, code, out)
+		}
+		var qr struct {
+			Rows  [][]any `json:"rows"`
+			Stats struct {
+				Rounds  int
+				SumLoad int64
+			} `json:"stats"`
+		}
+		if err := json.Unmarshal(out, &qr); err != nil {
+			t.Fatalf("query %s: %v", strat, err)
+		}
+		if len(qr.Rows) == 0 || qr.Stats.Rounds == 0 {
+			t.Fatalf("query %s: empty result or no metering: %s", strat, out)
+		}
+		rows = append(rows, fmt.Sprint(qr.Rows))
+		t.Logf("strategy %s ok (%d rows, %d rounds)", strat, len(qr.Rows), qr.Stats.Rounds)
+	}
+	if rows[0] != rows[1] || rows[1] != rows[2] {
+		t.Fatalf("strategies disagree: %v", rows)
+	}
+
+	// Metrics reflect the three completed queries.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Completed int64 `json:"completed"`
+		InFlight  int64 `json:"in_flight"`
+		SumLoad   int64 `json:"sum_load"`
+		ByEngine  []struct {
+			Name  string `json:"name"`
+			Count int64  `json:"count"`
+		} `json:"by_engine"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if snap.Completed != 3 || snap.InFlight != 0 || snap.SumLoad == 0 {
+		t.Fatalf("metrics: %+v", snap)
+	}
+	if len(snap.ByEngine) == 0 {
+		t.Fatalf("metrics: no per-engine counts: %+v", snap)
+	}
+
+	// Graceful shutdown: SIGTERM drains and the process exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+		if exitErr != nil {
+			t.Fatalf("daemon exited with %v, want clean drain", exitErr)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mpcjoin/internal/db"
@@ -16,7 +17,6 @@ import (
 	"mpcjoin/internal/matmul"
 	"mpcjoin/internal/mpc"
 	"mpcjoin/internal/relation"
-	"mpcjoin/internal/runtime"
 	"mpcjoin/internal/semiring"
 	"mpcjoin/internal/starlike"
 	"mpcjoin/internal/starquery"
@@ -72,7 +72,9 @@ type Options struct {
 	// unless a caller installed one); 1 forces serial execution; n > 1
 	// uses n OS workers; negative selects GOMAXPROCS. Results and metered
 	// Stats are identical for every setting — Workers changes wall-clock
-	// time only.
+	// time only. The runtime is scoped to the execution (not process
+	// global), so concurrent Execute calls with different Workers values
+	// never interact.
 	Workers int
 	// OwnInput transfers ownership of the instance's relations to the
 	// execution: the initial placement aliases their row slices instead
@@ -133,7 +135,16 @@ func PlanQuery(q *hypergraph.Query, strat Strategy) (Plan, error) {
 // MPC cluster and returns the (gathered) result relation together with the
 // metered communication cost.
 func Execute[W any](sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instance[W], opts Options) (*relation.Relation[W], mpc.Stats, error) {
-	res, st, err := ExecuteDistributed(sr, q, inst, opts)
+	return ExecuteContext(context.Background(), sr, q, inst, opts)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: when ctx is
+// cancelled (deadline, client disconnect, shutdown), the execution stops at
+// the next MPC round barrier and returns ctx's error. Cancellation never
+// yields a partial result — the returned relation is nil whenever err is
+// non-nil.
+func ExecuteContext[W any](ctx context.Context, sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instance[W], opts Options) (*relation.Relation[W], mpc.Stats, error) {
+	res, st, err := ExecuteDistributedContext(ctx, sr, q, inst, opts)
 	if err != nil {
 		return nil, mpc.Stats{}, err
 	}
@@ -143,15 +154,16 @@ func Execute[W any](sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instan
 // ExecuteDistributed is Execute but leaves the result distributed, as the
 // MPC model does.
 func ExecuteDistributed[W any](sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instance[W], opts Options) (dist.Rel[W], mpc.Stats, error) {
+	return ExecuteDistributedContext(context.Background(), sr, q, inst, opts)
+}
+
+// ExecuteDistributedContext is ExecuteContext but leaves the result
+// distributed. It is the execution root: it builds the per-execution scope
+// (worker runtime + context) that every Part of this execution carries, and
+// recovers the mpc package's internal cancellation panic back into an
+// error, so callers see cancellation as an ordinary context error.
+func ExecuteDistributedContext[W any](ctx context.Context, sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instance[W], opts Options) (res dist.Rel[W], st mpc.Stats, err error) {
 	opts = opts.withDefaults()
-	if opts.Workers != 0 {
-		n := opts.Workers
-		if n < 0 {
-			n = 0 // runtime.New(0) sizes to GOMAXPROCS
-		}
-		prev := mpc.SetRuntime(runtime.New(n))
-		defer mpc.SetRuntime(prev)
-	}
 	if err := q.Validate(); err != nil {
 		return dist.Rel[W]{}, mpc.Stats{}, err
 	}
@@ -163,16 +175,25 @@ func ExecuteDistributed[W any](sr semiring.Semiring[W], q *hypergraph.Query, ins
 		return dist.Rel[W]{}, mpc.Stats{}, err
 	}
 
+	// The execution scope: a runtime sized by opts.Workers and the caller's
+	// context. It travels inside every Part placed below, so the whole
+	// dataflow of this execution — and nothing outside it — runs on this
+	// runtime and stops at the next round barrier once ctx is done.
+	ex := mpc.NewExec(ctx, opts.Workers)
+	// Primitives report cancellation by unwinding with an internal sentinel
+	// (they return no errors); convert it back into a returned error here.
+	defer mpc.Recover(&err)
+
 	rels := make(map[string]dist.Rel[W], len(q.Edges))
 	for _, e := range q.Edges {
 		if opts.OwnInput {
-			rels[e.Name] = dist.FromRelationOwned(inst[e.Name], opts.Servers)
+			rels[e.Name] = dist.FromRelationOwnedIn(ex, inst[e.Name], opts.Servers)
 		} else {
-			rels[e.Name] = dist.FromRelation(inst[e.Name], opts.Servers)
+			rels[e.Name] = dist.FromRelationIn(ex, inst[e.Name], opts.Servers)
 		}
 	}
 
-	res, st, err := dispatch(sr, q, rels, pl, opts)
+	res, st, err = dispatch(sr, q, rels, pl, opts)
 	if err != nil {
 		return dist.Rel[W]{}, mpc.Stats{}, err
 	}

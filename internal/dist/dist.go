@@ -28,9 +28,17 @@ type Rel[W any] struct {
 // initial placement). Shards are defensive copies; the caller keeps
 // ownership of r.
 func FromRelation[W any](r *relation.Relation[W], p int) Rel[W] {
+	return FromRelationIn(nil, r, p)
+}
+
+// FromRelationIn is FromRelation into an execution scope (nil = ambient):
+// the placement stamps the scope onto the Part, and every Part derived
+// from it inherits the scope's runtime and cancellation context. This is
+// how core threads per-execution scoping under the engines.
+func FromRelationIn[W any](ex *mpc.Exec, r *relation.Relation[W], p int) Rel[W] {
 	return Rel[W]{
 		Schema: append([]Attr(nil), r.Schema()...),
-		Part:   mpc.Distribute(r.Rows, p),
+		Part:   mpc.DistributeIn(ex, r.Rows, p),
 	}
 }
 
@@ -40,15 +48,28 @@ func FromRelation[W any](r *relation.Relation[W], p int) Rel[W] {
 // freshly built instances handed to exactly one execution (loaded or
 // generated inputs); keep FromRelation for relations that are reused.
 func FromRelationOwned[W any](r *relation.Relation[W], p int) Rel[W] {
+	return FromRelationOwnedIn(nil, r, p)
+}
+
+// FromRelationOwnedIn is FromRelationOwned into an execution scope.
+func FromRelationOwnedIn[W any](ex *mpc.Exec, r *relation.Relation[W], p int) Rel[W] {
 	return Rel[W]{
 		Schema: append([]Attr(nil), r.Schema()...),
-		Part:   mpc.DistributeOwned(r.Rows, p),
+		Part:   mpc.DistributeOwnedIn(ex, r.Rows, p),
 	}
 }
 
 // Empty returns an empty Rel with the given schema over p servers.
+// The Rel has no execution scope; see EmptyIn.
 func Empty[W any](schema []Attr, p int) Rel[W] {
-	return Rel[W]{Schema: append([]Attr(nil), schema...), Part: mpc.NewPart[relation.Row[W]](p)}
+	return EmptyIn[W](nil, schema, p)
+}
+
+// EmptyIn is Empty scoped to the execution ex, so downstream operations
+// that merge the empty Rel with scoped inputs stay on the execution's
+// runtime and cancellation context.
+func EmptyIn[W any](ex *mpc.Exec, schema []Attr, p int) Rel[W] {
+	return Rel[W]{Schema: append([]Attr(nil), schema...), Part: mpc.NewPartIn[relation.Row[W]](ex, p)}
 }
 
 // ToRelation gathers all shards into a sequential relation (unmetered;
@@ -247,7 +268,7 @@ func UnionAgg[W any](sr semiring.Semiring[W], rels ...Rel[W]) (Rel[W], mpc.Stats
 	// stay put when server counts match; otherwise fold shards round-robin
 	// (a placement choice, not communication — the rows are already on
 	// those virtual servers and the subsequent reduce re-routes them).
-	merged := mpc.NewPart[relation.Row[W]](p)
+	merged := mpc.NewPartIn[relation.Row[W]](parts[0].Scope(), p)
 	for _, pt := range parts {
 		for s, shard := range pt.Shards {
 			merged.Shards[s%p] = append(merged.Shards[s%p], shard...)

@@ -238,7 +238,7 @@ func MatMulOut[W any](r1, r2 dist.Rel[W], a, b, c []dist.Attr, p Params) (mpc.Pa
 // so every server learns the global sum.
 func SumCounts[K interface{ ~string | ~int64 }](pt mpc.Part[mpc.KeyCount[K]]) (int64, mpc.Stats) {
 	p := pt.P()
-	local := mpc.NewPart[int64](p)
+	local := mpc.NewPartIn[int64](pt.Scope(), p)
 	for s, shard := range pt.Shards {
 		var t int64
 		for _, kc := range shard {
@@ -251,7 +251,7 @@ func SumCounts[K interface{ ~string | ~int64 }](pt mpc.Part[mpc.KeyCount[K]]) (i
 	for _, x := range g.Shards[0] {
 		total += x
 	}
-	tot := mpc.NewPart[int64](p)
+	tot := mpc.NewPartIn[int64](pt.Scope(), p)
 	tot.Shards[0] = []int64{total}
 	_, st2 := mpc.Broadcast(tot)
 	return total, mpc.Seq(st1, st2)

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	stdruntime "runtime"
+	"testing"
+)
+
+// TestBenchRowMetadata pins the provenance stamping of benchmark rows:
+// every row carries the experiment id, the resolved worker count, and the
+// GOMAXPROCS of the measuring host (commit is empty under plain `go test`,
+// which embeds no VCS stamp).
+func TestBenchRowMetadata(t *testing.T) {
+	tab, err := Run("T1-MM-load", Config{Quick: true, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Bench) == 0 {
+		t.Fatal("no bench rows")
+	}
+	procs := stdruntime.GOMAXPROCS(0)
+	for i, row := range tab.Bench {
+		if row.ID != tab.ID {
+			t.Errorf("row %d: id %q, want %q", i, row.ID, tab.ID)
+		}
+		if row.Workers != 2 {
+			t.Errorf("row %d: workers %d, want 2", i, row.Workers)
+		}
+		if row.GoMaxProcs != procs {
+			t.Errorf("row %d: gomaxprocs %d, want %d", i, row.GoMaxProcs, procs)
+		}
+		if row.WallNs <= 0 {
+			t.Errorf("row %d: wallNs %d, want > 0", i, row.WallNs)
+		}
+	}
+}

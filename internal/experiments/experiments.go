@@ -11,9 +11,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"sync"
 	"time"
+
+	stdruntime "runtime"
 
 	"mpcjoin/internal/core"
 	"mpcjoin/internal/db"
@@ -59,6 +63,11 @@ type BenchRow struct {
 	Rounds  int    `json:"rounds"`
 	WallNs  int64  `json:"wallNs"`
 	Workers int    `json:"workers"`
+	// GoMaxProcs and Commit identify the machine parallelism and source
+	// revision a wall-clock number was measured under, so rows from
+	// different checkouts/hosts can be compared honestly.
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Commit     string `json:"commit,omitempty"`
 }
 
 // addBench records one benchmark row (ID/Workers are stamped by Run).
@@ -159,12 +168,44 @@ func Run(id string, cfg Config) (Table, error) {
 	}
 	t, err := run(id, cfg)
 	workers := cfg.effectiveWorkers()
+	commit := buildCommit()
+	procs := stdruntime.GOMAXPROCS(0)
 	for i := range t.Bench {
 		t.Bench[i].ID = t.ID
 		t.Bench[i].Workers = workers
+		t.Bench[i].GoMaxProcs = procs
+		t.Bench[i].Commit = commit
 	}
 	return t, err
 }
+
+// buildCommit reports the VCS revision the binary was built from (with a
+// "-dirty" suffix for modified trees), or "" when build info carries no
+// stamp (e.g. plain `go test` builds).
+var buildCommit = sync.OnceValue(func() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+})
 
 func run(id string, cfg Config) (Table, error) {
 	switch id {

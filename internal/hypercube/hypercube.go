@@ -99,6 +99,7 @@ func OptimalShares(q *hypergraph.Query, sizes map[string]int, p int) Shares {
 // rounds that size the shares.
 func FullJoin[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[string]dist.Rel[W], seed uint64) (dist.Rel[W], mpc.Stats) {
 	p := anyRel(rels).P()
+	ex := anyRel(rels).Part.Scope()
 
 	// Learn the relation sizes (a coordinator statistic).
 	sizes := make(map[string]int, len(q.Edges))
@@ -131,7 +132,7 @@ func FullJoin[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[stri
 	for ei, e := range q.Edges {
 		edgeCols[ei] = rels[e.Name].Cols(e.Attrs...)
 	}
-	mpc.CurrentRuntime().ForEachShard(p, func(src int) {
+	ex.ForEachShard(p, func(src int) {
 		for ei, e := range q.Edges {
 			cols := edgeCols[ei]
 			for _, row := range rels[e.Name].Part.Shards[src] {
@@ -147,7 +148,7 @@ func FullJoin[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[stri
 			}
 		}
 	})
-	routed, s := mpc.ExchangeTo(grid, out)
+	routed, s := mpc.ExchangeToIn(ex, grid, out)
 	st = mpc.Seq(st, s)
 
 	// Local full join per cell.

@@ -197,7 +197,7 @@ func run[W any](sr semiring.Semiring[W], rels []dist.Rel[W], path [][]dist.Attr,
 		resHeavy = dist.Reshape(res, p)
 		stHeavy = mpc.Seq(stHeavy, s2)
 	} else {
-		resHeavy = dist.Empty[W](outSchema, p)
+		resHeavy = dist.EmptyIn[W](rels[0].Part.Scope(), outSchema, p)
 	}
 
 	// Step 3: the light subquery.
@@ -233,10 +233,10 @@ func run[W any](sr semiring.Semiring[W], rels []dist.Rel[W], path [][]dist.Attr,
 			resLight = dist.Reshape(res, p)
 			stLight = mpc.Seq(stLight, s2)
 		} else {
-			resLight = dist.Empty[W](outSchema, p)
+			resLight = dist.EmptyIn[W](rels[0].Part.Scope(), outSchema, p)
 		}
 	} else {
-		resLight = dist.Empty[W](outSchema, p)
+		resLight = dist.EmptyIn[W](rels[0].Part.Scope(), outSchema, p)
 	}
 
 	// Step 4: ⊕-merge the two subqueries' results by (A1, A_{n+1}).

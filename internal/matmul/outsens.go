@@ -42,6 +42,7 @@ import (
 // between Steps 3 and 4, affecting load, never correctness.
 func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out int64, ests mpc.Part[mpc.KeyCount[string]], seed uint64) (dist.Rel[W], mpc.Stats) {
 	p := in.R1.P()
+	ex := in.R1.Part.Scope()
 	load := int64(math.Ceil(math.Cbrt(float64(n1)*float64(n2)*float64(out))/math.Pow(float64(p), 2.0/3.0))) + ceilDiv(n1+n2, int64(p))
 	if load < 1 {
 		load = 1
@@ -79,7 +80,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 		res2, s2 = twoway.JoinAgg(sr, dist.Rel[W]{Schema: in.R1.Schema, Part: r1Heavy}, in.R2, outSchema...)
 		st = mpc.Seq(st, s2)
 	} else {
-		res2 = dist.Empty[W](outSchema, p)
+		res2 = dist.EmptyIn[W](in.R1.Part.Scope(), outSchema, p)
 	}
 
 	nLight, sc2 := mpc.TotalCount(r1Light)
@@ -125,7 +126,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 		return res2, st
 	}
 	// Broadcast the layout (O(k1) ≤ O(p) entries).
-	layPart := mpc.NewPart[blockA](p)
+	layPart := mpc.NewPartIn[blockA](ex, p)
 	layPart.Shards[0] = blocksA
 	layBcast, stb := mpc.Broadcast(layPart)
 	st = mpc.Seq(st, stb)
@@ -140,7 +141,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 	gSchema1 := append([]dist.Attr{"⟨G⟩"}, in.R1.Schema...)
 	gSchema2 := append([]dist.Attr{"⟨G⟩"}, in.R2.Schema...)
 	outA := make([][][]sideRow[W], p)
-	mpc.CurrentRuntime().ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
+	ex.ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
 		gShard := grouped.Shards[src]
 		r2Shard := in.R2.Part.Shards[src]
 		if len(gShard)+len(r2Shard) == 0 {
@@ -189,7 +190,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 			}
 		})
 	})
-	routedA, stA := mpc.ExchangeTo(totalA, outA)
+	routedA, stA := mpc.ExchangeToIn(ex, totalA, outA)
 	st = mpc.Seq(st, stA)
 
 	r1Blk := dist.Rel[W]{Schema: gSchema1, Part: mpc.Map(mpc.Filter(routedA, func(s sideRow[W]) bool { return s.left }),
@@ -247,7 +248,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 	}
 	// Each group packs within its own block; the packs run in parallel.
 	st = mpc.Seq(st, mpc.Par(packStats...))
-	binTable := mpc.NewPart[mpc.KeyBin[string]](totalA)
+	binTable := mpc.NewPartIn[mpc.KeyBin[string]](ex, totalA)
 	for _, bt := range binTables {
 		for s, shard := range bt.Shards {
 			binTable.Shards[s%totalA] = append(binTable.Shards[s%totalA], shard...)
@@ -294,7 +295,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 	if totalB == 0 {
 		return dist.Reshape(res2, p), st
 	}
-	subPart := mpc.NewPart[subBlock](totalA)
+	subPart := mpc.NewPartIn[subBlock](ex, totalA)
 	subPart.Shards[0] = subs
 	subBcast, sbb := mpc.Broadcast(subPart)
 	st = mpc.Seq(st, sbb)
@@ -322,7 +323,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 	gCol1 := 0 // G is the leading column on both sides
 	b1 := r1Blk.Cols(in.B)[0]
 	outB := make([][][]sideRow[W], totalA)
-	mpc.CurrentRuntime().ForEachShardScratch(totalA, func(src int, sc *xrt.Scratch) {
+	ex.ForEachShardScratch(totalA, func(src int, sc *xrt.Scratch) {
 		r1Shard := r1Blk.Part.Shards[src]
 		r2Shard := r2WithBin.Shards[src]
 		if len(r1Shard)+len(r2Shard) == 0 {
@@ -366,7 +367,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 			}
 		})
 	})
-	routedB, stB := mpc.ExchangeTo(totalB, outB)
+	routedB, stB := mpc.ExchangeToIn(ex, totalB, outB)
 	st = mpc.Seq(st, stB)
 
 	// Local join-aggregate per sub-block server. The G column joins along

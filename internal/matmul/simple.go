@@ -80,8 +80,9 @@ func linearSparseMM[W any](sr semiring.Semiring[W], in Input[W]) (dist.Rel[W], m
 	bCol1 := in.R1.Cols(in.B)[0]
 	bCol2 := in.R2.Cols(in.B)[0]
 
-	merged := mpc.NewPart[sideRow[W]](p)
-	mpc.CurrentRuntime().ForEachShard(p, func(s int) {
+	ex := in.R1.Part.Scope()
+	merged := mpc.NewPartIn[sideRow[W]](ex, p)
+	ex.ForEachShard(p, func(s int) {
 		rows := make([]sideRow[W], 0, len(in.R1.Part.Shards[s])+len(in.R2.Part.Shards[s]))
 		for _, r := range in.R1.Part.Shards[s] {
 			rows = append(rows, sideRow[W]{left: true, row: r})

@@ -32,6 +32,7 @@ import (
 // needed.
 func worstCase[W any](sr semiring.Semiring[W], in Input[W], n1, n2 int64, seed uint64) (dist.Rel[W], mpc.Stats) {
 	p := in.R1.P()
+	ex := in.R1.Part.Scope()
 	load := int64(math.Ceil(math.Sqrt(float64(n1) * float64(n2) / float64(p))))
 	if load < 1 {
 		load = 1
@@ -78,9 +79,9 @@ func worstCase[W any](sr semiring.Semiring[W], in Input[W], n1, n2 int64, seed u
 
 	// One exchange routes everything. The layout is read-only and each
 	// source owns its outbox row, so the builds run concurrently on the
-	// ambient runtime.
+	// execution's runtime.
 	out := make([][][]sideRow[W], p)
-	mpc.CurrentRuntime().ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
+	ex.ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
 		rShard := rLook.Shards[src]
 		sShard := sLook.Shards[src]
 		if len(rShard)+len(sShard) == 0 {
@@ -158,17 +159,17 @@ func worstCase[W any](sr semiring.Semiring[W], in Input[W], n1, n2 int64, seed u
 			}
 		})
 	})
-	routed, stx := mpc.ExchangeTo(lay.total, out)
+	routed, stx := mpc.ExchangeToIn(ex, lay.total, out)
 
 	partials := mpc.MapShards(routed, func(_ int, shard []sideRow[W]) []relation.Row[W] {
 		return localJoinAgg(sr, in, shard)
 	})
 
 	// Steps 2–3 partials are reduced globally; step 4 outputs are final.
-	reducePart := mpc.Part[relation.Row[W]]{Shards: partials.Shards[:lay.llStart]}
-	llPart := mpc.Part[relation.Row[W]]{Shards: partials.Shards[lay.llStart:]}
+	reducePart := mpc.Slice(partials, 0, lay.llStart)
+	llPart := mpc.Slice(partials, lay.llStart, partials.P())
 	if lay.llStart == 0 {
-		reducePart = mpc.NewPart[relation.Row[W]](1)
+		reducePart = mpc.NewPartIn[relation.Row[W]](ex, 1)
 	}
 	reduced, str := dist.ProjectAgg(sr, dist.Rel[W]{Schema: in.OutSchema(), Part: reducePart}, in.OutSchema()...)
 

@@ -26,10 +26,14 @@
 // reported load is the maximum over virtual servers, which matches the
 // paper's accounting up to the same constant factors its analysis hides.
 //
-// Execution vs. model: primitives run their per-server work on the ambient
-// execution runtime (see SetRuntime and internal/runtime), which is serial
-// by default and may be a real worker pool. The runtime affects only
-// wall-clock time; results and Stats are bit-for-bit identical across
+// Execution vs. model: primitives run their per-server work on the
+// execution runtime of the scope (Exec) their input Parts carry — each
+// execution owns its runtime and cancellation context, and the scope flows
+// from the initial placement (DistributeIn) through every derived Part, so
+// concurrent executions with different worker counts never interact. Parts
+// created without a scope use the ambient runtime (see the deprecated
+// SetRuntime and internal/runtime), serial by default. The runtime affects
+// only wall-clock time; results and Stats are bit-for-bit identical across
 // runtimes, because per-server work is independent within a round and all
 // cross-server assembly (Exchange) is owned per destination with metering
 // aggregated after the round barrier. Per-element callbacks passed to
@@ -105,17 +109,28 @@ func Par(ss ...Stats) Stats {
 }
 
 // Part is a dataset partitioned across p servers; Shards[i] is server i's
-// local fragment. A Part's server count is fixed at creation.
+// local fragment. A Part's server count is fixed at creation. A Part also
+// carries the execution scope (Exec) that created it — primitives read
+// their runtime and cancellation context from their input Parts and stamp
+// the scope onto their outputs, so the scope flows with the dataflow.
 type Part[T any] struct {
 	Shards [][]T
+
+	// ex is the execution scope; nil denotes the ambient scope (see Exec).
+	ex *Exec
 }
 
-// NewPart returns an empty Part over p servers.
-func NewPart[T any](p int) Part[T] {
+// NewPart returns an empty Part over p servers in the ambient scope.
+// Execution-scoped callers use NewPartIn.
+func NewPart[T any](p int) Part[T] { return NewPartIn[T](nil, p) }
+
+// NewPartIn returns an empty Part over p servers belonging to the given
+// execution scope (nil = ambient).
+func NewPartIn[T any](ex *Exec, p int) Part[T] {
 	if p <= 0 {
 		panic(fmt.Sprintf("mpc: invalid server count %d", p))
 	}
-	return Part[T]{Shards: make([][]T, p)}
+	return Part[T]{Shards: make([][]T, p), ex: ex}
 }
 
 // P returns the number of servers the Part spans.
@@ -147,7 +162,18 @@ func (pt Part[T]) MaxShard() int {
 // shard is a defensive copy, so the caller may keep mutating data; when
 // the caller hands ownership instead, DistributeOwned skips the copies.
 func Distribute[T any](data []T, p int) Part[T] {
-	return distribute(data, p, true)
+	return distributeIn(nil, data, p, true)
+}
+
+// DistributeIn is Distribute into an execution scope (nil = ambient); the
+// scope then flows to every Part derived from the placement.
+func DistributeIn[T any](ex *Exec, data []T, p int) Part[T] {
+	return distributeIn(ex, data, p, true)
+}
+
+// DistributeOwnedIn is DistributeOwned into an execution scope.
+func DistributeOwnedIn[T any](ex *Exec, data []T, p int) Part[T] {
+	return distributeIn(ex, data, p, false)
 }
 
 // DistributeOwned is Distribute without the per-shard defensive copy:
@@ -158,11 +184,11 @@ func Distribute[T any](data []T, p int) Part[T] {
 // (cmd/mpcrun's loaded instances, the experiment drivers' generated
 // ones); keep Distribute for inputs that are reused or shared.
 func DistributeOwned[T any](data []T, p int) Part[T] {
-	return distribute(data, p, false)
+	return distributeIn(nil, data, p, false)
 }
 
-func distribute[T any](data []T, p int, copyShards bool) Part[T] {
-	pt := NewPart[T](p)
+func distributeIn[T any](ex *Exec, data []T, p int, copyShards bool) Part[T] {
+	pt := NewPartIn[T](ex, p)
 	if len(data) == 0 {
 		return pt
 	}
@@ -208,6 +234,13 @@ func Collect[T any](pt Part[T]) []T {
 // destination); see internal/runtime.Exchange for why the result and
 // metering are identical to serial execution.
 func Exchange[T any](p int, out [][][]T) (Part[T], Stats) {
+	return ExchangeIn(nil, p, out)
+}
+
+// ExchangeIn is Exchange inside an execution scope (nil = ambient): the
+// round runs on the scope's runtime, observes its cancellation, and the
+// resulting Part carries the scope.
+func ExchangeIn[T any](ex *Exec, p int, out [][][]T) (Part[T], Stats) {
 	if len(out) != p {
 		panic(fmt.Sprintf("mpc: Exchange expects %d source servers, got %d", p, len(out)))
 	}
@@ -216,7 +249,7 @@ func Exchange[T any](p int, out [][][]T) (Part[T], Stats) {
 			panic(fmt.Sprintf("mpc: Exchange source %d has %d destinations, want %d", src, len(out[src]), p))
 		}
 	}
-	return exchangeOnRuntime(p, out)
+	return exchangeOnRuntime(ex, p, out)
 }
 
 // ExchangeTo performs one communication round from the current server set
@@ -226,20 +259,31 @@ func Exchange[T any](p int, out [][][]T) (Part[T], Stats) {
 // i" steps route each subquery's input onto its group of (virtual)
 // servers in a single metered round.
 func ExchangeTo[T any](pDst int, out [][][]T) (Part[T], Stats) {
+	return ExchangeToIn(nil, pDst, out)
+}
+
+// ExchangeToIn is ExchangeTo inside an execution scope (nil = ambient).
+func ExchangeToIn[T any](ex *Exec, pDst int, out [][][]T) (Part[T], Stats) {
 	for src := range out {
 		if len(out[src]) != pDst && len(out[src]) != 0 {
 			panic(fmt.Sprintf("mpc: ExchangeTo source %d has %d destinations, want %d", src, len(out[src]), pDst))
 		}
 	}
-	return exchangeOnRuntime(pDst, out)
+	return exchangeOnRuntime(ex, pDst, out)
 }
 
-// exchangeOnRuntime assembles the round's inboxes on the ambient runtime
+// exchangeOnRuntime assembles the round's inboxes on the scope's runtime
 // (shape already validated by the caller) and aggregates the
 // per-destination received counts into Stats after the barrier, keeping
-// the metering deterministic regardless of worker count.
-func exchangeOnRuntime[T any](pDst int, out [][][]T) (Part[T], Stats) {
-	shards, recv := xrt.Exchange(CurrentRuntime(), pDst, out)
+// the metering deterministic regardless of worker count. It is the round
+// barrier of the simulator and therefore the canonical cancellation
+// point: a done context is observed here, before and during assembly.
+func exchangeOnRuntime[T any](ex *Exec, pDst int, out [][][]T) (Part[T], Stats) {
+	ex.checkpoint()
+	shards, recv, err := xrt.ExchangeCtx(ex.Context(), ex.runtime(), pDst, out)
+	if err != nil {
+		panic(canceled{err})
+	}
 	st := Stats{Rounds: 1}
 	for _, n := range recv {
 		if int(n) > st.MaxLoad {
@@ -248,7 +292,7 @@ func exchangeOnRuntime[T any](pDst int, out [][][]T) (Part[T], Stats) {
 		st.TotalComm += n
 	}
 	st.SumLoad = int64(st.MaxLoad)
-	return Part[T]{Shards: shards}, st
+	return Part[T]{Shards: shards, ex: ex}, st
 }
 
 // RouteTo performs one exchange onto pDst destination servers, with each
@@ -258,8 +302,9 @@ func exchangeOnRuntime[T any](pDst int, out [][][]T) (Part[T], Stats) {
 // across source servers (pure functions and read-only captures are; it is
 // invoked serially within one source, in element order).
 func RouteTo[T any](pt Part[T], pDst int, dest func(src int, x T) []int) (Part[T], Stats) {
+	ex := pt.scope()
 	out := make([][][]T, pt.P())
-	CurrentRuntime().ForEachShardScratch(pt.P(), func(src int, sc *xrt.Scratch) {
+	ex.ForEachShardScratch(pt.P(), func(src int, sc *xrt.Scratch) {
 		shard := pt.Shards[src]
 		if len(shard) == 0 {
 			return
@@ -279,7 +324,7 @@ func RouteTo[T any](pt Part[T], pDst int, dest func(src int, x T) []int) (Part[T
 			}
 		})
 	})
-	return ExchangeTo(pDst, out)
+	return ExchangeToIn(ex, pDst, out)
 }
 
 // Route performs one exchange where each element is sent to the server
@@ -288,8 +333,9 @@ func RouteTo[T any](pt Part[T], pDst int, dest func(src int, x T) []int) (Part[T
 // servers.
 func Route[T any](pt Part[T], dest func(src int, x T) int) (Part[T], Stats) {
 	p := pt.P()
+	ex := pt.scope()
 	out := make([][][]T, p)
-	CurrentRuntime().ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
+	ex.ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
 		shard := pt.Shards[src]
 		if len(shard) == 0 {
 			return
@@ -306,7 +352,7 @@ func Route[T any](pt Part[T], dest func(src int, x T) int) (Part[T], Stats) {
 			}
 		})
 	})
-	return Exchange(p, out)
+	return ExchangeIn(ex, p, out)
 }
 
 // Broadcast replicates the elements of pt to every server: afterwards each
@@ -321,7 +367,7 @@ func Broadcast[T any](pt Part[T]) (Part[T], Stats) {
 			out[src][dst] = pt.Shards[src]
 		}
 	}
-	return Exchange(p, out)
+	return ExchangeIn(pt.scope(), p, out)
 }
 
 // Gather routes every element of pt to server dst (a "convergecast"); used
@@ -336,8 +382,8 @@ func Gather[T any](pt Part[T], dst int) (Part[T], Stats) {
 // Filter and MapShards — within one server they run serially in element
 // order).
 func Map[T, U any](pt Part[T], f func(T) U) Part[U] {
-	out := NewPart[U](pt.P())
-	CurrentRuntime().ForEachShard(pt.P(), func(i int) {
+	out := NewPartIn[U](pt.scope(), pt.P())
+	pt.scope().ForEachShard(pt.P(), func(i int) {
 		shard := pt.Shards[i]
 		if len(shard) == 0 {
 			return
@@ -353,8 +399,8 @@ func Map[T, U any](pt Part[T], f func(T) U) Part[U] {
 
 // FlatMap applies f to every element locally, concatenating results.
 func FlatMap[T, U any](pt Part[T], f func(T) []U) Part[U] {
-	out := NewPart[U](pt.P())
-	CurrentRuntime().ForEachShard(pt.P(), func(i int) {
+	out := NewPartIn[U](pt.scope(), pt.P())
+	pt.scope().ForEachShard(pt.P(), func(i int) {
 		var us []U
 		for _, x := range pt.Shards[i] {
 			us = append(us, f(x)...)
@@ -366,8 +412,8 @@ func FlatMap[T, U any](pt Part[T], f func(T) []U) Part[U] {
 
 // Filter keeps the elements satisfying pred; local, zero cost.
 func Filter[T any](pt Part[T], pred func(T) bool) Part[T] {
-	out := NewPart[T](pt.P())
-	CurrentRuntime().ForEachShard(pt.P(), func(i int) {
+	out := NewPartIn[T](pt.scope(), pt.P())
+	pt.scope().ForEachShard(pt.P(), func(i int) {
 		var keep []T
 		for _, x := range pt.Shards[i] {
 			if pred(x) {
@@ -384,8 +430,8 @@ func Filter[T any](pt Part[T], pred func(T) bool) Part[T] {
 // shard closures execute concurrently on the ambient runtime, one call
 // per server, each owning its output slice.
 func MapShards[T, U any](pt Part[T], f func(server int, shard []T) []U) Part[U] {
-	out := NewPart[U](pt.P())
-	CurrentRuntime().ForEachShard(pt.P(), func(i int) {
+	out := NewPartIn[U](pt.scope(), pt.P())
+	pt.scope().ForEachShard(pt.P(), func(i int) {
 		out.Shards[i] = f(i, pt.Shards[i])
 	})
 	return out
@@ -396,10 +442,14 @@ func MapShards[T, U any](pt Part[T], f func(server int, shard []T) []U) Part[U] 
 // the (disjoint) server groups that produced them: no communication.
 func Concat[T any](groups ...Part[T]) Part[T] {
 	total := 0
+	var ex *Exec
 	for _, g := range groups {
 		total += g.P()
+		if ex == nil {
+			ex = g.scope()
+		}
 	}
-	out := NewPart[T](total)
+	out := NewPartIn[T](ex, total)
 	at := 0
 	for _, g := range groups {
 		for _, s := range g.Shards {
@@ -422,7 +472,7 @@ func Reshape[T any](pt Part[T], p int) Part[T] {
 	if pt.P() == p {
 		return pt
 	}
-	out := NewPart[T](p)
+	out := NewPartIn[T](pt.scope(), p)
 	counts := make([]int, p)
 	for s, shard := range pt.Shards {
 		counts[s%p] += len(shard)
@@ -444,7 +494,7 @@ func Widen[T any](pt Part[T], p int) Part[T] {
 	if p < pt.P() {
 		panic(fmt.Sprintf("mpc: Widen to %d < current %d", p, pt.P()))
 	}
-	out := NewPart[T](p)
+	out := NewPartIn[T](pt.scope(), p)
 	copy(out.Shards, pt.Shards)
 	return out
 }
@@ -455,7 +505,7 @@ func Slice[T any](pt Part[T], lo, hi int) Part[T] {
 	if lo < 0 || hi > pt.P() || lo > hi {
 		panic(fmt.Sprintf("mpc: Slice [%d,%d) out of range [0,%d)", lo, hi, pt.P()))
 	}
-	return Part[T]{Shards: pt.Shards[lo:hi]}
+	return Part[T]{Shards: pt.Shards[lo:hi], ex: pt.ex}
 }
 
 // Rebalance spreads pt's elements evenly (round-robin by global arrival
@@ -473,7 +523,8 @@ func Rebalance[T any](pt Part[T]) (Part[T], Stats) {
 		at += len(shard)
 	}
 	out := make([][][]T, p)
-	CurrentRuntime().ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
+	ex := pt.scope()
+	ex.ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
 		shard := pt.Shards[src]
 		if len(shard) == 0 {
 			return
@@ -486,5 +537,5 @@ func Rebalance[T any](pt Part[T]) (Part[T], Stats) {
 			}
 		})
 	})
-	return Exchange(p, out)
+	return ExchangeIn(ex, p, out)
 }

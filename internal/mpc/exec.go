@@ -1,0 +1,183 @@
+package mpc
+
+import (
+	"context"
+	"fmt"
+
+	xrt "mpcjoin/internal/runtime"
+)
+
+// Exec is the scope of one MPC execution: the worker runtime its
+// per-server work runs on and the context.Context that cancels it. Every
+// Part carries the Exec that created it, and every primitive propagates
+// the scope from its inputs to its outputs, so an execution's whole
+// dataflow shares one scope without any process-global state — two
+// concurrent executions with different worker counts or deadlines never
+// interact. (The idiom mirrors dataflow systems where datasets carry
+// their session: a Spark RDD knows its SparkContext.)
+//
+// Scope semantics:
+//
+//   - The runtime decides how many OS workers run per-server work. It
+//     affects wall-clock time only; results and metered Stats are
+//     bit-for-bit identical across runtimes (see internal/runtime).
+//   - The context cancels the execution at round barriers: every metered
+//     exchange and every runtime dispatch checks it before (and, shard-
+//     granular, during) the barrier, so a cancelled execution stops
+//     within one round instead of running to completion.
+//
+// Cancellation protocol: the mpc primitives return no errors — threading
+// an error through every engine's round structure would triple the API
+// for a condition that simply abandons the execution. Instead a primitive
+// that observes a done context panics with an internal sentinel carrying
+// ctx.Err(); the execution root (core.ExecuteContext) recovers it via
+// CanceledError and returns the error. Algorithm code between the root
+// and the primitives holds no resources that outlive the execution, so
+// unwinding through it is safe. The sentinel never escapes a root that
+// uses Recover/CanceledError; any other panic re-propagates unchanged.
+//
+// A nil *Exec is a valid scope everywhere one is accepted: it denotes the
+// ambient scope — the deprecated process-global runtime installed by
+// SetRuntime (serial by default) and a never-cancelled context. Parts
+// built by the unscoped constructors (NewPart, Distribute, Exchange …)
+// carry the nil scope, which keeps pre-Exec callers and tests working
+// unchanged.
+type Exec struct {
+	rt  *xrt.Runtime
+	ctx context.Context
+}
+
+// NewExec returns an execution scope with the given context and worker
+// count. workers follows the Options.Workers convention: 0 inherits the
+// ambient runtime (honouring deprecated SetRuntime installs), 1 forces
+// serial execution, n > 1 uses n OS workers, and negative selects
+// GOMAXPROCS. A nil ctx means "never cancelled".
+func NewExec(ctx context.Context, workers int) *Exec {
+	var rt *xrt.Runtime
+	switch {
+	case workers == 0:
+		rt = CurrentRuntime()
+	case workers < 0:
+		rt = xrt.New(0)
+	default:
+		rt = xrt.New(workers)
+	}
+	return ExecOn(ctx, rt)
+}
+
+// ExecOn returns an execution scope running on an explicit runtime.
+// A nil rt selects the serial runtime; a nil ctx means "never cancelled".
+func ExecOn(ctx context.Context, rt *xrt.Runtime) *Exec {
+	if rt == nil {
+		rt = xrt.Serial()
+	}
+	return &Exec{rt: rt, ctx: ctx}
+}
+
+// Context returns the scope's context (nil when never cancelled).
+func (ex *Exec) Context() context.Context {
+	if ex == nil {
+		return nil
+	}
+	return ex.ctx
+}
+
+// Workers returns the scope's worker-pool size.
+func (ex *Exec) Workers() int { return ex.runtime().Workers() }
+
+// runtime resolves the scope's runtime; the nil (ambient) scope resolves
+// to the deprecated process-global runtime at call time, so SetRuntime
+// keeps steering unscoped callers.
+func (ex *Exec) runtime() *xrt.Runtime {
+	if ex == nil {
+		return CurrentRuntime()
+	}
+	return ex.rt
+}
+
+// canceled is the panic sentinel carrying a cancelled execution's error
+// out of the primitive that observed it (see the protocol above).
+type canceled struct{ err error }
+
+// CanceledError inspects a recovered panic value: if it is the mpc
+// cancellation sentinel it returns the underlying context error and true.
+// Execution roots use it to convert the unwound panic back into an error.
+func CanceledError(r any) (error, bool) {
+	if c, ok := r.(canceled); ok {
+		return c.err, true
+	}
+	return nil, false
+}
+
+// Recover converts an in-flight cancellation panic into an error; any
+// other panic (including nil recovery) re-propagates or no-ops. Use it in
+// a defer at an execution root:
+//
+//	defer mpc.Recover(&err)
+func Recover(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if err, ok := CanceledError(r); ok {
+		*errp = err
+		return
+	}
+	panic(r)
+}
+
+// checkpoint panics with the cancellation sentinel when the scope's
+// context is done. Primitives call it on entry to every round barrier.
+func (ex *Exec) checkpoint() {
+	if ex == nil || ex.ctx == nil {
+		return
+	}
+	if err := ex.ctx.Err(); err != nil {
+		panic(canceled{err})
+	}
+}
+
+// ForEachShard dispatches fn(i) for i in [0, n) on the scope's runtime,
+// checking cancellation before the dispatch and between shard claims.
+// Algorithm packages use it for their per-server local phases; fn must
+// confine writes to state owned by shard i (see xrt.Runtime.ForEachShard).
+func (ex *Exec) ForEachShard(n int, fn func(i int)) {
+	ex.checkpoint()
+	if err := ex.runtime().ForEachShardCtx(ex.Context(), n, fn); err != nil {
+		panic(canceled{err})
+	}
+}
+
+// ForEachShardScratch is ForEachShard with a per-worker Scratch arena
+// (see xrt.Runtime.ForEachShardScratch for the escape rules).
+func (ex *Exec) ForEachShardScratch(n int, fn func(i int, sc *xrt.Scratch)) {
+	ex.checkpoint()
+	if err := ex.runtime().ForEachShardScratchCtx(ex.Context(), n, fn); err != nil {
+		panic(canceled{err})
+	}
+}
+
+// scope returns the Part's execution scope (nil = ambient); primitives
+// propagate it to every Part they derive.
+func (pt Part[T]) scope() *Exec { return pt.ex }
+
+// Scope returns the execution scope the Part belongs to, for algorithm
+// code that needs to create fresh Parts (NewPartIn) or raw exchanges
+// (ExchangeIn) inside the same execution. It may be nil (ambient scope);
+// the *In constructors accept that.
+func (pt Part[T]) Scope() *Exec { return pt.ex }
+
+// mergeScope picks the non-nil scope when a primitive combines two Parts
+// (MultiSearch, SemijoinKeys); both nil yields the ambient scope. Mixing
+// two different non-nil scopes is a caller bug — executions must not
+// share data — and panics rather than silently picking one.
+func mergeScope[X, Y any](a Part[X], b Part[Y]) *Exec {
+	ax, bx := a.scope(), b.scope()
+	switch {
+	case ax == nil:
+		return bx
+	case bx == nil || ax == bx:
+		return ax
+	}
+	panic(fmt.Sprintf("mpc: parts from two different executions combined (%p vs %p)", ax, bx))
+}

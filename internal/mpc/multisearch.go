@@ -45,9 +45,9 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 		panic("mpc: MultiSearch parts span different server counts")
 	}
 
-	rt := CurrentRuntime()
-	merged := NewPart[msItem[X, Y, K]](p)
-	rt.ForEachShard(p, func(s int) {
+	ex := mergeScope(xs, ys)
+	merged := NewPartIn[msItem[X, Y, K]](ex, p)
+	ex.ForEachShard(p, func(s int) {
 		items := make([]msItem[X, Y, K], 0, len(xs.Shards[s])+len(ys.Shards[s]))
 		for _, y := range ys.Shards[s] {
 			items = append(items, msItem[X, Y, K]{k: ykey(y), y: y})
@@ -69,8 +69,8 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 	})
 
 	// Each server's greatest local Y → coordinator.
-	lasts := NewPart[lastY[Y, K]](p)
-	rt.ForEachShard(p, func(s int) {
+	lasts := NewPartIn[lastY[Y, K]](ex, p)
+	ex.ForEachShard(p, func(s int) {
 		shard := sorted.Shards[s]
 		l := lastY[Y, K]{src: s}
 		for i := len(shard) - 1; i >= 0; i-- {
@@ -109,11 +109,11 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 		carryRow[dst] = carries[dst : dst+1 : dst+1]
 	}
 	carryOut[0] = carryRow
-	carried, stB := Exchange(p, carryOut)
+	carried, stB := ExchangeIn(ex, p, carryOut)
 
 	// Local scan (one worker per server; each consults only its carry).
-	out := NewPart[Pred[X, Y]](p)
-	rt.ForEachShard(p, func(s int) {
+	out := NewPartIn[Pred[X, Y]](ex, p)
+	ex.ForEachShard(p, func(s int) {
 		var (
 			have bool
 			by   Y

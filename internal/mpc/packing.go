@@ -38,11 +38,12 @@ func ParallelPack[T any](pt Part[T], weight func(T) int64, cap int64) (Part[Binn
 		panic("mpc: ParallelPack capacity must be positive")
 	}
 	p := pt.P()
+	ex := pt.scope()
 
 	// Round 1: local totals to coordinator (per-server sums run on the
-	// ambient runtime; weight must be safe for concurrent calls).
-	totals := NewPart[int64](p)
-	CurrentRuntime().ForEachShard(p, func(s int) {
+	// execution's runtime; weight must be safe for concurrent calls).
+	totals := NewPartIn[int64](ex, p)
+	ex.ForEachShard(p, func(s int) {
 		var t int64
 		for _, x := range pt.Shards[s] {
 			t += weight(x)
@@ -50,7 +51,7 @@ func ParallelPack[T any](pt Part[T], weight func(T) int64, cap int64) (Part[Binn
 		totals.Shards[s] = []int64{t}
 	})
 	// Keep per-server order: tag with src via KeyCount.
-	tagged := NewPart[KeyCount[int]](p)
+	tagged := NewPartIn[KeyCount[int]](ex, p)
 	for s := range totals.Shards {
 		tagged.Shards[s] = []KeyCount[int]{{Key: s, Count: totals.Shards[s][0]}}
 	}
@@ -75,11 +76,11 @@ func ParallelPack[T any](pt Part[T], weight func(T) int64, cap int64) (Part[Binn
 		baseRow[dst] = base[dst : dst+1 : dst+1]
 	}
 	baseOut[0] = baseRow
-	basePart, st2 := Exchange(p, baseOut)
+	basePart, st2 := ExchangeIn(ex, p, baseOut)
 
 	// Local assignment (each server owns its prefix offset).
-	out := NewPart[Binned[T]](p)
-	CurrentRuntime().ForEachShard(p, func(s int) {
+	out := NewPartIn[Binned[T]](ex, p)
+	ex.ForEachShard(p, func(s int) {
 		shard := pt.Shards[s]
 		if len(shard) == 0 {
 			return

@@ -22,6 +22,7 @@ import (
 // be safe for concurrent calls across servers.
 func ReduceByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K, combine func(a, b T) T) (Part[T], Stats) {
 	p := pt.P()
+	ex := pt.scope()
 
 	// Local pre-combine (free).
 	pre := MapShards(pt, func(_ int, shard []T) []T {
@@ -49,7 +50,7 @@ func ReduceByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K, combine func(a
 		lastItem  T
 		n         int
 	}
-	edges := NewPart[edge](p)
+	edges := NewPartIn[edge](ex, p)
 	for s, shard := range reduced.Shards {
 		e := edge{src: s, n: len(shard)}
 		if len(shard) > 0 {
@@ -121,7 +122,7 @@ func ReduceByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K, combine func(a
 	// outbox (instrs is already indexed by destination server).
 	instrOut := make([][][]instr, p)
 	instrOut[0] = instrs
-	instrPart, stB := Exchange(p, instrOut)
+	instrPart, stB := ExchangeIn(ex, p, instrOut)
 
 	// Apply instructions per server; each worker touches only shard s.
 	// After the local combine a server holds one element per key, so the
@@ -130,8 +131,8 @@ func ReduceByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K, combine func(a
 	// run confined to that key) and one for the last key (replace, when
 	// this server opened a run that later servers continued). Apply them
 	// in place instead of hashing every element through drop/replace maps.
-	out := NewPart[T](p)
-	CurrentRuntime().ForEachShard(p, func(s int) {
+	out := NewPartIn[T](ex, p)
+	ex.ForEachShard(p, func(s int) {
 		shard := reduced.Shards[s]
 		ins := instrPart.Shards[s]
 		if len(ins) == 0 {
@@ -220,7 +221,8 @@ type KeyCount[K cmp.Ordered] struct {
 // a global size. Returns the count and the (O(p)-load) stats.
 func TotalCount[T any](pt Part[T]) (int64, Stats) {
 	p := pt.P()
-	counts := NewPart[int64](p)
+	ex := pt.scope()
+	counts := NewPartIn[int64](ex, p)
 	for s, shard := range pt.Shards {
 		counts.Shards[s] = []int64{int64(len(shard))}
 	}
@@ -229,7 +231,7 @@ func TotalCount[T any](pt Part[T]) (int64, Stats) {
 	for _, c := range gathered.Shards[0] {
 		total += c
 	}
-	tot := NewPart[int64](p)
+	tot := NewPartIn[int64](ex, p)
 	tot.Shards[0] = []int64{total}
 	_, st2 := Broadcast(tot)
 	return total, Seq(st1, st2)

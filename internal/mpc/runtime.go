@@ -19,13 +19,17 @@ var ambient atomic.Pointer[xrt.Runtime]
 func init() { ambient.Store(xrt.Serial()) }
 
 // SetRuntime installs rt as the ambient execution runtime for all mpc
-// primitives and returns the previously installed one, so callers can
-// restore it (typically with defer). A nil rt installs Serial().
+// primitives operating on scope-less Parts and returns the previously
+// installed one, so callers can restore it (typically with defer). A nil
+// rt installs Serial().
 //
-// The swap is atomic but the setting is process-global: concurrent
-// executions that want different pool sizes should serialize their
-// SetRuntime/restore windows. Results and Stats are runtime-independent
-// either way.
+// Deprecated: the swap is atomic but the setting is process-global, so
+// two concurrent executions wanting different pool sizes stomp each
+// other's runtime. Per-execution scoping supersedes it: create an Exec
+// (NewExec) and place data with the *In constructors — the scope travels
+// with the Parts and concurrent executions never interact. SetRuntime
+// remains as a shim for single-execution tools (CLI drivers, benchmarks,
+// tests) whose Parts are built by the unscoped constructors.
 func SetRuntime(rt *xrt.Runtime) *xrt.Runtime {
 	if rt == nil {
 		rt = xrt.Serial()

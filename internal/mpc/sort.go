@@ -60,12 +60,12 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 		return cmp.Compare(a.idx, b.idx)
 	}
 
-	rt := CurrentRuntime()
+	ex := pt.scope()
 
 	// Local sort; tag with (src, idx) for global uniqueness. One worker
 	// per server — less must be safe for concurrent calls across servers.
 	local := make([][]tagged[T], p)
-	rt.ForEachShard(p, func(s int) {
+	ex.ForEachShard(p, func(s int) {
 		shard := pt.Shards[s]
 		ts := make([]tagged[T], len(shard))
 		for i, x := range shard {
@@ -87,7 +87,7 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 	})
 
 	// Round 1: regular samples to the coordinator (server 0).
-	samplePart := NewPart[tagged[T]](p)
+	samplePart := NewPartIn[tagged[T]](ex, p)
 	for s, ts := range local {
 		n := len(ts)
 		if n == 0 {
@@ -114,7 +114,7 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 	}
 
 	// Round 2: broadcast splitters.
-	splitPart := NewPart[tagged[T]](p)
+	splitPart := NewPartIn[tagged[T]](ex, p)
 	splitPart.Shards[0] = splits
 	bcast, st2 := Broadcast(splitPart)
 	splits = bcast.Shards[0] // identical on every server
@@ -123,7 +123,7 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 	// The splitter slice is read-only from here on, so the per-source
 	// bucket builds are independent.
 	out := make([][][]tagged[T], p)
-	rt.ForEachShardScratch(p, func(s int, sc *xrt.Scratch) {
+	ex.ForEachShardScratch(p, func(s int, sc *xrt.Scratch) {
 		ts := local[s]
 		if len(ts) == 0 {
 			return
@@ -142,11 +142,11 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 			}
 		})
 	})
-	routed, st3 := Exchange(p, out)
+	routed, st3 := ExchangeIn(ex, p, out)
 
 	// Final local sort.
-	res := NewPart[T](p)
-	rt.ForEachShard(p, func(s int) {
+	res := NewPartIn[T](ex, p)
+	ex.ForEachShard(p, func(s int) {
 		ts := routed.Shards[s]
 		slices.SortFunc(ts, tcmp)
 		if len(ts) == 0 {
@@ -184,10 +184,11 @@ type boundarySummary[K cmp.Ordered] struct {
 // only invoke this on light keys).
 func GroupByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[T], Stats) {
 	p := pt.P()
+	ex := pt.scope()
 	sorted, st := Sort(pt, key)
 
 	// Round A: boundary summaries to the coordinator.
-	sum := NewPart[boundarySummary[K]](p)
+	sum := NewPartIn[boundarySummary[K]](ex, p)
 	for s, shard := range sorted.Shards {
 		b := boundarySummary[K]{src: s}
 		if len(shard) > 0 {
@@ -234,7 +235,7 @@ func GroupByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[T], Stats
 	// is the whole outbox (instrs is already indexed by destination).
 	instrOut := make([][][]ownerInstr, p)
 	instrOut[0] = instrs
-	instrPart, stB := Exchange(p, instrOut)
+	instrPart, stB := ExchangeIn(ex, p, instrOut)
 
 	// Round C: move chained-key elements to their owners. The coordinator
 	// issues at most one instruction per server, always for the shard's
@@ -242,8 +243,8 @@ func GroupByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[T], Stats
 	// server's run), so the moved elements are exactly a sorted prefix of
 	// the shard: split it instead of hashing every element through a map.
 	moveOut := make([][][]T, p)
-	res := NewPart[T](p)
-	CurrentRuntime().ForEachShard(p, func(s int) {
+	res := NewPartIn[T](ex, p)
+	ex.ForEachShard(p, func(s int) {
 		shard := sorted.Shards[s]
 		ins := instrPart.Shards[s]
 		if len(ins) == 0 {
@@ -260,7 +261,7 @@ func GroupByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[T], Stats
 		moveOut[s] = row
 		res.Shards[s] = shard[i:len(shard):len(shard)]
 	})
-	moved, stC := Exchange(p, moveOut)
+	moved, stC := ExchangeIn(ex, p, moveOut)
 	for s := range res.Shards {
 		if len(moved.Shards[s]) > 0 {
 			res.Shards[s] = append(res.Shards[s], moved.Shards[s]...)

@@ -24,6 +24,7 @@
 package runtime
 
 import (
+	"context"
 	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
@@ -125,7 +126,18 @@ func PutScratch(sc *Scratch) { scratchPool.Put(sc) }
 // workers and then re-panics with the first panic value observed, so
 // the simulator's panic-on-misuse contracts survive parallelism.
 func (rt *Runtime) ForEachShard(n int, fn func(i int)) {
-	rt.forEachShard(n, false, func(i int, _ *Scratch) { fn(i) })
+	rt.forEachShard(nil, n, false, func(i int, _ *Scratch) { fn(i) })
+}
+
+// ForEachShardCtx is ForEachShard with cooperative cancellation: when ctx
+// is cancelled, workers stop claiming new shards and the call returns
+// ctx.Err() after the join barrier. Shards already in flight run to
+// completion (shard work is never interrupted mid-element), so the caller
+// observes cancellation with at most one shard's worth of latency per
+// worker; partially produced outputs must be discarded by the caller. A
+// nil ctx means "never cancelled" and is equivalent to ForEachShard.
+func (rt *Runtime) ForEachShardCtx(ctx context.Context, n int, fn func(i int)) error {
+	return rt.forEachShard(ctx, n, false, func(i int, _ *Scratch) { fn(i) })
 }
 
 // ForEachShardScratch is ForEachShard with a per-worker Scratch arena:
@@ -135,12 +147,23 @@ func (rt *Runtime) ForEachShard(n int, fn func(i int)) {
 // rounds reuse the same backing buffers instead of reallocating them.
 // The Scratch escape rules apply (see Scratch).
 func (rt *Runtime) ForEachShardScratch(n int, fn func(i int, sc *Scratch)) {
-	rt.forEachShard(n, true, fn)
+	rt.forEachShard(nil, n, true, fn)
 }
 
-func (rt *Runtime) forEachShard(n int, scratch bool, fn func(i int, sc *Scratch)) {
+// ForEachShardScratchCtx is ForEachShardScratch with the cooperative
+// cancellation semantics of ForEachShardCtx.
+func (rt *Runtime) ForEachShardScratchCtx(ctx context.Context, n int, fn func(i int, sc *Scratch)) error {
+	return rt.forEachShard(ctx, n, true, fn)
+}
+
+func (rt *Runtime) forEachShard(ctx context.Context, n int, scratch bool, fn func(i int, sc *Scratch)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	// The cancellation probe between shard claims is an inlined nil check
+	// (not a closure), keeping the uncancellable paths allocation-free.
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
 	}
 	w := rt.workers
 	if w > n {
@@ -153,12 +176,15 @@ func (rt *Runtime) forEachShard(n int, scratch bool, fn func(i int, sc *Scratch)
 			defer PutScratch(sc)
 		}
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			if scratch {
 				sc.reset()
 			}
 			fn(i, sc)
 		}
-		return
+		return nil
 	}
 	var (
 		next     atomic.Int64
@@ -182,7 +208,7 @@ func (rt *Runtime) forEachShard(n int, scratch bool, fn func(i int, sc *Scratch)
 		}
 		for {
 			i := int(next.Add(1)) - 1
-			if i >= n || panicked.Load() {
+			if i >= n || panicked.Load() || (ctx != nil && ctx.Err() != nil) {
 				return
 			}
 			if scratch {
@@ -199,6 +225,10 @@ func (rt *Runtime) forEachShard(n int, scratch bool, fn func(i int, sc *Scratch)
 	if panicked.Load() {
 		panic(*panicVal.Load().(*any))
 	}
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Exchange assembles the inboxes of one simulated communication round:
@@ -222,9 +252,18 @@ func (rt *Runtime) forEachShard(n int, scratch bool, fn func(i int, sc *Scratch)
 // it touches; callers perform shape validation (with their own panic
 // messages) before calling.
 func Exchange[T any](rt *Runtime, pDst int, out [][][]T) (shards [][]T, recv []int64) {
+	shards, recv, _ = ExchangeCtx[T](nil, rt, pDst, out)
+	return shards, recv
+}
+
+// ExchangeCtx is Exchange with cooperative cancellation (the semantics of
+// ForEachShardCtx): on cancellation the partially assembled shards are
+// abandoned and ctx.Err() is returned; the caller must not use them. This
+// is the round barrier a cancelled query stops at.
+func ExchangeCtx[T any](ctx context.Context, rt *Runtime, pDst int, out [][][]T) (shards [][]T, recv []int64, err error) {
 	shards = make([][]T, pDst)
 	recv = make([]int64, pDst)
-	rt.ForEachShard(pDst, func(dst int) {
+	err = rt.ForEachShardCtx(ctx, pDst, func(dst int) {
 		total := 0
 		for src := range out {
 			if len(out[src]) == 0 {
@@ -245,5 +284,8 @@ func Exchange[T any](rt *Runtime, pDst int, out [][][]T) (shards [][]T, recv []i
 		shards[dst] = inbox
 		recv[dst] = int64(total)
 	})
-	return shards, recv
+	if err != nil {
+		return nil, nil, err
+	}
+	return shards, recv, nil
 }

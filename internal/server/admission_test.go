@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreFastPath(t *testing.T) {
+	s := NewSemaphore(4, 2)
+	n, err := s.Acquire(context.Background(), 3)
+	if err != nil || n != 3 {
+		t.Fatalf("Acquire = (%d, %v)", n, err)
+	}
+	if got := s.InUse(); got != 3 {
+		t.Fatalf("InUse = %d, want 3", got)
+	}
+	s.Release(3)
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+}
+
+func TestSemaphoreClampsOversized(t *testing.T) {
+	s := NewSemaphore(2, 2)
+	n, err := s.Acquire(context.Background(), 100)
+	if err != nil || n != 2 {
+		t.Fatalf("Acquire(100) = (%d, %v), want clamp to capacity 2", n, err)
+	}
+	s.Release(n)
+}
+
+func TestSemaphoreQueueFull(t *testing.T) {
+	s := NewSemaphore(1, 1)
+	if _, err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, 1)
+		if err == nil {
+			s.Release(1)
+		}
+		done <- err
+	}()
+	// Wait until the waiter is parked.
+	for s.Queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// The queue is full now: the next acquire must be shed immediately.
+	if _, err := s.Acquire(context.Background(), 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Acquire on full queue = %v, want ErrQueueFull", err)
+	}
+	s.Release(1) // hands capacity to the parked waiter
+	if err := <-done; err != nil {
+		t.Fatalf("parked waiter: %v", err)
+	}
+}
+
+func TestSemaphoreAcquireRespectsContext(t *testing.T) {
+	s := NewSemaphore(1, 4)
+	if _, err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, 1)
+		done <- err
+	}()
+	for s.Queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Acquire did not return")
+	}
+	if got := s.Queued(); got != 0 {
+		t.Fatalf("Queued after cancel = %d, want 0", got)
+	}
+}
+
+// TestSemaphoreFIFO checks a light late arrival cannot overtake a parked
+// heavy waiter, and that weights are conserved under concurrency.
+func TestSemaphoreFIFO(t *testing.T) {
+	s := NewSemaphore(4, 16)
+	if _, err := s.Acquire(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	heavyHas := make(chan struct{})
+	go func() {
+		if _, err := s.Acquire(context.Background(), 3); err != nil {
+			t.Error(err)
+		}
+		close(heavyHas)
+	}()
+	for s.Queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Capacity 4, 3 in use: a weight-1 acquire would fit, but the heavy
+	// waiter is ahead — FIFO parks the light one behind it.
+	lightHas := make(chan struct{})
+	go func() {
+		if _, err := s.Acquire(context.Background(), 1); err != nil {
+			t.Error(err)
+		}
+		close(lightHas)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-lightHas:
+		t.Fatal("light acquire overtook parked heavy waiter")
+	default:
+	}
+	s.Release(3) // heavy (3) admitted; light (1) fits alongside it
+	<-heavyHas
+	<-lightHas
+	s.Release(3)
+	s.Release(1)
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0", got)
+	}
+}
+
+// TestSemaphoreStress hammers the semaphore from many goroutines and
+// checks the capacity invariant is never violated. Run under -race.
+func TestSemaphoreStress(t *testing.T) {
+	const cap = 5
+	s := NewSemaphore(cap, 1024)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	held := int64(0)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				w := int64(g%3 + 1)
+				n, err := s.Acquire(context.Background(), w)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				held += n
+				if held > cap {
+					t.Errorf("capacity invariant violated: %d > %d", held, cap)
+				}
+				held -= n
+				mu.Unlock()
+				s.Release(n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after stress, want 0", got)
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeQueryRequest asserts the query decoder's contract over
+// arbitrary bytes: it returns a validated request or an error — it must
+// never panic, and anything it accepts must satisfy the documented
+// bounds (so a hostile body cannot smuggle out-of-range parameters past
+// validation into the engine).
+func FuzzDecodeQueryRequest(f *testing.F) {
+	f.Add(`{"relations":[{"name":"R1","attrs":["A","B"]},{"name":"R2","attrs":["B","C"]}],"group_by":["A","C"]}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A"],"dataset":"ds"}],"servers":32,"strategy":"tree","semiring":"maxmin","workers":-1,"deadline_ms":100,"seed":7}`)
+	f.Add(`{"relations":[]}`)
+	f.Add(`{"relations":[{"name":"","attrs":[]}]}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B","C"]}]}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"workers":9999999}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"deadline_ms":-5}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"strategy":"☃"}`)
+	f.Add(strings.Repeat(`{"relations":`, 100))
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeQueryRequest(strings.NewReader(body))
+		if err != nil {
+			return // rejected input: the handler maps this to a 4xx
+		}
+		if len(req.Relations) == 0 || len(req.Relations) > maxRelations {
+			t.Fatalf("accepted request with %d relations", len(req.Relations))
+		}
+		for _, rel := range req.Relations {
+			if rel.Name == "" || len(rel.Attrs) < 1 || len(rel.Attrs) > 2 {
+				t.Fatalf("accepted malformed relation %+v", rel)
+			}
+		}
+		if req.Servers < 0 || req.Servers > maxServers ||
+			req.Workers < -1 || req.Workers > maxQueryWorkers ||
+			req.DeadlineMS < 0 || req.DeadlineMS > maxDeadlineMS {
+			t.Fatalf("accepted out-of-range numerics %+v", req)
+		}
+		if !validStrategies[req.Strategy] || !validSemirings[req.Semiring] {
+			t.Fatalf("accepted unknown strategy/semiring %+v", req)
+		}
+	})
+}
+
+// FuzzDecodeDatasetRequest is the same contract for the registration
+// decoder.
+func FuzzDecodeDatasetRequest(f *testing.F) {
+	f.Add(`{"name":"R1","arity":2,"rows":[[2,0,7],[5,1,7]]}`)
+	f.Add(`{"name":"E","arity":2,"generate":{"n":100,"dom":10,"seed":3}}`)
+	f.Add(`{"name":"X","arity":1,"rows":[[1]]}`)
+	f.Add(`{"arity":0}`)
+	f.Add(`{"name":"X","arity":2,"rows":[[1,2,3]],"generate":{"n":1,"dom":1}}`)
+	f.Add(`{"name":"X"}`)
+	f.Add(`"str"`)
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeDatasetRequest(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		if req.Name == "" || req.Arity < 1 || req.Arity > 2 {
+			t.Fatalf("accepted malformed dataset request %+v", req)
+		}
+		for i, row := range req.Rows {
+			if len(row) != req.Arity+1 {
+				t.Fatalf("accepted row %d of width %d for arity %d", i, len(row), req.Arity)
+			}
+		}
+		if g := req.Generate; g != nil && (g.N < 0 || g.N > maxGeneratedN || g.Dom < 1) {
+			t.Fatalf("accepted out-of-range generator %+v", g)
+		}
+	})
+}
+
+// FuzzQueryEndpoint drives the whole handler with arbitrary bodies: the
+// response must always be a well-formed HTTP status — 4xx for garbage —
+// and the server must not panic regardless of input.
+func FuzzQueryEndpoint(f *testing.F) {
+	f.Add(`{"relations":[{"name":"R1","attrs":["A","B"]},{"name":"R2","attrs":["B","C"]}],"group_by":["A","C"]}`)
+	f.Add(`{"relations":[{"name":"R1","attrs":["A","A"]}]}`)
+	f.Add(`{{{`)
+	s := New(Config{})
+	_ = s.Registry().Put("R1", 2, GenerateRows(2, 50, 8, 1))
+	_ = s.Registry().Put("R2", 2, GenerateRows(2, 50, 8, 2))
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader([]byte(body)))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != 200 && (rec.Code < 400 || rec.Code > 599) {
+			t.Fatalf("status %d for body %q", rec.Code, body)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mpcjoin/internal/mpc"
+)
+
+// Metrics is the service's observability surface: lock-free counters on
+// the hot path (per-query atomics), a small mutex-guarded map for the
+// per-engine breakdown. Snapshot assembles the JSON served at /metrics.
+type Metrics struct {
+	inFlight  atomic.Int64 // queries admitted and executing
+	queued    atomic.Int64 // queries waiting in the admission queue
+	completed atomic.Int64 // queries that returned a result
+	cancelled atomic.Int64 // queries stopped by deadline/disconnect/drain
+	failed    atomic.Int64 // queries that errored (validation, engine)
+	rejected  atomic.Int64 // queries shed at admission (queue full, draining)
+
+	// Cumulative metered MPC cost across completed queries; SumLoad is the
+	// paper's end-to-end cost measure, so the service exposes its running
+	// total alongside rounds and total communication.
+	sumLoad   atomic.Int64
+	rounds    atomic.Int64
+	totalComm atomic.Int64
+
+	mu        sync.Mutex
+	byEngine  map[string]int64 // completed queries per engine ("matmul", …)
+	byOutcome map[string]int64 // cancellations per cause ("deadline", …)
+}
+
+// NewMetrics returns a zeroed metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{byEngine: make(map[string]int64), byOutcome: make(map[string]int64)}
+}
+
+// QueryQueued / QueryDequeued bracket time spent in the admission queue.
+func (m *Metrics) QueryQueued()   { m.queued.Add(1) }
+func (m *Metrics) QueryDequeued() { m.queued.Add(-1) }
+
+// QueryStarted / QueryFinished bracket an admitted execution.
+func (m *Metrics) QueryStarted()  { m.inFlight.Add(1) }
+func (m *Metrics) QueryFinished() { m.inFlight.Add(-1) }
+
+// QueryRejected records a shed request (admission queue full or draining).
+func (m *Metrics) QueryRejected() { m.rejected.Add(1) }
+
+// QueryFailed records a query that returned an error other than
+// cancellation.
+func (m *Metrics) QueryFailed() { m.failed.Add(1) }
+
+// QueryCancelled records a query stopped by its context, keyed by cause.
+func (m *Metrics) QueryCancelled(cause string) {
+	m.cancelled.Add(1)
+	m.mu.Lock()
+	m.byOutcome[cause]++
+	m.mu.Unlock()
+}
+
+// QueryCompleted records a successful query: the engine that ran it and
+// its metered cost.
+func (m *Metrics) QueryCompleted(engine string, st mpc.Stats) {
+	m.completed.Add(1)
+	m.sumLoad.Add(st.SumLoad)
+	m.rounds.Add(int64(st.Rounds))
+	m.totalComm.Add(st.TotalComm)
+	m.mu.Lock()
+	m.byEngine[engine]++
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the JSON shape of /metrics.
+type MetricsSnapshot struct {
+	InFlight  int64 `json:"in_flight"`
+	Queued    int64 `json:"queued"`
+	Completed int64 `json:"completed"`
+	Cancelled int64 `json:"cancelled"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+
+	// Cumulative metered MPC cost over completed queries.
+	SumLoad   int64 `json:"sum_load"`
+	Rounds    int64 `json:"rounds"`
+	TotalComm int64 `json:"total_comm"`
+
+	ByEngine    []EngineCount `json:"by_engine"`
+	Cancel      []EngineCount `json:"cancel_causes"`
+	Datasets    int           `json:"datasets"`
+	AdmitInUse  int64         `json:"admission_in_use"`
+	AdmitCap    int64         `json:"admission_capacity"`
+	AdmitQueued int           `json:"admission_queued"`
+	Draining    bool          `json:"draining"`
+}
+
+// EngineCount is one per-engine (or per-cause) tally; a sorted slice keeps
+// the JSON deterministic, unlike a map.
+type EngineCount struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+}
+
+// Snapshot returns a point-in-time copy of all counters. The atomics are
+// read independently, so cross-counter invariants (completed+cancelled vs
+// started) may be off by in-flight transitions — fine for monitoring.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		InFlight:  m.inFlight.Load(),
+		Queued:    m.queued.Load(),
+		Completed: m.completed.Load(),
+		Cancelled: m.cancelled.Load(),
+		Failed:    m.failed.Load(),
+		Rejected:  m.rejected.Load(),
+		SumLoad:   m.sumLoad.Load(),
+		Rounds:    m.rounds.Load(),
+		TotalComm: m.totalComm.Load(),
+	}
+	m.mu.Lock()
+	snap.ByEngine = sortedCounts(m.byEngine)
+	snap.Cancel = sortedCounts(m.byOutcome)
+	m.mu.Unlock()
+	return snap
+}
+
+func sortedCounts(m map[string]int64) []EngineCount {
+	out := make([]EngineCount, 0, len(m))
+	for k, v := range m {
+		out = append(out, EngineCount{Name: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"mpcjoin/internal/relation"
+)
+
+// Dataset is a registered bag of annotated tuples. The rows are immutable
+// after registration: queries alias them into per-query relations (the
+// engine's initial placement copies rows into shards, never mutating the
+// source when the input is not owned), so N rows are stored once no matter
+// how many queries read them.
+type Dataset struct {
+	Arity int
+	Rows  []relation.Row[int64]
+}
+
+// Registry is the server's dataset store: register once, query many
+// times. Guarded by an RWMutex — registrations are rare, query-side
+// lookups are concurrent.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Dataset
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]*Dataset)} }
+
+// Put registers (or replaces) a dataset. The registry takes ownership of
+// rows; the caller must not modify the slice afterwards.
+func (r *Registry) Put(name string, arity int, rows []relation.Row[int64]) error {
+	if name == "" {
+		return fmt.Errorf("dataset name must be non-empty")
+	}
+	if arity < 1 || arity > 2 {
+		return fmt.Errorf("dataset %q: arity must be 1 or 2, got %d", name, arity)
+	}
+	for i, row := range rows {
+		if len(row.Vals) != arity {
+			return fmt.Errorf("dataset %q: row %d has %d values, want %d", name, i, len(row.Vals), arity)
+		}
+	}
+	r.mu.Lock()
+	r.m[name] = &Dataset{Arity: arity, Rows: rows}
+	r.mu.Unlock()
+	return nil
+}
+
+// Get returns the dataset registered under name.
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	r.mu.RLock()
+	ds, ok := r.m[name]
+	r.mu.RUnlock()
+	return ds, ok
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+// Names returns the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.m))
+	for name := range r.m {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// GenerateRows produces n uniform-random tuples of the given arity with
+// values in [0, dom) and annotation 1, deterministically from seed — the
+// registration-time generator for smoke tests and demos, so clients need
+// not upload megabytes of synthetic rows.
+func GenerateRows(arity, n, dom int, seed uint64) []relation.Row[int64] {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	buf := make([]relation.Value, n*arity)
+	rows := make([]relation.Row[int64], n)
+	for i := range rows {
+		vals := buf[i*arity : (i+1)*arity : (i+1)*arity]
+		for j := range vals {
+			vals[j] = relation.Value(rng.IntN(dom))
+		}
+		rows[i] = relation.Row[int64]{Vals: vals, W: 1}
+	}
+	return rows
+}

@@ -1,0 +1,393 @@
+// Package server implements mpcd, the long-lived join-aggregate query
+// service over the simulated MPC engine. Datasets are registered once and
+// held in memory; queries then reference them by name and run concurrently,
+// each on its own execution scope (per-query worker runtime and
+// context) — the engine-side guarantee that makes a multi-tenant service
+// possible without process-global runtime state.
+//
+// The service owns three cross-cutting concerns the library leaves to its
+// caller:
+//
+//   - Admission control: a weighted semaphore bounds the total OS
+//     parallelism of concurrently executing queries, with a bounded FIFO
+//     queue and load shedding beyond it (HTTP 429).
+//   - End-to-end cancellation: per-request deadlines and client
+//     disconnects flow through context into the engine, which stops at the
+//     next simulated round barrier; cancelled work never produces a
+//     partial response.
+//   - Observability: /metrics exposes in-flight/queued/completed/cancelled
+//     counts, a per-engine breakdown, and the cumulative metered MPC cost
+//     (SumLoad, rounds, total communication) of everything the service has
+//     executed.
+//
+// HTTP surface:
+//
+//	GET  /healthz      — liveness; 503 while draining
+//	GET  /metrics      — MetricsSnapshot JSON
+//	POST /v1/datasets  — register a dataset (rows inline or generated)
+//	GET  /v1/datasets  — list registered dataset names
+//	POST /v1/query     — run a join-aggregate query
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"mpcjoin/internal/core"
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Capacity is the admission capacity in worker units — the total OS
+	// parallelism concurrently executing queries may hold. Defaults to
+	// GOMAXPROCS.
+	Capacity int64
+	// MaxQueue bounds the admission wait queue; requests beyond it are
+	// shed with HTTP 429. Defaults to 64.
+	MaxQueue int
+}
+
+// Server is the query service. Construct with New; serve via Handler.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	sem      *Semaphore
+	met      *Metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = int64(runtime.GOMAXPROCS(0))
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 64
+	}
+	s := &Server{
+		cfg: cfg,
+		reg: NewRegistry(),
+		sem: NewSemaphore(cfg.Capacity, cfg.MaxQueue),
+		met: NewMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the dataset store (tests and embedding callers).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the counters (tests and embedding callers).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// SetDraining flips drain mode: while draining, /healthz reports 503 and
+// new queries and registrations are shed with 503, while in-flight queries
+// run to completion (callers pair this with http.Server.Shutdown, which
+// waits for them).
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.met.Snapshot()
+	snap.Datasets = s.reg.Len()
+	snap.AdmitInUse = s.sem.InUse()
+	snap.AdmitCap = s.sem.Capacity()
+	snap.AdmitQueued = s.sem.Queued()
+	snap.Draining = s.Draining()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// DatasetResponse acknowledges a registration.
+type DatasetResponse struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+}
+
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	req, err := DecodeDatasetRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var rows []relation.Row[int64]
+	if req.Generate != nil {
+		rows = GenerateRows(req.Arity, req.Generate.N, req.Generate.Dom, req.Generate.Seed)
+	} else {
+		rows = make([]relation.Row[int64], len(req.Rows))
+		buf := make([]relation.Value, len(req.Rows)*req.Arity)
+		for i, row := range req.Rows {
+			vals := buf[i*req.Arity : (i+1)*req.Arity : (i+1)*req.Arity]
+			for j := range vals {
+				vals[j] = relation.Value(row[j+1])
+			}
+			rows[i] = relation.Row[int64]{Vals: vals, W: row[0]}
+		}
+	}
+	if err := s.reg.Put(req.Name, req.Arity, rows); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DatasetResponse{Name: req.Name, Rows: len(rows)})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"datasets": s.reg.Names()})
+}
+
+// QueryResponse is the body of a successful POST /v1/query.
+type QueryResponse struct {
+	// Attrs is the output schema, in group_by order.
+	Attrs []string `json:"attrs"`
+	// Rows are output tuples as [annotation, v1, v2, ...], sorted by
+	// values. The annotation is a number for the int64-carrier semirings
+	// and a boolean for "bools".
+	Rows [][]any `json:"rows"`
+	// Stats is the metered MPC cost of this query.
+	Stats mpc.Stats `json:"stats"`
+	// Class is the query's structural class; Engine the algorithm that ran.
+	Class  string `json:"class"`
+	Engine string `json:"engine"`
+	// WallNS is the query's wall-clock execution time in nanoseconds
+	// (excluding queueing).
+	WallNS int64 `json:"wall_ns"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.met.QueryRejected()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	req, err := DecodeQueryRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Resolve relation → dataset bindings before spending any admission
+	// budget; a dangling reference is a client error, not load.
+	q := &hypergraph.Query{}
+	insts := make(map[string]*Dataset, len(req.Relations))
+	for _, rel := range req.Relations {
+		dsName := rel.Dataset
+		if dsName == "" {
+			dsName = rel.Name
+		}
+		ds, ok := s.reg.Get(dsName)
+		if !ok {
+			writeError(w, http.StatusNotFound, "dataset %q not registered", dsName)
+			return
+		}
+		if ds.Arity != len(rel.Attrs) {
+			writeError(w, http.StatusBadRequest, "relation %q has %d attrs but dataset %q has arity %d",
+				rel.Name, len(rel.Attrs), dsName, ds.Arity)
+			return
+		}
+		attrs := make([]hypergraph.Attr, len(rel.Attrs))
+		for i, a := range rel.Attrs {
+			attrs[i] = hypergraph.Attr(a)
+		}
+		q.Edges = append(q.Edges, hypergraph.Edge{Name: rel.Name, Attrs: attrs})
+		insts[rel.Name] = ds
+	}
+	for _, a := range req.GroupBy {
+		q.Output = append(q.Output, hypergraph.Attr(a))
+	}
+
+	o := core.Options{
+		Servers: req.Servers,
+		Seed:    req.Seed,
+		Workers: req.Workers,
+	}
+	switch req.Strategy {
+	case "yannakakis":
+		o.Strategy = core.StrategyYannakakis
+	case "tree":
+		o.Strategy = core.StrategyTree
+	}
+	pl, err := core.PlanQuery(q, o.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission: hold weight proportional to the OS parallelism this query
+	// runs with for the duration of its execution. The wait respects the
+	// client's context, so a disconnected client frees its queue slot.
+	weight := int64(req.Workers)
+	if req.Workers < 0 {
+		weight = int64(runtime.GOMAXPROCS(0))
+	}
+	ctx := r.Context()
+	s.met.QueryQueued()
+	weight, err = s.sem.Acquire(ctx, weight)
+	s.met.QueryDequeued()
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.met.QueryRejected()
+			writeError(w, http.StatusTooManyRequests, "admission queue full")
+			return
+		}
+		s.met.QueryCancelled("client")
+		return // client gone; nobody reads the response
+	}
+	defer s.sem.Release(weight)
+
+	// Deadline: cancels the execution at the next MPC round barrier.
+	cancel := context.CancelFunc(func() {})
+	if req.DeadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+	}
+	defer cancel()
+
+	s.met.QueryStarted()
+	defer s.met.QueryFinished()
+
+	start := time.Now()
+	out, err := s.execute(ctx, req, q, insts, o)
+	wall := time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.QueryCancelled("deadline")
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", wall)
+		case errors.Is(err, context.Canceled):
+			s.met.QueryCancelled("client")
+			// The client is gone; the write is best-effort.
+			writeError(w, http.StatusServiceUnavailable, "cancelled")
+		default:
+			s.met.QueryFailed()
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	s.met.QueryCompleted(pl.Engine, out.Stats)
+	out.Class = pl.Class.String()
+	out.Engine = pl.Engine
+	out.WallNS = wall.Nanoseconds()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// execute materializes the query's instance from the registry (aliasing
+// the stored rows; the engine's unowned placement copies them into shards)
+// and runs it under the requested semiring.
+func (s *Server) execute(ctx context.Context, req *QueryRequest, q *hypergraph.Query, insts map[string]*Dataset, o core.Options) (*QueryResponse, error) {
+	if req.Semiring == "bools" {
+		inst := make(db.Instance[bool], len(insts))
+		for name, ds := range insts {
+			rel := newRelation[bool](q, name)
+			rel.Rows = make([]relation.Row[bool], len(ds.Rows))
+			for i, row := range ds.Rows {
+				rel.Rows[i] = relation.Row[bool]{Vals: row.Vals, W: row.W != 0}
+			}
+			inst[name] = rel
+		}
+		return runTyped[bool](ctx, semiring.BoolOrAnd{}, q, inst, o, func(w bool) any { return w })
+	}
+
+	inst := make(db.Instance[int64], len(insts))
+	for name, ds := range insts {
+		rel := newRelation[int64](q, name)
+		rel.Rows = ds.Rows
+		inst[name] = rel
+	}
+	annot := func(w int64) any { return w }
+	switch req.Semiring {
+	case "", "ints":
+		return runTyped[int64](ctx, semiring.IntSumProd{}, q, inst, o, annot)
+	case "minplus":
+		return runTyped[int64](ctx, semiring.MinPlus{}, q, inst, o, annot)
+	case "maxplus":
+		return runTyped[int64](ctx, semiring.MaxPlus{}, q, inst, o, annot)
+	case "maxmin":
+		return runTyped[int64](ctx, semiring.MaxMin{}, q, inst, o, annot)
+	}
+	return nil, fmt.Errorf("unknown semiring %q", req.Semiring)
+}
+
+// newRelation builds an empty relation carrying the query's schema for
+// edge name; the caller fills Rows.
+func newRelation[W any](q *hypergraph.Query, name string) *relation.Relation[W] {
+	for _, e := range q.Edges {
+		if e.Name == name {
+			attrs := make([]relation.Attr, len(e.Attrs))
+			for i, a := range e.Attrs {
+				attrs[i] = relation.Attr(a)
+			}
+			return relation.New[W](attrs...)
+		}
+	}
+	panic("server: relation not in query: " + name)
+}
+
+// runTyped executes the query over a typed instance and renders the rows.
+func runTyped[W any](ctx context.Context, sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instance[W], o core.Options, annot func(W) any) (*QueryResponse, error) {
+	rel, st, err := core.ExecuteContext(ctx, sr, q, inst, o)
+	if err != nil {
+		return nil, err
+	}
+	rel.SortRows()
+	resp := &QueryResponse{Stats: st, Rows: make([][]any, len(rel.Rows))}
+	for _, a := range rel.Schema() {
+		resp.Attrs = append(resp.Attrs, string(a))
+	}
+	for i, row := range rel.Rows {
+		vals := make([]any, 0, len(row.Vals)+1)
+		vals = append(vals, annot(row.W))
+		for _, v := range row.Vals {
+			vals = append(vals, int64(v))
+		}
+		resp.Rows[i] = vals
+	}
+	return resp, nil
+}

@@ -129,7 +129,7 @@ func Run[W any](sr semiring.Semiring[W], arms []Arm[W], b dist.Attr, opts Option
 		arm int
 		deg int64
 	}
-	degTagged := mpc.NewPart[armDeg](p)
+	degTagged := mpc.NewPartIn[armDeg](arms[0].Rels[0].Part.Scope(), p)
 	for i := range arms {
 		ests, _, s := estimate.LineOut(arms[i].Rels, arms[i].Path, opts.Est)
 		st = mpc.Seq(st, s)

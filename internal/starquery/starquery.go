@@ -99,7 +99,7 @@ func Run[W any](sr semiring.Semiring[W], arms []dist.Rel[W], leaves [][]dist.Att
 		arm int
 		deg int64
 	}
-	degTagged := mpc.NewPart[armDeg](p)
+	degTagged := mpc.NewPartIn[armDeg](inter.Part.Scope(), p)
 	for i := range arms {
 		deg, s := dist.Degrees(arms[i], b)
 		st = mpc.Seq(st, s)

@@ -330,7 +330,7 @@ func pendantX[W any](sr semiring.Semiring[W], vt *vtree[W], pq *hypergraph.Query
 			return mpc.KeyCount[int64]{Key: int64(relation.DecodeKey(kc.Key)[0]), Count: kc.Count}
 		}))
 	}
-	merged := mpc.NewPart[mpc.KeyCount[int64]](p)
+	merged := mpc.NewPartIn[mpc.KeyCount[int64]](anyRel(vt.rels).Part.Scope(), p)
 	for _, pt := range per {
 		for s, shard := range pt.Shards {
 			merged.Shards[s%p] = append(merged.Shards[s%p], shard...)
@@ -394,7 +394,7 @@ func estimateOutTree[W any](sr semiring.Semiring[W], vt *vtree[W], sk *hypergrap
 
 		// For each child factor: propagate max y(c') through the edge.
 		p := anyRel(vt.rels).P()
-		merged := mpc.NewPart[mpc.KeyCount[int64]](p)
+		merged := mpc.NewPartIn[mpc.KeyCount[int64]](anyRel(vt.rels).Part.Scope(), p)
 		for _, f := range factors {
 			erel := vt.rels[ts.Edges[f.edge].Name]
 			vCol := erel.Cols(dist.Attr(v))[0]
@@ -440,7 +440,7 @@ func estimateOutTree[W any](sr semiring.Semiring[W], vt *vtree[W], sk *hypergrap
 	if !nontrivial {
 		// No other pendant roots: y(b) = 1 for every b.
 		p := anyRel(vt.rels).P()
-		res = mpc.NewPart[mpc.KeyCount[int64]](p)
+		res = mpc.NewPartIn[mpc.KeyCount[int64]](anyRel(vt.rels).Part.Scope(), p)
 	}
 	_ = sr
 	return res, st

@@ -66,6 +66,7 @@ func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64,
 		panic("twoway: relations share no attributes")
 	}
 	p := r.P()
+	ex := r.Part.Scope()
 	rKey := r.Key(shared...)
 	sKey := s.Key(shared...)
 
@@ -110,7 +111,7 @@ func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64,
 		grids = append(grids, gridAssign{key: ks.key, offset: heavyServers, ar: ar, bs: bs})
 		heavyServers += ar * bs
 	}
-	gridPart := mpc.NewPart[gridAssign](p)
+	gridPart := mpc.NewPartIn[gridAssign](ex, p)
 	gridPart.Shards[0] = grids
 	gridBcast, st6 := mpc.Broadcast(gridPart)
 
@@ -146,10 +147,9 @@ func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64,
 	// in ascending order (serial, touches only per-key totals), then let
 	// each source assign from its own base offset (parallel). Every tuple
 	// gets precisely the row/column serial execution would give it.
-	rt := mpc.CurrentRuntime()
 	rCount := make([]map[string]int, p)
 	sCount := make([]map[string]int, p)
-	rt.ForEachShard(p, func(src int) {
+	ex.ForEachShard(p, func(src int) {
 		rc := make(map[string]int)
 		for _, pr := range rBins.Shards[src] {
 			if k := rKey(pr.X); gridByKey[k].ar > 0 {
@@ -181,7 +181,7 @@ func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64,
 		}
 		rBase[src], sBase[src] = rb, sb
 	}
-	rt.ForEachShardScratch(p, func(src int, scr *xrt.Scratch) {
+	ex.ForEachShardScratch(p, func(src int, scr *xrt.Scratch) {
 		rShard := rBins.Shards[src]
 		sShard := sBins.Shards[src]
 		if len(rShard)+len(sShard) == 0 {
@@ -254,7 +254,7 @@ func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64,
 			}
 		})
 	})
-	routed, st10 := mpc.ExchangeTo(pDst, out)
+	routed, st10 := mpc.ExchangeToIn(ex, pDst, out)
 
 	// Local joins.
 	outSchema := joinSchema(r.Schema, s.Schema)
@@ -307,7 +307,7 @@ func joinSchema(a, b []relation.Attr) []relation.Attr {
 // the total (broadcast back so every server knows it).
 func sumInt64(pt mpc.Part[int64]) (int64, mpc.Stats) {
 	p := pt.P()
-	local := mpc.NewPart[int64](p)
+	local := mpc.NewPartIn[int64](pt.Scope(), p)
 	for s, shard := range pt.Shards {
 		var t int64
 		for _, x := range shard {
@@ -320,7 +320,7 @@ func sumInt64(pt mpc.Part[int64]) (int64, mpc.Stats) {
 	for _, x := range g.Shards[0] {
 		total += x
 	}
-	tot := mpc.NewPart[int64](p)
+	tot := mpc.NewPartIn[int64](pt.Scope(), p)
 	tot.Shards[0] = []int64{total}
 	_, st2 := mpc.Broadcast(tot)
 	return total, mpc.Seq(st1, st2)

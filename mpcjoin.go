@@ -37,6 +37,7 @@
 package mpcjoin
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -246,6 +247,14 @@ func WithWorkers(n int) Option {
 // Execute runs the query over the instance under the semiring and returns
 // the answer with its metered MPC cost.
 func Execute[W any](sr Semiring[W], q *Query, data Instance[W], opts ...Option) (*Result[W], error) {
+	return ExecuteContext(context.Background(), sr, q, data, opts...)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: when ctx is
+// cancelled (deadline exceeded, client gone, server shutting down), the
+// execution stops at the next simulated MPC round barrier and ctx's error
+// is returned. A cancelled execution never returns a partial Result.
+func ExecuteContext[W any](ctx context.Context, sr Semiring[W], q *Query, data Instance[W], opts ...Option) (*Result[W], error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -262,7 +271,7 @@ func Execute[W any](sr Semiring[W], q *Query, data Instance[W], opts ...Option) 
 	if err != nil {
 		return nil, err
 	}
-	rel, st, err := core.Execute(sr, q.q, inst, o)
+	rel, st, err := core.ExecuteContext(ctx, sr, q.q, inst, o)
 	if err != nil {
 		return nil, err
 	}
