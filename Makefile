@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke service-smoke
+.PHONY: ci vet build test race bench bench-smoke service-smoke boundcheck
 
 ci: vet build test race
 
@@ -33,3 +33,10 @@ bench-smoke:
 # under every strategy, scrapes /metrics, and SIGTERM-drains it.
 service-smoke:
 	$(GO) test -run TestServiceSmoke -count=1 -v ./cmd/mpcd
+
+# Table 1 load-bound regression lane: run every query class across
+# p ∈ {4,16,64} and assert measured MaxLoad stays within a constant factor
+# of its Table 1 formula; BOUND_trace.json carries each run's per-round
+# load timeline for CI to upload next to the bench artifacts.
+boundcheck:
+	$(GO) run ./cmd/boundcheck -quick -trace -json BOUND_trace.json

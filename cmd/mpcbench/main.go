@@ -15,7 +15,9 @@
 // per CPU); it changes wall-clock time only — metered loads are identical
 // for every worker count. -json appends one row per (experiment, data
 // point) with the measured wall-clock time and the runtime's worker count
-// to the given file.
+// to the given file. -trace additionally embeds each benched run's
+// per-round load timeline (op, per-server load distribution, bytes) in
+// the JSON rows; tracing never changes loads, rounds or results.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments (the memory profile is a heap snapshot taken after the runs,
@@ -54,6 +56,7 @@ func run() int {
 		seed    = flag.Uint64("seed", 7, "randomness seed (runs are reproducible per seed)")
 		workers = flag.Int("workers", -1, "concurrent runtime workers (1 = serial, <=0 = one per CPU)")
 		jsonOut = flag.String("json", "", "write per-experiment benchmark rows as JSON to this file")
+		trace   = flag.Bool("trace", false, "record per-round load timelines in the -json rows")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (post-run snapshot) to this file")
 	)
@@ -103,7 +106,7 @@ func run() int {
 		ids = strings.Split(*exper, ",")
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers, Trace: *trace}
 	failed := false
 	var bench []experiments.BenchRow
 	for _, id := range ids {

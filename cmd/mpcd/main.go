@@ -32,10 +32,11 @@ func main() {
 		capacity     = flag.Int64("capacity", 0, "admission capacity in worker units (0 = GOMAXPROCS)")
 		maxQueue     = flag.Int("max-queue", 64, "bounded admission queue length; beyond it queries get 429")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
+		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{Capacity: *capacity, MaxQueue: *maxQueue})
+	srv := server.New(server.Config{Capacity: *capacity, MaxQueue: *maxQueue, EnablePprof: *pprofFlag})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -45,7 +46,15 @@ func main() {
 	// scripts pass -addr :0 and scrape the chosen port from stdout.
 	fmt.Printf("mpcd listening on %s\n", ln.Addr())
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Every request context derives from baseCtx, so cancelling it stops
+	// in-flight queries at their next simulated round barrier — the drain
+	// path's last resort when queries outlive the drain window.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	httpSrv := &http.Server{
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
@@ -63,9 +72,27 @@ func main() {
 	srv.SetDraining(true)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("mpcd: shutdown: %v", err)
-		os.Exit(1)
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("mpcd: shutdown: %v", err)
+			os.Exit(1)
+		}
+		// In-flight queries outlived the drain window: cancel them (they
+		// stop at the next round barrier and record cause "drain" since
+		// the server is draining), then force-close the connections. The
+		// short wait lets handlers finish recording their metrics.
+		log.Printf("mpcd: drain timeout, cancelling in-flight queries")
+		cancelBase()
+		waitUntil := time.Now().Add(5 * time.Second)
+		for srv.Metrics().Snapshot().InFlight > 0 && time.Now().Before(waitUntil) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		_ = httpSrv.Close()
 	}
-	log.Printf("mpcd: drained, exiting")
+	snap := srv.Metrics().Snapshot()
+	causes := ""
+	for _, c := range snap.Cancel {
+		causes += fmt.Sprintf(" %s=%d", c.Name, c.Count)
+	}
+	log.Printf("mpcd: drained, exiting (completed=%d cancelled=%d%s)", snap.Completed, snap.Cancelled, causes)
 }

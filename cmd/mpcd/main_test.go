@@ -156,3 +156,109 @@ func TestServiceSmoke(t *testing.T) {
 		t.Fatal("daemon did not exit after SIGTERM")
 	}
 }
+
+// TestDrainCancelsInFlight is the smoke-lane regression for the drain
+// cause: a query still running when the drain window closes is cancelled
+// by the daemon and must be recorded under cancel cause "drain" (not
+// "client"), which the daemon reports in its final log line.
+func TestDrainCancelsInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping e2e smoke in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "mpcd")
+	build := exec.Command("go", "build", "-race", "-o", bin, "mpcjoin/cmd/mpcd")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain-timeout", "500ms")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var exitErr error
+	exited := make(chan struct{})
+	go func() { exitErr = cmd.Wait(); close(exited) }()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-exited
+	})
+
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "mpcd listening on "); ok {
+			base = "http://" + strings.TrimSpace(addr)
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never reported its address: %v", sc.Err())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	resp, err := http.Post(base+"/v1/datasets", "application/json",
+		strings.NewReader(`{"name":"Big","arity":2,"generate":{"n":400000,"dom":500,"seed":1}}`))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// A query that will far outlive the 500ms drain window.
+	go func() {
+		body := `{"relations":[{"name":"R1","attrs":["A","B"],"dataset":"Big"},{"name":"R2","attrs":["B","C"],"dataset":"Big"}],"group_by":["A","C"]}`
+		resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mresp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap struct {
+			InFlight int64 `json:"in_flight"`
+		}
+		if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		mresp.Body.Close()
+		if snap.InFlight > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query never started executing")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+		if exitErr != nil {
+			t.Fatalf("daemon exited with %v, want clean forced drain\nstderr:\n%s", exitErr, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	logs := stderr.String()
+	if !strings.Contains(logs, "drain=1") {
+		t.Fatalf("final log does not record the drain cancellation:\n%s", logs)
+	}
+	if strings.Contains(logs, "client=") {
+		t.Fatalf("drain cancellation mislabeled as client disconnect:\n%s", logs)
+	}
+}

@@ -83,6 +83,11 @@ type Options struct {
 	// instance, execute it once and discard it (cmd/mpcrun, generated
 	// experiment inputs) set this to skip one full input copy.
 	OwnInput bool
+	// Tracer, when non-nil, records a per-round load timeline of the
+	// execution (see mpc.RoundTrace). Read the timeline with
+	// Tracer.Rounds() after the call returns. nil (the default) keeps the
+	// zero-cost path: tracing adds no work and no allocations when off.
+	Tracer *mpc.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -180,6 +185,9 @@ func ExecuteDistributedContext[W any](ctx context.Context, sr semiring.Semiring[
 	// dataflow of this execution — and nothing outside it — runs on this
 	// runtime and stops at the next round barrier once ctx is done.
 	ex := mpc.NewExec(ctx, opts.Workers)
+	if opts.Tracer != nil {
+		ex = ex.WithTracer(opts.Tracer)
+	}
 	// Primitives report cancellation by unwinding with an internal sentinel
 	// (they return no errors); convert it back into a returned error here.
 	defer mpc.Recover(&err)

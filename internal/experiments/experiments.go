@@ -68,13 +68,17 @@ type BenchRow struct {
 	// different checkouts/hosts can be compared honestly.
 	GoMaxProcs int    `json:"gomaxprocs"`
 	Commit     string `json:"commit,omitempty"`
+	// Trace is the per-round load timeline of the new engine's run,
+	// recorded only under Config.Trace (mpcbench -trace).
+	Trace []mpc.RoundTrace `json:"trace,omitempty"`
 }
 
 // addBench records one benchmark row (ID/Workers are stamped by Run).
-func (t *Table) addBench(p int, n, out int64, st mpc.Stats, wall time.Duration) {
+func (t *Table) addBench(p int, n, out int64, rb bothRun) {
 	t.Bench = append(t.Bench, BenchRow{
 		P: p, N: n, Out: out,
-		MaxLoad: st.MaxLoad, Rounds: st.Rounds, WallNs: wall.Nanoseconds(),
+		MaxLoad: rb.stNew.MaxLoad, Rounds: rb.stNew.Rounds, WallNs: rb.wall.Nanoseconds(),
+		Trace: rb.trace,
 	})
 }
 
@@ -120,6 +124,10 @@ type Config struct {
 	// negative = GOMAXPROCS). Loads and all table contents are identical
 	// for every setting; only wallNs in Bench rows changes.
 	Workers int
+	// Trace records the per-round load timeline of every benched engine
+	// run into BenchRow.Trace (mpcbench -trace -json). Tracing never
+	// changes loads, rounds or results.
+	Trace bool
 }
 
 // effectiveWorkers resolves Config.Workers to the pool size runs use.
@@ -247,19 +255,26 @@ func run(id string, cfg Config) (Table, error) {
 
 // bothRun is runBoth's result: the full metered Stats of both engines, the
 // new engine's wall-clock time on the current runtime, the chosen engine,
-// and whether the two answers agree.
+// whether the two answers agree, and (under Config.Trace) the new engine's
+// per-round load timeline.
 type bothRun struct {
 	stNew, stY mpc.Stats
 	wall       time.Duration
 	engine     string
 	verified   bool
+	trace      []mpc.RoundTrace
 }
 
 // runBoth executes the query under both the auto engine and the baseline,
 // verifying they agree.
-func runBoth(q *hypergraph.Query, inst db.Instance[int64], p int, seed uint64) bothRun {
+func runBoth(cfg Config, q *hypergraph.Query, inst db.Instance[int64], p int) bothRun {
+	var tr *mpc.Tracer
+	if cfg.Trace {
+		tr = mpc.NewTracer()
+	}
+	seed := cfg.Seed
 	t0 := time.Now()
-	resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: seed})
+	resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: seed, Tracer: tr})
 	wall := time.Since(t0)
 	if err != nil {
 		panic(err)
@@ -270,7 +285,11 @@ func runBoth(q *hypergraph.Query, inst db.Instance[int64], p int, seed uint64) b
 	}
 	pl, _ := core.PlanQuery(q, core.StrategyAuto)
 	eq := relation.Equal[int64](intSR, func(a, b int64) bool { return a == b }, resNew, resY)
-	return bothRun{stNew: stNew, stY: stY, wall: wall, engine: pl.Engine, verified: eq}
+	rb := bothRun{stNew: stNew, stY: stY, wall: wall, engine: pl.Engine, verified: eq}
+	if tr != nil {
+		rb.trace = tr.Rounds()
+	}
+	return rb
 }
 
 // ---------------------------------------------------------------------------
@@ -296,9 +315,9 @@ func mmLoad(cfg Config) Table {
 		blocks := n / fan
 		inst, meta := workload.MatMulBlocks(blocks, fan, fan)
 		n1 := int64(meta.PerEdge["R1"])
-		rb := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(cfg, q, inst, p)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
-		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
+		t.addBench(p, int64(meta.N), meta.Out, rb)
 		bn := math.Min(math.Sqrt(float64(n1*n1)/float64(p)),
 			math.Cbrt(float64(n1*n1)*float64(meta.Out))/math.Pow(float64(p), 2.0/3.0))
 		by := float64(n1) * math.Sqrt(float64(meta.Out)) / float64(p)
@@ -380,9 +399,9 @@ func mmUnequal(cfg Config) Table {
 		cPer := maxi(n2/blocks, 1)
 		inst, meta := workload.MatMulBlocks(blocks, aPer, cPer)
 		rn1, rn2 := int64(meta.PerEdge["R1"]), int64(meta.PerEdge["R2"])
-		rb := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(cfg, q, inst, p)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
-		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
+		t.addBench(p, int64(meta.N), meta.Out, rb)
 		bn := float64(rn1+rn2)/float64(p) + math.Min(
 			math.Sqrt(float64(rn1*rn2)/float64(p)),
 			math.Cbrt(float64(rn1*rn2)*float64(meta.Out))/math.Pow(float64(p), 2.0/3.0))
@@ -417,9 +436,9 @@ func classLoad(cfg Config, id string, q *hypergraph.Query, name string) Table {
 		}
 		inst, meta := workload.Blocks(q, blocks, fan)
 		j, _ := refengine.MaxIntermediateJoin[int64](intSR, q, inst)
-		rb := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(cfg, q, inst, p)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
-		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
+		t.addBench(p, int64(meta.N), meta.Out, rb)
 		t.Rows = append(t.Rows, []string{
 			itoa(fan), itoa(meta.N), i64(meta.Out), itoa(j), itoa(lNew), itoa(lY),
 			f2(float64(lY) / float64(maxi(lNew, 1))), tick(ok),
@@ -447,9 +466,9 @@ func treeLoad(cfg Config) Table {
 	} {
 		inst, meta := workload.BlocksMulti(q, sc.blocks, sc.fan, sc.mult)
 		j, _ := refengine.MaxIntermediateJoin[int64](intSR, q, inst)
-		rb := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(cfg, q, inst, p)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
-		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
+		t.addBench(p, int64(meta.N), meta.Out, rb)
 		t.Rows = append(t.Rows, []string{
 			itoa(sc.blocks), fmt.Sprintf("%d/%d", sc.fan, sc.mult), itoa(meta.N), i64(meta.Out),
 			itoa(j), itoa(lNew), itoa(lY), f2(float64(lY) / float64(maxi(lNew, 1))), tick(ok),
@@ -647,9 +666,9 @@ func fig1(cfg Config) Table {
 		view.Center, len(view.Arms)))
 	for _, sc := range []struct{ blocks, fan int }{{cfg.scale(128, 16), 1}, {cfg.scale(64, 8), 2}} {
 		inst, meta := workload.Blocks(q, sc.blocks, sc.fan)
-		rb := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(cfg, q, inst, p)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
-		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
+		t.addBench(p, int64(meta.N), meta.Out, rb)
 		if rb.engine != "star-like" {
 			panic("FIG1 must dispatch to the star-like engine, got " + rb.engine)
 		}
@@ -682,9 +701,9 @@ func fig2(cfg Config) Table {
 		len(steps), len(twigs), fmtClasses(classes)))
 	for _, sc := range []struct{ blocks, fan int }{{cfg.scale(64, 8), 1}, {cfg.scale(16, 4), 2}} {
 		inst, meta := workload.Blocks(q, sc.blocks, sc.fan)
-		rb := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(cfg, q, inst, p)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
-		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
+		t.addBench(p, int64(meta.N), meta.Out, rb)
 		t.Rows = append(t.Rows, []string{
 			itoa(sc.blocks), itoa(sc.fan), i64(meta.Out), itoa(lNew), itoa(lY), tick(ok),
 		})
@@ -851,9 +870,9 @@ func altFullJoin(cfg Config) Table {
 			rels[e.Name] = dist.FromRelation(inst[e.Name], p)
 		}
 		resHC, stHC := hypercube.JoinAggregate(intSR, q, rels, cfg.Seed)
-		rb := runBoth(q, inst, p, cfg.Seed)
+		rb := runBoth(cfg, q, inst, p)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
-		t.addBench(p, int64(meta.N), meta.Out, rb.stNew, rb.wall)
+		t.addBench(p, int64(meta.N), meta.Out, rb)
 		resY, _, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed})
 		if err != nil {
 			panic(err)

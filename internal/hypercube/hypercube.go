@@ -148,6 +148,7 @@ func FullJoin[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[stri
 			}
 		}
 	})
+	mpc.TraceOp(ex, "hypercube.grid")
 	routed, s := mpc.ExchangeToIn(ex, grid, out)
 	st = mpc.Seq(st, s)
 

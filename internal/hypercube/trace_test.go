@@ -1,0 +1,51 @@
+package hypercube
+
+import (
+	"context"
+	"testing"
+
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/workload"
+)
+
+// TestTraceDeterminism: a traced HyperCube run must be bit-identical to an
+// untraced one, and its timeline must include the single grid round.
+func TestTraceDeterminism(t *testing.T) {
+	q := hypergraph.MatMulQuery()
+	inst, _ := workload.Blocks(q, 8, 3)
+
+	run := func(ex *mpc.Exec) (dist.Rel[int64], mpc.Stats) {
+		rels := make(map[string]dist.Rel[int64])
+		for _, e := range q.Edges {
+			rels[e.Name] = dist.FromRelationIn(ex, inst[e.Name], 8)
+		}
+		return JoinAggregate(intSR, q, rels, 42)
+	}
+
+	plainRes, plainSt := run(mpc.NewExec(context.Background(), 1))
+	tr := mpc.NewTracer()
+	tracedRes, tracedSt := run(mpc.NewExec(context.Background(), 1).WithTracer(tr))
+
+	if plainSt != tracedSt {
+		t.Fatalf("stats differ: %+v vs %+v", plainSt, tracedSt)
+	}
+	if !relation.Equal[int64](intSR, intEq, dist.ToRelation(plainRes), dist.ToRelation(tracedRes)) {
+		t.Fatal("results differ between traced and untraced runs")
+	}
+	rounds := tr.Rounds()
+	if len(rounds) == 0 {
+		t.Fatal("no rounds traced")
+	}
+	found := false
+	for _, rt := range rounds {
+		if rt.Op == "hypercube.grid" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("timeline lacks hypercube.grid: %+v", rounds)
+	}
+}

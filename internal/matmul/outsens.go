@@ -190,6 +190,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 			}
 		})
 	})
+	mpc.TraceOp(ex, "matmul.os.gridA")
 	routedA, stA := mpc.ExchangeToIn(ex, totalA, outA)
 	st = mpc.Seq(st, stA)
 
@@ -367,6 +368,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 			}
 		})
 	})
+	mpc.TraceOp(ex, "matmul.os.gridB")
 	routedB, stB := mpc.ExchangeToIn(ex, totalB, outB)
 	st = mpc.Seq(st, stB)
 

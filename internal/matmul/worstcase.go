@@ -159,6 +159,7 @@ func worstCase[W any](sr semiring.Semiring[W], in Input[W], n1, n2 int64, seed u
 			}
 		})
 	})
+	mpc.TraceOp(ex, "matmul.wc.grid")
 	routed, stx := mpc.ExchangeToIn(ex, lay.total, out)
 
 	partials := mpc.MapShards(routed, func(_ int, shard []sideRow[W]) []relation.Row[W] {

@@ -43,6 +43,7 @@ package mpc
 
 import (
 	"fmt"
+	"unsafe"
 
 	xrt "mpcjoin/internal/runtime"
 )
@@ -292,6 +293,10 @@ func exchangeOnRuntime[T any](ex *Exec, pDst int, out [][][]T) (Part[T], Stats) 
 		st.TotalComm += n
 	}
 	st.SumLoad = int64(st.MaxLoad)
+	if ex != nil && ex.tr != nil {
+		var zero T
+		ex.tr.record(recv, int64(unsafe.Sizeof(zero)))
+	}
 	return Part[T]{Shards: shards, ex: ex}, st
 }
 
@@ -303,6 +308,7 @@ func exchangeOnRuntime[T any](ex *Exec, pDst int, out [][][]T) (Part[T], Stats) 
 // invoked serially within one source, in element order).
 func RouteTo[T any](pt Part[T], pDst int, dest func(src int, x T) []int) (Part[T], Stats) {
 	ex := pt.scope()
+	TraceOp(ex, "route_to")
 	out := make([][][]T, pt.P())
 	ex.ForEachShardScratch(pt.P(), func(src int, sc *xrt.Scratch) {
 		shard := pt.Shards[src]
@@ -334,6 +340,7 @@ func RouteTo[T any](pt Part[T], pDst int, dest func(src int, x T) []int) (Part[T
 func Route[T any](pt Part[T], dest func(src int, x T) int) (Part[T], Stats) {
 	p := pt.P()
 	ex := pt.scope()
+	TraceOp(ex, "route")
 	out := make([][][]T, p)
 	ex.ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
 		shard := pt.Shards[src]
@@ -360,6 +367,7 @@ func Route[T any](pt Part[T], dest func(src int, x T) int) (Part[T], Stats) {
 // load is the total element count.
 func Broadcast[T any](pt Part[T]) (Part[T], Stats) {
 	p := pt.P()
+	TraceOp(pt.scope(), "broadcast")
 	out := make([][][]T, p)
 	for src := range out {
 		out[src] = make([][]T, p)
@@ -373,6 +381,7 @@ func Broadcast[T any](pt Part[T]) (Part[T], Stats) {
 // Gather routes every element of pt to server dst (a "convergecast"); used
 // for coordinator steps on small statistics vectors.
 func Gather[T any](pt Part[T], dst int) (Part[T], Stats) {
+	TraceOp(pt.scope(), "gather")
 	return Route(pt, func(int, T) int { return dst })
 }
 
@@ -516,6 +525,7 @@ func Slice[T any](pt Part[T], lo, hi int) Part[T] {
 // would produce.
 func Rebalance[T any](pt Part[T]) (Part[T], Stats) {
 	p := pt.P()
+	TraceOp(pt.scope(), "rebalance")
 	base := make([]int, p)
 	at := 0
 	for s, shard := range pt.Shards {

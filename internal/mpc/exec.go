@@ -45,6 +45,11 @@ import (
 type Exec struct {
 	rt  *xrt.Runtime
 	ctx context.Context
+
+	// tr, when non-nil, records one RoundTrace per metered exchange of
+	// this execution (see trace.go). Nil — the default — is the zero-cost
+	// off path: primitives pay a single nil check per round.
+	tr *Tracer
 }
 
 // NewExec returns an execution scope with the given context and worker
@@ -72,6 +77,27 @@ func ExecOn(ctx context.Context, rt *xrt.Runtime) *Exec {
 		rt = xrt.Serial()
 	}
 	return &Exec{rt: rt, ctx: ctx}
+}
+
+// WithTracer returns a scope identical to ex that records a RoundTrace
+// per metered exchange into tr. Attach it before placing data — the traced
+// scope is a distinct scope, and Parts from the two must not be mixed. A
+// nil tr returns ex unchanged.
+func (ex *Exec) WithTracer(tr *Tracer) *Exec {
+	if tr == nil || ex == nil {
+		return ex
+	}
+	cp := *ex
+	cp.tr = tr
+	return &cp
+}
+
+// Tracer returns the scope's tracer (nil when untraced or ambient).
+func (ex *Exec) Tracer() *Tracer {
+	if ex == nil {
+		return nil
+	}
+	return ex.tr
 }
 
 // Context returns the scope's context (nil when never cancelled).

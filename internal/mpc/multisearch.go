@@ -83,6 +83,7 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 		}
 		lasts.Shards[s] = []lastY[Y, K]{l}
 	})
+	TraceOp(ex, "multisearch.boundaries")
 	gathered, stA := Gather(lasts, 0)
 	byServer := make([]lastY[Y, K], p)
 	for _, l := range gathered.Shards[0] {
@@ -109,6 +110,7 @@ func MultiSearch[X, Y any, K cmp.Ordered](xs Part[X], ys Part[Y], xkey func(X) K
 		carryRow[dst] = carries[dst : dst+1 : dst+1]
 	}
 	carryOut[0] = carryRow
+	TraceOp(ex, "multisearch.carry")
 	carried, stB := ExchangeIn(ex, p, carryOut)
 
 	// Local scan (one worker per server; each consults only its carry).

@@ -55,6 +55,7 @@ func ParallelPack[T any](pt Part[T], weight func(T) int64, cap int64) (Part[Binn
 	for s := range totals.Shards {
 		tagged.Shards[s] = []KeyCount[int]{{Key: s, Count: totals.Shards[s][0]}}
 	}
+	TraceOp(ex, "packing.totals")
 	gathered, st1 := Gather(tagged, 0)
 	base := make([]int64, p)
 	perServer := make([]int64, p)
@@ -76,6 +77,7 @@ func ParallelPack[T any](pt Part[T], weight func(T) int64, cap int64) (Part[Binn
 		baseRow[dst] = base[dst : dst+1 : dst+1]
 	}
 	baseOut[0] = baseRow
+	TraceOp(ex, "packing.offsets")
 	basePart, st2 := ExchangeIn(ex, p, baseOut)
 
 	// Local assignment (each server owns its prefix offset).

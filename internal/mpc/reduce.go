@@ -62,6 +62,7 @@ func ReduceByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K, combine func(a
 		}
 		edges.Shards[s] = []edge{e}
 	}
+	TraceOp(ex, "reduce.boundaries")
 	gathered, stA := Gather(edges, 0)
 	byServer := make([]edge, p)
 	for _, e := range gathered.Shards[0] {
@@ -122,6 +123,7 @@ func ReduceByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K, combine func(a
 	// outbox (instrs is already indexed by destination server).
 	instrOut := make([][][]instr, p)
 	instrOut[0] = instrs
+	TraceOp(ex, "reduce.instructions")
 	instrPart, stB := ExchangeIn(ex, p, instrOut)
 
 	// Apply instructions per server; each worker touches only shard s.
@@ -226,6 +228,7 @@ func TotalCount[T any](pt Part[T]) (int64, Stats) {
 	for s, shard := range pt.Shards {
 		counts.Shards[s] = []int64{int64(len(shard))}
 	}
+	TraceOp(ex, "count.gather")
 	gathered, st1 := Gather(counts, 0)
 	var total int64
 	for _, c := range gathered.Shards[0] {
@@ -233,6 +236,7 @@ func TotalCount[T any](pt Part[T]) (int64, Stats) {
 	}
 	tot := NewPartIn[int64](ex, p)
 	tot.Shards[0] = []int64{total}
+	TraceOp(ex, "count.broadcast")
 	_, st2 := Broadcast(tot)
 	return total, Seq(st1, st2)
 }

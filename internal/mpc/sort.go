@@ -101,6 +101,7 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 			samplePart.Shards[s] = append(samplePart.Shards[s], ts[j*n/c])
 		}
 	}
+	TraceOp(ex, "sort.samples")
 	gathered, st1 := Gather(samplePart, 0)
 
 	// Coordinator picks p−1 splitters at regular ranks.
@@ -116,6 +117,7 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 	// Round 2: broadcast splitters.
 	splitPart := NewPartIn[tagged[T]](ex, p)
 	splitPart.Shards[0] = splits
+	TraceOp(ex, "sort.splitters")
 	bcast, st2 := Broadcast(splitPart)
 	splits = bcast.Shards[0] // identical on every server
 
@@ -142,6 +144,7 @@ func SortBy[T any](pt Part[T], less func(a, b T) bool) (Part[T], Stats) {
 			}
 		})
 	})
+	TraceOp(ex, "sort.partition")
 	routed, st3 := ExchangeIn(ex, p, out)
 
 	// Final local sort.
@@ -198,6 +201,7 @@ func GroupByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[T], Stats
 		}
 		sum.Shards[s] = []boundarySummary[K]{b}
 	}
+	TraceOp(ex, "groupby.boundaries")
 	gathered, stA := Gather(sum, 0)
 	summaries := make([]boundarySummary[K], p)
 	for _, b := range gathered.Shards[0] {
@@ -235,6 +239,7 @@ func GroupByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[T], Stats
 	// is the whole outbox (instrs is already indexed by destination).
 	instrOut := make([][][]ownerInstr, p)
 	instrOut[0] = instrs
+	TraceOp(ex, "groupby.instructions")
 	instrPart, stB := ExchangeIn(ex, p, instrOut)
 
 	// Round C: move chained-key elements to their owners. The coordinator
@@ -261,6 +266,7 @@ func GroupByKey[T any, K cmp.Ordered](pt Part[T], key func(T) K) (Part[T], Stats
 		moveOut[s] = row
 		res.Shards[s] = shard[i:len(shard):len(shard)]
 	})
+	TraceOp(ex, "groupby.merge")
 	moved, stC := ExchangeIn(ex, p, moveOut)
 	for s := range res.Shards {
 		if len(moved.Shards[s]) > 0 {

@@ -67,14 +67,19 @@ type QueryRequest struct {
 	// Semiring is "ints" (default), "minplus", "maxplus", "maxmin" or
 	// "bools" (annotation != 0 is true; results are true groups).
 	Semiring string `json:"semiring,omitempty"`
-	// Workers sizes this query's OS worker pool: 0 = serial, -1 =
-	// GOMAXPROCS, n > 0 = n workers. Per-query, not process-global.
+	// Workers sizes this query's OS worker pool: 0 (the default)
+	// inherits the ambient runtime — the service never installs one, so 0
+	// runs serially; -1 = GOMAXPROCS; n > 0 = n workers. Per-query, not
+	// process-global. Every value admits at least one unit of weight.
 	Workers int `json:"workers,omitempty"`
 	// DeadlineMS bounds execution wall time; the query is cancelled at
 	// the next MPC round barrier after the deadline. 0 means no deadline.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Seed drives hash partitioning and estimators (reproducibility).
 	Seed uint64 `json:"seed,omitempty"`
+	// Trace returns the per-round load timeline ("rounds" in the
+	// response). Off by default; tracing never changes results or stats.
+	Trace bool `json:"trace,omitempty"`
 }
 
 var validStrategies = map[string]bool{"": true, "auto": true, "yannakakis": true, "tree": true}

@@ -12,12 +12,13 @@ import (
 // the hot path (per-query atomics), a small mutex-guarded map for the
 // per-engine breakdown. Snapshot assembles the JSON served at /metrics.
 type Metrics struct {
-	inFlight  atomic.Int64 // queries admitted and executing
-	queued    atomic.Int64 // queries waiting in the admission queue
-	completed atomic.Int64 // queries that returned a result
-	cancelled atomic.Int64 // queries stopped by deadline/disconnect/drain
-	failed    atomic.Int64 // queries that errored (validation, engine)
-	rejected  atomic.Int64 // queries shed at admission (queue full, draining)
+	inFlight       atomic.Int64 // queries admitted and executing
+	queued         atomic.Int64 // queries waiting in the admission queue
+	completed      atomic.Int64 // queries that returned a result
+	cancelled      atomic.Int64 // queries stopped by deadline/disconnect/drain
+	failedClient   atomic.Int64 // queries rejected by validation (HTTP 4xx)
+	failedInternal atomic.Int64 // queries that errored inside the engine (HTTP 5xx)
+	rejected       atomic.Int64 // queries shed at admission (queue full, draining)
 
 	// Cumulative metered MPC cost across completed queries; SumLoad is the
 	// paper's end-to-end cost measure, so the service exposes its running
@@ -25,6 +26,11 @@ type Metrics struct {
 	sumLoad   atomic.Int64
 	rounds    atomic.Int64
 	totalComm atomic.Int64
+
+	// Per-query cost distributions (completed queries only), exposed as
+	// Prometheus histograms by WritePrometheus.
+	loadHist   histogram
+	roundsHist histogram
 
 	mu        sync.Mutex
 	byEngine  map[string]int64 // completed queries per engine ("matmul", …)
@@ -47,9 +53,13 @@ func (m *Metrics) QueryFinished() { m.inFlight.Add(-1) }
 // QueryRejected records a shed request (admission queue full or draining).
 func (m *Metrics) QueryRejected() { m.rejected.Add(1) }
 
-// QueryFailed records a query that returned an error other than
-// cancellation.
-func (m *Metrics) QueryFailed() { m.failed.Add(1) }
+// QueryFailedClient records a query rejected for a request-side reason
+// (validation, schema mismatch): the client must change the request.
+func (m *Metrics) QueryFailedClient() { m.failedClient.Add(1) }
+
+// QueryFailedInternal records a query that errored inside the engine —
+// a server-side failure the client cannot fix by changing the request.
+func (m *Metrics) QueryFailedInternal() { m.failedInternal.Add(1) }
 
 // QueryCancelled records a query stopped by its context, keyed by cause.
 func (m *Metrics) QueryCancelled(cause string) {
@@ -66,6 +76,8 @@ func (m *Metrics) QueryCompleted(engine string, st mpc.Stats) {
 	m.sumLoad.Add(st.SumLoad)
 	m.rounds.Add(int64(st.Rounds))
 	m.totalComm.Add(st.TotalComm)
+	m.loadHist.observe(int64(st.MaxLoad))
+	m.roundsHist.observe(int64(st.Rounds))
 	m.mu.Lock()
 	m.byEngine[engine]++
 	m.mu.Unlock()
@@ -77,8 +89,12 @@ type MetricsSnapshot struct {
 	Queued    int64 `json:"queued"`
 	Completed int64 `json:"completed"`
 	Cancelled int64 `json:"cancelled"`
-	Failed    int64 `json:"failed"`
-	Rejected  int64 `json:"rejected"`
+	// Failed is FailedClient + FailedInternal (kept for dashboards built
+	// on the pre-split shape).
+	Failed         int64 `json:"failed"`
+	FailedClient   int64 `json:"failed_client"`
+	FailedInternal int64 `json:"failed_internal"`
+	Rejected       int64 `json:"rejected"`
 
 	// Cumulative metered MPC cost over completed queries.
 	SumLoad   int64 `json:"sum_load"`
@@ -106,16 +122,18 @@ type EngineCount struct {
 // started) may be off by in-flight transitions — fine for monitoring.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	snap := MetricsSnapshot{
-		InFlight:  m.inFlight.Load(),
-		Queued:    m.queued.Load(),
-		Completed: m.completed.Load(),
-		Cancelled: m.cancelled.Load(),
-		Failed:    m.failed.Load(),
-		Rejected:  m.rejected.Load(),
-		SumLoad:   m.sumLoad.Load(),
-		Rounds:    m.rounds.Load(),
-		TotalComm: m.totalComm.Load(),
+		InFlight:       m.inFlight.Load(),
+		Queued:         m.queued.Load(),
+		Completed:      m.completed.Load(),
+		Cancelled:      m.cancelled.Load(),
+		FailedClient:   m.failedClient.Load(),
+		FailedInternal: m.failedInternal.Load(),
+		Rejected:       m.rejected.Load(),
+		SumLoad:        m.sumLoad.Load(),
+		Rounds:         m.rounds.Load(),
+		TotalComm:      m.totalComm.Load(),
 	}
+	snap.Failed = snap.FailedClient + snap.FailedInternal
 	m.mu.Lock()
 	snap.ByEngine = sortedCounts(m.byEngine)
 	snap.Cancel = sortedCounts(m.byOutcome)

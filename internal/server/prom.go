@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// prom.go renders the metrics in the Prometheus text exposition format
+// (version 0.0.4), hand-written because the module is stdlib-only by
+// design. The surface mirrors the JSON MetricsSnapshot and adds two
+// histograms — per-query MaxLoad and rounds — whose power-of-two buckets
+// match how the paper's bounds scale (load halves when p doubles, so
+// regressions show up as mass shifting one bucket).
+
+// histBuckets is the bucket count of a histogram: upper bounds 2^0..2^19,
+// plus the +Inf overflow bucket.
+const histBuckets = 21
+
+// histogram is a lock-free fixed-bucket histogram. Buckets hold per-bucket
+// (non-cumulative) counts; the exposition accumulates them, since the text
+// format requires cumulative le buckets.
+type histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	total  atomic.Int64
+}
+
+func (h *histogram) observe(v int64) {
+	i := 0
+	for i < histBuckets-1 && v > int64(1)<<uint(i) {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, int64(1)<<uint(i), cum)
+	}
+	cum += h.counts[histBuckets-1].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.sum.Load())
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+// WritePrometheus writes the metrics as Prometheus text exposition. snap
+// supplies the counter/gauge values (one consistent snapshot shared with
+// the JSON view); the histograms are read live from m.
+func (m *Metrics) WritePrometheus(w io.Writer, snap MetricsSnapshot) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("mpcd_queries_in_flight", "Queries admitted and executing.", snap.InFlight)
+	gauge("mpcd_queries_queued", "Queries waiting in the admission queue.", snap.Queued)
+	counter("mpcd_queries_completed_total", "Queries that returned a result.", snap.Completed)
+	counter("mpcd_queries_cancelled_total", "Queries stopped by deadline, disconnect or drain.", snap.Cancelled)
+	counter("mpcd_queries_failed_client_total", "Queries rejected by validation (4xx).", snap.FailedClient)
+	counter("mpcd_queries_failed_internal_total", "Queries that errored inside the engine (5xx).", snap.FailedInternal)
+	counter("mpcd_queries_rejected_total", "Queries shed at admission (queue full or draining).", snap.Rejected)
+	counter("mpcd_mpc_sum_load_total", "Cumulative metered SumLoad over completed queries.", snap.SumLoad)
+	counter("mpcd_mpc_rounds_total", "Cumulative metered rounds over completed queries.", snap.Rounds)
+	counter("mpcd_mpc_comm_units_total", "Cumulative metered communication units over completed queries.", snap.TotalComm)
+	gauge("mpcd_datasets", "Registered datasets.", int64(snap.Datasets))
+	gauge("mpcd_admission_in_use", "Admission weight currently held.", snap.AdmitInUse)
+	gauge("mpcd_admission_capacity", "Total admission capacity in worker units.", snap.AdmitCap)
+	gauge("mpcd_admission_queued", "Waiters parked in the admission semaphore.", int64(snap.AdmitQueued))
+	draining := int64(0)
+	if snap.Draining {
+		draining = 1
+	}
+	gauge("mpcd_draining", "1 while the server drains (sheds new work).", draining)
+
+	if len(snap.ByEngine) > 0 {
+		name := "mpcd_queries_by_engine_total"
+		fmt.Fprintf(w, "# HELP %s Completed queries per engine.\n# TYPE %s counter\n", name, name)
+		for _, ec := range snap.ByEngine {
+			fmt.Fprintf(w, "%s{engine=%q} %d\n", name, ec.Name, ec.Count)
+		}
+	}
+	if len(snap.Cancel) > 0 {
+		name := "mpcd_queries_cancelled_by_cause_total"
+		fmt.Fprintf(w, "# HELP %s Cancelled queries per cause.\n# TYPE %s counter\n", name, name)
+		for _, ec := range snap.Cancel {
+			fmt.Fprintf(w, "%s{cause=%q} %d\n", name, ec.Name, ec.Count)
+		}
+	}
+
+	m.loadHist.write(w, "mpcd_query_max_load", "Per-query metered MaxLoad (units).")
+	m.roundsHist.write(w, "mpcd_query_rounds", "Per-query metered round count.")
+}

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,10 @@ type Config struct {
 	// MaxQueue bounds the admission wait queue; requests beyond it are
 	// shed with HTTP 429. Defaults to 64.
 	MaxQueue int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (mpcd's
+	// -pprof flag). Off by default: the profiling surface is for
+	// operators, not for the query API's clients.
+	EnablePprof bool
 }
 
 // Server is the query service. Construct with New; serve via Handler.
@@ -88,6 +93,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -112,6 +124,21 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // errorBody is the uniform error response shape.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// clientError marks an error as caused by the request itself (bad schema,
+// dangling dataset reference, invalid semiring): the client must change
+// the request, so the handler answers 4xx and counts failed_client.
+// Anything not wrapped — an engine failure on a well-formed request — is
+// an internal error: 5xx and failed_internal.
+type clientError struct{ err error }
+
+func (e *clientError) Error() string { return e.err.Error() }
+func (e *clientError) Unwrap() error { return e.err }
+
+func isClientError(err error) bool {
+	var ce *clientError
+	return errors.As(err, &ce)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -140,6 +167,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.AdmitCap = s.sem.Capacity()
 	snap.AdmitQueued = s.sem.Queued()
 	snap.Draining = s.Draining()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.met.WritePrometheus(w, snap)
+		return
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -200,6 +232,9 @@ type QueryResponse struct {
 	// WallNS is the query's wall-clock execution time in nanoseconds
 	// (excluding queueing).
 	WallNS int64 `json:"wall_ns"`
+	// Rounds is the per-round load timeline, present only when the request
+	// set "trace": true.
+	Rounds []mpc.RoundTrace `json:"rounds,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -264,35 +299,51 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Admission: hold weight proportional to the OS parallelism this query
 	// runs with for the duration of its execution. The wait respects the
 	// client's context, so a disconnected client frees its queue slot.
+	// workers: 0 (the default) runs serially, which still occupies one OS
+	// worker — clamp to 1 so default queries cannot bypass the capacity.
 	weight := int64(req.Workers)
 	if req.Workers < 0 {
 		weight = int64(runtime.GOMAXPROCS(0))
 	}
-	ctx := r.Context()
-	s.met.QueryQueued()
-	weight, err = s.sem.Acquire(ctx, weight)
-	s.met.QueryDequeued()
-	if err != nil {
-		if errors.Is(err, ErrQueueFull) {
-			s.met.QueryRejected()
-			writeError(w, http.StatusTooManyRequests, "admission queue full")
-			return
-		}
-		s.met.QueryCancelled("client")
-		return // client gone; nobody reads the response
+	if weight < 1 {
+		weight = 1
 	}
-	defer s.sem.Release(weight)
 
-	// Deadline: cancels the execution at the next MPC round barrier.
+	// Deadline: derived before Acquire so it covers queue wait as well as
+	// execution — a query must not sit in the admission queue past its own
+	// deadline and then still run.
+	ctx := r.Context()
 	cancel := context.CancelFunc(func() {})
 	if req.DeadlineMS > 0 {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
 	}
 	defer cancel()
 
+	s.met.QueryQueued()
+	weight, err = s.sem.Acquire(ctx, weight)
+	s.met.QueryDequeued()
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.met.QueryRejected()
+			writeError(w, http.StatusTooManyRequests, "admission queue full")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.QueryCancelled("deadline")
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
+		default:
+			s.met.QueryCancelled(s.disconnectCause())
+			// The client is gone; nobody reads the response.
+		}
+		return
+	}
+	defer s.sem.Release(weight)
+
 	s.met.QueryStarted()
 	defer s.met.QueryFinished()
 
+	if req.Trace {
+		o.Tracer = mpc.NewTracer()
+	}
 	start := time.Now()
 	out, err := s.execute(ctx, req, q, insts, o)
 	wall := time.Since(start)
@@ -302,12 +353,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.met.QueryCancelled("deadline")
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", wall)
 		case errors.Is(err, context.Canceled):
-			s.met.QueryCancelled("client")
-			// The client is gone; the write is best-effort.
-			writeError(w, http.StatusServiceUnavailable, "cancelled")
-		default:
-			s.met.QueryFailed()
+			cause := s.disconnectCause()
+			s.met.QueryCancelled(cause)
+			// The client may be gone; the write is best-effort.
+			writeError(w, http.StatusServiceUnavailable, "cancelled (%s)", cause)
+		case isClientError(err):
+			s.met.QueryFailedClient()
 			writeError(w, http.StatusBadRequest, "%v", err)
+		default:
+			s.met.QueryFailedInternal()
+			writeError(w, http.StatusInternalServerError, "internal error: %v", err)
 		}
 		return
 	}
@@ -315,7 +370,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	out.Class = pl.Class.String()
 	out.Engine = pl.Engine
 	out.WallNS = wall.Nanoseconds()
+	if o.Tracer != nil {
+		out.Rounds = o.Tracer.Rounds()
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// disconnectCause labels a context.Canceled outcome: during a drain the
+// daemon (not the client) cancels in-flight work, so the cancellation is
+// recorded as "drain" rather than a client disconnect.
+func (s *Server) disconnectCause() string {
+	if s.Draining() {
+		return "drain"
+	}
+	return "client"
 }
 
 // execute materializes the query's instance from the registry (aliasing
@@ -352,7 +420,7 @@ func (s *Server) execute(ctx context.Context, req *QueryRequest, q *hypergraph.Q
 	case "maxmin":
 		return runTyped[int64](ctx, semiring.MaxMin{}, q, inst, o, annot)
 	}
-	return nil, fmt.Errorf("unknown semiring %q", req.Semiring)
+	return nil, &clientError{fmt.Errorf("unknown semiring %q", req.Semiring)}
 }
 
 // newRelation builds an empty relation carrying the query's schema for
@@ -372,6 +440,15 @@ func newRelation[W any](q *hypergraph.Query, name string) *relation.Relation[W] 
 
 // runTyped executes the query over a typed instance and renders the rows.
 func runTyped[W any](ctx context.Context, sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instance[W], o core.Options, annot func(W) any) (*QueryResponse, error) {
+	// Validate up front so request-shape problems classify as client
+	// errors; whatever core then fails on (beyond cancellation) is an
+	// internal engine error on a well-formed request.
+	if err := q.Validate(); err != nil {
+		return nil, &clientError{err}
+	}
+	if err := db.Validate(q, inst); err != nil {
+		return nil, &clientError{err}
+	}
 	rel, st, err := core.ExecuteContext(ctx, sr, q, inst, o)
 	if err != nil {
 		return nil, err

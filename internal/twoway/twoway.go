@@ -254,6 +254,7 @@ func Join[W any](sr semiring.Semiring[W], r, s dist.Rel[W]) (dist.Rel[W], int64,
 			}
 		})
 	})
+	mpc.TraceOp(ex, "twoway.grid")
 	routed, st10 := mpc.ExchangeToIn(ex, pDst, out)
 
 	// Local joins.

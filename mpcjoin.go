@@ -62,6 +62,11 @@ type Semiring[W any] = semiring.Semiring[W]
 // TotalComm, and SumLoad (per-round bottleneck loads summed over rounds).
 type Stats = mpc.Stats
 
+// RoundTrace is one communication round of a traced execution: the
+// primitive that drove it and the distribution of per-server received
+// load. Request a trace with WithTrace; read it from Result.Trace.
+type RoundTrace = mpc.RoundTrace
+
 // ---------------------------------------------------------------------------
 // Query construction
 // ---------------------------------------------------------------------------
@@ -191,6 +196,11 @@ type Result[W any] struct {
 	// Engine is the algorithm that ran ("matmul", "line", "star",
 	// "star-like", "tree" or "yannakakis").
 	Engine string
+	// Trace is the per-round load timeline, present only when the
+	// execution ran with WithTrace. Its rounds count physical exchanges
+	// in execution order, so len(Trace) can exceed Stats.Rounds (which
+	// merges parallel sub-plans).
+	Trace []RoundTrace
 }
 
 // Option configures Execute.
@@ -244,6 +254,14 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithTrace records a per-round load timeline of the execution and
+// returns it in Result.Trace. Tracing never changes results or Stats —
+// a traced run is bit-identical to an untraced one — and costs nothing
+// when off.
+func WithTrace() Option {
+	return func(o *core.Options) { o.Tracer = mpc.NewTracer() }
+}
+
 // Execute runs the query over the instance under the semiring and returns
 // the answer with its metered MPC cost.
 func Execute[W any](sr Semiring[W], q *Query, data Instance[W], opts ...Option) (*Result[W], error) {
@@ -281,6 +299,9 @@ func ExecuteContext[W any](ctx context.Context, sr Semiring[W], q *Query, data I
 		Stats:  st,
 		Class:  pl.Class.String(),
 		Engine: pl.Engine,
+	}
+	if o.Tracer != nil {
+		res.Trace = o.Tracer.Rounds()
 	}
 	for _, a := range rel.Schema() {
 		res.Attrs = append(res.Attrs, string(a))
