@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke service-smoke boundcheck
+.PHONY: ci vet build test race bench bench-smoke service-smoke boundcheck chaos
 
 ci: vet build test race
 
@@ -40,3 +40,12 @@ service-smoke:
 # load timeline for CI to upload next to the bench artifacts.
 boundcheck:
 	$(GO) run ./cmd/boundcheck -quick -trace -json BOUND_trace.json
+
+# Fault-resilience lane: every engine under every fault schedule, run
+# under the race detector (retry recovery is the one path that re-enters
+# the barrier concurrently). Exits non-zero unless each cell is either
+# absorbed bit-identically or fails with the typed budget error;
+# CHAOS_report.json carries the per-(engine, scenario) accounting for CI
+# to upload as an artifact.
+chaos:
+	$(GO) run -race ./cmd/chaos -quick -workers 4 -json CHAOS_report.json

@@ -1,0 +1,74 @@
+// Command chaos runs the fault-resilience sweep: every engine (matmul,
+// star, line, tree, yannakakis, hypercube) executes under a matrix of
+// deterministic fault schedules — crashes, message drops, stragglers,
+// mixtures, and one schedule built to exhaust the retry budget. A
+// retryable schedule must be absorbed bit-identically (same rows, same
+// base stats as the fault-free run); the budget schedule must fail with
+// the typed fault-budget error. Exit status 1 on any violation.
+//
+//	chaos                           # full sizes, p=8
+//	chaos -quick -workers 4 -json CHAOS_report.json
+//
+// -json writes every (engine, scenario) result — row fingerprints, base
+// stats, and the fault plane's injection/retry accounting — as indented
+// JSON; CI uploads this file as an artifact so a resilience regression
+// ships with the schedule that exposed it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpcjoin/internal/experiments/chaos"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		quick   = flag.Bool("quick", false, "shrink instance sizes for a fast pass")
+		p       = flag.Int("p", 8, "simulated cluster size")
+		seed    = flag.Uint64("seed", 1, "randomness seed (runs are reproducible per seed)")
+		workers = flag.Int("workers", 0, "OS workers per run (0 = serial; results must not depend on this)")
+		jsonOut = flag.String("json", "", "write per-(engine,scenario) results as JSON to this file")
+	)
+	flag.Parse()
+
+	cfg := chaos.Config{Quick: *quick, P: *p, Seed: *seed, Workers: *workers}
+	results, err := chaos.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("%-11s %-17s %-6s %-9s %-9s %-9s %-9s %-7s %s\n",
+		"engine", "scenario", "rows", "injected", "detected", "retried", "absorbed", "budget", "ok")
+	for _, r := range results {
+		fmt.Printf("%-11s %-17s %-6d %-9d %-9d %-9d %-9d %-7v %v\n",
+			r.Engine, r.Scenario, r.Rows, r.Injected, r.Detected, r.Retried, r.Absorbed, r.BudgetErr, r.OK)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err == nil {
+			err = chaos.WriteJSON(f, results)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: writing %s: %v\n", *jsonOut, err)
+			return 1
+		}
+	}
+
+	if err := chaos.Check(results); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 1
+	}
+	fmt.Printf("all %d engine/scenario cells recovered or failed as specified\n", len(results))
+	return 0
+}

@@ -19,6 +19,12 @@
 // per-round load timeline (op, per-server load distribution, bytes) in
 // the JSON rows; tracing never changes loads, rounds or results.
 //
+// -faults runs every benched engine execution under a deterministic
+// fault schedule (see experiments.ParseFaultSpec for the key=value
+// grammar). Absorbed schedules leave every table and verification
+// identical to the fault-free run — the per-run injection/retry
+// accounting lands in the -json rows' "faults" field.
+//
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments (the memory profile is a heap snapshot taken after the runs,
 // with allocation sites recorded); inspect with `go tool pprof`. See the
@@ -57,6 +63,7 @@ func run() int {
 		workers = flag.Int("workers", -1, "concurrent runtime workers (1 = serial, <=0 = one per CPU)")
 		jsonOut = flag.String("json", "", "write per-experiment benchmark rows as JSON to this file")
 		trace   = flag.Bool("trace", false, "record per-round load timelines in the -json rows")
+		faults  = flag.String("faults", "", "run benched engines under a deterministic fault schedule, e.g. crash=0.05,drop=0.05,straggler=0.2,retries=6")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (post-run snapshot) to this file")
 	)
@@ -106,7 +113,13 @@ func run() int {
 		ids = strings.Split(*exper, ",")
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers, Trace: *trace}
+	faultSpec, err := experiments.ParseFaultSpec(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpcbench: %v\n", err)
+		return 2
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers, Trace: *trace, Faults: faultSpec}
 	failed := false
 	var bench []experiments.BenchRow
 	for _, id := range ids {

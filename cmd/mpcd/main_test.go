@@ -118,7 +118,46 @@ func TestServiceSmoke(t *testing.T) {
 		t.Fatalf("strategies disagree: %v", rows)
 	}
 
-	// Metrics reflect the three completed queries.
+	// The same query through /v2/query: knobs ride the options object,
+	// here with a fault schedule the retry plane must absorb — rows must
+	// match the v1 answers exactly and the response reports the faults.
+	{
+		body := `{"relations":[{"name":"R1","attrs":["A","B"],"dataset":"E"},{"name":"R2","attrs":["B","C"],"dataset":"E"}],"group_by":["A"],` +
+			`"options":{"workers":2,"seed":9,"faults":{"crash_prob":0.1,"drop_prob":0.1,"max_retries":10}}}`
+		code, out := post("/v2/query", body)
+		if code != http.StatusOK {
+			t.Fatalf("v2 query: %d %s", code, out)
+		}
+		var qr struct {
+			Rows   [][]any `json:"rows"`
+			Faults struct {
+				Injected int `json:"injected"`
+			} `json:"faults"`
+		}
+		if err := json.Unmarshal(out, &qr); err != nil {
+			t.Fatalf("v2 query: %v", err)
+		}
+		if fmt.Sprint(qr.Rows) != rows[0] {
+			t.Fatalf("v2 rows diverge from v1: %v vs %v", qr.Rows, rows[0])
+		}
+		if qr.Faults.Injected == 0 {
+			t.Fatalf("v2 fault schedule injected nothing: %s", out)
+		}
+		// A flat v1 knob must be rejected by the v2 decoder with the
+		// typed error envelope.
+		code, out = post("/v2/query", `{"relations":[{"name":"R1","attrs":["A","B"],"dataset":"E"}],"servers":4}`)
+		var env struct {
+			Error struct {
+				Cause string `json:"cause"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(out, &env); err != nil || code != http.StatusBadRequest || env.Error.Cause != "bad_request" {
+			t.Fatalf("v2 flat-knob rejection: %d %s (%v)", code, out, err)
+		}
+		t.Logf("v2 ok (faults injected=%d, typed errors)", qr.Faults.Injected)
+	}
+
+	// Metrics reflect the completed queries (three v1 + one v2).
 	mresp, err := http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +175,7 @@ func TestServiceSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	mresp.Body.Close()
-	if snap.Completed != 3 || snap.InFlight != 0 || snap.SumLoad == 0 {
+	if snap.Completed != 4 || snap.InFlight != 0 || snap.SumLoad == 0 {
 		t.Fatalf("metrics: %+v", snap)
 	}
 	if len(snap.ByEngine) == 0 {

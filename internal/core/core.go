@@ -88,6 +88,14 @@ type Options struct {
 	// Tracer.Rounds() after the call returns. nil (the default) keeps the
 	// zero-cost path: tracing adds no work and no allocations when off.
 	Tracer *mpc.Tracer
+	// Faults, when non-nil, injects the plane's deterministic fault
+	// schedule at the execution's exchange barriers, with round-level
+	// checkpoint/retry recovery (see mpc.FaultPlane). Read the injection
+	// accounting with Faults.Report() after the call returns; a round
+	// still faulty past its retry budget fails the execution with a
+	// *mpc.FaultBudgetError (errors.Is mpc.ErrFaultBudgetExceeded). nil
+	// (the default) keeps the flawless-cluster fast path.
+	Faults *mpc.FaultPlane
 }
 
 func (o Options) withDefaults() Options {
@@ -187,6 +195,9 @@ func ExecuteDistributedContext[W any](ctx context.Context, sr semiring.Semiring[
 	ex := mpc.NewExec(ctx, opts.Workers)
 	if opts.Tracer != nil {
 		ex = ex.WithTracer(opts.Tracer)
+	}
+	if opts.Faults != nil {
+		ex = ex.WithFaults(opts.Faults)
 	}
 	// Primitives report cancellation by unwinding with an internal sentinel
 	// (they return no errors); convert it back into a returned error here.

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -71,6 +72,10 @@ type BenchRow struct {
 	// Trace is the per-round load timeline of the new engine's run,
 	// recorded only under Config.Trace (mpcbench -trace).
 	Trace []mpc.RoundTrace `json:"trace,omitempty"`
+	// Faults is the fault plane's per-run accounting, recorded only
+	// under Config.Faults (mpcbench -faults). The row's MaxLoad/Rounds
+	// are the base metered cost and exclude fault overhead by design.
+	Faults *mpc.FaultReport `json:"faults,omitempty"`
 }
 
 // addBench records one benchmark row (ID/Workers are stamped by Run).
@@ -78,7 +83,7 @@ func (t *Table) addBench(p int, n, out int64, rb bothRun) {
 	t.Bench = append(t.Bench, BenchRow{
 		P: p, N: n, Out: out,
 		MaxLoad: rb.stNew.MaxLoad, Rounds: rb.stNew.Rounds, WallNs: rb.wall.Nanoseconds(),
-		Trace: rb.trace,
+		Trace: rb.trace, Faults: rb.faults,
 	})
 }
 
@@ -128,6 +133,12 @@ type Config struct {
 	// run into BenchRow.Trace (mpcbench -trace -json). Tracing never
 	// changes loads, rounds or results.
 	Trace bool
+	// Faults, when enabled, runs every benched (new-engine) execution
+	// under a deterministic fault plane (mpcbench -faults). Absorbed
+	// schedules leave tables, loads and verification identical to the
+	// fault-free run — only wallNs and BenchRow.Faults change; a
+	// schedule the retry budget cannot absorb fails the experiment.
+	Faults mpc.FaultSpec
 }
 
 // effectiveWorkers resolves Config.Workers to the pool size runs use.
@@ -149,6 +160,28 @@ func (c Config) scale(full, quick int) int {
 	return full
 }
 
+// exec returns a fresh per-experiment execution scope sized by
+// c.Workers, for the experiments that drive engines directly on
+// distributed relations rather than through core.Execute.
+func (c Config) exec() *mpc.Exec {
+	return mpc.NewExec(context.Background(), c.Workers)
+}
+
+// faultPlane returns a fresh fault plane for one benched run (nil when
+// c.Faults is disabled). Each run gets its own plane so BenchRow.Faults
+// reports per-run accounting; the spec's seed defaults off c.Seed so
+// -faults without an explicit seed is still reproducible.
+func (c Config) faultPlane() *mpc.FaultPlane {
+	if !c.Faults.Enabled() {
+		return nil
+	}
+	spec := c.Faults
+	if spec.Seed == 0 {
+		spec.Seed = c.Seed + 1
+	}
+	return mpc.NewFaultPlane(spec)
+}
+
 // IDs lists all experiment identifiers in canonical order.
 func IDs() []string {
 	return []string{
@@ -163,17 +196,11 @@ func IDs() []string {
 	}
 }
 
-// Run executes one experiment. If cfg.Workers is non-zero the experiment
-// runs on a correspondingly sized concurrent runtime, restored afterwards.
+// Run executes one experiment. cfg.Workers travels with each engine run's
+// execution scope (core.Options.Workers / mpc.NewExec), so concurrent Run
+// calls with different worker counts never interact — no process-global
+// runtime is installed.
 func Run(id string, cfg Config) (Table, error) {
-	if cfg.Workers != 0 {
-		n := cfg.Workers
-		if n < 0 {
-			n = 0 // runtime.New(0) sizes to GOMAXPROCS
-		}
-		prev := mpc.SetRuntime(runtime.New(n))
-		defer mpc.SetRuntime(prev)
-	}
 	t, err := run(id, cfg)
 	workers := cfg.effectiveWorkers()
 	commit := buildCommit()
@@ -263,23 +290,28 @@ type bothRun struct {
 	engine     string
 	verified   bool
 	trace      []mpc.RoundTrace
+	faults     *mpc.FaultReport
 }
 
 // runBoth executes the query under both the auto engine and the baseline,
-// verifying they agree.
+// verifying they agree. Under Config.Faults the new engine's run carries a
+// fresh fault plane while the baseline stays fault-free, so verification
+// doubles as a retry-transparency check: an absorbed schedule must still
+// agree with the undisturbed baseline.
 func runBoth(cfg Config, q *hypergraph.Query, inst db.Instance[int64], p int) bothRun {
 	var tr *mpc.Tracer
 	if cfg.Trace {
 		tr = mpc.NewTracer()
 	}
+	fp := cfg.faultPlane()
 	seed := cfg.Seed
 	t0 := time.Now()
-	resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: seed, Tracer: tr})
+	resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: seed, Workers: cfg.Workers, Tracer: tr, Faults: fp})
 	wall := time.Since(t0)
 	if err != nil {
 		panic(err)
 	}
-	resY, stY, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: seed})
+	resY, stY, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: seed, Workers: cfg.Workers})
 	if err != nil {
 		panic(err)
 	}
@@ -288,6 +320,10 @@ func runBoth(cfg Config, q *hypergraph.Query, inst db.Instance[int64], p int) bo
 	rb := bothRun{stNew: stNew, stY: stY, wall: wall, engine: pl.Engine, verified: eq}
 	if tr != nil {
 		rb.trace = tr.Rounds()
+	}
+	if fp != nil {
+		rep := fp.Report()
+		rb.faults = &rep
 	}
 	return rb
 }
@@ -341,14 +377,15 @@ func mmCrossover(cfg Config) Table {
 		Notes:  []string{"the dispatcher must pick the smaller branch on each side of the boundary"},
 	}
 	boundary := float64(n) * math.Sqrt(float64(p))
+	ex := cfg.exec()
 	for _, fan := range []int{2, 4, 8, 32, 128} {
 		blocks := n / fan
 		if blocks < 1 {
 			blocks = 1
 		}
 		inst, meta := workload.MatMulBlocks(blocks, fan, fan)
-		r1 := dist.FromRelation(inst["R1"], p)
-		r2 := dist.FromRelation(inst["R2"], p)
+		r1 := dist.FromRelationIn(ex, inst["R1"], p)
+		r2 := dist.FromRelationIn(ex, inst["R2"], p)
 		in := matmul.Input[int64]{R1: r1, R2: r2, B: "B"}
 		resWC, stWC, err := matmul.Compute(intSR, in, matmul.Options{Algorithm: matmul.WorstCase, Seed: cfg.Seed})
 		if err != nil {
@@ -494,9 +531,10 @@ func scalingP(cfg Config) Table {
 		},
 	}
 	var ps, los, lwc, lys []float64
+	ex := cfg.exec()
 	for _, p := range []int{4, 8, 16, 32} {
-		r1 := dist.FromRelation(inst["R1"], p)
-		r2 := dist.FromRelation(inst["R2"], p)
+		r1 := dist.FromRelationIn(ex, inst["R1"], p)
+		r2 := dist.FromRelationIn(ex, inst["R2"], p)
 		in := matmul.Input[int64]{R1: r1, R2: r2, B: "B"}
 		_, stOS, err := matmul.Compute(intSR, in, matmul.Options{Algorithm: matmul.OutputSensitive, Seed: cfg.Seed})
 		if err != nil {
@@ -506,7 +544,7 @@ func scalingP(cfg Config) Table {
 		if err != nil {
 			panic(err)
 		}
-		_, stY, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed})
+		_, stY, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			panic(err)
 		}
@@ -561,11 +599,11 @@ func roundsConstant(cfg Config) Table {
 		}
 		// Each generated instance is executed exactly once: hand over
 		// ownership and skip the initial-placement copy.
-		_, stS, err := core.Execute(intSR, c.q, instS, core.Options{Servers: p, Seed: cfg.Seed, OwnInput: true})
+		_, stS, err := core.Execute(intSR, c.q, instS, core.Options{Servers: p, Seed: cfg.Seed, Workers: cfg.Workers, OwnInput: true})
 		if err != nil {
 			panic(err)
 		}
-		_, stL, err := core.Execute(intSR, c.q, instL, core.Options{Servers: p, Seed: cfg.Seed, OwnInput: true})
+		_, stL, err := core.Execute(intSR, c.q, instL, core.Options{Servers: p, Seed: cfg.Seed, Workers: cfg.Workers, OwnInput: true})
 		if err != nil {
 			panic(err)
 		}
@@ -593,14 +631,15 @@ func lbThm2(cfg Config) Table {
 		Notes:  []string{"idempotent (Boolean) semiring, as the theorem requires"},
 	}
 	boolSR := semiring.BoolOrAnd{}
+	ex := cfg.exec()
 	for _, out := range []int64{n, 2 * n, 4 * n} {
 		hard, err := lowerbound.Thm2(n, n, out)
 		if err != nil {
 			panic(err)
 		}
 		in := matmul.Input[bool]{
-			R1: dist.FromRelation(hard.Inst["R1"], p),
-			R2: dist.FromRelation(hard.Inst["R2"], p),
+			R1: dist.FromRelationIn(ex, hard.Inst["R1"], p),
+			R2: dist.FromRelationIn(ex, hard.Inst["R2"], p),
 			B:  "B",
 		}
 		_, st, err := matmul.Compute[bool](boolSR, in, matmul.Options{Seed: cfg.Seed})
@@ -626,14 +665,15 @@ func lbThm3(cfg Config) Table {
 		Notes:  []string{"constant-factor gap = optimality evidence (Theorem 1 matches Theorem 3)"},
 	}
 	boolSR := semiring.BoolOrAnd{}
+	ex := cfg.exec()
 	for _, out := range []int64{4 * n, 64 * n, n * n / 4} {
 		hard, err := lowerbound.Thm3(n, n, out)
 		if err != nil {
 			panic(err)
 		}
 		in := matmul.Input[bool]{
-			R1: dist.FromRelation(hard.Inst["R1"], p),
-			R2: dist.FromRelation(hard.Inst["R2"], p),
+			R1: dist.FromRelationIn(ex, hard.Inst["R1"], p),
+			R2: dist.FromRelationIn(ex, hard.Inst["R2"], p),
 			B:  "B",
 		}
 		_, st, err := matmul.Compute[bool](boolSR, in, matmul.Options{Seed: cfg.Seed})
@@ -737,6 +777,7 @@ func estOut(cfg Config) Table {
 	}
 	rng := rand.New(rand.NewSource(int64(cfg.Seed) + 3))
 	q := hypergraph.MatMulQuery()
+	ex := cfg.exec()
 
 	run := func(name string, inst db.Instance[int64]) {
 		red := refengine.RemoveDangling(q, inst)
@@ -744,8 +785,8 @@ func estOut(cfg Config) Table {
 		if err != nil {
 			panic(err)
 		}
-		r1 := dist.FromRelation(red["R1"], p)
-		r2 := dist.FromRelation(red["R2"], p)
+		r1 := dist.FromRelationIn(ex, red["R1"], p)
+		r2 := dist.FromRelationIn(ex, red["R2"], p)
 		_, est, st := estimate.MatMulOut(r1, r2,
 			[]dist.Attr{"A"}, []dist.Attr{"B"}, []dist.Attr{"C"},
 			estimate.Params{Seed: cfg.Seed + 9})
@@ -783,11 +824,11 @@ func ablLocality(cfg Config) Table {
 		inst := boolToInt(hard.Inst)
 		q := hypergraph.MatMulQuery()
 		j, _ := refengine.MaxIntermediateJoin[int64](intSR, q, inst)
-		resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: cfg.Seed})
+		resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			panic(err)
 		}
-		resY, stY, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed})
+		resY, stY, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			panic(err)
 		}
@@ -862,18 +903,19 @@ func altFullJoin(cfg Config) Table {
 			"the §3 algorithm still wins or ties on every row, as §1.4 concludes",
 		},
 	}
+	ex := cfg.exec()
 	for _, mult := range []int{1, 4, 16, 64} {
 		inst, meta := workload.BlocksMulti(q, blocks, 4, mult)
 		outf := meta.Out * int64(mult)
 		rels := make(map[string]dist.Rel[int64], len(q.Edges))
 		for _, e := range q.Edges {
-			rels[e.Name] = dist.FromRelation(inst[e.Name], p)
+			rels[e.Name] = dist.FromRelationIn(ex, inst[e.Name], p)
 		}
 		resHC, stHC := hypercube.JoinAggregate(intSR, q, rels, cfg.Seed)
 		rb := runBoth(cfg, q, inst, p)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
 		t.addBench(p, int64(meta.N), meta.Out, rb)
-		resY, _, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed})
+		resY, _, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			panic(err)
 		}

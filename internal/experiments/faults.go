@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mpcjoin/internal/mpc"
+)
+
+// ParseFaultSpec parses the mpcbench -faults flag value into a fault
+// spec. The format is comma-separated key=value pairs:
+//
+//	crash=P      per-round crash probability in [0, 1]
+//	round=K      deterministic crash at physical round K (1-based)
+//	drop=P       per-message drop probability in [0, 1]
+//	straggler=P  per-server straggler probability in [0, 1]
+//	delay=D      straggler delay in load units (default 8 when straggler is set)
+//	retries=R    retry budget per round (0 = default, negative = no retries)
+//	seed=S       schedule seed (0 = derived from the experiment seed)
+//	stop=N       stop injecting after N faults (0 = unlimited)
+//
+// Example: -faults crash=0.05,drop=0.05,straggler=0.2,delay=8,retries=6
+//
+// The returned spec is validated; the empty string returns a disabled
+// spec and no error.
+func ParseFaultSpec(s string) (mpc.FaultSpec, error) {
+	var spec mpc.FaultSpec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return spec, fmt.Errorf("experiments: fault spec: %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		prob := func() (float64, error) {
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return 0, fmt.Errorf("experiments: fault spec: %s=%q is not a number", key, val)
+			}
+			return p, nil
+		}
+		count := func() (int, error) {
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return 0, fmt.Errorf("experiments: fault spec: %s=%q is not an integer", key, val)
+			}
+			return n, nil
+		}
+		var err error
+		switch key {
+		case "crash":
+			spec.CrashProb, err = prob()
+		case "round":
+			spec.CrashRound, err = count()
+		case "drop":
+			spec.DropProb, err = prob()
+		case "straggler":
+			spec.StragglerProb, err = prob()
+		case "delay":
+			var d int
+			d, err = count()
+			spec.StragglerDelay = int64(d)
+		case "retries":
+			spec.MaxRetries, err = count()
+		case "stop":
+			spec.StopAfter, err = count()
+		case "seed":
+			spec.Seed, err = strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("experiments: fault spec: seed=%q is not an unsigned integer", val)
+			}
+		default:
+			err = fmt.Errorf("experiments: fault spec: unknown key %q (want crash, round, drop, straggler, delay, retries, seed, stop)", key)
+		}
+		if err != nil {
+			return mpc.FaultSpec{}, err
+		}
+	}
+	if spec.StragglerProb > 0 && spec.StragglerDelay == 0 {
+		spec.StragglerDelay = 8
+	}
+	if err := spec.Validate(); err != nil {
+		return mpc.FaultSpec{}, err
+	}
+	if !spec.Enabled() {
+		return mpc.FaultSpec{}, fmt.Errorf("experiments: fault spec %q injects nothing (set crash, round, drop or straggler)", s)
+	}
+	return spec, nil
+}

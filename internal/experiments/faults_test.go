@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mpcjoin/internal/mpc"
+)
+
+// flatten joins table rows for cheap equality checks in tests.
+func flatten(rows [][]string) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = strings.Join(r, "\x00")
+	}
+	return out
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want mpc.FaultSpec
+	}{
+		{"crash=0.05", mpc.FaultSpec{CrashProb: 0.05}},
+		{"round=2", mpc.FaultSpec{CrashRound: 2}},
+		{"crash=0.05,drop=0.1,straggler=0.2,delay=4,retries=6,seed=9,stop=3",
+			mpc.FaultSpec{CrashProb: 0.05, DropProb: 0.1, StragglerProb: 0.2, StragglerDelay: 4, MaxRetries: 6, Seed: 9, StopAfter: 3}},
+		// straggler without an explicit delay gets the default delay.
+		{"straggler=0.5", mpc.FaultSpec{StragglerProb: 0.5, StragglerDelay: 8}},
+		// whitespace and empty fields are tolerated.
+		{" crash=0.3 , retries=-1 ,", mpc.FaultSpec{CrashProb: 0.3, MaxRetries: -1}},
+	}
+	for _, c := range cases {
+		got, err := ParseFaultSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseFaultSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseFaultSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFaultSpecEmpty(t *testing.T) {
+	spec, err := ParseFaultSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Enabled() {
+		t.Errorf("empty flag must parse to a disabled spec, got %+v", spec)
+	}
+}
+
+func TestParseFaultSpecErrors(t *testing.T) {
+	bad := map[string]string{
+		"crash":          "not key=value",
+		"crash=x":        "not a number",
+		"round=1.5":      "not an integer",
+		"seed=-1":        "not an unsigned integer",
+		"bogus=1":        "unknown key",
+		"crash=1.5":      "must be in [0, 1]",
+		"delay=8":        "injects nothing",
+		"retries=4":      "injects nothing",
+		"drop=0.5":       "", // valid: drops alone are injectable
+		"straggler=-0.1": "must be in [0, 1]",
+	}
+	for in, wantErr := range bad {
+		_, err := ParseFaultSpec(in)
+		if wantErr == "" {
+			if err != nil {
+				t.Errorf("ParseFaultSpec(%q): unexpected error %v", in, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("ParseFaultSpec(%q) err = %v, want containing %q", in, err, wantErr)
+		}
+	}
+}
+
+// TestRunWithFaults: an experiment run under an absorbable fault schedule
+// must produce the same table rows as the fault-free run (retry is
+// transparent to loads, rounds and verification) while the bench rows
+// carry the per-run fault accounting.
+func TestRunWithFaults(t *testing.T) {
+	base, err := Run("T1-MM-load", Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseFaultSpec("crash=0.05,drop=0.05,straggler=0.2,retries=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := Run("T1-MM-load", Config{Quick: true, Seed: 1, Faults: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulted.Rows) != len(base.Rows) {
+		t.Fatalf("row count changed under faults: %d vs %d", len(faulted.Rows), len(base.Rows))
+	}
+	for i := range base.Rows {
+		if strings.Join(faulted.Rows[i], "|") != strings.Join(base.Rows[i], "|") {
+			t.Errorf("row %d changed under absorbed faults:\n got %v\nwant %v", i, faulted.Rows[i], base.Rows[i])
+		}
+	}
+	if len(faulted.Bench) == 0 {
+		t.Fatal("no bench rows")
+	}
+	injected := 0
+	for _, b := range faulted.Bench {
+		if b.Faults == nil {
+			t.Fatalf("bench row %s missing fault accounting", b.ID)
+		}
+		injected += b.Faults.Injected
+	}
+	if injected == 0 {
+		t.Error("fault schedule injected nothing across the sweep; pick a richer seed")
+	}
+	for _, b := range base.Bench {
+		if b.Faults != nil {
+			t.Error("fault-free bench row carries fault accounting")
+		}
+	}
+}
+
+// TestRunWorkersScoped: with the ambient-runtime shim gone from Run,
+// worker counts must ride the per-execution scope — same tables for any
+// setting, and no process-global runtime swap (verified by running
+// concurrently in the race lane).
+func TestRunWorkersScoped(t *testing.T) {
+	base, err := Run("T1-rounds", Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	for _, w := range []int{1, 4} {
+		go func(w int) {
+			tab, err := Run("T1-rounds", Config{Quick: true, Seed: 1, Workers: w})
+			if err == nil && strings.Join(flatten(tab.Rows), "|") != strings.Join(flatten(base.Rows), "|") {
+				err = fmt.Errorf("workers=%d: table rows differ from the serial run", w)
+			}
+			done <- err
+		}(w)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -279,12 +279,28 @@ func ExchangeToIn[T any](ex *Exec, pDst int, out [][][]T) (Part[T], Stats) {
 // the metering deterministic regardless of worker count. It is the round
 // barrier of the simulator and therefore the canonical cancellation
 // point: a done context is observed here, before and during assembly.
+// With a fault plane on the scope, the round instead runs under the
+// plane's inject → detect → retry protocol (exchangeFaulty); without
+// one, the fault machinery costs a single nil check.
 func exchangeOnRuntime[T any](ex *Exec, pDst int, out [][][]T) (Part[T], Stats) {
+	if ex != nil && ex.fp != nil {
+		return exchangeFaulty(ex, ex.fp, pDst, out)
+	}
 	ex.checkpoint()
 	shards, recv, err := xrt.ExchangeCtx(ex.Context(), ex.runtime(), pDst, out)
 	if err != nil {
 		panic(canceled{err})
 	}
+	st := recvStats(recv)
+	if ex != nil && ex.tr != nil {
+		var zero T
+		ex.tr.record(recv, int64(unsafe.Sizeof(zero)))
+	}
+	return Part[T]{Shards: shards, ex: ex}, st
+}
+
+// recvStats folds a round's per-destination received counts into Stats.
+func recvStats(recv []int64) Stats {
 	st := Stats{Rounds: 1}
 	for _, n := range recv {
 		if int(n) > st.MaxLoad {
@@ -293,11 +309,98 @@ func exchangeOnRuntime[T any](ex *Exec, pDst int, out [][][]T) (Part[T], Stats) 
 		st.TotalComm += n
 	}
 	st.SumLoad = int64(st.MaxLoad)
-	if ex != nil && ex.tr != nil {
-		var zero T
-		ex.tr.record(recv, int64(unsafe.Sizeof(zero)))
+	return st
+}
+
+// exchangeFaulty is the exchange barrier under a fault plane: execute the
+// round, let the plane corrupt it, detect the corruption at the
+// post-round barrier, and recover by re-executing the round from its
+// checkpoint — the immutable outboxes — within the spec's retry budget.
+//
+// The successful attempt moves exactly the units a fault-free round
+// would, so the Stats (and any Tracer record) of a recovered round are
+// bit-identical to a fault-free execution; every fault-related quantity
+// is accounted on the plane instead. A round still faulty past the
+// budget aborts the execution with a *FaultBudgetError through the
+// sentinel unwind (recovered into an error at the execution root).
+func exchangeFaulty[T any](ex *Exec, fp *FaultPlane, pDst int, out [][][]T) (Part[T], Stats) {
+	round, op := fp.beginRound()
+
+	// The pre-round checkpoint's manifest: expected per-destination
+	// units, and the round's non-empty messages (drop candidates), both
+	// derived from the outboxes in deterministic src-major order.
+	expected := make([]int64, pDst)
+	var msgs []msgRef
+	for src := range out {
+		for dst, m := range out[src] {
+			if len(m) == 0 {
+				continue
+			}
+			expected[dst] += int64(len(m))
+			msgs = append(msgs, msgRef{src: src, dst: dst, units: int64(len(m))})
+		}
 	}
-	return Part[T]{Shards: shards, ex: ex}, st
+
+	budget := fp.spec.retries()
+	for attempt := 0; ; attempt++ {
+		inj := fp.decide(round, attempt, pDst, msgs)
+
+		// Apply network-level faults to this attempt's transfer: a
+		// dropped message is withheld from assembly. The checkpoint
+		// (out) is never mutated — the faulted view shallow-copies the
+		// affected source row only.
+		fout := out
+		if inj.dropIdx >= 0 {
+			m := msgs[inj.dropIdx]
+			fout = append([][][]T(nil), out...)
+			row := append([][]T(nil), fout[m.src]...)
+			row[m.dst] = nil
+			fout[m.src] = row
+		}
+
+		ex.checkpoint()
+		shards, recv, err := xrt.ExchangeCtx(ex.Context(), ex.runtime(), pDst, fout)
+		if err != nil {
+			panic(canceled{err})
+		}
+		// A crashed destination dies mid-round: its assembled inbox is
+		// lost with everything it had received this round.
+		var lost int64
+		if inj.crash >= 0 {
+			lost = recv[inj.crash]
+			shards[inj.crash] = nil
+			recv[inj.crash] = 0
+		}
+
+		// Post-round barrier: the failure detector sees crashed servers,
+		// and count verification compares received units against the
+		// checkpoint manifest — how the barrier notices dropped messages.
+		failed := inj.crash >= 0
+		if !failed {
+			for dst, n := range recv {
+				if n != expected[dst] {
+					failed = true
+					break
+				}
+			}
+		}
+
+		retrying := failed && attempt < budget
+		fp.observe(round, op, attempt, inj, msgs, lost, retrying)
+		if !failed {
+			st := recvStats(recv)
+			if ex.tr != nil {
+				var zero T
+				ex.tr.record(recv, int64(unsafe.Sizeof(zero)))
+			}
+			return Part[T]{Shards: shards, ex: ex}, st
+		}
+		if !retrying {
+			panic(canceled{&FaultBudgetError{
+				Round: round, Op: op, Attempts: attempt + 1, Kind: inj.failKind(),
+			}})
+		}
+	}
 }
 
 // RouteTo performs one exchange onto pDst destination servers, with each

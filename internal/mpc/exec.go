@@ -50,6 +50,12 @@ type Exec struct {
 	// this execution (see trace.go). Nil — the default — is the zero-cost
 	// off path: primitives pay a single nil check per round.
 	tr *Tracer
+
+	// fp, when non-nil, is the fault plane injecting deterministic
+	// failures at this execution's exchange barriers (see fault.go). Nil
+	// — the default — keeps the flawless-cluster fast path: one nil
+	// check per round.
+	fp *FaultPlane
 }
 
 // NewExec returns an execution scope with the given context and worker
@@ -100,6 +106,28 @@ func (ex *Exec) Tracer() *Tracer {
 	return ex.tr
 }
 
+// WithFaults returns a scope identical to ex whose exchange barriers run
+// under the fault plane fp. Attach it before placing data, like a
+// Tracer: Parts from the faulted and unfaulted scopes must not be mixed.
+// A nil fp returns ex unchanged.
+func (ex *Exec) WithFaults(fp *FaultPlane) *Exec {
+	if fp == nil || ex == nil {
+		return ex
+	}
+	cp := *ex
+	cp.fp = fp
+	return &cp
+}
+
+// Faults returns the scope's fault plane (nil when fault injection is
+// off or the scope is ambient).
+func (ex *Exec) Faults() *FaultPlane {
+	if ex == nil {
+		return nil
+	}
+	return ex.fp
+}
+
 // Context returns the scope's context (nil when never cancelled).
 func (ex *Exec) Context() context.Context {
 	if ex == nil {
@@ -121,13 +149,18 @@ func (ex *Exec) runtime() *xrt.Runtime {
 	return ex.rt
 }
 
-// canceled is the panic sentinel carrying a cancelled execution's error
-// out of the primitive that observed it (see the protocol above).
+// canceled is the panic sentinel carrying an aborted execution's error
+// out of the primitive that observed it (see the protocol above). Two
+// conditions abort an execution mid-flight: a done context, and a round
+// that exhausted its fault-retry budget (*FaultBudgetError) — both
+// unwind through this sentinel and surface as ordinary errors at the
+// root.
 type canceled struct{ err error }
 
 // CanceledError inspects a recovered panic value: if it is the mpc
-// cancellation sentinel it returns the underlying context error and true.
-// Execution roots use it to convert the unwound panic back into an error.
+// abort sentinel it returns the underlying error (a context error, or a
+// *FaultBudgetError under fault injection) and true. Execution roots use
+// it to convert the unwound panic back into an error.
 func CanceledError(r any) (error, bool) {
 	if c, ok := r.(canceled); ok {
 		return c.err, true
@@ -135,9 +168,9 @@ func CanceledError(r any) (error, bool) {
 	return nil, false
 }
 
-// Recover converts an in-flight cancellation panic into an error; any
-// other panic (including nil recovery) re-propagates or no-ops. Use it in
-// a defer at an execution root:
+// Recover converts an in-flight abort panic (cancellation, fault budget
+// exhaustion) into an error; any other panic (including nil recovery)
+// re-propagates or no-ops. Use it in a defer at an execution root:
 //
 //	defer mpc.Recover(&err)
 func Recover(errp *error) {

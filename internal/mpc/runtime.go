@@ -27,9 +27,14 @@ func init() { ambient.Store(xrt.Serial()) }
 // two concurrent executions wanting different pool sizes stomp each
 // other's runtime. Per-execution scoping supersedes it: create an Exec
 // (NewExec) and place data with the *In constructors — the scope travels
-// with the Parts and concurrent executions never interact. SetRuntime
-// remains as a shim for single-execution tools (CLI drivers, benchmarks,
-// tests) whose Parts are built by the unscoped constructors.
+// with the Parts and concurrent executions never interact.
+//
+// Removal note: every in-tree driver (cmd/mpcrun, cmd/mpcbench,
+// internal/experiments, examples/) now runs on per-execution scopes and
+// no longer installs an ambient runtime. The shim is kept only so
+// scope-less Parts in external code and old tests keep working; it will
+// be removed together with the unscoped constructors once those callers
+// migrate — do not add new callers.
 func SetRuntime(rt *xrt.Runtime) *xrt.Runtime {
 	if rt == nil {
 		rt = xrt.Serial()

@@ -90,12 +90,19 @@ func (t *Tracer) Reset() {
 // phase) that labels before delegating to an inner one keeps its more
 // specific name — and the label is consumed by the round it describes.
 // A nil scope or an untraced scope ignores the call, so primitives label
-// unconditionally at zero cost on the untraced path.
+// unconditionally at zero cost on the untraced path. A fault plane on
+// the scope receives the same label, so FaultEvents name the primitive
+// whose round they perturbed.
 func TraceOp(ex *Exec, op string) {
-	if ex == nil || ex.tr == nil {
+	if ex == nil {
 		return
 	}
-	ex.tr.setOp(op)
+	if ex.tr != nil {
+		ex.tr.setOp(op)
+	}
+	if ex.fp != nil {
+		ex.fp.setOp(op)
+	}
 }
 
 func (t *Tracer) setOp(op string) {

@@ -80,6 +80,11 @@ type QueryRequest struct {
 	// Trace returns the per-round load timeline ("rounds" in the
 	// response). Off by default; tracing never changes results or stats.
 	Trace bool `json:"trace,omitempty"`
+	// Faults is the fault-injection block, settable only through the v2
+	// request's options object ("json:-" keeps it out of the v1 wire
+	// shape: a v1 body with a "faults" key is an unknown field and gets
+	// 400). Both versions execute through this normalized struct.
+	Faults *FaultBlock `json:"-"`
 }
 
 var validStrategies = map[string]bool{"": true, "auto": true, "yannakakis": true, "tree": true}
@@ -121,7 +126,7 @@ func DecodeDatasetRequest(r io.Reader) (*DatasetRequest, error) {
 	return &req, nil
 }
 
-// DecodeQueryRequest parses and validates a query body.
+// DecodeQueryRequest parses and validates a v1 query body.
 func DecodeQueryRequest(r io.Reader) (*QueryRequest, error) {
 	var req QueryRequest
 	dec := json.NewDecoder(r)
@@ -129,44 +134,58 @@ func DecodeQueryRequest(r io.Reader) (*QueryRequest, error) {
 	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("invalid JSON: %w", err)
 	}
+	if err := validateQueryRequest(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// validateQueryRequest checks the normalized request shape shared by the
+// v1 and v2 decoders.
+func validateQueryRequest(req *QueryRequest) error {
 	if len(req.Relations) == 0 {
-		return nil, fmt.Errorf("relations is required")
+		return fmt.Errorf("relations is required")
 	}
 	if len(req.Relations) > maxRelations {
-		return nil, fmt.Errorf("at most %d relations per query, got %d", maxRelations, len(req.Relations))
+		return fmt.Errorf("at most %d relations per query, got %d", maxRelations, len(req.Relations))
 	}
 	for i, rel := range req.Relations {
 		if rel.Name == "" {
-			return nil, fmt.Errorf("relations[%d]: name is required", i)
+			return fmt.Errorf("relations[%d]: name is required", i)
 		}
 		if len(rel.Attrs) < 1 || len(rel.Attrs) > 2 {
-			return nil, fmt.Errorf("relations[%d]: want 1 or 2 attrs, got %d", i, len(rel.Attrs))
+			return fmt.Errorf("relations[%d]: want 1 or 2 attrs, got %d", i, len(rel.Attrs))
 		}
 		for j, a := range rel.Attrs {
 			if a == "" {
-				return nil, fmt.Errorf("relations[%d].attrs[%d]: empty attribute name", i, j)
+				return fmt.Errorf("relations[%d].attrs[%d]: empty attribute name", i, j)
 			}
 		}
 	}
 	for i, a := range req.GroupBy {
 		if a == "" {
-			return nil, fmt.Errorf("group_by[%d]: empty attribute name", i)
+			return fmt.Errorf("group_by[%d]: empty attribute name", i)
 		}
 	}
 	if req.Servers < 0 || req.Servers > maxServers {
-		return nil, fmt.Errorf("servers must be in [0, %d], got %d", maxServers, req.Servers)
+		return fmt.Errorf("servers must be in [0, %d], got %d", maxServers, req.Servers)
 	}
 	if !validStrategies[req.Strategy] {
-		return nil, fmt.Errorf("unknown strategy %q (want auto, yannakakis or tree)", req.Strategy)
+		return fmt.Errorf("unknown strategy %q (want auto, yannakakis or tree)", req.Strategy)
 	}
 	if !validSemirings[req.Semiring] {
-		return nil, fmt.Errorf("unknown semiring %q (want ints, minplus, maxplus, maxmin or bools)", req.Semiring)
+		return fmt.Errorf("unknown semiring %q (want ints, minplus, maxplus, maxmin or bools)", req.Semiring)
 	}
 	if req.Workers < -1 || req.Workers > maxQueryWorkers {
-		return nil, fmt.Errorf("workers must be in [-1, %d], got %d", maxQueryWorkers, req.Workers)
+		return fmt.Errorf("workers must be in [-1, %d], got %d", maxQueryWorkers, req.Workers)
 	}
 	if req.DeadlineMS < 0 || req.DeadlineMS > maxDeadlineMS {
-		return nil, fmt.Errorf("deadline_ms must be in [0, %d], got %d", maxDeadlineMS, req.DeadlineMS)
+		return fmt.Errorf("deadline_ms must be in [0, %d], got %d", maxDeadlineMS, req.DeadlineMS)
 	}
-	return &req, nil
+	if req.Faults != nil {
+		if err := req.Faults.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -50,6 +50,51 @@ func FuzzDecodeQueryRequest(f *testing.F) {
 	})
 }
 
+// FuzzDecodeQueryRequestV2 is the same contract for the v2 decoder,
+// plus the invariants of the faults block and the v2-specific rule that
+// flat v1 knobs are unknown fields.
+func FuzzDecodeQueryRequestV2(f *testing.F) {
+	f.Add(`{"relations":[{"name":"R1","attrs":["A","B"]},{"name":"R2","attrs":["B","C"]}],"group_by":["A","C"]}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A"]}],"options":{"servers":32,"workers":-1,"seed":7,"deadline_ms":100,"trace":true}}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"options":{"faults":{"crash_prob":0.5,"drop_prob":0.2,"max_retries":8}}}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"options":{"faults":{"crash_prob":1.5}}}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"options":{"faults":{"max_retries":9999}}}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"servers":4}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"options":null}`)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeQueryRequestV2(strings.NewReader(body))
+		if err != nil {
+			return // rejected input: the handler maps this to a 4xx
+		}
+		if len(req.Relations) == 0 || len(req.Relations) > maxRelations {
+			t.Fatalf("accepted request with %d relations", len(req.Relations))
+		}
+		if req.Servers < 0 || req.Servers > maxServers ||
+			req.Workers < -1 || req.Workers > maxQueryWorkers ||
+			req.DeadlineMS < 0 || req.DeadlineMS > maxDeadlineMS {
+			t.Fatalf("accepted out-of-range numerics %+v", req)
+		}
+		if !validStrategies[req.Strategy] || !validSemirings[req.Semiring] {
+			t.Fatalf("accepted unknown strategy/semiring %+v", req)
+		}
+		if fb := req.Faults; fb != nil {
+			if fb.CrashProb < 0 || fb.CrashProb > 1 ||
+				fb.DropProb < 0 || fb.DropProb > 1 ||
+				fb.StragglerProb < 0 || fb.StragglerProb > 1 ||
+				fb.StragglerDelay < 0 || fb.CrashRound < 0 ||
+				fb.MaxRetries > maxFaultRetries || fb.StopAfter < 0 {
+				t.Fatalf("accepted out-of-range fault block %+v", fb)
+			}
+			// Whatever the decoder accepts must construct a valid plane.
+			if err := fb.Spec(req.Seed).Validate(); err != nil {
+				t.Fatalf("accepted fault block fails engine validation: %v (%+v)", err, fb)
+			}
+		}
+	})
+}
+
 // FuzzDecodeDatasetRequest is the same contract for the registration
 // decoder.
 func FuzzDecodeDatasetRequest(f *testing.F) {

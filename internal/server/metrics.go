@@ -27,6 +27,14 @@ type Metrics struct {
 	rounds    atomic.Int64
 	totalComm atomic.Int64
 
+	// Fault-plane accounting over fault-injected queries: injected /
+	// retried / absorbed sum the per-query FaultReports; faultBudget
+	// counts queries whose retries could not absorb the schedule.
+	faultsInjected atomic.Int64
+	faultsRetried  atomic.Int64
+	faultsAbsorbed atomic.Int64
+	faultBudget    atomic.Int64
+
 	// Per-query cost distributions (completed queries only), exposed as
 	// Prometheus histograms by WritePrometheus.
 	loadHist   histogram
@@ -35,11 +43,16 @@ type Metrics struct {
 	mu        sync.Mutex
 	byEngine  map[string]int64 // completed queries per engine ("matmul", …)
 	byOutcome map[string]int64 // cancellations per cause ("deadline", …)
+	byFault   map[string]int64 // injected faults per kind ("crash", …)
 }
 
 // NewMetrics returns a zeroed metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{byEngine: make(map[string]int64), byOutcome: make(map[string]int64)}
+	return &Metrics{
+		byEngine:  make(map[string]int64),
+		byOutcome: make(map[string]int64),
+		byFault:   make(map[string]int64),
+	}
 }
 
 // QueryQueued / QueryDequeued bracket time spent in the admission queue.
@@ -83,6 +96,33 @@ func (m *Metrics) QueryCompleted(engine string, st mpc.Stats) {
 	m.mu.Unlock()
 }
 
+// FaultsObserved folds one query's fault-plane accounting into the
+// service counters, keyed by fault kind. Called for every fault-injected
+// query, successful or not.
+func (m *Metrics) FaultsObserved(rep mpc.FaultReport) {
+	if rep.Injected == 0 && rep.Retried == 0 {
+		return
+	}
+	m.faultsInjected.Add(int64(rep.Injected))
+	m.faultsRetried.Add(int64(rep.Retried))
+	m.faultsAbsorbed.Add(int64(rep.Absorbed))
+	m.mu.Lock()
+	if rep.Stragglers > 0 {
+		m.byFault["straggler"] += int64(rep.Stragglers)
+	}
+	if rep.Crashes > 0 {
+		m.byFault["crash"] += int64(rep.Crashes)
+	}
+	if rep.Drops > 0 {
+		m.byFault["drop"] += int64(rep.Drops)
+	}
+	m.mu.Unlock()
+}
+
+// FaultBudgetExhausted records a query that failed because a round
+// stayed faulty past its retry budget.
+func (m *Metrics) FaultBudgetExhausted() { m.faultBudget.Add(1) }
+
 // MetricsSnapshot is the JSON shape of /metrics.
 type MetricsSnapshot struct {
 	InFlight  int64 `json:"in_flight"`
@@ -100,6 +140,13 @@ type MetricsSnapshot struct {
 	SumLoad   int64 `json:"sum_load"`
 	Rounds    int64 `json:"rounds"`
 	TotalComm int64 `json:"total_comm"`
+
+	// Fault-plane accounting over fault-injected queries.
+	FaultsInjected      int64         `json:"faults_injected"`
+	FaultsRetried       int64         `json:"faults_retried"`
+	FaultsAbsorbed      int64         `json:"faults_absorbed"`
+	FaultBudgetExceeded int64         `json:"fault_budget_exceeded"`
+	FaultKinds          []EngineCount `json:"fault_kinds"`
 
 	ByEngine    []EngineCount `json:"by_engine"`
 	Cancel      []EngineCount `json:"cancel_causes"`
@@ -132,11 +179,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SumLoad:        m.sumLoad.Load(),
 		Rounds:         m.rounds.Load(),
 		TotalComm:      m.totalComm.Load(),
+
+		FaultsInjected:      m.faultsInjected.Load(),
+		FaultsRetried:       m.faultsRetried.Load(),
+		FaultsAbsorbed:      m.faultsAbsorbed.Load(),
+		FaultBudgetExceeded: m.faultBudget.Load(),
 	}
 	snap.Failed = snap.FailedClient + snap.FailedInternal
 	m.mu.Lock()
 	snap.ByEngine = sortedCounts(m.byEngine)
 	snap.Cancel = sortedCounts(m.byOutcome)
+	snap.FaultKinds = sortedCounts(m.byFault)
 	m.mu.Unlock()
 	return snap
 }

@@ -70,6 +70,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, snap MetricsSnapshot) {
 	counter("mpcd_mpc_sum_load_total", "Cumulative metered SumLoad over completed queries.", snap.SumLoad)
 	counter("mpcd_mpc_rounds_total", "Cumulative metered rounds over completed queries.", snap.Rounds)
 	counter("mpcd_mpc_comm_units_total", "Cumulative metered communication units over completed queries.", snap.TotalComm)
+	counter("mpcd_faults_injected_total", "Faults injected by the deterministic fault plane.", snap.FaultsInjected)
+	counter("mpcd_faults_retried_total", "Round retries triggered by detected faults.", snap.FaultsRetried)
+	counter("mpcd_faults_absorbed_total", "Faults absorbed at the barrier without retry (stragglers).", snap.FaultsAbsorbed)
+	counter("mpcd_fault_budget_exceeded_total", "Queries failed because a round stayed faulty past its retry budget.", snap.FaultBudgetExceeded)
 	gauge("mpcd_datasets", "Registered datasets.", int64(snap.Datasets))
 	gauge("mpcd_admission_in_use", "Admission weight currently held.", snap.AdmitInUse)
 	gauge("mpcd_admission_capacity", "Total admission capacity in worker units.", snap.AdmitCap)
@@ -92,6 +96,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, snap MetricsSnapshot) {
 		fmt.Fprintf(w, "# HELP %s Cancelled queries per cause.\n# TYPE %s counter\n", name, name)
 		for _, ec := range snap.Cancel {
 			fmt.Fprintf(w, "%s{cause=%q} %d\n", name, ec.Name, ec.Count)
+		}
+	}
+	if len(snap.FaultKinds) > 0 {
+		name := "mpcd_faults_by_kind_total"
+		fmt.Fprintf(w, "# HELP %s Injected faults per kind.\n# TYPE %s counter\n", name, name)
+		for _, ec := range snap.FaultKinds {
+			fmt.Fprintf(w, "%s{kind=%q} %d\n", name, ec.Name, ec.Count)
 		}
 	}
 

@@ -92,7 +92,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query", s.handleQueryV1)
+	s.mux.HandleFunc("POST /v2/query", s.handleQueryV2)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -235,17 +236,41 @@ type QueryResponse struct {
 	// Rounds is the per-round load timeline, present only when the request
 	// set "trace": true.
 	Rounds []mpc.RoundTrace `json:"rounds,omitempty"`
+	// Faults is the fault-injection accounting, present only when the
+	// request carried a faults block (v2). Rows and Stats of a fault-
+	// injected query whose faults were absorbed by the retry budget are
+	// identical to a fault-free run.
+	Faults *mpc.FaultReport `json:"faults,omitempty"`
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+// handleQueryV1 is the deprecated flat-shape query endpoint: a thin
+// adapter over the same execution path as /v2/query, kept byte-for-byte
+// backward compatible (flat request knobs, {"error": "..."} responses)
+// and stamped with deprecation headers pointing at the successor.
+func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
+	markDeprecated(w)
+	s.serveQuery(w, r, apiV1)
+}
+
+// handleQueryV2 is the current query endpoint: options object, faults
+// block, typed error envelope.
+func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
+	s.serveQuery(w, r, apiV2)
+}
+
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion) {
 	if s.Draining() {
 		s.met.QueryRejected()
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		v.writeError(w, http.StatusServiceUnavailable, "drain", "draining")
 		return
 	}
-	req, err := DecodeQueryRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	decode := DecodeQueryRequest
+	if v == apiV2 {
+		decode = DecodeQueryRequestV2
+	}
+	req, err := decode(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		v.writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 
@@ -260,11 +285,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		ds, ok := s.reg.Get(dsName)
 		if !ok {
-			writeError(w, http.StatusNotFound, "dataset %q not registered", dsName)
+			v.writeError(w, http.StatusNotFound, "not_found", "dataset %q not registered", dsName)
 			return
 		}
 		if ds.Arity != len(rel.Attrs) {
-			writeError(w, http.StatusBadRequest, "relation %q has %d attrs but dataset %q has arity %d",
+			v.writeError(w, http.StatusBadRequest, "bad_request", "relation %q has %d attrs but dataset %q has arity %d",
 				rel.Name, len(rel.Attrs), dsName, ds.Arity)
 			return
 		}
@@ -290,9 +315,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "tree":
 		o.Strategy = core.StrategyTree
 	}
+	if req.Faults != nil {
+		o.Faults = mpc.NewFaultPlane(req.Faults.Spec(req.Seed))
+	}
 	pl, err := core.PlanQuery(q, o.Strategy)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		v.writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 
@@ -326,10 +354,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.met.QueryRejected()
-			writeError(w, http.StatusTooManyRequests, "admission queue full")
+			v.writeError(w, http.StatusTooManyRequests, "queue_full", "admission queue full")
 		case errors.Is(err, context.DeadlineExceeded):
 			s.met.QueryCancelled("deadline")
-			writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
+			v.writeError(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded while queued")
 		default:
 			s.met.QueryCancelled(s.disconnectCause())
 			// The client is gone; nobody reads the response.
@@ -351,18 +379,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.met.QueryCancelled("deadline")
-			writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", wall)
+			v.writeError(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded after %v", wall)
 		case errors.Is(err, context.Canceled):
 			cause := s.disconnectCause()
 			s.met.QueryCancelled(cause)
 			// The client may be gone; the write is best-effort.
-			writeError(w, http.StatusServiceUnavailable, "cancelled (%s)", cause)
+			v.writeError(w, http.StatusServiceUnavailable, "drain", "cancelled (%s)", cause)
+		case errors.Is(err, mpc.ErrFaultBudgetExceeded):
+			s.met.QueryFailedInternal()
+			s.met.FaultBudgetExhausted()
+			if o.Faults != nil {
+				s.met.FaultsObserved(o.Faults.Report())
+			}
+			v.writeError(w, http.StatusInternalServerError, "fault_budget", "%v", err)
 		case isClientError(err):
 			s.met.QueryFailedClient()
-			writeError(w, http.StatusBadRequest, "%v", err)
+			v.writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		default:
 			s.met.QueryFailedInternal()
-			writeError(w, http.StatusInternalServerError, "internal error: %v", err)
+			v.writeError(w, http.StatusInternalServerError, "internal", "internal error: %v", err)
 		}
 		return
 	}
@@ -372,6 +407,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	out.WallNS = wall.Nanoseconds()
 	if o.Tracer != nil {
 		out.Rounds = o.Tracer.Rounds()
+	}
+	if o.Faults != nil {
+		rep := o.Faults.Report()
+		out.Faults = &rep
+		s.met.FaultsObserved(rep)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

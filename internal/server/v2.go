@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"mpcjoin/internal/mpc"
+)
+
+// v2.go is the /v2/query surface: an explicit options object instead of
+// v1's flat knob soup, a fault-injection block, and a typed error
+// envelope carrying a machine-readable cause. /v1/query remains a thin
+// adapter over the same execution path (see serveQuery): it keeps its
+// flat request shape and its legacy {"error": "..."} responses, and
+// advertises its successor with a Deprecation header.
+
+// FaultBlock is the "faults" object of a v2 query: the wire form of
+// mpc.FaultSpec. All fields are optional; a present block with all-zero
+// probabilities and no crash round injects nothing.
+type FaultBlock struct {
+	// Seed seeds the fault schedule; 0 derives it from the query seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// StragglerProb delays a random server's messages each round with
+	// this probability; StragglerDelay is the simulated delay in load
+	// units (absorbed at the barrier, never retried).
+	StragglerProb  float64 `json:"straggler_prob,omitempty"`
+	StragglerDelay int64   `json:"straggler_delay,omitempty"`
+	// CrashProb crashes a random destination server in a round with this
+	// probability; CrashRound (1-based) deterministically crashes one in
+	// that specific round. A crashed round is retried from its pre-round
+	// checkpoint.
+	CrashProb  float64 `json:"crash_prob,omitempty"`
+	CrashRound int     `json:"crash_round,omitempty"`
+	// DropProb withholds one random message in a round with this
+	// probability; detected by count verification and retried.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// MaxRetries bounds retries per faulty round: 0 = engine default,
+	// negative = no retries (first detected fault fails the query).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// StopAfter stops injection after this many rounds (0 = no limit).
+	StopAfter int `json:"stop_after,omitempty"`
+}
+
+// maxFaultRetries caps the per-round retry budget a request may ask for;
+// retries are simulated work, so an unbounded budget would be an
+// amplification knob.
+const maxFaultRetries = 64
+
+// Spec converts the wire block to the engine's FaultSpec.
+func (fb *FaultBlock) Spec(querySeed uint64) mpc.FaultSpec {
+	seed := fb.Seed
+	if seed == 0 {
+		seed = querySeed + 1
+	}
+	return mpc.FaultSpec{
+		Seed:           seed,
+		StragglerProb:  fb.StragglerProb,
+		StragglerDelay: fb.StragglerDelay,
+		CrashProb:      fb.CrashProb,
+		CrashRound:     fb.CrashRound,
+		DropProb:       fb.DropProb,
+		MaxRetries:     fb.MaxRetries,
+		StopAfter:      fb.StopAfter,
+	}
+}
+
+func (fb *FaultBlock) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"straggler_prob", fb.StragglerProb},
+		{"crash_prob", fb.CrashProb},
+		{"drop_prob", fb.DropProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults.%s must be in [0, 1], got %v", p.name, p.v)
+		}
+	}
+	if fb.StragglerDelay < 0 {
+		return fmt.Errorf("faults.straggler_delay must be non-negative, got %d", fb.StragglerDelay)
+	}
+	if fb.CrashRound < 0 {
+		return fmt.Errorf("faults.crash_round must be non-negative, got %d", fb.CrashRound)
+	}
+	if fb.MaxRetries > maxFaultRetries {
+		return fmt.Errorf("faults.max_retries must be at most %d, got %d", maxFaultRetries, fb.MaxRetries)
+	}
+	if fb.StopAfter < 0 {
+		return fmt.Errorf("faults.stop_after must be non-negative, got %d", fb.StopAfter)
+	}
+	return nil
+}
+
+// QueryOptions is the explicit options object of a v2 query. It holds
+// every execution knob that is not part of the query itself; the query
+// shape (relations, group_by, strategy, semiring) stays top-level.
+type QueryOptions struct {
+	// Servers is the simulated cluster size p (default 16).
+	Servers int `json:"servers,omitempty"`
+	// Workers sizes this query's OS worker pool: 0 = serial (default),
+	// -1 = GOMAXPROCS, n > 0 = n workers.
+	Workers int `json:"workers,omitempty"`
+	// Seed drives hash partitioning and estimators (reproducibility).
+	Seed uint64 `json:"seed,omitempty"`
+	// Trace returns the per-round load timeline in the response.
+	Trace bool `json:"trace,omitempty"`
+	// Faults runs the query under the deterministic fault plane.
+	Faults *FaultBlock `json:"faults,omitempty"`
+	// DeadlineMS bounds queue wait plus execution wall time.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// QueryRequestV2 is the body of POST /v2/query.
+type QueryRequestV2 struct {
+	Relations []QueryRelation `json:"relations"`
+	GroupBy   []string        `json:"group_by,omitempty"`
+	Strategy  string          `json:"strategy,omitempty"`
+	Semiring  string          `json:"semiring,omitempty"`
+	Options   *QueryOptions   `json:"options,omitempty"`
+}
+
+// DecodeQueryRequestV2 parses and validates a v2 query body and
+// normalizes it into the shared QueryRequest the execution path runs on.
+// Validation rules are those of DecodeQueryRequest plus the faults
+// block; the flat v1 knobs arriving top-level in a v2 body are unknown
+// fields and rejected.
+func DecodeQueryRequestV2(r io.Reader) (*QueryRequest, error) {
+	var v2 QueryRequestV2
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v2); err != nil {
+		return nil, fmt.Errorf("invalid JSON: %w", err)
+	}
+	req := &QueryRequest{
+		Relations: v2.Relations,
+		GroupBy:   v2.GroupBy,
+		Strategy:  v2.Strategy,
+		Semiring:  v2.Semiring,
+	}
+	if o := v2.Options; o != nil {
+		req.Servers = o.Servers
+		req.Workers = o.Workers
+		req.Seed = o.Seed
+		req.Trace = o.Trace
+		req.DeadlineMS = o.DeadlineMS
+		req.Faults = o.Faults
+	}
+	if err := validateQueryRequest(req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// apiVersion selects the wire dialect of a query endpoint: how the body
+// decodes and how errors render.
+type apiVersion int
+
+const (
+	apiV1 apiVersion = 1
+	apiV2 apiVersion = 2
+)
+
+// v2Error is the typed error envelope of the v2 API:
+//
+//	{"error": {"code": 404, "cause": "not_found", "message": "..."}}
+//
+// code mirrors the HTTP status; cause is a stable machine-readable
+// classifier (bad_request, not_found, queue_full, deadline, drain,
+// fault_budget, internal); message is human-readable detail.
+type v2Error struct {
+	Code    int    `json:"code"`
+	Cause   string `json:"cause"`
+	Message string `json:"message"`
+}
+
+type v2ErrorBody struct {
+	Error v2Error `json:"error"`
+}
+
+// writeError renders an error in the version's dialect. v1 keeps the
+// legacy flat {"error": "message"} shape byte-for-byte (clients parse
+// it); v2 wraps the typed envelope. The cause is dropped on v1, which
+// predates causes.
+func (v apiVersion) writeError(w http.ResponseWriter, status int, cause, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if v == apiV1 {
+		writeJSON(w, status, errorBody{Error: msg})
+		return
+	}
+	writeJSON(w, status, v2ErrorBody{Error: v2Error{Code: status, Cause: cause, Message: msg}})
+}
+
+// markDeprecated stamps the deprecation headers on a v1 query response,
+// pointing clients at the successor endpoint. Header form follows RFC
+// 8594 (Link rel) and the Deprecation header draft.
+func markDeprecated(w http.ResponseWriter) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v2/query>; rel="successor-version"`)
+}

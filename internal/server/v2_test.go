@@ -1,0 +1,241 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+const matmulQueryV2 = `{"relations":[{"name":"R1","attrs":["A","B"]},{"name":"R2","attrs":["B","C"]}],"group_by":["A","C"]%s}`
+
+// TestV2QueryGolden pins the full /v2/query response body (wall_ns
+// zeroed): the v2 wire shape is a contract, and any drift must be a
+// conscious change to this golden string.
+func TestV2QueryGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerMatMul(t, ts.URL)
+
+	resp, body := postJSON(t, ts.URL+"/v2/query", fmt.Sprintf(matmulQueryV2, `,"options":{"servers":4,"seed":1}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 query = %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("v2 response must not carry a Deprecation header")
+	}
+
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out["wall_ns"]; !ok {
+		t.Fatal("response missing wall_ns")
+	}
+	out["wall_ns"] = 0 // nondeterministic; zero before comparing
+	got, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"attrs":["A","C"],"class":"matmul","engine":"matmul","rows":[[6,0,1],[15,1,1]],"stats":{"MaxLoad":4,"Rounds":20,"SumLoad":45,"TotalComm":92},"wall_ns":0}`
+	if string(got) != golden {
+		t.Errorf("v2 golden mismatch:\n got %s\nwant %s", got, golden)
+	}
+}
+
+// TestV1QueryGoldenAndDeprecation pins the v1 response body (byte
+// compatibility with pre-v2 clients) and the deprecation headers the
+// adapter stamps on it.
+func TestV1QueryGoldenAndDeprecation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerMatMul(t, ts.URL)
+
+	resp, body := postJSON(t, ts.URL+"/v1/query", fmt.Sprintf(matmulQuery, `,"servers":4,"seed":1`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 query = %d %s", resp.StatusCode, body)
+	}
+	if dep := resp.Header.Get("Deprecation"); dep != "true" {
+		t.Errorf("v1 Deprecation header = %q, want \"true\"", dep)
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v2/query") {
+		t.Errorf("v1 Link header = %q, want successor /v2/query", link)
+	}
+
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	out["wall_ns"] = 0
+	got, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"attrs":["A","C"],"class":"matmul","engine":"matmul","rows":[[6,0,1],[15,1,1]],"stats":{"MaxLoad":4,"Rounds":20,"SumLoad":45,"TotalComm":92},"wall_ns":0}`
+	if string(got) != golden {
+		t.Errorf("v1 golden mismatch:\n got %s\nwant %s", got, golden)
+	}
+}
+
+// TestV2ErrorEnvelope sweeps the typed error envelope's causes.
+func TestV2ErrorEnvelope(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	registerMatMul(t, ts.URL)
+
+	check := func(t *testing.T, status int, cause string, body []byte) {
+		t.Helper()
+		var out v2ErrorBody
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("error body is not the v2 envelope: %v (%s)", err, body)
+		}
+		if out.Error.Code != status {
+			t.Errorf("envelope code %d != HTTP status %d", out.Error.Code, status)
+		}
+		if out.Error.Cause != cause {
+			t.Errorf("cause = %q, want %q", out.Error.Cause, cause)
+		}
+		if out.Error.Message == "" {
+			t.Error("empty message")
+		}
+	}
+
+	t.Run("bad_request", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/v2/query", `{"relations":[]}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		check(t, resp.StatusCode, "bad_request", body)
+	})
+	t.Run("v1-knobs-rejected", func(t *testing.T) {
+		// Flat v1 knobs are unknown fields in a v2 body.
+		resp, body := postJSON(t, ts.URL+"/v2/query", fmt.Sprintf(matmulQueryV2, `,"servers":4`))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d %s", resp.StatusCode, body)
+		}
+		check(t, resp.StatusCode, "bad_request", body)
+	})
+	t.Run("not_found", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/v2/query", `{"relations":[{"name":"Nope","attrs":["A","B"]}]}`)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		check(t, resp.StatusCode, "not_found", body)
+	})
+	t.Run("fault_budget", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/v2/query",
+			fmt.Sprintf(matmulQueryV2, `,"options":{"servers":4,"faults":{"crash_prob":1,"max_retries":1}}`))
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("status %d %s", resp.StatusCode, body)
+		}
+		check(t, resp.StatusCode, "fault_budget", body)
+		snap := s.Metrics().Snapshot()
+		if snap.FaultBudgetExceeded != 1 {
+			t.Errorf("fault_budget_exceeded = %d, want 1", snap.FaultBudgetExceeded)
+		}
+		if snap.FaultsInjected == 0 {
+			t.Error("faults_injected = 0 after injecting")
+		}
+	})
+	t.Run("drain", func(t *testing.T) {
+		s.SetDraining(true)
+		defer s.SetDraining(false)
+		resp, body := postJSON(t, ts.URL+"/v2/query", fmt.Sprintf(matmulQueryV2, ""))
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		check(t, resp.StatusCode, "drain", body)
+	})
+
+	t.Run("v1-error-shape-unchanged", func(t *testing.T) {
+		// The v1 adapter must keep the legacy flat error shape.
+		resp, body := postJSON(t, ts.URL+"/v1/query", `{"relations":[]}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := out["error"].(string); !ok {
+			t.Errorf("v1 error must be a flat string, got %s", body)
+		}
+	})
+}
+
+// TestV2FaultedQueryTransparent: a v2 query with an absorbable fault
+// schedule returns rows and stats identical to the fault-free query,
+// plus the fault report; the fault counters aggregate on /metrics.
+func TestV2FaultedQueryTransparent(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	registerMatMul(t, ts.URL)
+
+	respFree, bodyFree := postJSON(t, ts.URL+"/v2/query", fmt.Sprintf(matmulQueryV2, `,"options":{"servers":4,"seed":1}`))
+	if respFree.StatusCode != http.StatusOK {
+		t.Fatalf("fault-free query = %d %s", respFree.StatusCode, bodyFree)
+	}
+	resp, body := postJSON(t, ts.URL+"/v2/query",
+		fmt.Sprintf(matmulQueryV2, `,"options":{"servers":4,"seed":1,"faults":{"seed":9,"crash_prob":0.3,"drop_prob":0.3,"max_retries":10}}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("faulted query = %d %s", resp.StatusCode, body)
+	}
+
+	var free, faulted QueryResponse
+	if err := json.Unmarshal(bodyFree, &free); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, &faulted); err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Faults == nil {
+		t.Fatal("faulted response missing faults report")
+	}
+	if free.Faults != nil {
+		t.Fatal("fault-free response must omit faults")
+	}
+	if faulted.Stats != free.Stats {
+		t.Errorf("faulted stats %+v != fault-free %+v", faulted.Stats, free.Stats)
+	}
+	if fmt.Sprint(faulted.Rows) != fmt.Sprint(free.Rows) {
+		t.Errorf("faulted rows differ:\n%v\n%v", faulted.Rows, free.Rows)
+	}
+	if faulted.Faults.Injected == 0 {
+		t.Error("fault schedule injected nothing; pick a richer seed")
+	}
+
+	snap := s.Metrics().Snapshot()
+	if snap.FaultsInjected != int64(faulted.Faults.Injected) {
+		t.Errorf("metrics faults_injected = %d, want %d", snap.FaultsInjected, faulted.Faults.Injected)
+	}
+	if snap.FaultsRetried != int64(faulted.Faults.Retried) {
+		t.Errorf("metrics faults_retried = %d, want %d", snap.FaultsRetried, faulted.Faults.Retried)
+	}
+	if len(snap.FaultKinds) == 0 {
+		t.Error("metrics fault_kinds empty")
+	}
+}
+
+// TestV2DecodeFaultBounds rejects out-of-domain fault blocks at decode.
+func TestV2DecodeFaultBounds(t *testing.T) {
+	bad := []string{
+		`{"crash_prob":1.5}`,
+		`{"drop_prob":-0.1}`,
+		`{"straggler_prob":2}`,
+		`{"straggler_delay":-1}`,
+		`{"crash_round":-1}`,
+		`{"max_retries":65}`,
+		`{"stop_after":-1}`,
+	}
+	for _, fb := range bad {
+		body := fmt.Sprintf(matmulQueryV2, `,"options":{"faults":`+fb+`}`)
+		if _, err := DecodeQueryRequestV2(strings.NewReader(body)); err == nil {
+			t.Errorf("fault block %s decoded without error", fb)
+		}
+	}
+	ok := fmt.Sprintf(matmulQueryV2, `,"options":{"faults":{"crash_prob":0.5,"max_retries":-1}}`)
+	req, err := DecodeQueryRequestV2(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("valid fault block rejected: %v", err)
+	}
+	if req.Faults == nil || req.Faults.CrashProb != 0.5 {
+		t.Errorf("fault block not normalized: %+v", req.Faults)
+	}
+}

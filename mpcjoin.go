@@ -43,7 +43,6 @@ import (
 
 	"mpcjoin/internal/core"
 	"mpcjoin/internal/db"
-	"mpcjoin/internal/estimate"
 	"mpcjoin/internal/hypergraph"
 	"mpcjoin/internal/mpc"
 	"mpcjoin/internal/relation"
@@ -201,65 +200,12 @@ type Result[W any] struct {
 	// in execution order, so len(Trace) can exceed Stats.Rounds (which
 	// merges parallel sub-plans).
 	Trace []RoundTrace
-}
-
-// Option configures Execute.
-type Option func(*core.Options)
-
-// WithServers sets the simulated cluster size p (default 16).
-func WithServers(p int) Option {
-	return func(o *core.Options) { o.Servers = p }
-}
-
-// WithBaseline forces the distributed Yannakakis baseline.
-func WithBaseline() Option {
-	return func(o *core.Options) { o.Strategy = core.StrategyYannakakis }
-}
-
-// WithTreeEngine forces the general §7 tree engine.
-func WithTreeEngine() Option {
-	return func(o *core.Options) { o.Strategy = core.StrategyTree }
-}
-
-// WithSeed fixes the randomness seed (hash partitioning, estimators);
-// executions are fully reproducible for a given seed.
-func WithSeed(seed uint64) Option {
-	return func(o *core.Options) { o.Seed = seed }
-}
-
-// WithEstimator sets the §2.2 estimator's sketch size and repetition
-// count; zero values keep the defaults.
-func WithEstimator(k, reps int) Option {
-	return func(o *core.Options) { o.Est = estimate.Params{K: k, Reps: reps, Seed: o.Seed + 0xabc} }
-}
-
-// WithOutOracle supplies the exact output size to the matmul and line
-// engines instead of the §2.2 estimate (experiment support).
-func WithOutOracle(out int64) Option {
-	return func(o *core.Options) { o.OutOracle = out }
-}
-
-// WithWorkers runs the simulator's per-server work on n concurrent OS
-// workers instead of serially; n <= 0 selects one worker per CPU
-// (GOMAXPROCS). The choice affects wall-clock time only: results and
-// metered Stats are bit-for-bit identical for every worker count, because
-// per-server work is independent within a round and load accounting is
-// aggregated after each round's barrier.
-func WithWorkers(n int) Option {
-	return func(o *core.Options) {
-		if n <= 0 {
-			n = -1 // core: negative means GOMAXPROCS
-		}
-		o.Workers = n
-	}
-}
-
-// WithTrace records a per-round load timeline of the execution and
-// returns it in Result.Trace. Tracing never changes results or Stats —
-// a traced run is bit-identical to an untraced one — and costs nothing
-// when off.
-func WithTrace() Option {
-	return func(o *core.Options) { o.Tracer = mpc.NewTracer() }
+	// Faults is the fault-injection accounting, present only when the
+	// execution ran with WithFaults. Rows and Stats of a fault-injected
+	// run whose faults were absorbed by the retry budget are bit-identical
+	// to a fault-free run; only this report reveals what was injected,
+	// detected and retried.
+	Faults *FaultReport
 }
 
 // Execute runs the query over the instance under the semiring and returns
@@ -276,9 +222,12 @@ func ExecuteContext[W any](ctx context.Context, sr Semiring[W], q *Query, data I
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	var o core.Options
-	for _, opt := range opts {
-		opt(&o)
+	// Resolve the options as a set: conflicts (WithBaseline+WithTreeEngine,
+	// WithRetry without WithFaults, …) fail here, before any work runs.
+	// See options.go for the combination rules.
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 
 	inst := make(db.Instance[W], len(data))
@@ -302,6 +251,10 @@ func ExecuteContext[W any](ctx context.Context, sr Semiring[W], q *Query, data I
 	}
 	if o.Tracer != nil {
 		res.Trace = o.Tracer.Rounds()
+	}
+	if o.Faults != nil {
+		rep := o.Faults.Report()
+		res.Faults = &rep
 	}
 	for _, a := range rel.Schema() {
 		res.Attrs = append(res.Attrs, string(a))

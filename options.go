@@ -1,0 +1,233 @@
+package mpcjoin
+
+// options.go is the single home of Execute's functional options: every
+// With* constructor, the combination rules between them, and the
+// validation that turns a conflicting combination into an error instead
+// of silently letting the last option win.
+//
+// Combination rules:
+//
+//   - Options are order-independent. Each With* records intent on an
+//     internal builder; nothing is resolved until Execute, so
+//     WithEstimator before or after WithSeed produces the same estimator
+//     seed, and WithRetry before or after WithFaults produces the same
+//     retry budget.
+//   - Repeating the same option overwrites its earlier value (last call
+//     wins within one option).
+//   - Engine selection is exclusive: WithBaseline and WithTreeEngine
+//     conflict (ErrOptionConflict).
+//   - WithOutOracle feeds the specialized matmul/line engines and
+//     conflicts with WithBaseline, which cannot consume it.
+//   - WithRetry tunes the fault plane and requires WithFaults.
+//   - Out-of-domain arguments (WithServers(p < 1), an invalid FaultSpec)
+//     fail Execute with a descriptive error rather than being clamped.
+//
+// All violations surface at Execute as errors wrapping ErrOptionConflict
+// (conflicting pairs) or plain validation errors (bad arguments); the
+// query is never run on a half-understood configuration.
+
+import (
+	"errors"
+	"fmt"
+
+	"mpcjoin/internal/core"
+	"mpcjoin/internal/estimate"
+	"mpcjoin/internal/mpc"
+)
+
+// ErrOptionConflict is wrapped by the error Execute returns when two
+// options contradict each other (for example WithBaseline together with
+// WithTreeEngine). Test with errors.Is.
+var ErrOptionConflict = errors.New("mpcjoin: conflicting options")
+
+// ErrFaultBudgetExceeded is wrapped by the error Execute returns when a
+// fault-injected execution (WithFaults) had a round that stayed faulty
+// past its retry budget. Test with errors.Is; errors.As against
+// *FaultBudgetError exposes the round, primitive and fault kind.
+var ErrFaultBudgetExceeded = mpc.ErrFaultBudgetExceeded
+
+// FaultBudgetError details a fault-injected round that could not be
+// recovered within its retry budget.
+type FaultBudgetError = mpc.FaultBudgetError
+
+// FaultSpec configures deterministic fault injection for WithFaults; the
+// zero value injects nothing. See the field docs in internal/mpc.
+type FaultSpec = mpc.FaultSpec
+
+// FaultReport is the injection/detection/retry accounting of a
+// fault-injected execution; read it from Result.Faults.
+type FaultReport = mpc.FaultReport
+
+// FaultEvent is one injected fault in FaultReport.Events.
+type FaultEvent = mpc.FaultEvent
+
+// Option configures Execute. Options are declarative and
+// order-independent; conflicting combinations fail Execute with an error
+// wrapping ErrOptionConflict (see the combination rules at the top of
+// options.go).
+type Option func(*optionSet)
+
+// optionSet is the internal builder the With* constructors write to.
+// It records which option supplied each exclusive setting, so build can
+// name both sides of a conflict, and defers every cross-option
+// derivation (estimator seed, fault retry budget) to build time for
+// order independence.
+type optionSet struct {
+	core core.Options
+
+	strategyBy string // option name that selected core.Strategy
+	oracleBy   string // option name that set OutOracle
+
+	est    *estimate.Params // Seed filled at build
+	faults *mpc.FaultSpec
+	retry  *int
+
+	errs []error
+}
+
+func (o *optionSet) fail(err error) { o.errs = append(o.errs, err) }
+
+func (o *optionSet) setStrategy(by string, s core.Strategy) {
+	if o.strategyBy != "" && o.strategyBy != by {
+		o.fail(fmt.Errorf("%w: %s and %s both select the engine", ErrOptionConflict, o.strategyBy, by))
+		return
+	}
+	o.strategyBy = by
+	o.core.Strategy = s
+}
+
+// build resolves the recorded options into a core.Options, applying the
+// combination rules and returning the first violation.
+func (o *optionSet) build() (core.Options, error) {
+	if o.strategyBy == "WithBaseline" && o.oracleBy != "" {
+		o.fail(fmt.Errorf("%w: %s requires the matmul/line engines, which WithBaseline disables", ErrOptionConflict, o.oracleBy))
+	}
+	if o.retry != nil && o.faults == nil {
+		o.fail(fmt.Errorf("%w: WithRetry tunes the fault plane and requires WithFaults", ErrOptionConflict))
+	}
+	if o.est != nil {
+		// Derived here, not at apply time, so the estimator seed is the
+		// same whether WithEstimator comes before or after WithSeed.
+		o.core.Est = estimate.Params{K: o.est.K, Reps: o.est.Reps, Seed: o.core.Seed + 0xabc}
+	}
+	if o.faults != nil {
+		spec := *o.faults
+		if spec.Seed == 0 {
+			spec.Seed = o.core.Seed + 1 // plane must be seeded; derive from the run seed
+		}
+		if o.retry != nil {
+			spec.MaxRetries = *o.retry
+		}
+		if err := spec.Validate(); err != nil {
+			o.fail(fmt.Errorf("mpcjoin: WithFaults: %w", err))
+		} else {
+			o.core.Faults = mpc.NewFaultPlane(spec)
+		}
+	}
+	if len(o.errs) > 0 {
+		return core.Options{}, errors.Join(o.errs...)
+	}
+	return o.core, nil
+}
+
+// buildOptions applies opts to a fresh builder and resolves it.
+func buildOptions(opts []Option) (core.Options, error) {
+	var o optionSet
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o.build()
+}
+
+// WithServers sets the simulated cluster size p (default 16). p must be
+// at least 1.
+func WithServers(p int) Option {
+	return func(o *optionSet) {
+		if p < 1 {
+			o.fail(fmt.Errorf("mpcjoin: WithServers(%d): cluster size must be at least 1", p))
+			return
+		}
+		o.core.Servers = p
+	}
+}
+
+// WithBaseline forces the distributed Yannakakis baseline. Conflicts
+// with WithTreeEngine (both select the engine) and WithOutOracle (the
+// baseline has no use for an output-size oracle).
+func WithBaseline() Option {
+	return func(o *optionSet) { o.setStrategy("WithBaseline", core.StrategyYannakakis) }
+}
+
+// WithTreeEngine forces the general §7 tree engine. Conflicts with
+// WithBaseline.
+func WithTreeEngine() Option {
+	return func(o *optionSet) { o.setStrategy("WithTreeEngine", core.StrategyTree) }
+}
+
+// WithSeed fixes the randomness seed (hash partitioning, estimators);
+// executions are fully reproducible for a given seed. Order relative to
+// WithEstimator and WithFaults does not matter: derived seeds are
+// resolved when Execute builds the configuration.
+func WithSeed(seed uint64) Option {
+	return func(o *optionSet) { o.core.Seed = seed }
+}
+
+// WithEstimator sets the §2.2 estimator's sketch size and repetition
+// count; zero values keep the defaults.
+func WithEstimator(k, reps int) Option {
+	return func(o *optionSet) { o.est = &estimate.Params{K: k, Reps: reps} }
+}
+
+// WithOutOracle supplies the exact output size to the matmul and line
+// engines instead of the §2.2 estimate (experiment support). Conflicts
+// with WithBaseline.
+func WithOutOracle(out int64) Option {
+	return func(o *optionSet) {
+		o.oracleBy = "WithOutOracle"
+		o.core.OutOracle = out
+	}
+}
+
+// WithWorkers runs the simulator's per-server work on n concurrent OS
+// workers instead of serially; n <= 0 selects one worker per CPU
+// (GOMAXPROCS). The choice affects wall-clock time only: results and
+// metered Stats are bit-for-bit identical for every worker count, because
+// per-server work is independent within a round and load accounting is
+// aggregated after each round's barrier.
+func WithWorkers(n int) Option {
+	return func(o *optionSet) {
+		if n <= 0 {
+			n = -1 // core: negative means GOMAXPROCS
+		}
+		o.core.Workers = n
+	}
+}
+
+// WithTrace records a per-round load timeline of the execution and
+// returns it in Result.Trace. Tracing never changes results or Stats —
+// a traced run is bit-identical to an untraced one — and costs nothing
+// when off.
+func WithTrace() Option {
+	return func(o *optionSet) { o.core.Tracer = mpc.NewTracer() }
+}
+
+// WithFaults runs the execution under a deterministic fault plane: the
+// spec's seeded schedule injects straggler delays, server crashes and
+// message drops at the simulated exchange barriers, and each faulty
+// round is detected and retried from its pre-round checkpoint. A run
+// whose faults are absorbed by the retry budget returns Rows and Stats
+// bit-identical to a fault-free run, plus the injection accounting in
+// Result.Faults; a round faulty past its budget fails Execute with an
+// error wrapping ErrFaultBudgetExceeded. A spec with Seed 0 derives its
+// schedule seed from WithSeed.
+func WithFaults(spec FaultSpec) Option {
+	return func(o *optionSet) { s := spec; o.faults = &s }
+}
+
+// WithRetry bounds the per-round retry budget of the fault plane: max
+// retries per faulty round (0 keeps the plane's default, negative
+// disables retry so the first detected fault fails the run). Requires
+// WithFaults; overrides the spec's MaxRetries field.
+func WithRetry(max int) Option {
+	return func(o *optionSet) { m := max; o.retry = &m }
+}
