@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke service-smoke boundcheck chaos
+.PHONY: ci vet build test race bench bench-smoke service-smoke cluster-smoke boundcheck chaos chaos-tcp bench-transport
 
 ci: vet build test race
 
@@ -34,6 +34,15 @@ bench-smoke:
 service-smoke:
 	$(GO) test -run TestServiceSmoke -count=1 -v ./cmd/mpcd
 
+# Multi-process cluster lane: the test builds mpcd with -race, boots two
+# shuffle peers plus a coordinator and an in-process golden daemon on
+# ephemeral ports, runs one query per strategy with exchange rounds over
+# real TCP asserting bit-identical rows and Stats against the golden,
+# absorbs a dropped-frame fault schedule over the wire, and SIGTERM-drains
+# all four processes.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count=1 -v ./cmd/mpcd
+
 # Table 1 load-bound regression lane: run every query class across
 # p ∈ {4,16,64} and assert measured MaxLoad stays within a constant factor
 # of its Table 1 formula; BOUND_trace.json carries each run's per-round
@@ -49,3 +58,16 @@ boundcheck:
 # to upload as an artifact.
 chaos:
 	$(GO) run -race ./cmd/chaos -quick -workers 4 -json CHAOS_report.json
+
+# Chaos over the wire: the same sweep with every faulted run's exchange
+# rounds carried over TCP through loopback shuffle peers while baselines
+# stay in-process — drops become elided frames and crashes discarded
+# peer-side inboxes, and absorption must still be bit-identical.
+chaos-tcp:
+	$(GO) run -race ./cmd/chaos -quick -workers 4 -transport tcp -json CHAOS_tcp_report.json
+
+# Benchmark lane over the TCP backend: every experiment's benched run
+# exchanges through loopback peers while verification baselines stay
+# in-process, so each "verified" column is a cross-transport check.
+bench-transport:
+	$(GO) run ./cmd/mpcbench -experiment all -quick -transport tcp -json BENCH_transport.json

@@ -8,6 +8,14 @@
 //
 //	chaos                           # full sizes, p=8
 //	chaos -quick -workers 4 -json CHAOS_report.json
+//	chaos -quick -transport tcp -json CHAOS_tcp_report.json
+//
+// -transport tcp carries every faulted run's exchange rounds over the TCP
+// backend — through three loopback shuffle peers the process boots itself,
+// or an already-running tier named by -transport-peers. Faults then happen
+// physically (frames elided before the socket, inboxes discarded
+// peer-side) while each engine's fault-free baseline stays in-process, so
+// the sweep's bit-identity judgement is cross-transport.
 //
 // -json writes every (engine, scenario) result — row fingerprints, base
 // stats, and the fault plane's injection/retry accounting — as indented
@@ -19,8 +27,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mpcjoin/internal/experiments/chaos"
+	"mpcjoin/internal/transport"
 )
 
 func main() {
@@ -34,10 +44,38 @@ func run() int {
 		seed    = flag.Uint64("seed", 1, "randomness seed (runs are reproducible per seed)")
 		workers = flag.Int("workers", 0, "OS workers per run (0 = serial; results must not depend on this)")
 		jsonOut = flag.String("json", "", "write per-(engine,scenario) results as JSON to this file")
+		trans   = flag.String("transport", "inproc", "exchange transport for faulted runs: inproc or tcp")
+		tpeers  = flag.String("transport-peers", "", "comma-separated shuffle peer addresses for -transport tcp (default: boot 3 loopback peers in-process)")
 	)
 	flag.Parse()
 
 	cfg := chaos.Config{Quick: *quick, P: *p, Seed: *seed, Workers: *workers}
+	switch *trans {
+	case "", "inproc":
+	case "tcp":
+		var addrs []string
+		for _, a := range strings.Split(*tpeers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			for i := 0; i < 3; i++ {
+				pr, err := transport.ListenPeer("127.0.0.1:0")
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "chaos: booting loopback peer: %v\n", err)
+					return 1
+				}
+				defer pr.Close()
+				addrs = append(addrs, pr.Addr())
+			}
+			fmt.Fprintf(os.Stderr, "chaos: exchanging over tcp via %d loopback shuffle peers\n", len(addrs))
+		}
+		cfg.Transport = transport.TCP(addrs...)
+	default:
+		fmt.Fprintf(os.Stderr, "chaos: unknown -transport %q (want inproc or tcp)\n", *trans)
+		return 2
+	}
 	results, err := chaos.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)

@@ -25,6 +25,15 @@
 // identical to the fault-free run — the per-run injection/retry
 // accounting lands in the -json rows' "faults" field.
 //
+// -transport tcp carries every benched engine run's exchange rounds over
+// the TCP backend — by default through three loopback shuffle peers the
+// process boots itself, or through an already-running peer tier named by
+// -transport-peers. The verification baseline stays in-process, so every
+// "verified" column doubles as a cross-transport bit-identity check;
+// loads and tables are identical, only wall-clock changes:
+//
+//	mpcbench -experiment all -quick -transport tcp -json BENCH_transport.json
+//
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments (the memory profile is a heap snapshot taken after the runs,
 // with allocation sites recorded); inspect with `go tool pprof`. See the
@@ -46,6 +55,7 @@ import (
 	"time"
 
 	"mpcjoin/internal/experiments"
+	"mpcjoin/internal/transport"
 )
 
 func main() {
@@ -64,6 +74,8 @@ func run() int {
 		jsonOut = flag.String("json", "", "write per-experiment benchmark rows as JSON to this file")
 		trace   = flag.Bool("trace", false, "record per-round load timelines in the -json rows")
 		faults  = flag.String("faults", "", "run benched engines under a deterministic fault schedule, e.g. crash=0.05,drop=0.05,straggler=0.2,retries=6")
+		trans   = flag.String("transport", "inproc", "exchange transport for benched engine runs: inproc or tcp")
+		tpeers  = flag.String("transport-peers", "", "comma-separated shuffle peer addresses for -transport tcp (default: boot 3 loopback peers in-process)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (post-run snapshot) to this file")
 	)
@@ -120,6 +132,27 @@ func run() int {
 	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers, Trace: *trace, Faults: faultSpec}
+	switch *trans {
+	case "", "inproc":
+	case "tcp":
+		addrs := splitList(*tpeers)
+		if len(addrs) == 0 {
+			for i := 0; i < 3; i++ {
+				p, err := transport.ListenPeer("127.0.0.1:0")
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mpcbench: booting loopback peer: %v\n", err)
+					return 1
+				}
+				defer p.Close()
+				addrs = append(addrs, p.Addr())
+			}
+			fmt.Fprintf(os.Stderr, "mpcbench: exchanging over tcp via %d loopback shuffle peers\n", len(addrs))
+		}
+		cfg.Transport = transport.TCP(addrs...)
+	default:
+		fmt.Fprintf(os.Stderr, "mpcbench: unknown -transport %q (want inproc or tcp)\n", *trans)
+		return 2
+	}
 	failed := false
 	var bench []experiments.BenchRow
 	for _, id := range ids {
@@ -157,4 +190,16 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// splitList parses a comma-separated address list, tolerating whitespace
+// and empty segments from trailing commas.
+func splitList(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

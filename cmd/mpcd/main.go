@@ -5,9 +5,24 @@
 //
 //	mpcd -addr :8080
 //
+// Cluster mode turns the single process into a real multi-process
+// deployment. Shuffle peers serve the exchange data plane:
+//
+//	mpcd -peer -addr 127.0.0.1:9101
+//	mpcd -peer -addr 127.0.0.1:9102
+//
+// and a coordinator serves the HTTP API, delegating every query's
+// exchange rounds to the peers over TCP:
+//
+//	mpcd -addr :8080 -peers 127.0.0.1:9101,127.0.0.1:9102
+//
+// Results, metered Stats, traces and fault reports are bit-for-bit
+// identical to the single-process run (see internal/transport).
+//
 // The daemon drains gracefully on SIGTERM/SIGINT: new queries are shed
 // with 503 while in-flight queries run to completion (bounded by
-// -drain-timeout), then the process exits.
+// -drain-timeout), then the process exits. A -peer process closes its
+// listener and live connections on the same signals.
 package main
 
 import (
@@ -20,10 +35,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"mpcjoin/internal/server"
+	"mpcjoin/internal/transport"
 )
 
 func main() {
@@ -33,10 +50,23 @@ func main() {
 		maxQueue     = flag.Int("max-queue", 64, "bounded admission queue length; beyond it queries get 429")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
 		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		peerMode     = flag.Bool("peer", false, "run as a cluster shuffle peer instead of the HTTP service")
+		peers        = flag.String("peers", "", "comma-separated peer addresses; queries exchange over TCP through them (coordinator mode)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{Capacity: *capacity, MaxQueue: *maxQueue, EnablePprof: *pprofFlag})
+	if *peerMode {
+		runPeer(*addr)
+		return
+	}
+
+	cfg := server.Config{Capacity: *capacity, MaxQueue: *maxQueue, EnablePprof: *pprofFlag}
+	if *peers != "" {
+		list := splitPeers(*peers)
+		cfg.Transport = transport.TCP(list...)
+		log.Printf("mpcd: coordinator mode, exchanging over tcp via %d peers: %s", len(list), strings.Join(list, ", "))
+	}
+	srv := server.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -95,4 +125,36 @@ func main() {
 		causes += fmt.Sprintf(" %s=%d", c.Name, c.Count)
 	}
 	log.Printf("mpcd: drained, exiting (completed=%d cancelled=%d%s)", snap.Completed, snap.Cancelled, causes)
+}
+
+// splitPeers parses the -peers list, tolerating whitespace and empty
+// segments from trailing commas.
+func splitPeers(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runPeer serves the exchange data plane on addr until SIGTERM/SIGINT.
+func runPeer(addr string) {
+	p, err := transport.ListenPeer(addr)
+	if err != nil {
+		log.Fatalf("mpcd: peer listen %s: %v", addr, err)
+	}
+	// Machine-readable, like the coordinator's line: cluster scripts pass
+	// -addr 127.0.0.1:0 and scrape the chosen port.
+	fmt.Printf("mpcd peer listening on %s\n", p.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	<-ctx.Done()
+
+	st := p.Stats()
+	p.Close()
+	log.Printf("mpcd: peer exiting (rounds=%d retries=%d msgs=%d units=%d bytes=%d crashes=%d)",
+		st.Rounds, st.Retries, st.Msgs, st.Units, st.Bytes, st.Crashes)
 }

@@ -20,6 +20,7 @@ import (
 	"mpcjoin/internal/semiring"
 	"mpcjoin/internal/starlike"
 	"mpcjoin/internal/starquery"
+	"mpcjoin/internal/transport"
 	"mpcjoin/internal/treequery"
 	"mpcjoin/internal/yannakakis"
 )
@@ -68,8 +69,7 @@ type Options struct {
 	// matmul/line engines (experiment support).
 	OutOracle int64
 	// Workers sizes the concurrent execution runtime the simulator's
-	// per-server work runs on. 0 inherits the ambient runtime (serial
-	// unless a caller installed one); 1 forces serial execution; n > 1
+	// per-server work runs on. 0 and 1 run serially (the default); n > 1
 	// uses n OS workers; negative selects GOMAXPROCS. Results and metered
 	// Stats are identical for every setting — Workers changes wall-clock
 	// time only. The runtime is scoped to the execution (not process
@@ -96,6 +96,14 @@ type Options struct {
 	// *mpc.FaultBudgetError (errors.Is mpc.ErrFaultBudgetExceeded). nil
 	// (the default) keeps the flawless-cluster fast path.
 	Faults *mpc.FaultPlane
+	// Transport selects the exchange backend the execution's round
+	// barriers run on: nil or transport.InProc() is the in-process path
+	// (the default, zero overhead); transport.TCP(peers...) delegates
+	// every exchange to a cluster of shuffle peers. Results, Stats,
+	// traces and fault reports are bit-for-bit identical across
+	// backends. The wire is connected when the execution starts and
+	// closed when it returns.
+	Transport transport.Transport
 }
 
 func (o Options) withDefaults() Options {
@@ -198,6 +206,18 @@ func ExecuteDistributedContext[W any](ctx context.Context, sr semiring.Semiring[
 	}
 	if opts.Faults != nil {
 		ex = ex.WithFaults(opts.Faults)
+	}
+	if opts.Transport != nil {
+		// The wire is per-execution: connect here, close when the
+		// execution returns (success, error or unwind alike).
+		w, werr := opts.Transport.Connect(ctx)
+		if werr != nil {
+			return dist.Rel[W]{}, mpc.Stats{}, fmt.Errorf("connecting %s transport: %w", opts.Transport.Name(), werr)
+		}
+		if w != nil {
+			defer w.Close()
+			ex = ex.WithWire(w)
+		}
 	}
 	// Primitives report cancellation by unwinding with an internal sentinel
 	// (they return no errors); convert it back into a returned error here.

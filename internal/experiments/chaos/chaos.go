@@ -27,6 +27,7 @@ import (
 	"mpcjoin/internal/mpc"
 	"mpcjoin/internal/relation"
 	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/transport"
 	"mpcjoin/internal/workload"
 )
 
@@ -44,6 +45,21 @@ type Config struct {
 	// Workers sizes each run's OS worker pool (0 = serial); results must
 	// not depend on it.
 	Workers int
+	// Transport, when set, carries every *faulted* run's exchange rounds
+	// over the given backend (chaos -transport tcp) while each engine's
+	// fault-free baseline stays in-process. Faults then execute physically
+	// — frames elided before the socket, inboxes discarded peer-side — and
+	// the sweep's bit-identity judgement doubles as a cross-transport
+	// equivalence check. nil = everything in-process.
+	Transport transport.Transport
+}
+
+// transportName resolves the backend label stamped into Result rows.
+func (c Config) transportName() string {
+	if c.Transport == nil {
+		return "inproc"
+	}
+	return c.Transport.Name()
 }
 
 func (c Config) p() int {
@@ -106,6 +122,9 @@ func coreEngine(name string, strat core.Strategy, mk func(cfg Config) (*hypergra
 	return engine{name: name, run: func(cfg Config, fp *mpc.FaultPlane) (*relation.Relation[int64], mpc.Stats, error) {
 		q, inst := mk(cfg)
 		o := core.Options{Servers: cfg.p(), Seed: cfg.Seed, Workers: cfg.Workers, Strategy: strat, Faults: fp}
+		if fp != nil {
+			o.Transport = cfg.Transport // baseline (fp == nil) stays in-process
+		}
 		return core.Execute(intSR, q, inst, o)
 	}}
 }
@@ -146,6 +165,16 @@ var engines = []engine{
 		ex := mpc.NewExec(context.Background(), cfg.Workers)
 		if fp != nil {
 			ex = ex.WithFaults(fp)
+			if cfg.Transport != nil {
+				w, werr := cfg.Transport.Connect(context.Background())
+				if werr != nil {
+					return nil, mpc.Stats{}, fmt.Errorf("connecting %s transport: %w", cfg.Transport.Name(), werr)
+				}
+				if w != nil {
+					defer w.Close()
+					ex = ex.WithWire(w)
+				}
+			}
 		}
 		rels := make(map[string]dist.Rel[int64], len(q.Edges))
 		for _, e := range q.Edges {
@@ -161,6 +190,9 @@ var engines = []engine{
 type Result struct {
 	Engine   string `json:"engine"`
 	Scenario string `json:"scenario"`
+	// Transport names the backend the faulted run's rounds travelled over
+	// ("inproc", "tcp"); the baseline always runs in-process.
+	Transport string `json:"transport"`
 	// Rows / RowsHash fingerprint the sorted output relation; Stats is
 	// the base metered cost. For a retryable scenario, OK means all three
 	// match the baseline exactly; for the budget scenario, OK means the
@@ -169,13 +201,13 @@ type Result struct {
 	RowsHash uint64    `json:"rows_hash"`
 	Stats    mpc.Stats `json:"stats"`
 	// Fault-plane accounting of the run.
-	Injected  int   `json:"injected"`
-	Detected  int   `json:"detected"`
-	Retried   int   `json:"retried"`
-	Absorbed  int   `json:"absorbed"`
-	DelayUnit int64 `json:"delay_units"`
-	BudgetErr bool  `json:"budget_err"`
-	OK        bool  `json:"ok"`
+	Injected  int    `json:"injected"`
+	Detected  int    `json:"detected"`
+	Retried   int    `json:"retried"`
+	Absorbed  int    `json:"absorbed"`
+	DelayUnit int64  `json:"delay_units"`
+	BudgetErr bool   `json:"budget_err"`
+	OK        bool   `json:"ok"`
 	Detail    string `json:"detail,omitempty"`
 }
 
@@ -225,7 +257,7 @@ func Run(cfg Config) ([]Result, error) {
 			rel, st, err := e.run(cfg, fp)
 			rep := fp.Report()
 			r := Result{
-				Engine: e.name, Scenario: sc.Name,
+				Engine: e.name, Scenario: sc.Name, Transport: cfg.transportName(),
 				Injected: rep.Injected, Detected: rep.Detected,
 				Retried: rep.Retried, Absorbed: rep.Absorbed,
 				DelayUnit: rep.DelayUnits + rep.BackoffUnits,

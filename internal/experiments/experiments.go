@@ -33,6 +33,7 @@ import (
 	"mpcjoin/internal/relation"
 	"mpcjoin/internal/runtime"
 	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/transport"
 	"mpcjoin/internal/workload"
 )
 
@@ -76,6 +77,10 @@ type BenchRow struct {
 	// under Config.Faults (mpcbench -faults). The row's MaxLoad/Rounds
 	// are the base metered cost and exclude fault overhead by design.
 	Faults *mpc.FaultReport `json:"faults,omitempty"`
+	// Transport names the exchange backend the benched run's rounds
+	// travelled over ("inproc", "tcp"). Loads, rounds and tables are
+	// identical for every backend; only wallNs changes.
+	Transport string `json:"transport"`
 }
 
 // addBench records one benchmark row (ID/Workers are stamped by Run).
@@ -125,9 +130,9 @@ type Config struct {
 	// Seed makes runs reproducible.
 	Seed uint64
 	// Workers sizes the concurrent execution runtime for the experiment
-	// (0 = keep the ambient runtime, 1 = serial, n > 1 = n OS workers,
-	// negative = GOMAXPROCS). Loads and all table contents are identical
-	// for every setting; only wallNs in Bench rows changes.
+	// (0 and 1 = serial, n > 1 = n OS workers, negative = GOMAXPROCS).
+	// Loads and all table contents are identical for every setting; only
+	// wallNs in Bench rows changes.
 	Workers int
 	// Trace records the per-round load timeline of every benched engine
 	// run into BenchRow.Trace (mpcbench -trace -json). Tracing never
@@ -139,6 +144,20 @@ type Config struct {
 	// fault-free run — only wallNs and BenchRow.Faults change; a
 	// schedule the retry budget cannot absorb fails the experiment.
 	Faults mpc.FaultSpec
+	// Transport, when set, carries every benched (new-engine) execution's
+	// exchange rounds over the given backend (mpcbench -transport). The
+	// verification baseline always runs in process, so each experiment's
+	// "verified" column doubles as a cross-transport bit-identity check.
+	// nil = in-process.
+	Transport transport.Transport
+}
+
+// transportName resolves the backend label stamped into BenchRow rows.
+func (c Config) transportName() string {
+	if c.Transport == nil {
+		return "inproc"
+	}
+	return c.Transport.Name()
 }
 
 // effectiveWorkers resolves Config.Workers to the pool size runs use.
@@ -149,7 +168,7 @@ func (c Config) effectiveWorkers() int {
 	case c.Workers < 0:
 		return runtime.New(0).Workers()
 	default:
-		return mpc.CurrentRuntime().Workers()
+		return 1
 	}
 }
 
@@ -205,11 +224,13 @@ func Run(id string, cfg Config) (Table, error) {
 	workers := cfg.effectiveWorkers()
 	commit := buildCommit()
 	procs := stdruntime.GOMAXPROCS(0)
+	name := cfg.transportName()
 	for i := range t.Bench {
 		t.Bench[i].ID = t.ID
 		t.Bench[i].Workers = workers
 		t.Bench[i].GoMaxProcs = procs
 		t.Bench[i].Commit = commit
+		t.Bench[i].Transport = name
 	}
 	return t, err
 }
@@ -297,7 +318,8 @@ type bothRun struct {
 // verifying they agree. Under Config.Faults the new engine's run carries a
 // fresh fault plane while the baseline stays fault-free, so verification
 // doubles as a retry-transparency check: an absorbed schedule must still
-// agree with the undisturbed baseline.
+// agree with the undisturbed baseline. Config.Transport likewise rides
+// only the benched run; the baseline always exchanges in process.
 func runBoth(cfg Config, q *hypergraph.Query, inst db.Instance[int64], p int) bothRun {
 	var tr *mpc.Tracer
 	if cfg.Trace {
@@ -306,7 +328,7 @@ func runBoth(cfg Config, q *hypergraph.Query, inst db.Instance[int64], p int) bo
 	fp := cfg.faultPlane()
 	seed := cfg.Seed
 	t0 := time.Now()
-	resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: seed, Workers: cfg.Workers, Tracer: tr, Faults: fp})
+	resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: seed, Workers: cfg.Workers, Tracer: tr, Faults: fp, Transport: cfg.Transport})
 	wall := time.Since(t0)
 	if err != nil {
 		panic(err)

@@ -31,8 +31,7 @@
 // execution owns its runtime and cancellation context, and the scope flows
 // from the initial placement (DistributeIn) through every derived Part, so
 // concurrent executions with different worker counts never interact. Parts
-// created without a scope use the ambient runtime (see the deprecated
-// SetRuntime and internal/runtime), serial by default. The runtime affects
+// created without a scope use the serial runtime. The runtime affects
 // only wall-clock time; results and Stats are bit-for-bit identical across
 // runtimes, because per-server work is independent within a round and all
 // cross-server assembly (Exchange) is owned per destination with metering
@@ -280,16 +279,43 @@ func ExchangeToIn[T any](ex *Exec, pDst int, out [][][]T) (Part[T], Stats) {
 // barrier of the simulator and therefore the canonical cancellation
 // point: a done context is observed here, before and during assembly.
 // With a fault plane on the scope, the round instead runs under the
-// plane's inject → detect → retry protocol (exchangeFaulty); without
-// one, the fault machinery costs a single nil check.
+// plane's inject → detect → retry protocol (exchangeFaulty); with a
+// transport wire, the barrier is delegated to it (see wire.go); without
+// either, the dispatch costs two nil checks.
 func exchangeOnRuntime[T any](ex *Exec, pDst int, out [][][]T) (Part[T], Stats) {
 	if ex != nil && ex.fp != nil {
 		return exchangeFaulty(ex, ex.fp, pDst, out)
 	}
-	ex.checkpoint()
-	shards, recv, err := xrt.ExchangeCtx(ex.Context(), ex.runtime(), pDst, out)
-	if err != nil {
-		panic(canceled{err})
+	var (
+		shards [][]T
+		recv   []int64
+	)
+	if ex != nil && ex.wire != nil {
+		// Fault-free wire barrier: the transport must deliver every unit.
+		// Verifying the counts against the outboxes here means an
+		// undetected transport loss can never silently corrupt a result —
+		// without a fault plane there is no retry, so a mismatch aborts.
+		shards, recv, _ = exchangeWire[T](ex, ex.nextWireSeq(), 0, pDst, out, -1, -1)
+		for src := range out {
+			for dst, m := range out[src] {
+				if len(m) > 0 {
+					recv[dst] -= int64(len(m))
+				}
+			}
+		}
+		for dst, d := range recv {
+			if d != 0 {
+				wireError(fmt.Errorf("destination %d delivery off by %d units with no fault plane to retry", dst, -d))
+			}
+			recv[dst] = int64(len(shards[dst]))
+		}
+	} else {
+		ex.checkpoint()
+		var err error
+		shards, recv, err = xrt.ExchangeCtx(ex.Context(), ex.runtime(), pDst, out)
+		if err != nil {
+			panic(canceled{err})
+		}
 	}
 	st := recvStats(recv)
 	if ex != nil && ex.tr != nil {
@@ -342,34 +368,56 @@ func exchangeFaulty[T any](ex *Exec, fp *FaultPlane, pDst int, out [][][]T) (Par
 	}
 
 	budget := fp.spec.retries()
+	var seq int64
+	if ex.wire != nil {
+		// One wire sequence number per logical round; retry attempts
+		// re-present the same Seq with a higher Attempt, which is how a
+		// peer distinguishes "resend from the checkpoint" from progress.
+		seq = ex.nextWireSeq()
+	}
 	for attempt := 0; ; attempt++ {
 		inj := fp.decide(round, attempt, pDst, msgs)
 
-		// Apply network-level faults to this attempt's transfer: a
-		// dropped message is withheld from assembly. The checkpoint
-		// (out) is never mutated — the faulted view shallow-copies the
-		// affected source row only.
-		fout := out
-		if inj.dropIdx >= 0 {
-			m := msgs[inj.dropIdx]
-			fout = append([][][]T(nil), out...)
-			row := append([][]T(nil), fout[m.src]...)
-			row[m.dst] = nil
-			fout[m.src] = row
-		}
+		var (
+			shards [][]T
+			recv   []int64
+			lost   int64
+		)
+		if ex.wire != nil {
+			// Over a wire the plane's directives become physical: the
+			// transport elides the dropped message before it is written to
+			// the socket and discards a crashed destination's assembled
+			// inbox (reporting what it lost), so detection below sees real
+			// missing frames, not simulated ones. The checkpoint (out) is
+			// still never mutated — retries re-encode from it.
+			shards, recv, lost = exchangeWire[T](ex, seq, attempt, pDst, out, inj.crash, inj.dropIdx)
+		} else {
+			// Apply network-level faults to this attempt's transfer: a
+			// dropped message is withheld from assembly. The checkpoint
+			// (out) is never mutated — the faulted view shallow-copies the
+			// affected source row only.
+			fout := out
+			if inj.dropIdx >= 0 {
+				m := msgs[inj.dropIdx]
+				fout = append([][][]T(nil), out...)
+				row := append([][]T(nil), fout[m.src]...)
+				row[m.dst] = nil
+				fout[m.src] = row
+			}
 
-		ex.checkpoint()
-		shards, recv, err := xrt.ExchangeCtx(ex.Context(), ex.runtime(), pDst, fout)
-		if err != nil {
-			panic(canceled{err})
-		}
-		// A crashed destination dies mid-round: its assembled inbox is
-		// lost with everything it had received this round.
-		var lost int64
-		if inj.crash >= 0 {
-			lost = recv[inj.crash]
-			shards[inj.crash] = nil
-			recv[inj.crash] = 0
+			ex.checkpoint()
+			var err error
+			shards, recv, err = xrt.ExchangeCtx(ex.Context(), ex.runtime(), pDst, fout)
+			if err != nil {
+				panic(canceled{err})
+			}
+			// A crashed destination dies mid-round: its assembled inbox is
+			// lost with everything it had received this round.
+			if inj.crash >= 0 {
+				lost = recv[inj.crash]
+				shards[inj.crash] = nil
+				recv[inj.crash] = 0
+			}
 		}
 
 		// Post-round barrier: the failure detector sees crashed servers,

@@ -3,6 +3,7 @@ package mpc
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	xrt "mpcjoin/internal/runtime"
 )
@@ -37,10 +38,9 @@ import (
 // uses Recover/CanceledError; any other panic re-propagates unchanged.
 //
 // A nil *Exec is a valid scope everywhere one is accepted: it denotes the
-// ambient scope — the deprecated process-global runtime installed by
-// SetRuntime (serial by default) and a never-cancelled context. Parts
+// ambient scope — the serial runtime and a never-cancelled context. Parts
 // built by the unscoped constructors (NewPart, Distribute, Exchange …)
-// carry the nil scope, which keeps pre-Exec callers and tests working
+// carry the nil scope, which keeps scope-less callers and tests working
 // unchanged.
 type Exec struct {
 	rt  *xrt.Runtime
@@ -56,18 +56,23 @@ type Exec struct {
 	// — the default — keeps the flawless-cluster fast path: one nil
 	// check per round.
 	fp *FaultPlane
+
+	// wire, when non-nil, delegates this execution's exchange barriers to
+	// a transport backend (see wire.go); wireSeq numbers its rounds. Nil
+	// — the default — is the in-process path: one nil check per round.
+	wire    Wire
+	wireSeq *atomic.Int64
 }
 
 // NewExec returns an execution scope with the given context and worker
-// count. workers follows the Options.Workers convention: 0 inherits the
-// ambient runtime (honouring deprecated SetRuntime installs), 1 forces
-// serial execution, n > 1 uses n OS workers, and negative selects
+// count. workers follows the Options.Workers convention: 0 and 1 run
+// serially (the default), n > 1 uses n OS workers, and negative selects
 // GOMAXPROCS. A nil ctx means "never cancelled".
 func NewExec(ctx context.Context, workers int) *Exec {
 	var rt *xrt.Runtime
 	switch {
 	case workers == 0:
-		rt = CurrentRuntime()
+		rt = xrt.Serial()
 	case workers < 0:
 		rt = xrt.New(0)
 	default:
@@ -140,11 +145,10 @@ func (ex *Exec) Context() context.Context {
 func (ex *Exec) Workers() int { return ex.runtime().Workers() }
 
 // runtime resolves the scope's runtime; the nil (ambient) scope resolves
-// to the deprecated process-global runtime at call time, so SetRuntime
-// keeps steering unscoped callers.
+// to the serial runtime.
 func (ex *Exec) runtime() *xrt.Runtime {
 	if ex == nil {
-		return CurrentRuntime()
+		return xrt.Serial()
 	}
 	return ex.rt
 }

@@ -3,6 +3,8 @@ package mpc
 import (
 	"math/rand"
 	"testing"
+
+	xrt "mpcjoin/internal/runtime"
 )
 
 // kernels_bench_test.go holds the primitive-level benchmarks of the
@@ -97,7 +99,7 @@ func BenchmarkReduceByKeyKernel(b *testing.B) {
 func BenchmarkExchangeKernel(b *testing.B) {
 	pt := benchPart(benchN, benchP)
 	out := make([][][]int64, benchP)
-	CurrentRuntime().ForEachShard(benchP, func(src int) {
+	xrt.Serial().ForEachShard(benchP, func(src int) {
 		row := make([][]int64, benchP)
 		for _, x := range pt.Shards[src] {
 			d := int(uint64(x) % benchP)

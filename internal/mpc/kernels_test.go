@@ -84,9 +84,9 @@ func TestCountedRouteMatchesSerialOracle(t *testing.T) {
 			want := appendRouteOracle(pt, dest)
 			for _, workers := range []int{1, 8} {
 				t.Run(fmt.Sprintf("%s/%s/workers=%d", ptName, dName, workers), func(t *testing.T) {
-					prev := SetRuntime(xrt.New(workers))
-					defer SetRuntime(prev)
-					got, st := Route(pt, dest)
+					scoped := pt
+					scoped.ex = ExecOn(nil, xrt.New(workers))
+					got, st := Route(scoped, dest)
 					if st.Rounds != 1 {
 						t.Fatalf("Route rounds = %d, want 1", st.Rounds)
 					}

@@ -1,0 +1,269 @@
+package mpc
+
+import (
+	"context"
+	"fmt"
+	stdruntime "runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// wire.go is the transport seam of the simulator: the single exchange
+// barrier — the only point where data moves between servers, the only
+// metered step, and the step the tracer and fault plane instrument — can
+// be delegated to a pluggable Wire instead of the in-process inbox
+// assembly of internal/runtime. A scope without a wire (the default)
+// takes the existing inline path and pays one nil check per round; a
+// scope with one (Exec.WithWire, installed by core from the options'
+// transport backend) encodes every round's outboxes into counted frames,
+// hands them to the wire, and decodes the assembled inboxes it returns.
+//
+// Division of labor: the engine's local computation is arbitrary Go code
+// (closures over typed shards) and stays in the process that runs the
+// execution; what crosses the wire is the round's data plane — counted
+// per-destination frames, assembled into inboxes by the transport's
+// peers. This is the disaggregated-shuffle shape (Spark's external
+// shuffle service, Cosco): compute nodes push sorted frames to a shuffle
+// tier that owns per-destination assembly. Peers treat payloads as
+// opaque bytes and are keyed only by the frame headers, so one peer tier
+// serves every element type the engines exchange.
+//
+// The contract that makes a Wire admissible is exactly the one
+// internal/runtime documents for concurrent assembly: shard dst of the
+// result must be the concatenation of the round's messages to dst in
+// ascending source order, and the per-destination received counts must
+// reflect what was actually delivered. Everything downstream — Stats,
+// RoundTrace, fault detection by count verification — is derived from
+// those counts after the barrier, which is why results, Stats and traces
+// are bit-for-bit identical across transports.
+
+// WireMsg is one source→destination message of an exchange round in
+// encoded form: its endpoints, its metered size in model units, and its
+// payload bytes. Payload is opaque to the transport; only the execution
+// that produced it decodes it (see the raw element codec below).
+type WireMsg struct {
+	From, To int
+	Units    int
+	Payload  []byte
+}
+
+// WireRound is one attempt of one exchange barrier handed to a Wire.
+// Msgs holds the round's non-empty messages in ascending (source,
+// destination) order — the same deterministic order serial assembly
+// consumes them in. Crash and Drop carry the fault plane's directives
+// for this attempt, executed by the transport so injected faults are
+// physical (a dropped message's bytes never reach its peer): Crash is a
+// destination server that dies mid-round losing its inbox, Drop an index
+// into Msgs lost in flight; -1 means none.
+type WireRound struct {
+	Seq     int64 // 1-based exchange index within the execution
+	Attempt int   // 0-based retry attempt of this exchange
+	PSrc    int   // source server count
+	PDst    int   // destination server count
+	Crash   int
+	Drop    int
+	Msgs    []WireMsg
+}
+
+// WireInbox is the transport's assembly of one WireRound: for every
+// destination the delivered segments in ascending source order, the
+// per-destination received unit counts (len PDst; what fault detection
+// verifies against the pre-round manifest), and the units a crashed
+// destination had received before dying (0 when Crash was -1).
+type WireInbox struct {
+	Segs [][]WireMsg
+	Recv []int64
+	Lost int64
+}
+
+// Wire executes exchange barriers on a transport backend. Implementations
+// must be deterministic in the sense above; they may block (network
+// round-trips) and must observe ctx. An error aborts the execution (it
+// unwinds like cancellation and surfaces at the execution root).
+//
+// A Wire is used by one execution at a time: rounds arrive sequentially,
+// already numbered, and retries of a round re-arrive with the same Seq
+// and a higher Attempt.
+type Wire interface {
+	ExchangeRound(ctx context.Context, r *WireRound) (*WireInbox, error)
+	Close() error
+}
+
+// WithWire returns a scope identical to ex whose exchange barriers run on
+// w. Attach it before placing data, like a Tracer: Parts from the wired
+// and unwired scopes must not be mixed. A nil w returns ex unchanged.
+func (ex *Exec) WithWire(w Wire) *Exec {
+	if w == nil || ex == nil {
+		return ex
+	}
+	cp := *ex
+	cp.wire = w
+	cp.wireSeq = new(atomic.Int64)
+	return &cp
+}
+
+// Wire returns the scope's transport wire (nil on the in-process path).
+func (ex *Exec) Wire() Wire {
+	if ex == nil {
+		return nil
+	}
+	return ex.wire
+}
+
+// nextWireSeq claims the next exchange index for wire framing.
+func (ex *Exec) nextWireSeq() int64 { return ex.wireSeq.Add(1) }
+
+// wireError aborts the execution with a transport failure, through the
+// same sentinel unwind as cancellation; the root recovers it into an
+// ordinary error.
+func wireError(err error) {
+	panic(canceled{fmt.Errorf("mpc: transport: %w", err)})
+}
+
+// exchangeWire runs one attempt of one exchange barrier over the scope's
+// wire: encode the outboxes into counted frames, let the transport
+// deliver and assemble them (executing the attempt's fault directives),
+// and decode the returned inbox. The caller owns detection: it compares
+// recv against its pre-round manifest exactly as on the in-process path.
+//
+// crash and drop are the attempt's fault directives (-1 when fault-free);
+// drop indexes the round's non-empty messages in ascending (src, dst)
+// order, matching the manifest order exchangeFaulty builds.
+func exchangeWire[T any](ex *Exec, seq int64, attempt, pDst int, out [][][]T, crash, drop int) (shards [][]T, recv []int64, lost int64) {
+	r := &WireRound{
+		Seq: seq, Attempt: attempt,
+		PSrc: len(out), PDst: pDst,
+		Crash: crash, Drop: drop,
+	}
+	for src := range out {
+		for dst, m := range out[src] {
+			if len(m) == 0 {
+				continue
+			}
+			r.Msgs = append(r.Msgs, WireMsg{From: src, To: dst, Units: len(m), Payload: rawBytes(m)})
+		}
+	}
+
+	ex.checkpoint()
+	in, err := ex.wire.ExchangeRound(ex.Context(), r)
+	if err != nil {
+		if ctx := ex.Context(); ctx != nil && ctx.Err() != nil {
+			panic(canceled{ctx.Err()})
+		}
+		wireError(err)
+	}
+	if len(in.Recv) != pDst || len(in.Segs) != pDst {
+		wireError(fmt.Errorf("inbox shape %d/%d destinations, want %d", len(in.Recv), len(in.Segs), pDst))
+	}
+
+	// Decode per destination on the scope's runtime (destinations are
+	// independent, exactly like in-process assembly); a malformed segment
+	// aborts via the sentinel, which ForEachShard re-propagates.
+	shards = make([][]T, pDst)
+	ex.ForEachShard(pDst, func(dst int) {
+		segs := in.Segs[dst]
+		if len(segs) == 0 {
+			return
+		}
+		total := 0
+		for _, sg := range segs {
+			total += sg.Units
+		}
+		inbox := make([]T, 0, total)
+		prev := -1
+		for _, sg := range segs {
+			if sg.From <= prev {
+				wireError(fmt.Errorf("destination %d segments out of source order (%d after %d)", dst, sg.From, prev))
+			}
+			prev = sg.From
+			dec, err := appendRaw(inbox, sg.Units, sg.Payload)
+			if err != nil {
+				wireError(fmt.Errorf("destination %d segment from %d: %w", dst, sg.From, err))
+			}
+			inbox = dec
+		}
+		if int64(total) != in.Recv[dst] {
+			wireError(fmt.Errorf("destination %d decoded %d units but transport counted %d", dst, total, in.Recv[dst]))
+		}
+		shards[dst] = inbox
+	})
+
+	// The typed outboxes must stay reachable until decoding has finished:
+	// payloads round-trip through untyped buffers (sockets, frame codecs)
+	// the garbage collector does not trace, and the raw element codec is
+	// only sound while the originals pin every object the snapshot bytes
+	// reference (see rawBytes).
+	stdruntime.KeepAlive(out)
+	return shards, in.Recv, in.Lost
+}
+
+// ---------------------------------------------------------------------------
+// Raw element codec
+// ---------------------------------------------------------------------------
+
+// The payload codec is a process-faithful raw snapshot: the bytes of a
+// message are the memory of its []T elements (the PR 2 outboxes carve
+// all rows of a source from one backing buffer, so a message is one
+// contiguous span — it serializes with a single copy, and its byte count
+// is exactly the Units × sizeof(element) the tracer already reports as
+// Bytes). Decoding copies the bytes into a freshly allocated []T, which
+// reproduces the shallow-copy semantics of in-process assembly exactly:
+// elements whose fields reference heap objects (row value slices,
+// provenance strings) come back referencing the same objects, just as
+// `append(inbox, msg...)` would.
+//
+// That makes the codec valid only where encode and decode happen in the
+// process that owns the execution — which is precisely the delegated-
+// exchange architecture: transport peers assemble and count frames but
+// never interpret payloads. Two obligations follow, both enforced here:
+// the encoder's originals must outlive decoding (exchangeWire pins them
+// with KeepAlive, because address bytes inside untyped buffers don't
+// keep their objects alive), and decode must write into typed memory
+// allocated as []T (never reinterpret a raw []byte as elements), so GC
+// metadata and alignment are always those of a real []T allocation. A
+// cross-process data plane needs a structural codec instead; the
+// columnar relation layout on the roadmap is the natural carrier.
+
+// rawBytes returns the raw memory of xs as a byte slice aliasing xs (no
+// copy). The view keeps the backing allocation reachable, but copies of
+// these bytes do not — callers that buffer them must pin xs separately.
+func rawBytes[T any](xs []T) []byte {
+	if len(xs) == 0 {
+		return nil
+	}
+	sz := unsafe.Sizeof(xs[0])
+	if sz == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), uintptr(len(xs))*sz)
+}
+
+// appendRaw decodes units elements from payload onto dst. The payload
+// length must be exactly units × sizeof(T); the bytes are copied into
+// dst's typed backing, never aliased.
+func appendRaw[T any](dst []T, units int, payload []byte) ([]T, error) {
+	if units < 0 {
+		return dst, fmt.Errorf("negative unit count %d", units)
+	}
+	var zero T
+	sz := int(unsafe.Sizeof(zero))
+	if sz == 0 {
+		if len(payload) != 0 {
+			return dst, fmt.Errorf("zero-size elements with %d payload bytes", len(payload))
+		}
+		for i := 0; i < units; i++ {
+			dst = append(dst, zero)
+		}
+		return dst, nil
+	}
+	if len(payload) != units*sz {
+		return dst, fmt.Errorf("payload is %d bytes for %d units of %d bytes", len(payload), units, sz)
+	}
+	if units == 0 {
+		return dst, nil
+	}
+	at := len(dst)
+	dst = append(dst, make([]T, units)...)
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[at])), uintptr(units)*uintptr(sz)), payload)
+	return dst, nil
+}

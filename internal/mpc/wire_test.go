@@ -1,0 +1,195 @@
+package mpc
+
+// wire_test.go covers the mpc-side wire seam with an in-memory fake:
+// round numbering, the raw element codec, and the abort paths for a
+// misbehaving transport. End-to-end TCP behavior lives in
+// internal/transport's tests.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// loopWire is a correct in-memory Wire: it assembles inboxes exactly as
+// the in-process Exchange would, honoring drop and crash directives, and
+// records the rounds it carried.
+type loopWire struct {
+	rounds []WireRound
+	closed bool
+}
+
+func (w *loopWire) Close() error { w.closed = true; return nil }
+
+func (w *loopWire) ExchangeRound(_ context.Context, r *WireRound) (*WireInbox, error) {
+	cp := *r
+	cp.Msgs = append([]WireMsg(nil), r.Msgs...)
+	w.rounds = append(w.rounds, cp)
+
+	in := &WireInbox{Segs: make([][]WireMsg, r.PDst), Recv: make([]int64, r.PDst)}
+	for i, m := range r.Msgs {
+		if i == r.Drop {
+			continue
+		}
+		if m.To == r.Crash {
+			in.Lost += int64(m.Units)
+			continue
+		}
+		in.Segs[m.To] = append(in.Segs[m.To], m)
+		in.Recv[m.To] += int64(m.Units)
+	}
+	return in, nil
+}
+
+type pair struct{ A, B int64 }
+
+func TestWireExchangeMatchesInline(t *testing.T) {
+	data := make([]pair, 64)
+	for i := range data {
+		data[i] = pair{A: int64(i), B: int64(i * i)}
+	}
+	run := func(ex *Exec) (Part[pair], Stats) {
+		pt := DistributeIn(ex, data, 8)
+		return Route(pt, func(_ int, x pair) int { return int(x.A) % 8 })
+	}
+	gotI, stI := run(NewExec(context.Background(), 1))
+
+	w := &loopWire{}
+	gotW, stW := run(NewExec(context.Background(), 1).WithWire(w))
+
+	if stI != stW {
+		t.Fatalf("Stats diverge: inline %+v, wire %+v", stI, stW)
+	}
+	for s := range gotI.Shards {
+		if len(gotI.Shards[s]) != len(gotW.Shards[s]) {
+			t.Fatalf("shard %d sizes diverge", s)
+		}
+		for i := range gotI.Shards[s] {
+			if gotI.Shards[s][i] != gotW.Shards[s][i] {
+				t.Fatalf("shard %d element %d diverges: %+v vs %+v", s, i, gotI.Shards[s][i], gotW.Shards[s][i])
+			}
+		}
+	}
+	if len(w.rounds) != 1 || w.rounds[0].Seq != 1 {
+		t.Fatalf("wire carried %d rounds, first seq %d; want 1 round, seq 1", len(w.rounds), w.rounds[0].Seq)
+	}
+}
+
+func TestWireSeqIncrementsPerRound(t *testing.T) {
+	w := &loopWire{}
+	ex := NewExec(context.Background(), 1).WithWire(w)
+	pt := DistributeIn(ex, []int64{1, 2, 3, 4}, 4)
+	pt, _ = Route(pt, func(_ int, x int64) int { return int(x) % 4 })
+	_, _ = Route(pt, func(_ int, x int64) int { return int(x+1) % 4 })
+	if len(w.rounds) != 2 || w.rounds[0].Seq != 1 || w.rounds[1].Seq != 2 {
+		t.Fatalf("rounds = %+v", w.rounds)
+	}
+}
+
+// shortWire delivers only a prefix of each message's units — a transport
+// that silently loses data. Without a fault plane the barrier must abort
+// the execution rather than hand short inboxes to the algorithm.
+type shortWire struct{ loopWire }
+
+func (w *shortWire) ExchangeRound(ctx context.Context, r *WireRound) (*WireInbox, error) {
+	in, err := w.loopWire.ExchangeRound(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	for dst, segs := range in.Segs {
+		if len(segs) == 0 {
+			continue
+		}
+		sg := segs[len(segs)-1]
+		elem := len(sg.Payload) / sg.Units
+		sg.Units--
+		sg.Payload = sg.Payload[:sg.Units*elem]
+		in.Recv[dst] -= 1
+		if sg.Units == 0 {
+			in.Segs[dst] = segs[:len(segs)-1]
+		} else {
+			segs[len(segs)-1] = sg
+		}
+		break
+	}
+	return in, nil
+}
+
+func TestWireShortDeliveryAborts(t *testing.T) {
+	var err error
+	func() {
+		defer Recover(&err)
+		ex := NewExec(context.Background(), 1).WithWire(&shortWire{})
+		pt := DistributeIn(ex, []int64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+		Route(pt, func(_ int, x int64) int { return int(x) % 4 })
+	}()
+	if err == nil {
+		t.Fatal("short delivery went undetected")
+	}
+	if !strings.Contains(err.Error(), "transport") {
+		t.Fatalf("err = %v, want a transport error", err)
+	}
+}
+
+// errWire fails every round.
+type errWire struct{}
+
+func (errWire) Close() error { return nil }
+func (errWire) ExchangeRound(context.Context, *WireRound) (*WireInbox, error) {
+	return nil, errors.New("boom")
+}
+
+func TestWireErrorSurfacesAtRoot(t *testing.T) {
+	var err error
+	func() {
+		defer Recover(&err)
+		ex := NewExec(context.Background(), 1).WithWire(errWire{})
+		pt := DistributeIn(ex, []int64{1, 2}, 2)
+		Route(pt, func(_ int, x int64) int { return int(x) % 2 })
+	}()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want the wire's error", err)
+	}
+}
+
+func TestRawCodecRoundTrip(t *testing.T) {
+	xs := []pair{{1, 2}, {3, 4}, {5, 6}}
+	b := rawBytes(xs)
+	if len(b) != 3*16 {
+		t.Fatalf("rawBytes length %d, want 48", len(b))
+	}
+	got, err := appendRaw[pair](nil, 3, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("element %d: %+v != %+v", i, got[i], xs[i])
+		}
+	}
+}
+
+func TestRawCodecZeroSize(t *testing.T) {
+	xs := []struct{}{{}, {}, {}}
+	b := rawBytes(xs)
+	if b != nil {
+		t.Fatalf("zero-size payload = %v, want nil", b)
+	}
+	got, err := appendRaw[struct{}](nil, 3, nil)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("decode: %v, %d elements", err, len(got))
+	}
+}
+
+func TestAppendRawRejectsBadLengths(t *testing.T) {
+	if _, err := appendRaw[int64](nil, 2, make([]byte, 15)); err == nil {
+		t.Error("accepted 15 bytes for 2 int64s")
+	}
+	if _, err := appendRaw[int64](nil, -1, nil); err == nil {
+		t.Error("accepted negative units")
+	}
+	if _, err := appendRaw[struct{}](nil, 1, []byte{1}); err == nil {
+		t.Error("accepted payload bytes for zero-size elements")
+	}
+}

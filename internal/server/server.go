@@ -46,6 +46,7 @@ import (
 	"mpcjoin/internal/mpc"
 	"mpcjoin/internal/relation"
 	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/transport"
 )
 
 // Config sizes the service.
@@ -61,6 +62,13 @@ type Config struct {
 	// -pprof flag). Off by default: the profiling surface is for
 	// operators, not for the query API's clients.
 	EnablePprof bool
+	// Transport, when non-nil, runs every query's exchange barriers on
+	// the given backend (mpcd cluster mode: transport.TCP over the
+	// -peers list). nil keeps the in-process path. Results and metered
+	// Stats are identical either way; each query execution connects its
+	// own wire, so concurrent queries multiplex over the peer tier
+	// independently.
+	Transport transport.Transport
 }
 
 // Server is the query service. Construct with New; serve via Handler.
@@ -305,9 +313,10 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 	}
 
 	o := core.Options{
-		Servers: req.Servers,
-		Seed:    req.Seed,
-		Workers: req.Workers,
+		Servers:   req.Servers,
+		Seed:      req.Seed,
+		Workers:   req.Workers,
+		Transport: s.cfg.Transport,
 	}
 	switch req.Strategy {
 	case "yannakakis":

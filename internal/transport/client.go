@@ -1,0 +1,278 @@
+package transport
+
+// client.go is the coordinator half of the TCP backend: an mpc.Wire that
+// ships each exchange round to a set of shuffle peers and merges their
+// assembled inboxes. Destination ownership is a contiguous balanced
+// block split of [0, pDst) across the peers, recomputed per round
+// because pDst varies round to round (virtual server counts: grids,
+// bins, subquery groups); given the fixed peer order it is
+// deterministic, so every retry attempt routes identically.
+//
+// The fault directives of a round attempt become physical here: the
+// dropped message is elided from the frames before any byte is written
+// to a socket (the peer observes genuinely missing data and the barrier
+// detects it by count verification, exactly as the paper's failure
+// model prescribes), and the crash directive rides only on the frame of
+// the peer owning the crashed destination.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mpcjoin/internal/mpc"
+)
+
+// dialTimeout bounds each peer connection attempt; combined with the
+// caller's ctx, whichever is sooner.
+const dialTimeout = 10 * time.Second
+
+// Client is an mpc.Wire over persistent TCP connections to a fixed set
+// of shuffle peers. It belongs to one execution: rounds are presented
+// sequentially (the execution driver is single-threaded at barriers),
+// each connection is owned by one round goroutine at a time.
+type Client struct {
+	peers []*peerConn
+}
+
+type peerConn struct {
+	addr string
+	conn net.Conn
+}
+
+// DialCluster connects to every peer and performs the version/topology
+// handshake. The peer order is the cluster topology: it determines
+// destination ownership, so every coordinator of an execution must use
+// the same order (the cluster smoke lane passes the same -peers list
+// everywhere).
+func DialCluster(ctx context.Context, addrs []string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("transport: no peers")
+	}
+	c := &Client{}
+	d := net.Dialer{Timeout: dialTimeout}
+	for i, addr := range addrs {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: dial peer %d (%s): %w", i, addr, err)
+		}
+		pc := &peerConn{addr: addr, conn: conn}
+		c.peers = append(c.peers, pc)
+		if err := writeFrame(conn, kindHello, encodeHello(Hello{PeerIndex: i, PeerCount: len(addrs)})); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: hello to peer %d (%s): %w", i, addr, err)
+		}
+		kind, body, err := readFrame(conn)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: handshake with peer %d (%s): %w", i, addr, err)
+		}
+		switch kind {
+		case kindHelloAck:
+		case kindErr:
+			c.Close()
+			return nil, fmt.Errorf("transport: peer %d (%s) refused: %s", i, addr, decodeErr(body))
+		default:
+			c.Close()
+			return nil, fmt.Errorf("transport: peer %d (%s) answered Hello with frame kind %d", i, addr, kind)
+		}
+	}
+	return c, nil
+}
+
+// Close closes every peer connection. Peers notice EOF and drop the
+// conn; their listeners keep serving other executions.
+func (c *Client) Close() error {
+	var first error
+	for _, pc := range c.peers {
+		if pc.conn != nil {
+			if err := pc.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// ownerSplit returns peer i's destination block [lo, hi) of the
+// contiguous balanced split of pDst destinations over n peers.
+func ownerSplit(pDst, n, i int) (lo, hi int) {
+	return i * pDst / n, (i + 1) * pDst / n
+}
+
+// owner returns the peer owning destination dst under the split.
+func owner(pDst, n, dst int) int {
+	// The block split is monotone; invert it directly and fix boundary
+	// rounding with a local scan.
+	i := dst * n / pDst
+	for {
+		lo, hi := ownerSplit(pDst, n, i)
+		if dst < lo {
+			i--
+		} else if dst >= hi {
+			i++
+		} else {
+			return i
+		}
+	}
+}
+
+// ExchangeRound implements mpc.Wire: partition the attempt's messages
+// by owning peer (after eliding the dropped one), issue the per-peer
+// Round frames concurrently, and merge the Inbox replies.
+func (c *Client) ExchangeRound(ctx context.Context, r *mpc.WireRound) (*mpc.WireInbox, error) {
+	n := len(c.peers)
+	frames := make([]*RoundFrame, n)
+	for i := range frames {
+		frames[i] = &RoundFrame{
+			Seq:     uint64(r.Seq),
+			Attempt: uint32(r.Attempt),
+			PSrc:    uint32(r.PSrc),
+			PDst:    uint32(r.PDst),
+			Crash:   -1,
+		}
+	}
+	if r.Crash >= 0 {
+		frames[owner(r.PDst, n, r.Crash)].Crash = int32(r.Crash)
+	}
+	for i, m := range r.Msgs {
+		if i == r.Drop {
+			// The drop directive is executed here, before any byte reaches
+			// a socket: the message's frames genuinely never carry it, and
+			// the owning peer's counts come up short at the barrier.
+			continue
+		}
+		o := owner(r.PDst, n, m.To)
+		frames[o].Msgs = append(frames[o].Msgs, m)
+	}
+
+	// One goroutine per peer; each owns its connection for the round.
+	replies := make([]*InboxFrame, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := range c.peers {
+		go func(i int) {
+			defer wg.Done()
+			replies[i], errs[i] = c.peers[i].roundTrip(ctx, frames[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("peer %d (%s): %w", i, c.peers[i].addr, err)
+		}
+	}
+
+	in := &mpc.WireInbox{
+		Segs: make([][]mpc.WireMsg, r.PDst),
+		Recv: make([]int64, r.PDst),
+	}
+	for i, f := range replies {
+		if f.Seq != uint64(r.Seq) || f.Attempt != uint32(r.Attempt) {
+			return nil, fmt.Errorf("peer %d (%s): inbox for round %d.%d, want %d.%d — connection desynchronized",
+				i, c.peers[i].addr, f.Seq, f.Attempt, r.Seq, r.Attempt)
+		}
+		in.Lost += int64(f.Lost)
+		lo, hi := ownerSplit(r.PDst, n, i)
+		for _, d := range f.Dsts {
+			if d.Dst < lo || d.Dst >= hi {
+				return nil, fmt.Errorf("peer %d (%s): inbox for destination %d outside its block [%d,%d)",
+					i, c.peers[i].addr, d.Dst, lo, hi)
+			}
+			in.Segs[d.Dst] = d.Segs
+			var units int64
+			for _, sg := range d.Segs {
+				units += int64(sg.Units)
+			}
+			in.Recv[d.Dst] = units
+		}
+	}
+	return in, nil
+}
+
+// roundTrip sends one Round frame and reads its Inbox reply,
+// propagating ctx cancellation onto the socket via a deadline watcher.
+func (pc *peerConn) roundTrip(ctx context.Context, f *RoundFrame) (*InboxFrame, error) {
+	stop := watchCancel(ctx, pc.conn)
+	defer stop()
+	if err := writeFrame(pc.conn, kindRound, encodeRound(f)); err != nil {
+		return nil, ctxErr(ctx, err)
+	}
+	kind, body, err := readFrame(pc.conn)
+	if err != nil {
+		return nil, ctxErr(ctx, err)
+	}
+	switch kind {
+	case kindInbox:
+		return decodeInbox(body)
+	case kindErr:
+		return nil, fmt.Errorf("peer error: %s", decodeErr(body))
+	default:
+		return nil, fmt.Errorf("expected Inbox, got frame kind %d", kind)
+	}
+}
+
+// PeerStats fetches the delivery counters of every peer, in peer order.
+func (c *Client) PeerStats(ctx context.Context) ([]PeerStats, error) {
+	out := make([]PeerStats, len(c.peers))
+	for i, pc := range c.peers {
+		stop := watchCancel(ctx, pc.conn)
+		if err := writeFrame(pc.conn, kindStats, nil); err != nil {
+			stop()
+			return nil, fmt.Errorf("peer %d (%s): %w", i, pc.addr, ctxErr(ctx, err))
+		}
+		kind, body, err := readFrame(pc.conn)
+		stop()
+		if err != nil {
+			return nil, fmt.Errorf("peer %d (%s): %w", i, pc.addr, ctxErr(ctx, err))
+		}
+		switch kind {
+		case kindStatsResp:
+			s, err := decodeStats(body)
+			if err != nil {
+				return nil, fmt.Errorf("peer %d (%s): %w", i, pc.addr, err)
+			}
+			out[i] = s
+		case kindErr:
+			return nil, fmt.Errorf("peer %d (%s): %s", i, pc.addr, decodeErr(body))
+		default:
+			return nil, fmt.Errorf("peer %d (%s): expected StatsResp, got frame kind %d", i, pc.addr, kind)
+		}
+	}
+	return out, nil
+}
+
+// watchCancel forces conn's reads and writes to fail promptly when ctx
+// is cancelled, by slamming the deadline into the past. Returns a stop
+// function that detaches the watcher and clears the deadline.
+func watchCancel(ctx context.Context, conn net.Conn) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Unix(1, 0))
+		case <-done:
+		}
+	}()
+	return func() {
+		close(done)
+		conn.SetDeadline(time.Time{})
+	}
+}
+
+// ctxErr prefers the context's error over the socket error it caused,
+// so a cancelled execution surfaces context.Canceled rather than an
+// i/o timeout artifact.
+func ctxErr(ctx context.Context, err error) error {
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}

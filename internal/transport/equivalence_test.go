@@ -1,0 +1,205 @@
+package transport_test
+
+// Transport equivalence property test — the tentpole's contract: running
+// any query class under any semiring over the TCP backend (three
+// loopback shuffle peers) must give bit-for-bit the same rows, the same
+// metered Stats, AND the same per-round trace as the in-process backend.
+// This is the wire-level analogue of the runtime determinism sweep: the
+// exchange barrier delivers identical inboxes whichever transport
+// carries them, so everything derived downstream is identical too.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mpcjoin/internal/core"
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/transport"
+	"mpcjoin/internal/workload"
+)
+
+// bootPeers starts n loopback shuffle peers torn down with the test and
+// returns their addresses.
+func bootPeers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		p, err := transport.ListenPeer("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+		t.Cleanup(func() { p.Close() })
+		addrs[i] = p.Addr()
+	}
+	return addrs
+}
+
+func freeConnexQuery() *hypergraph.Query {
+	return hypergraph.NewQuery([]hypergraph.Edge{
+		hypergraph.Bin("R1", "A", "B"),
+		hypergraph.Bin("R2", "B", "C"),
+	}, "A", "B", "C")
+}
+
+func mapAnnot[W any](inst db.Instance[int64], f func(int64) W) db.Instance[W] {
+	out := make(db.Instance[W], len(inst))
+	for name, r := range inst {
+		nr := relation.New[W](r.Schema()...)
+		for _, row := range r.Rows {
+			nr.Append(f(row.W), row.Vals...)
+		}
+		out[name] = nr
+	}
+	return out
+}
+
+// assertTransportEquivalent runs the query on the in-process backend and
+// over TCP and requires identical rows, Stats and traces.
+func assertTransportEquivalent[W any](t *testing.T, sr semiring.Semiring[W], q *hypergraph.Query, inst db.Instance[W], p int, peers []string) {
+	t.Helper()
+	base := core.Options{Servers: p, Seed: 11, Workers: 2}
+
+	inOpts := base
+	inOpts.Tracer = mpc.NewTracer()
+	resI, stI, err := core.Execute(sr, q, inst, inOpts)
+	if err != nil {
+		t.Fatalf("inproc execute: %v", err)
+	}
+
+	tcpOpts := base
+	tcpOpts.Tracer = mpc.NewTracer()
+	tcpOpts.Transport = transport.TCP(peers...)
+	resT, stT, err := core.Execute(sr, q, inst, tcpOpts)
+	if err != nil {
+		t.Fatalf("tcp execute: %v", err)
+	}
+
+	if stI != stT {
+		t.Errorf("Stats diverge: inproc %+v, tcp %+v", stI, stT)
+	}
+	if trI, trT := inOpts.Tracer.Rounds(), tcpOpts.Tracer.Rounds(); !reflect.DeepEqual(trI, trT) {
+		t.Errorf("traces diverge: inproc %d rounds, tcp %d rounds (%+v vs %+v)", len(trI), len(trT), trI, trT)
+	}
+	resI.SortRows()
+	resT.SortRows()
+	if !reflect.DeepEqual(resI.Schema(), resT.Schema()) {
+		t.Errorf("schemas diverge: inproc %v, tcp %v", resI.Schema(), resT.Schema())
+	}
+	if !reflect.DeepEqual(resI.Rows, resT.Rows) {
+		t.Errorf("rows diverge: inproc %d rows, tcp %d rows", resI.Len(), resT.Len())
+	}
+}
+
+// TestTransportEquivalence sweeps every query class × three semirings ×
+// p ∈ {4, 16} over a 3-peer loopback cluster, comparing the TCP backend
+// against in-process execution. One cluster serves the whole sweep —
+// every execution dials its own connections, like coordinators sharing
+// a long-lived peer tier.
+func TestTransportEquivalence(t *testing.T) {
+	peers := bootPeers(t, 3)
+
+	queries := []struct {
+		name string
+		q    *hypergraph.Query
+	}{
+		{"matmul", hypergraph.MatMulQuery()},
+		{"line", hypergraph.LineQuery(3)},
+		{"star", hypergraph.StarQuery(3)},
+		{"star-like", hypergraph.Fig1StarLike()},
+		{"tree", hypergraph.Fig2Tree()},
+		{"free-connex", freeConnexQuery()},
+	}
+	for _, qc := range queries {
+		n, dom := 60, 8
+		if len(qc.q.Output) > 3 {
+			n, dom = 40, 64
+		}
+		rng := rand.New(rand.NewSource(int64(len(qc.name)) * 97))
+		uni, _ := workload.Uniform(qc.q, n, dom, rng)
+
+		for _, p := range []int{4, 16} {
+			t.Run(qc.name+"/int-sum-prod/p="+itoa(p), func(t *testing.T) {
+				assertTransportEquivalent[int64](t, semiring.IntSumProd{}, qc.q, uni, p, peers)
+			})
+			t.Run(qc.name+"/bool-or-and/p="+itoa(p), func(t *testing.T) {
+				boolInst := mapAnnot(uni, func(w int64) bool { return w != 0 })
+				assertTransportEquivalent[bool](t, semiring.BoolOrAnd{}, qc.q, boolInst, p, peers)
+			})
+			t.Run(qc.name+"/min-plus/p="+itoa(p), func(t *testing.T) {
+				tropInst := mapAnnot(uni, func(w int64) int64 { return w })
+				assertTransportEquivalent[int64](t, semiring.MinPlus{}, qc.q, tropInst, p, peers)
+			})
+		}
+	}
+}
+
+// TestTransportEquivalenceUnderFaults runs a drop-heavy and a crash
+// schedule over TCP: the faults are executed physically (frames elided
+// before the socket, inboxes discarded peer-side), and round-level retry
+// must still deliver rows, Stats and the fault report bit-identical to
+// the same schedule executed in process.
+func TestTransportEquivalenceUnderFaults(t *testing.T) {
+	peers := bootPeers(t, 3)
+	q := hypergraph.LineQuery(3)
+	rng := rand.New(rand.NewSource(7))
+	inst, _ := workload.Uniform(q, 60, 8, rng)
+
+	specs := map[string]mpc.FaultSpec{
+		"drop-20pct":  {Seed: 99, DropProb: 0.20, MaxRetries: 10},
+		"crash-early": {Seed: 5, CrashProb: 0.5, CrashRound: 2, MaxRetries: 10},
+		"mixed":       {Seed: 31, DropProb: 0.15, CrashProb: 0.1, CrashRound: 3, MaxRetries: 12},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			base := core.Options{Servers: 8, Seed: 11}
+
+			inOpts := base
+			inOpts.Faults = mpc.NewFaultPlane(spec)
+			resI, stI, err := core.Execute[int64](semiring.IntSumProd{}, q, inst, inOpts)
+			if err != nil {
+				t.Fatalf("inproc faulted execute: %v", err)
+			}
+
+			tcpOpts := base
+			tcpOpts.Faults = mpc.NewFaultPlane(spec)
+			tcpOpts.Transport = transport.TCP(peers...)
+			resT, stT, err := core.Execute[int64](semiring.IntSumProd{}, q, inst, tcpOpts)
+			if err != nil {
+				t.Fatalf("tcp faulted execute: %v", err)
+			}
+
+			if stI != stT {
+				t.Errorf("Stats diverge: inproc %+v, tcp %+v", stI, stT)
+			}
+			repI, repT := inOpts.Faults.Report(), tcpOpts.Faults.Report()
+			if !reflect.DeepEqual(repI, repT) {
+				t.Errorf("fault reports diverge:\ninproc %+v\ntcp    %+v", repI, repT)
+			}
+			if repI.Injected == 0 {
+				t.Error("schedule injected nothing; the test is vacuous")
+			}
+			resI.SortRows()
+			resT.SortRows()
+			if !reflect.DeepEqual(resI.Rows, resT.Rows) {
+				t.Errorf("rows diverge under faults")
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

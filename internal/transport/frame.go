@@ -1,0 +1,492 @@
+package transport
+
+// frame.go is the wire format of the exchange transport: length-prefixed
+// binary frames with a versioned header, carrying the counted outbox
+// messages of one round attempt peer-ward and the assembled inbox
+// segments back. The format is deliberately dumb — fixed-width
+// big-endian headers followed by opaque payload bytes — because the PR 2
+// outboxes already hold each message as one contiguous span: a Round
+// frame is a handful of integer headers plus straight memcpys, and the
+// byte volume on the wire is exactly the Units × element-size the tracer
+// reports as Bytes.
+//
+// Layout. Every frame is
+//
+//	u32  length of everything after this field (≤ MaxFrame)
+//	[4]  magic "MPCX"
+//	u8   version (currently 1)
+//	u8   kind
+//	...  kind-specific body
+//
+// all integers big-endian. Decoding is strict: unknown magic, version or
+// kind, truncated bodies, counts that don't fit the remaining bytes, and
+// payload lengths that don't sum to exactly the bytes present are all
+// errors, never panics, and allocations are bounded by the declared
+// frame length before any count field is trusted.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mpcjoin/internal/mpc"
+)
+
+// Version is the wire-format version this package speaks. Peers refuse
+// a Hello with any other version at handshake, so skew between a
+// coordinator and its peers fails fast and explicitly instead of
+// mis-parsing frames mid-execution.
+const Version = 1
+
+// MaxFrame bounds the declared length of a single frame (1 GiB). An
+// exchange round larger than this must be split across rounds by the
+// algorithm; in the model's terms a round at this size has long since
+// blown any interesting load bound.
+const MaxFrame = 1 << 30
+
+// Frame kinds.
+const (
+	kindHello     = 1 // client → peer: version/topology handshake
+	kindHelloAck  = 2 // peer → client: handshake accepted
+	kindRound     = 3 // client → peer: one attempt's messages for this peer
+	kindInbox     = 4 // peer → client: the attempt's assembled inboxes
+	kindStats     = 5 // client → peer: request delivery counters
+	kindStatsResp = 6 // peer → client: delivery counters
+	kindErr       = 7 // peer → client: protocol failure, connection closes
+)
+
+var magic = [4]byte{'M', 'P', 'C', 'X'}
+
+// ErrFrame is wrapped by every malformed-frame error.
+var ErrFrame = errors.New("transport: malformed frame")
+
+// Hello is the handshake a coordinator sends on every peer connection:
+// which slot of the peer set this connection is, out of how many. The
+// peer needs the pair only for diagnostics — destination ownership is
+// computed per round on the coordinator — but echoing the topology at
+// handshake catches mis-wired clusters before any data moves.
+type Hello struct {
+	PeerIndex int
+	PeerCount int
+}
+
+// RoundFrame is one exchange attempt as sent to one peer: the round
+// coordinates, the crash directive if this peer owns the crashed
+// destination (-1 otherwise), and the messages destined to this peer's
+// destinations, in ascending (source, destination) order. A dropped
+// message is elided by the coordinator before framing, so it simply
+// never appears here.
+type RoundFrame struct {
+	Seq     uint64
+	Attempt uint32
+	PSrc    uint32
+	PDst    uint32
+	Crash   int32
+	Msgs    []mpc.WireMsg
+}
+
+// InboxFrame is a peer's reply to a RoundFrame: for each destination it
+// assembled anything for, the segments in ascending source order, plus
+// the units a crashed destination lost (assembled and then discarded).
+// Seq and Attempt echo the request so the coordinator can detect a
+// desynchronized peer.
+type InboxFrame struct {
+	Seq     uint64
+	Attempt uint32
+	Lost    uint64
+	Dsts    []DstSegs
+}
+
+// DstSegs is one destination's assembled inbox: segments in ascending
+// source order. Seg.To repeats Dst for uniformity with mpc.WireMsg.
+type DstSegs struct {
+	Dst  int
+	Segs []mpc.WireMsg
+}
+
+// PeerStats are a peer's cumulative delivery counters, for smoke tests
+// and cluster diagnostics. They count what physically crossed this
+// peer's socket: retried attempts count again, and dropped messages
+// (elided coordinator-side) never count.
+type PeerStats struct {
+	Rounds  uint64 `json:"rounds"`  // Round frames served
+	Retries uint64 `json:"retries"` // Round frames with Attempt > 0
+	Msgs    uint64 `json:"msgs"`    // messages received
+	Units   uint64 `json:"units"`   // units received
+	Bytes   uint64 `json:"bytes"`   // payload bytes received
+	Crashes uint64 `json:"crashes"` // crash directives executed
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+// writeFrame writes one frame: length prefix, header, body.
+func writeFrame(w io.Writer, kind byte, body []byte) error {
+	n := len(body) + 6
+	if n > MaxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrFrame, n)
+	}
+	hdr := make([]byte, 10, 10+len(body))
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
+	copy(hdr[4:8], magic[:])
+	hdr[8] = Version
+	hdr[9] = kind
+	// One write per frame keeps frames atomic on the socket without
+	// buffering layers; bodies are already single contiguous buffers.
+	_, err := w.Write(append(hdr, body...))
+	return err
+}
+
+// readFrame reads one frame and returns its kind and body. The header is
+// validated here (magic, version, length bound); the body is returned
+// raw for the kind-specific decoder.
+func readFrame(r io.Reader) (kind byte, body []byte, err error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lb[:])
+	if n < 6 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: declared length %d", ErrFrame, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated frame: %v", ErrFrame, err)
+	}
+	if [4]byte(buf[0:4]) != magic {
+		return 0, nil, fmt.Errorf("%w: bad magic %q", ErrFrame, buf[0:4])
+	}
+	if buf[4] != Version {
+		return 0, nil, fmt.Errorf("%w: version %d, this build speaks %d", ErrFrame, buf[4], Version)
+	}
+	return buf[5], buf[6:], nil
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked body parsing
+// ---------------------------------------------------------------------------
+
+// parser walks a frame body left to right; the first out-of-bounds read
+// poisons it and every subsequent read returns zero values, so decoders
+// read straight through and check err once.
+type parser struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (p *parser) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("%w: %s", ErrFrame, fmt.Sprintf(format, args...))
+	}
+}
+
+func (p *parser) need(n int) bool {
+	if p.err != nil {
+		return false
+	}
+	if n < 0 || len(p.b)-p.off < n {
+		p.fail("truncated body: need %d bytes at offset %d of %d", n, p.off, len(p.b))
+		return false
+	}
+	return true
+}
+
+func (p *parser) u32() uint32 {
+	if !p.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(p.b[p.off:])
+	p.off += 4
+	return v
+}
+
+func (p *parser) u64() uint64 {
+	if !p.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(p.b[p.off:])
+	p.off += 8
+	return v
+}
+
+func (p *parser) i32() int32 { return int32(p.u32()) }
+
+func (p *parser) bytes(n int) []byte {
+	if !p.need(n) {
+		return nil
+	}
+	v := p.b[p.off : p.off+n : p.off+n]
+	p.off += n
+	return v
+}
+
+func (p *parser) done() error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.off != len(p.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p.b)-p.off)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Kind-specific bodies
+// ---------------------------------------------------------------------------
+
+func encodeHello(h Hello) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint32(b[0:4], uint32(h.PeerIndex))
+	binary.BigEndian.PutUint32(b[4:8], uint32(h.PeerCount))
+	return b
+}
+
+func decodeHello(body []byte) (Hello, error) {
+	p := parser{b: body}
+	h := Hello{PeerIndex: int(p.u32()), PeerCount: int(p.u32())}
+	if err := p.done(); err != nil {
+		return Hello{}, err
+	}
+	if h.PeerCount < 1 || h.PeerIndex < 0 || h.PeerIndex >= h.PeerCount {
+		return Hello{}, fmt.Errorf("%w: hello slot %d of %d", ErrFrame, h.PeerIndex, h.PeerCount)
+	}
+	return h, nil
+}
+
+// msgHeaderLen is the fixed per-message header inside Round and Inbox
+// bodies: from, to, units, payload length (4 × u32).
+const msgHeaderLen = 16
+
+func encodeRound(r *RoundFrame) []byte {
+	n := 24 + len(r.Msgs)*msgHeaderLen
+	for _, m := range r.Msgs {
+		n += len(m.Payload)
+	}
+	b := make([]byte, 0, n)
+	b = binary.BigEndian.AppendUint64(b, r.Seq)
+	b = binary.BigEndian.AppendUint32(b, r.Attempt)
+	b = binary.BigEndian.AppendUint32(b, r.PSrc)
+	b = binary.BigEndian.AppendUint32(b, r.PDst)
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Crash))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Msgs)))
+	for _, m := range r.Msgs {
+		b = binary.BigEndian.AppendUint32(b, uint32(m.From))
+		b = binary.BigEndian.AppendUint32(b, uint32(m.To))
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Units))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Payload)))
+	}
+	for _, m := range r.Msgs {
+		b = append(b, m.Payload...)
+	}
+	return b
+}
+
+func decodeRound(body []byte) (*RoundFrame, error) {
+	p := parser{b: body}
+	r := &RoundFrame{
+		Seq:     p.u64(),
+		Attempt: p.u32(),
+		PSrc:    p.u32(),
+		PDst:    p.u32(),
+		Crash:   p.i32(),
+	}
+	nMsgs := int(p.u32())
+	if p.err == nil {
+		switch {
+		case r.PSrc == 0 || r.PDst == 0:
+			p.fail("round %d has %d sources, %d destinations", r.Seq, r.PSrc, r.PDst)
+		case r.Crash < -1 || r.Crash >= int32(r.PDst):
+			p.fail("crash directive %d outside destinations [0,%d)", r.Crash, r.PDst)
+		case nMsgs < 0 || nMsgs > (len(body)-p.off)/msgHeaderLen:
+			// The headers alone must fit in the bytes present, which bounds
+			// the slice allocation below by the frame length.
+			p.fail("%d message headers in %d remaining bytes", nMsgs, len(body)-p.off)
+		}
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	r.Msgs = make([]mpc.WireMsg, nMsgs)
+	plens := make([]int, nMsgs)
+	prev := -1
+	for i := range r.Msgs {
+		m := &r.Msgs[i]
+		m.From = int(p.u32())
+		m.To = int(p.u32())
+		m.Units = int(p.u32())
+		plens[i] = int(p.u32())
+		if p.err != nil {
+			return nil, p.err
+		}
+		if m.From >= int(r.PSrc) || m.To >= int(r.PDst) {
+			p.fail("message %d endpoints %d→%d outside %d×%d", i, m.From, m.To, r.PSrc, r.PDst)
+			return nil, p.err
+		}
+		if key := m.From*int(r.PDst) + m.To; key <= prev {
+			p.fail("message %d (%d→%d) out of (source, destination) order", i, m.From, m.To)
+			return nil, p.err
+		} else {
+			prev = key
+		}
+		if m.Units <= 0 {
+			p.fail("message %d carries %d units; empty messages are never framed", i, m.Units)
+			return nil, p.err
+		}
+	}
+	for i := range r.Msgs {
+		r.Msgs[i].Payload = p.bytes(plens[i])
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func encodeInbox(f *InboxFrame) []byte {
+	n := 24
+	for _, d := range f.Dsts {
+		n += 8 + len(d.Segs)*msgHeaderLen
+		for _, sg := range d.Segs {
+			n += len(sg.Payload)
+		}
+	}
+	b := make([]byte, 0, n)
+	b = binary.BigEndian.AppendUint64(b, f.Seq)
+	b = binary.BigEndian.AppendUint32(b, f.Attempt)
+	b = binary.BigEndian.AppendUint64(b, f.Lost)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(f.Dsts)))
+	for _, d := range f.Dsts {
+		b = binary.BigEndian.AppendUint32(b, uint32(d.Dst))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(d.Segs)))
+		for _, sg := range d.Segs {
+			b = binary.BigEndian.AppendUint32(b, uint32(sg.From))
+			b = binary.BigEndian.AppendUint32(b, uint32(sg.To))
+			b = binary.BigEndian.AppendUint32(b, uint32(sg.Units))
+			b = binary.BigEndian.AppendUint32(b, uint32(len(sg.Payload)))
+		}
+	}
+	for _, d := range f.Dsts {
+		for _, sg := range d.Segs {
+			b = append(b, sg.Payload...)
+		}
+	}
+	return b
+}
+
+func decodeInbox(body []byte) (*InboxFrame, error) {
+	p := parser{b: body}
+	f := &InboxFrame{
+		Seq:     p.u64(),
+		Attempt: p.u32(),
+		Lost:    p.u64(),
+	}
+	nDst := int(p.u32())
+	if p.err == nil && (nDst < 0 || nDst > (len(body)-p.off)/8) {
+		p.fail("%d destination headers in %d remaining bytes", nDst, len(body)-p.off)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	f.Dsts = make([]DstSegs, 0, nDst)
+	var plens []int
+	prevDst := -1
+	for i := 0; i < nDst; i++ {
+		dst := int(p.u32())
+		nSegs := int(p.u32())
+		if p.err == nil && (nSegs < 0 || nSegs > (len(body)-p.off)/msgHeaderLen) {
+			p.fail("destination %d declares %d segments in %d remaining bytes", dst, nSegs, len(body)-p.off)
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+		if dst <= prevDst {
+			p.fail("destination %d out of order after %d", dst, prevDst)
+			return nil, p.err
+		}
+		prevDst = dst
+		segs := make([]mpc.WireMsg, nSegs)
+		prevSrc := -1
+		for j := range segs {
+			sg := &segs[j]
+			sg.From = int(p.u32())
+			sg.To = int(p.u32())
+			sg.Units = int(p.u32())
+			plens = append(plens, int(p.u32()))
+			if p.err != nil {
+				return nil, p.err
+			}
+			if sg.To != dst {
+				p.fail("destination %d holds a segment addressed to %d", dst, sg.To)
+				return nil, p.err
+			}
+			if sg.From <= prevSrc {
+				p.fail("destination %d segments out of source order (%d after %d)", dst, sg.From, prevSrc)
+				return nil, p.err
+			}
+			prevSrc = sg.From
+			if sg.Units <= 0 {
+				p.fail("destination %d segment from %d carries %d units", dst, sg.From, sg.Units)
+				return nil, p.err
+			}
+		}
+		f.Dsts = append(f.Dsts, DstSegs{Dst: dst, Segs: segs})
+	}
+	k := 0
+	for i := range f.Dsts {
+		for j := range f.Dsts[i].Segs {
+			f.Dsts[i].Segs[j].Payload = p.bytes(plens[k])
+			k++
+		}
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func encodeStats(s PeerStats) []byte {
+	b := make([]byte, 0, 48)
+	b = binary.BigEndian.AppendUint64(b, s.Rounds)
+	b = binary.BigEndian.AppendUint64(b, s.Retries)
+	b = binary.BigEndian.AppendUint64(b, s.Msgs)
+	b = binary.BigEndian.AppendUint64(b, s.Units)
+	b = binary.BigEndian.AppendUint64(b, s.Bytes)
+	b = binary.BigEndian.AppendUint64(b, s.Crashes)
+	return b
+}
+
+func decodeStats(body []byte) (PeerStats, error) {
+	p := parser{b: body}
+	s := PeerStats{
+		Rounds:  p.u64(),
+		Retries: p.u64(),
+		Msgs:    p.u64(),
+		Units:   p.u64(),
+		Bytes:   p.u64(),
+		Crashes: p.u64(),
+	}
+	if err := p.done(); err != nil {
+		return PeerStats{}, err
+	}
+	return s, nil
+}
+
+// maxErrLen bounds the message a peer can make a client allocate.
+const maxErrLen = 4096
+
+func encodeErr(msg string) []byte {
+	if len(msg) > maxErrLen {
+		msg = msg[:maxErrLen]
+	}
+	return []byte(msg)
+}
+
+func decodeErr(body []byte) string {
+	if len(body) > maxErrLen {
+		body = body[:maxErrLen]
+	}
+	return string(body)
+}

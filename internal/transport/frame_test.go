@@ -1,0 +1,138 @@
+package transport
+
+// frame_test.go covers the frame codec's round-trip identities and its
+// strict-rejection edges; fuzz_test.go hammers the same decoders with
+// arbitrary bytes.
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"mpcjoin/internal/mpc"
+)
+
+func TestRoundFrameRoundTrip(t *testing.T) {
+	in := &RoundFrame{
+		Seq: 42, Attempt: 3, PSrc: 4, PDst: 8, Crash: 6,
+		Msgs: []mpc.WireMsg{
+			{From: 0, To: 2, Units: 2, Payload: []byte{1, 2, 3, 4}},
+			{From: 0, To: 5, Units: 1, Payload: []byte{5}},
+			{From: 3, To: 0, Units: 4, Payload: []byte{6, 7, 8, 9}},
+		},
+	}
+	got, err := decodeRound(encodeRound(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip changed the frame:\n in: %+v\nout: %+v", in, got)
+	}
+}
+
+func TestInboxFrameRoundTrip(t *testing.T) {
+	in := &InboxFrame{
+		Seq: 7, Attempt: 1, Lost: 12,
+		Dsts: []DstSegs{
+			{Dst: 1, Segs: []mpc.WireMsg{
+				{From: 0, To: 1, Units: 1, Payload: []byte{1, 2}},
+				{From: 2, To: 1, Units: 2, Payload: []byte{3, 4, 5, 6}},
+			}},
+			{Dst: 4, Segs: []mpc.WireMsg{
+				{From: 1, To: 4, Units: 3, Payload: []byte{7, 8, 9}},
+			}},
+		},
+	}
+	got, err := decodeInbox(encodeInbox(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip changed the frame:\n in: %+v\nout: %+v", in, got)
+	}
+}
+
+func TestHelloStatsRoundTrip(t *testing.T) {
+	h, err := decodeHello(encodeHello(Hello{PeerIndex: 2, PeerCount: 5}))
+	if err != nil || h.PeerIndex != 2 || h.PeerCount != 5 {
+		t.Fatalf("hello round trip: %+v, %v", h, err)
+	}
+	s0 := PeerStats{Rounds: 1, Retries: 2, Msgs: 3, Units: 4, Bytes: 5, Crashes: 6}
+	s, err := decodeStats(encodeStats(s0))
+	if err != nil || s != s0 {
+		t.Fatalf("stats round trip: %+v, %v", s, err)
+	}
+}
+
+func TestDecodeRoundRejects(t *testing.T) {
+	base := &RoundFrame{
+		Seq: 1, Attempt: 0, PSrc: 2, PDst: 4, Crash: -1,
+		Msgs: []mpc.WireMsg{
+			{From: 0, To: 1, Units: 1, Payload: []byte{1, 2}},
+			{From: 1, To: 3, Units: 1, Payload: []byte{3, 4}},
+		},
+	}
+	ok := encodeRound(base)
+	cases := map[string][]byte{
+		"empty":            {},
+		"truncated header": ok[:10],
+		"truncated msgs":   ok[:len(ok)-1],
+		"trailing bytes":   append(append([]byte(nil), ok...), 0),
+	}
+	// Corrupt individual header fields of a valid frame.
+	corrupt := func(off int, v byte) []byte {
+		b := append([]byte(nil), ok...)
+		b[off] = v
+		return b
+	}
+	cases["crash out of range"] = corrupt(23, 9)  // crash u32 low byte → 9 ≥ PDst
+	cases["msg count inflated"] = corrupt(27, 99) // nMsgs low byte
+	cases["dst out of range"] = corrupt(35, 7)    // msg 0 To low byte → 7 ≥ PDst? 7 ≥ 4 ✓
+	for name, b := range cases {
+		if _, err := decodeRound(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: err = %v, want ErrFrame", name, err)
+		}
+	}
+}
+
+func TestDecodeRoundRejectsOutOfOrderMsgs(t *testing.T) {
+	f := &RoundFrame{
+		Seq: 1, PSrc: 2, PDst: 4, Crash: -1,
+		Msgs: []mpc.WireMsg{
+			{From: 1, To: 0, Units: 1, Payload: []byte{1}},
+			{From: 0, To: 1, Units: 1, Payload: []byte{2}},
+		},
+	}
+	if _, err := decodeRound(encodeRound(f)); err == nil {
+		t.Fatal("accepted out-of-order messages")
+	}
+}
+
+func TestReadFrameRejectsVersionSkewAndMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, kindHello, encodeHello(Hello{PeerCount: 1})); err != nil {
+		t.Fatal(err)
+	}
+	ok := buf.Bytes()
+
+	skew := append([]byte(nil), ok...)
+	skew[8] = Version + 1
+	if _, _, err := readFrame(bytes.NewReader(skew)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("version skew: err = %v, want ErrFrame", err)
+	}
+
+	bad := append([]byte(nil), ok...)
+	bad[4] = 'Z'
+	if _, _, err := readFrame(bytes.NewReader(bad)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("bad magic: err = %v, want ErrFrame", err)
+	}
+
+	huge := append([]byte(nil), ok...)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := readFrame(bytes.NewReader(huge)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversize length: err = %v, want ErrFrame", err)
+	}
+}

@@ -1,0 +1,160 @@
+package transport
+
+// fuzz_test.go asserts the frame decoders' contract over arbitrary
+// bytes, in the style of the server's request-decoder fuzzing: a decoder
+// returns a validated frame or an error — it must never panic, and
+// whatever it accepts must satisfy the documented invariants (so a
+// hostile or corrupted stream cannot smuggle malformed rounds into the
+// exchange barrier).
+
+import (
+	"bytes"
+	"testing"
+
+	"mpcjoin/internal/mpc"
+)
+
+func fuzzSeedFrames() [][]byte {
+	round := encodeRound(&RoundFrame{
+		Seq: 3, Attempt: 1, PSrc: 4, PDst: 8, Crash: 2,
+		Msgs: []mpc.WireMsg{
+			{From: 0, To: 1, Units: 2, Payload: []byte{1, 2, 3, 4}},
+			{From: 2, To: 7, Units: 1, Payload: []byte{5, 6}},
+		},
+	})
+	inbox := encodeInbox(&InboxFrame{
+		Seq: 3, Attempt: 1, Lost: 4,
+		Dsts: []DstSegs{
+			{Dst: 0, Segs: []mpc.WireMsg{{From: 1, To: 0, Units: 1, Payload: []byte{9}}}},
+			{Dst: 5, Segs: []mpc.WireMsg{
+				{From: 0, To: 5, Units: 1, Payload: []byte{8}},
+				{From: 3, To: 5, Units: 2, Payload: []byte{7, 6}},
+			}},
+		},
+	})
+	return [][]byte{
+		round,
+		inbox,
+		encodeHello(Hello{PeerIndex: 1, PeerCount: 3}),
+		encodeStats(PeerStats{Rounds: 9, Units: 100}),
+		round[:len(round)-3], // truncated payload
+		round[:17],           // truncated header
+		{},
+		bytes.Repeat([]byte{0xff}, 64), // inflated counts everywhere
+	}
+}
+
+// FuzzDecodeRound: accepted frames must have in-range endpoints, strictly
+// ascending (source, destination) order, positive unit counts, and an
+// in-range crash directive — the invariants the peer's assembly relies
+// on without rechecking.
+func FuzzDecodeRound(f *testing.F) {
+	for _, b := range fuzzSeedFrames() {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		r, err := decodeRound(body)
+		if err != nil {
+			return // rejected: the peer answers Err and drops the conn
+		}
+		if r.PSrc == 0 || r.PDst == 0 {
+			t.Fatalf("accepted empty topology %+v", r)
+		}
+		if r.Crash < -1 || r.Crash >= int32(r.PDst) {
+			t.Fatalf("accepted out-of-range crash %d of %d", r.Crash, r.PDst)
+		}
+		prev := -1
+		for i, m := range r.Msgs {
+			if m.From < 0 || m.From >= int(r.PSrc) || m.To < 0 || m.To >= int(r.PDst) {
+				t.Fatalf("accepted out-of-range endpoints in msg %d: %+v", i, m)
+			}
+			if m.Units <= 0 {
+				t.Fatalf("accepted non-positive units in msg %d: %+v", i, m)
+			}
+			key := m.From*int(r.PDst) + m.To
+			if key <= prev {
+				t.Fatalf("accepted out-of-order msg %d: %+v", i, m)
+			}
+			prev = key
+		}
+	})
+}
+
+// FuzzDecodeInbox: accepted frames must have strictly ascending
+// destinations, ascending sources within each destination, consistent
+// addressing, and positive unit counts — the invariants the coordinator's
+// merge relies on before the typed decode re-validates payload lengths.
+func FuzzDecodeInbox(f *testing.F) {
+	for _, b := range fuzzSeedFrames() {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		in, err := decodeInbox(body)
+		if err != nil {
+			return
+		}
+		prevDst := -1
+		for _, d := range in.Dsts {
+			if d.Dst <= prevDst {
+				t.Fatalf("accepted out-of-order destination %d after %d", d.Dst, prevDst)
+			}
+			prevDst = d.Dst
+			prevSrc := -1
+			for _, sg := range d.Segs {
+				if sg.To != d.Dst {
+					t.Fatalf("accepted mis-addressed segment %+v under destination %d", sg, d.Dst)
+				}
+				if sg.From <= prevSrc {
+					t.Fatalf("accepted out-of-source-order segment %+v", sg)
+				}
+				prevSrc = sg.From
+				if sg.Units <= 0 {
+					t.Fatalf("accepted non-positive units %+v", sg)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary bytes through the length-prefixed frame
+// reader chained into the kind decoders — the full path a hostile peer
+// controls. Nothing may panic; header violations must reject.
+func FuzzReadFrame(f *testing.F) {
+	for _, b := range fuzzSeedFrames() {
+		var buf bytes.Buffer
+		writeFrame(&buf, kindRound, b)
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{0, 0, 0, 2, 'M', 'P'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		kind, body, err := readFrame(bytes.NewReader(stream))
+		if err != nil {
+			return
+		}
+		// Whatever the reader yields, every kind decoder must reject or
+		// accept without panicking (a peer dispatches on kind, but a
+		// corrupted kind byte may route any body anywhere).
+		_, _ = decodeRound(body)
+		_, _ = decodeInbox(body)
+		_, _ = decodeHello(body)
+		_, _ = decodeStats(body)
+		_ = decodeErr(body)
+		_ = kind
+	})
+}
+
+// FuzzHelloStats covers the two fixed-size decoders directly.
+func FuzzHelloStats(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 3})
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xaa}, 48))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if h, err := decodeHello(body); err == nil {
+			if h.PeerCount < 1 || h.PeerIndex < 0 || h.PeerIndex >= h.PeerCount {
+				t.Fatalf("accepted invalid hello %+v", h)
+			}
+		}
+		_, _ = decodeStats(body)
+	})
+}

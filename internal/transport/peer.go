@@ -1,0 +1,220 @@
+package transport
+
+// peer.go is the serving half of the TCP backend: a shuffle peer that
+// owns a block of each round's destination servers. The coordinator
+// streams it the round's messages for those destinations; the peer
+// assembles per-destination inboxes (validating ascending source order
+// and counting delivered units), executes a crash directive it owns —
+// discarding the crashed destination's assembled inbox and reporting how
+// many units died with it — and replies with an Inbox frame. It never
+// interprets payload bytes.
+//
+// A peer is stateless across rounds: each Round frame is a complete
+// request and each Inbox frame a complete response, so a retried attempt
+// (same Seq, higher Attempt) is just another request re-encoded from the
+// coordinator's immutable pre-round outboxes. That statelessness is what
+// makes round-level retry exact: there is no partial peer state for a
+// faulty attempt to corrupt.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Peer is a running shuffle peer: a TCP listener serving any number of
+// coordinator connections, each handshaken independently. Create with
+// ListenPeer, stop with Close.
+type Peer struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+
+	rounds  atomic.Uint64
+	retries atomic.Uint64
+	msgs    atomic.Uint64
+	units   atomic.Uint64
+	bytes   atomic.Uint64
+	crashes atomic.Uint64
+}
+
+// ListenPeer starts a peer on addr (e.g. "127.0.0.1:0" for an ephemeral
+// port) and serves until Close.
+func ListenPeer(addr string) (*Peer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Peer{ln: ln, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the peer's listen address, for wiring coordinators to
+// ephemeral ports.
+func (p *Peer) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the peer's cumulative delivery counters.
+func (p *Peer) Stats() PeerStats {
+	return PeerStats{
+		Rounds:  p.rounds.Load(),
+		Retries: p.retries.Load(),
+		Msgs:    p.msgs.Load(),
+		Units:   p.units.Load(),
+		Bytes:   p.bytes.Load(),
+		Crashes: p.crashes.Load(),
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// their handlers to notice. In-flight rounds fail on the coordinator
+// side; a peer shutdown mid-execution is an execution error, not a
+// retryable fault (the coordinator cannot re-reach a dead peer).
+func (p *Peer) Close() error {
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	<-p.done
+	return err
+}
+
+func (p *Peer) acceptLoop() {
+	defer close(p.done)
+	var wg sync.WaitGroup
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			wg.Wait()
+			return
+		}
+		p.mu.Lock()
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				p.mu.Lock()
+				delete(p.conns, conn)
+				p.mu.Unlock()
+				conn.Close()
+			}()
+			p.serve(conn)
+		}()
+	}
+}
+
+// serve handles one coordinator connection: handshake, then a strict
+// request-response loop. Any protocol violation is answered with an Err
+// frame (best effort) and the connection is dropped — a desynchronized
+// stream cannot be resynchronized safely.
+func (p *Peer) serve(conn net.Conn) {
+	fail := func(err error) {
+		_ = writeFrame(conn, kindErr, encodeErr(err.Error()))
+	}
+
+	kind, body, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	if kind != kindHello {
+		fail(fmt.Errorf("expected Hello, got frame kind %d", kind))
+		return
+	}
+	if _, err := decodeHello(body); err != nil {
+		fail(err)
+		return
+	}
+	if err := writeFrame(conn, kindHelloAck, nil); err != nil {
+		return
+	}
+
+	for {
+		kind, body, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				fail(err)
+			}
+			return
+		}
+		switch kind {
+		case kindRound:
+			r, err := decodeRound(body)
+			if err != nil {
+				fail(err)
+				return
+			}
+			inbox := p.assemble(r)
+			if err := writeFrame(conn, kindInbox, encodeInbox(inbox)); err != nil {
+				return
+			}
+		case kindStats:
+			if err := writeFrame(conn, kindStatsResp, encodeStats(p.Stats())); err != nil {
+				return
+			}
+		default:
+			fail(fmt.Errorf("unexpected frame kind %d", kind))
+			return
+		}
+	}
+}
+
+// assemble builds the Inbox reply for one Round frame: group the
+// messages by destination preserving their ascending source order, then
+// execute the crash directive. The messages arrive in ascending
+// (source, destination) order (decodeRound verified it), so per-
+// destination appends reproduce exactly the concatenation order the
+// in-process Exchange produces.
+func (p *Peer) assemble(r *RoundFrame) *InboxFrame {
+	p.rounds.Add(1)
+	if r.Attempt > 0 {
+		p.retries.Add(1)
+	}
+
+	// Group by destination. The frame is source-major, so a destination's
+	// messages are scattered across it but stay in ascending source order
+	// within each destination; appending in frame order reproduces
+	// exactly the concatenation order of the in-process Exchange.
+	f := &InboxFrame{Seq: r.Seq, Attempt: r.Attempt}
+	at := make(map[int]int, 8) // dst → index into f.Dsts
+	for _, m := range r.Msgs {
+		p.msgs.Add(1)
+		p.units.Add(uint64(m.Units))
+		p.bytes.Add(uint64(len(m.Payload)))
+		i, ok := at[m.To]
+		if !ok {
+			i = len(f.Dsts)
+			at[m.To] = i
+			f.Dsts = append(f.Dsts, DstSegs{Dst: m.To})
+		}
+		f.Dsts[i].Segs = append(f.Dsts[i].Segs, m)
+	}
+	sort.Slice(f.Dsts, func(i, j int) bool { return f.Dsts[i].Dst < f.Dsts[j].Dst })
+
+	if r.Crash >= 0 {
+		p.crashes.Add(1)
+		crash := int(r.Crash)
+		for i, d := range f.Dsts {
+			if d.Dst != crash {
+				continue
+			}
+			var lost uint64
+			for _, sg := range d.Segs {
+				lost += uint64(sg.Units)
+			}
+			f.Lost = lost
+			f.Dsts = append(f.Dsts[:i], f.Dsts[i+1:]...)
+			break
+		}
+	}
+	return f
+}

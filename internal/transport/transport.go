@@ -1,0 +1,62 @@
+// Package transport abstracts the exchange barrier of the MPC simulator
+// behind pluggable backends. The simulator's cost model is defined
+// entirely by what the barrier delivers — per-destination inboxes and
+// received-unit counts — so a backend only has to reproduce that
+// contract (internal/runtime's assembly order and counting) to be
+// observationally identical: results, Stats, traces and fault reports
+// are bit-for-bit the same on every backend.
+//
+// Two backends exist. InProc is the identity: it installs nothing, and
+// executions run the assembly inline exactly as before (the default,
+// zero overhead on the hot path). TCP delegates each round to a tier of
+// shuffle peers over persistent connections carrying length-prefixed
+// binary frames (see frame.go): the execution driver keeps all local
+// computation and streams each round's counted outbox frames to the
+// peers, which assemble the per-destination inboxes and stream them
+// back. Faults injected by the execution's fault plane are executed
+// physically by this backend — dropped frames never reach a socket,
+// crashed destinations lose their assembled inboxes peer-side — and are
+// detected and retried by the unchanged barrier protocol in
+// internal/mpc.
+package transport
+
+import (
+	"context"
+
+	"mpcjoin/internal/mpc"
+)
+
+// Transport is a factory for per-execution exchange wires. Connect is
+// called once per execution; the returned wire carries that execution's
+// rounds sequentially and is closed when the execution ends. A nil wire
+// (with nil error) selects the in-process path.
+type Transport interface {
+	// Name identifies the backend ("inproc", "tcp") in flags, bench rows
+	// and reports.
+	Name() string
+	// Connect establishes the execution's wire; nil means in-process.
+	Connect(ctx context.Context) (mpc.Wire, error)
+}
+
+type inproc struct{}
+
+func (inproc) Name() string                              { return "inproc" }
+func (inproc) Connect(context.Context) (mpc.Wire, error) { return nil, nil }
+
+// InProc returns the in-process backend: the identity transport, equal
+// to not configuring one at all.
+func InProc() Transport { return inproc{} }
+
+type tcp struct{ addrs []string }
+
+func (t tcp) Name() string { return "tcp" }
+func (t tcp) Connect(ctx context.Context) (mpc.Wire, error) {
+	return DialCluster(ctx, t.addrs)
+}
+
+// TCP returns the TCP backend over the given peer addresses. The
+// address order is the cluster topology (it fixes destination
+// ownership) and must be identical across coordinators.
+func TCP(addrs ...string) Transport {
+	return tcp{addrs: append([]string(nil), addrs...)}
+}

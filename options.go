@@ -33,6 +33,7 @@ import (
 	"mpcjoin/internal/core"
 	"mpcjoin/internal/estimate"
 	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/transport"
 )
 
 // ErrOptionConflict is wrapped by the error Execute returns when two
@@ -230,4 +231,49 @@ func WithFaults(spec FaultSpec) Option {
 // WithFaults; overrides the spec's MaxRetries field.
 func WithRetry(max int) Option {
 	return func(o *optionSet) { m := max; o.retry = &m }
+}
+
+// ExchangeTransport selects the backend an execution's exchange barriers
+// run on; construct one with InProcTransport or TCPTransport and pass it
+// to WithTransport. The zero value selects the in-process backend.
+type ExchangeTransport struct {
+	t transport.Transport
+}
+
+// Name reports the backend ("inproc", "tcp").
+func (t ExchangeTransport) Name() string {
+	if t.t == nil {
+		return "inproc"
+	}
+	return t.t.Name()
+}
+
+// InProcTransport returns the in-process exchange backend — the default:
+// rounds assemble inboxes inline with zero transport overhead.
+func InProcTransport() ExchangeTransport { return ExchangeTransport{} }
+
+// TCPTransport returns the TCP exchange backend over the given shuffle
+// peer addresses (host:port of mpcd processes started with -peer). Every
+// exchange round of the execution ships its outbox frames to the peers,
+// which assemble the per-destination inboxes and stream them back; the
+// address order fixes destination ownership, so all coordinators of a
+// cluster must pass the same list. Results, Stats, traces and fault
+// reports are bit-for-bit identical to the in-process backend.
+func TCPTransport(peers ...string) ExchangeTransport {
+	return ExchangeTransport{t: transport.TCP(peers...)}
+}
+
+// WithTransport runs the execution's exchange barriers on the given
+// backend. The default (and InProcTransport) is the in-process path;
+// TCPTransport delegates every round to a cluster of shuffle peers over
+// real sockets. The choice never changes results or metered Stats, only
+// where the bytes of each round physically travel.
+func WithTransport(t ExchangeTransport) Option {
+	return func(o *optionSet) {
+		if t.t == nil {
+			o.core.Transport = nil
+			return
+		}
+		o.core.Transport = t.t
+	}
 }

@@ -2,7 +2,10 @@ package mpcjoin
 
 import (
 	"errors"
+	"strings"
 	"testing"
+
+	"mpcjoin/internal/transport"
 )
 
 // matmulFixture returns a tiny matmul-class query and instance, enough to
@@ -46,6 +49,8 @@ func TestOptionsMatrix(t *testing.T) {
 		{name: "workers-auto", opts: []Option{WithWorkers(0)}},
 		{name: "trace", opts: []Option{WithTrace()}},
 		{name: "faults", opts: []Option{WithFaults(FaultSpec{Seed: 5, DropProb: 0.3, MaxRetries: 8})}},
+		{name: "transport-inproc", opts: []Option{WithTransport(InProcTransport())}},
+		{name: "transport-zero", opts: []Option{WithTransport(ExchangeTransport{})}},
 		{name: "faults+retry", opts: []Option{WithFaults(FaultSpec{Seed: 5, DropProb: 0.3}), WithRetry(8)}},
 		{name: "retry+faults", opts: []Option{WithRetry(8), WithFaults(FaultSpec{Seed: 5, DropProb: 0.3})}},
 		{name: "everything", opts: []Option{
@@ -153,5 +158,50 @@ func TestOptionsFaultResult(t *testing.T) {
 	var fbe *FaultBudgetError
 	if !errors.As(err, &fbe) {
 		t.Fatalf("want *FaultBudgetError, got %T", err)
+	}
+}
+
+// TestOptionsTransportTCP exercises WithTransport through the public API:
+// the same query over two loopback shuffle peers must give the same rows
+// and Stats as the in-process default, and an unreachable peer tier must
+// fail Execute with a connection error rather than wrong answers.
+func TestOptionsTransportTCP(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		p, err := transport.ListenPeer("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+		t.Cleanup(func() { p.Close() })
+		addrs = append(addrs, p.Addr())
+	}
+
+	q, data := matmulFixture()
+	inp, err := Execute[int64](Ints(), q, data, WithSeed(4), WithServers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := Execute[int64](Ints(), q, data, WithSeed(4), WithServers(8),
+		WithTransport(TCPTransport(addrs...)))
+	if err != nil {
+		t.Fatalf("tcp execute: %v", err)
+	}
+	if tcp.Stats != inp.Stats {
+		t.Errorf("Stats diverge: inproc %+v, tcp %+v", inp.Stats, tcp.Stats)
+	}
+	if len(tcp.Rows) != len(inp.Rows) {
+		t.Fatalf("row count differs: %d vs %d", len(tcp.Rows), len(inp.Rows))
+	}
+	for i := range inp.Rows {
+		if tcp.Rows[i].Annot != inp.Rows[i].Annot {
+			t.Fatalf("row %d annot differs", i)
+		}
+	}
+
+	// Nothing listens on a reserved port: Execute must surface the dial
+	// failure, not fall back silently to the in-process path.
+	_, err = Execute[int64](Ints(), q, data, WithTransport(TCPTransport("127.0.0.1:1")))
+	if err == nil || !strings.Contains(err.Error(), "transport") {
+		t.Fatalf("want a transport connect error, got %v", err)
 	}
 }
