@@ -27,6 +27,7 @@ bench:
 # the exchange/sort kernels (compare against BENCH_kernels.json).
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x -benchmem ./... | tee bench-smoke.txt
+	$(GO) test -run NONE -bench 'Kernel|RadixVsSortFunc' -benchtime 20x -benchmem ./internal/mpc/ | tee -a bench-smoke.txt
 
 # End-to-end lane for the mpcd daemon: the test builds the binary with
 # -race, boots it on an ephemeral port, registers a dataset, queries it

@@ -28,9 +28,12 @@
 // -transport tcp carries every benched engine run's exchange rounds over
 // the TCP backend — by default through three loopback shuffle peers the
 // process boots itself, or through an already-running peer tier named by
-// -transport-peers. The verification baseline stays in-process, so every
-// "verified" column doubles as a cross-transport bit-identity check;
-// loads and tables are identical, only wall-clock changes:
+// -transport-peers. Row exchanges ship the columnar dictionary-encoded
+// payload (internal/relation's wire columns); peers are payload-opaque,
+// so the frame format is unchanged. The verification baseline stays
+// in-process, so every "verified" column doubles as a cross-transport
+// bit-identity check; loads and tables are identical, only wall-clock
+// changes:
 //
 //	mpcbench -experiment all -quick -transport tcp -json BENCH_transport.json
 //

@@ -1,10 +1,7 @@
 package matmul
 
 import (
-	"cmp"
 	"math"
-	"slices"
-	"strings"
 
 	"mpcjoin/internal/dist"
 	"mpcjoin/internal/estimate"
@@ -106,7 +103,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 	fGathered, stg := mpc.Gather(fCounts, 0)
 	st = mpc.Seq(st, stf, stg)
 	foot := append([]mpc.KeyCount[int64](nil), fGathered.Shards[0]...)
-	slices.SortFunc(foot, func(a, b mpc.KeyCount[int64]) int { return cmp.Compare(a.Key, b.Key) })
+	mpc.SortLocal(foot, func(kc mpc.KeyCount[int64]) int64 { return kc.Key })
 
 	// Phase A block layout: group i gets ⌈(f_i + N2)/L⌉ virtual servers.
 	type blockA struct {
@@ -277,7 +274,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 		footOf[blk.group] = blk.f
 	}
 	hlist := append([]mpc.KeyCount[string](nil), heavyG.Shards[0]...)
-	slices.SortFunc(hlist, func(a, b mpc.KeyCount[string]) int { return strings.Compare(a.Key, b.Key) })
+	mpc.SortLocal(hlist, func(kc mpc.KeyCount[string]) string { return kc.Key })
 	for _, kc := range hlist {
 		g := int64(relation.DecodeKey(kc.Key)[0])
 		sz := int(ceilDiv(footOf[g]+kc.Count, load))
@@ -285,7 +282,7 @@ func outputSensitive[W any](sr semiring.Semiring[W], in Input[W], n1, n2, out in
 		bt += sz
 	}
 	blist := append([]mpc.KeyCount[string](nil), binSzG.Shards[0]...)
-	slices.SortFunc(blist, func(a, b mpc.KeyCount[string]) int { return strings.Compare(a.Key, b.Key) })
+	mpc.SortLocal(blist, func(kc mpc.KeyCount[string]) string { return kc.Key })
 	for _, kc := range blist {
 		g := int64(relation.DecodeKey(kc.Key)[0])
 		sz := int(ceilDiv(footOf[g]+kc.Count, load))

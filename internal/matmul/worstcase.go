@@ -2,8 +2,6 @@ package matmul
 
 import (
 	"math"
-	"slices"
-	"strings"
 
 	"mpcjoin/internal/dist"
 	"mpcjoin/internal/mpc"
@@ -194,8 +192,8 @@ type wcLayout struct {
 }
 
 func newWCLayout(hA, hC []mpc.KeyCount[string], n1, n2, load int64, kBins, lBins int) *wcLayout {
-	slices.SortFunc(hA, func(a, b mpc.KeyCount[string]) int { return strings.Compare(a.Key, b.Key) })
-	slices.SortFunc(hC, func(a, b mpc.KeyCount[string]) int { return strings.Compare(a.Key, b.Key) })
+	mpc.SortLocal(hA, func(kc mpc.KeyCount[string]) string { return kc.Key })
+	mpc.SortLocal(hC, func(kc mpc.KeyCount[string]) string { return kc.Key })
 	lay := &wcLayout{
 		hA: hA, hC: hC,
 		heavyAIdx: make(map[string]int, len(hA)),

@@ -498,17 +498,13 @@ func Route[T any](pt Part[T], dest func(src int, x T) int) (Part[T], Stats) {
 		if len(shard) == 0 {
 			return
 		}
-		// dest is invoked exactly once per element; destinations are
-		// memoized in the worker's arena for the two BuildOutbox passes.
+		// dest is invoked exactly once per element; the memoized
+		// destinations drive a single-pass placement.
 		dests := sc.Ints(len(shard))
 		for j, x := range shard {
 			dests[j] = dest(src, x)
 		}
-		out[src] = BuildOutbox[T](sc, p, "Route", func(fill bool, emit func(int, T)) {
-			for j, x := range shard {
-				emit(dests[j], x)
-			}
-		})
+		out[src] = BuildOutboxDests(sc, p, "Route", dests, shard)
 	})
 	return ExchangeIn(ex, p, out)
 }
@@ -685,18 +681,40 @@ func Rebalance[T any](pt Part[T]) (Part[T], Stats) {
 	}
 	out := make([][][]T, p)
 	ex := pt.scope()
-	ex.ForEachShardScratch(p, func(src int, sc *xrt.Scratch) {
+	ex.ForEachShard(p, func(src int) {
 		shard := pt.Shards[src]
-		if len(shard) == 0 {
+		n := len(shard)
+		if n == 0 {
 			return
 		}
-		// The round-robin destination is pure arithmetic, so both passes
-		// re-derive it instead of memoizing.
-		out[src] = BuildOutbox[T](sc, p, "Rebalance", func(fill bool, emit func(int, T)) {
-			for j, x := range shard {
-				emit((base[src]+j)%p, x)
+		// Round-robin destinations are pure arithmetic, so the outbox is
+		// built analytically in one pass: destination d receives exactly
+		// the elements at positions j ≡ (d − base[src]) (mod p), a strided
+		// gather into contiguous segments of one backing buffer. The
+		// buffer layout and element order are bit-identical to what a
+		// counted build of (base[src]+j) mod p produces, without paying a
+		// modulo — or any per-element destination work — at all.
+		row := make([][]T, p)
+		buf := make([]T, n)
+		b := base[src] % p
+		at := 0
+		for d := 0; d < p; d++ {
+			j0 := d - b
+			if j0 < 0 {
+				j0 += p
 			}
-		})
+			if j0 >= n {
+				continue
+			}
+			c := (n - j0 + p - 1) / p
+			seg := buf[at : at+c : at+c]
+			at += c
+			for i, j := 0, j0; j < n; i, j = i+1, j+p {
+				seg[i] = shard[j]
+			}
+			row[d] = seg
+		}
+		out[src] = row
 	})
 	return ExchangeIn(ex, p, out)
 }

@@ -69,3 +69,53 @@ func BuildOutbox[T any](sc *xrt.Scratch, pDst int, what string, scan func(fill b
 	}
 	return row
 }
+
+// BuildOutboxDests assembles one source's destination rows from a
+// precomputed destination array: element src[j] goes to dests[j]. It keeps
+// BuildOutbox's layout — contiguous sub-slices of one backing buffer in
+// ascending destination order, nil rows for empty destinations — but
+// places elements in a single pass over the data, since the destinations
+// are already materialized: count from the int array (which the CPU
+// streams far faster than re-running a scan closure), carve, then write
+// through per-destination cursors. Use it wherever the destination of
+// every element is known up front (Route's memoized dests, the sort
+// partition's bucket walk); keep BuildOutbox for scans with variable
+// fan-out.
+//
+// Out-of-range destinations panic with what naming the calling primitive.
+// sc, when non-nil, provides the count vector from the worker's arena.
+func BuildOutboxDests[T any](sc *xrt.Scratch, pDst int, what string, dests []int, src []T) [][]T {
+	if len(dests) != len(src) {
+		panic(fmt.Sprintf("mpc: %s destination array has %d entries for %d elements", what, len(dests), len(src)))
+	}
+	var counts []int
+	if sc != nil {
+		counts = sc.Ints(pDst)
+	} else {
+		counts = make([]int, pDst)
+	}
+	for _, d := range dests {
+		if d < 0 || d >= pDst {
+			panic(fmt.Sprintf("mpc: %s destination %d out of range [0,%d)", what, d, pDst))
+		}
+		counts[d]++
+	}
+	row := make([][]T, pDst)
+	if len(src) == 0 {
+		return row
+	}
+	buf := make([]T, len(src))
+	at := 0
+	for d, c := range counts {
+		if c > 0 {
+			row[d] = buf[at : at+c : at+c]
+			counts[d] = at // repurpose as the destination's write cursor
+			at += c
+		}
+	}
+	for j, d := range dests {
+		buf[counts[d]] = src[j]
+		counts[d]++
+	}
+	return row
+}

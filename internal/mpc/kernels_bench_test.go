@@ -55,7 +55,23 @@ func BenchmarkRebalanceKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkSortByKernel drives the keyed Sort entry point — the path
+// GroupByKey, ReduceByKey and every engine take — which runs the radix
+// kernel for this int64 key. BenchmarkSortByFallbackKernel pins the
+// comparison path (SortBy) for contrast.
 func BenchmarkSortByKernel(b *testing.B) {
+	pt := benchPart(benchN, benchP)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := Sort(pt, func(x int64) int64 { return x })
+		if res.Len() != benchN {
+			b.Fatal("sort wrong")
+		}
+	}
+}
+
+func BenchmarkSortByFallbackKernel(b *testing.B) {
 	pt := benchPart(benchN, benchP)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -175,12 +175,13 @@ func TestBuildOutboxAllocs(t *testing.T) {
 var sinkPart Part[int64]
 
 // TestRouteAllocsBounded asserts the steady-state allocation bound of a
-// full counted Route round: out table (1) + per-source BuildOutbox (row
-// table, backing buffer, emit closures — ~6p) + exchange shard/recv
-// tables (2) + per-destination inbox (≤ p) + small change. 8p + 16 is the
-// ceiling documented as the regression line — the append-grown build this
-// replaced performed O(p² log(N/p²)) allocations (1950 measured at p = 16,
-// N = 16k) and trips it by an order of magnitude.
+// full single-pass Route round: out table (1) + per-source
+// BuildOutboxDests (row table + backing buffer — 2p) + exchange
+// shard/recv tables (2) + per-destination inbox (≤ p) + small change.
+// 4p + 16 is the ceiling — the append-grown build this lineage replaced
+// performed O(p² log(N/p²)) allocations (1950 measured at p = 16,
+// N = 16k), and the counted two-pass build's emit closures cost ~6p
+// (104 measured); the dests-array build drops both.
 func TestRouteAllocsBounded(t *testing.T) {
 	const p = 16
 	pt := benchPart(16384, p)
@@ -189,8 +190,94 @@ func TestRouteAllocsBounded(t *testing.T) {
 	allocs := testing.AllocsPerRun(20, func() {
 		sinkPart, _ = Route(pt, dest)
 	})
-	bound := float64(8*p + 16)
+	bound := float64(4*p + 16)
 	if allocs > bound {
 		t.Errorf("Route allocated %.1f times per round at p=%d, want ≤ %.0f", allocs, p, bound)
+	}
+}
+
+// TestBuildOutboxDestsMatchesBuildOutbox checks the single-pass builder
+// reproduces the counted two-pass build bit-for-bit — same row layout
+// (contiguous ascending-destination segments of one buffer, nil rows for
+// empty destinations), same element order — on the adversarial shapes.
+func TestBuildOutboxDestsMatchesBuildOutbox(t *testing.T) {
+	for name, pt := range adversarialParts() {
+		p := pt.P()
+		for src, shard := range pt.Shards {
+			dests := make([]int, len(shard))
+			for j, x := range shard {
+				dests[j] = int(uint64(x) % uint64(p))
+			}
+			want := BuildOutbox[int64](nil, p, "oracle", func(fill bool, emit func(int, int64)) {
+				for j, x := range shard {
+					emit(dests[j], x)
+				}
+			})
+			got := BuildOutboxDests(nil, p, "test", dests, shard)
+			if len(got) != len(want) {
+				t.Fatalf("%s src %d: row count %d, want %d", name, src, len(got), len(want))
+			}
+			for d := range want {
+				if (got[d] == nil) != (want[d] == nil) {
+					t.Fatalf("%s src %d dst %d: nil-ness mismatch", name, src, d)
+				}
+				if len(got[d]) != len(want[d]) {
+					t.Fatalf("%s src %d dst %d: %d elements, want %d", name, src, d, len(got[d]), len(want[d]))
+				}
+				for i := range want[d] {
+					if got[d][i] != want[d][i] {
+						t.Fatalf("%s src %d dst %d elem %d: %d, want %d", name, src, d, i, got[d][i], want[d][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildOutboxDestsOutOfRangePanics checks both range guards.
+func TestBuildOutboxDestsOutOfRangePanics(t *testing.T) {
+	for _, bad := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("BuildOutboxDests accepted destination %d of range [0,4)", bad)
+				}
+			}()
+			BuildOutboxDests(nil, 4, "test", []int{bad}, []int64{7})
+		}()
+	}
+}
+
+// TestBuildOutboxDestsLengthMismatchPanics checks the dests/src shape guard.
+func TestBuildOutboxDestsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BuildOutboxDests accepted mismatched dests/src lengths")
+		}
+	}()
+	BuildOutboxDests(nil, 4, "test", []int{0, 1}, []int64{7})
+}
+
+// TestBuildOutboxDestsAllocs asserts the single-pass builder's allocation
+// contract: with a worker arena supplying the count vector, one build
+// performs exactly two heap allocations — the destination row table and
+// the shared backing buffer — regardless of element count.
+func TestBuildOutboxDestsAllocs(t *testing.T) {
+	data := make([]int64, 4096)
+	dests := make([]int, len(data))
+	for i := range data {
+		data[i] = int64(i)
+		dests[i] = i % 7
+	}
+	rt := xrt.Serial()
+	build := func(_ int, sc *xrt.Scratch) {
+		sinkRows = BuildOutboxDests(sc, 7, "test", dests, data)
+	}
+	rt.ForEachShardScratch(1, build)
+	allocs := testing.AllocsPerRun(50, func() {
+		rt.ForEachShardScratch(1, build)
+	})
+	if allocs > 2 {
+		t.Errorf("BuildOutboxDests allocated %.1f times per build, want ≤ 2 (row table, backing buffer)", allocs)
 	}
 }

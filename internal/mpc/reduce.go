@@ -2,7 +2,6 @@ package mpc
 
 import (
 	"cmp"
-	"slices"
 )
 
 // ReduceByKey combines all elements sharing a key into one, using the
@@ -256,7 +255,27 @@ func SortedRuns[T any, K cmp.Ordered](shard []T, key func(T) K) [][2]int {
 	return runs
 }
 
-// SortLocal sorts a shard in place by key (local helper, zero cost).
+// SortLocal sorts a shard in place by key (local helper, zero cost). The
+// sort is stable: equal-key elements keep their input order. Radix-
+// encodable key batches (integers; uniform-length strings such as the
+// engines' EncodeKey keys — see radix.go) run the LSD radix kernel; other
+// batches take the stable comparison fallback.
 func SortLocal[T any, K cmp.Ordered](shard []T, key func(T) K) {
-	slices.SortFunc(shard, func(a, b T) int { return cmp.Compare(key(a), key(b)) })
+	if len(shard) <= 1 {
+		return
+	}
+	kcmp := func(a, b T) int { return cmp.Compare(key(a), key(b)) }
+	if !radixEncodable[K]() {
+		sortStableFunc(shard, kcmp)
+		return
+	}
+	ks := make([]K, len(shard))
+	for i, x := range shard {
+		ks[i] = key(x)
+	}
+	if enc, ok := encodeRadixKeys(ks); ok {
+		radixSortKeyed(enc, shard)
+		return
+	}
+	sortStableFunc(shard, kcmp)
 }

@@ -1,0 +1,38 @@
+package mpc
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestNoComparisonSortsInHotKernels guards the radix migration: the hot
+// sort/reduce kernels must contain no comparison-sort call sites. Every
+// comparison sort they need goes through the named fallbacks in radix.go
+// (sortFunc, sortStableFunc), so a future edit that quietly puts a hot
+// path back on slices.SortFunc — undoing the 2×+ the radix kernel buys —
+// fails here instead of shipping.
+func TestNoComparisonSortsInHotKernels(t *testing.T) {
+	banned := regexp.MustCompile(`slices\.Sort|sort\.Slice|sort\.Stable|sort\.Sort\b`)
+	for _, file := range []string{"sort.go", "reduce.go"} {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading %s: %v", file, err)
+		}
+		if loc := banned.FindIndex(src); loc != nil {
+			line := 1 + countNewlines(src[:loc[0]])
+			t.Errorf("%s:%d: comparison sort call site %q in a hot kernel file; route it through the radix.go fallbacks",
+				file, line, src[loc[0]:loc[1]])
+		}
+	}
+}
+
+func countNewlines(b []byte) int {
+	n := 0
+	for _, c := range b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -76,6 +76,32 @@ type WireInbox struct {
 	Lost int64
 }
 
+// ColumnarWire is the structural payload seam: an element type that
+// implements it supplies its own wire codec, and every exchange of that
+// type over a Wire ships the structural encoding instead of the raw
+// memory snapshot below. relation.Row implements it (columnar,
+// dictionary-encoded value columns), as do the routers' tagged-row types;
+// the interface lives here, satisfied structurally, so element packages
+// need not import mpc.
+//
+// Contract: DecodeWireColumns(nil, units, AppendWireColumns(nil, msg))
+// must reproduce msg for any msg with len(msg) == units, consuming the
+// whole payload; decode errors must be returned, never panics (a
+// malformed segment aborts the execution cleanly). Both methods are
+// invoked on the zero value of T and must not depend on the receiver.
+// The codec sees one message at a time — per-message state like
+// dictionaries is self-contained — so frames stay opaque to transport
+// peers, the frame format is unchanged (Version 1 interops), and Units,
+// Stats and traces are byte-count-independent of the payload encoding.
+//
+// The raw snapshot's pinning rule still applies to any pointer-carrying
+// bytes a codec copies (relation's weight bytes): exchangeWire KeepAlives
+// the outboxes until decode completes.
+type ColumnarWire[T any] interface {
+	AppendWireColumns(dst []byte, msg []T) []byte
+	DecodeWireColumns(dst []T, units int, payload []byte) ([]T, error)
+}
+
 // Wire executes exchange barriers on a transport backend. Implementations
 // must be deterministic in the sense above; they may block (network
 // round-trips) and must observe ctx. An error aborts the execution (it
@@ -130,6 +156,9 @@ func wireError(err error) {
 // drop indexes the round's non-empty messages in ascending (src, dst)
 // order, matching the manifest order exchangeFaulty builds.
 func exchangeWire[T any](ex *Exec, seq int64, attempt, pDst int, out [][][]T, crash, drop int) (shards [][]T, recv []int64, lost int64) {
+	var zero T
+	cw, columnar := any(zero).(ColumnarWire[T])
+
 	r := &WireRound{
 		Seq: seq, Attempt: attempt,
 		PSrc: len(out), PDst: pDst,
@@ -140,7 +169,13 @@ func exchangeWire[T any](ex *Exec, seq int64, attempt, pDst int, out [][][]T, cr
 			if len(m) == 0 {
 				continue
 			}
-			r.Msgs = append(r.Msgs, WireMsg{From: src, To: dst, Units: len(m), Payload: rawBytes(m)})
+			var payload []byte
+			if columnar {
+				payload = cw.AppendWireColumns(nil, m)
+			} else {
+				payload = rawBytes(m)
+			}
+			r.Msgs = append(r.Msgs, WireMsg{From: src, To: dst, Units: len(m), Payload: payload})
 		}
 	}
 
@@ -176,7 +211,13 @@ func exchangeWire[T any](ex *Exec, seq int64, attempt, pDst int, out [][][]T, cr
 				wireError(fmt.Errorf("destination %d segments out of source order (%d after %d)", dst, sg.From, prev))
 			}
 			prev = sg.From
-			dec, err := appendRaw(inbox, sg.Units, sg.Payload)
+			var dec []T
+			var err error
+			if columnar {
+				dec, err = cw.DecodeWireColumns(inbox, sg.Units, sg.Payload)
+			} else {
+				dec, err = appendRaw(inbox, sg.Units, sg.Payload)
+			}
 			if err != nil {
 				wireError(fmt.Errorf("destination %d segment from %d: %w", dst, sg.From, err))
 			}

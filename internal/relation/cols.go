@@ -1,0 +1,185 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// cols.go is the columnar (structure-of-arrays) representation of a
+// relation: per-attribute value columns, dictionary-encoded, plus a dense
+// weight column. The row representation stays the working form of the
+// per-server operators (local joins index rows); Cols is the storage and
+// transfer form — loaders can build instances column-wise with ownership
+// transfer, the wire codec ships columns instead of row-memory snapshots
+// (see colwire.go), and dictionary encoding collapses the repeated key
+// values join workloads are full of to one uint32 code per cell.
+//
+// Layout. Column c of row i holds Dicts[c][Codes[c][i]]; Ws[i] is the
+// row's annotation. Dictionaries are first-seen ordered, which makes the
+// encoding deterministic: two equal relations (same rows, same order)
+// have bit-identical Cols. Conversion is lossless in both directions and
+// preserves row order, so Relation → Cols → Relation round-trips exactly.
+
+// Cols is a columnar relation: dictionary-encoded value columns and a
+// weight column. The zero value is not usable; construct with ToCols,
+// NewCols, or FromColumnsOwned.
+type Cols[W any] struct {
+	schema []Attr
+	col    map[Attr]int
+
+	// Dicts[c] is column c's dictionary in first-seen order; Codes[c][i]
+	// indexes into it. len(Codes[c]) == Len() for every column; Ws has
+	// the same length. Mutate only through Append, or rebuild with
+	// FromColumnsOwned.
+	Dicts [][]Value
+	Codes [][]uint32
+	Ws    []W
+
+	// dict maps values to codes per column, lazily maintained by Append.
+	dict []map[Value]uint32
+}
+
+// NewCols returns an empty columnar relation with the given schema.
+func NewCols[W any](schema ...Attr) *Cols[W] {
+	col := make(map[Attr]int, len(schema))
+	for i, a := range schema {
+		if _, dup := col[a]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q in schema", a))
+		}
+		col[a] = i
+	}
+	return &Cols[W]{
+		schema: append([]Attr(nil), schema...),
+		col:    col,
+		Dicts:  make([][]Value, len(schema)),
+		Codes:  make([][]uint32, len(schema)),
+		dict:   make([]map[Value]uint32, len(schema)),
+	}
+}
+
+// Schema returns the attribute list (do not mutate).
+func (c *Cols[W]) Schema() []Attr { return c.schema }
+
+// Arity returns the number of attributes.
+func (c *Cols[W]) Arity() int { return len(c.schema) }
+
+// Len returns the number of rows.
+func (c *Cols[W]) Len() int { return len(c.Ws) }
+
+// Col returns the column index of attribute a, or -1 if absent.
+func (c *Cols[W]) Col(a Attr) int {
+	i, ok := c.col[a]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Value returns the value of column col in row i.
+func (c *Cols[W]) Value(i, col int) Value {
+	return c.Dicts[col][c.Codes[col][i]]
+}
+
+// Append adds a row. vals must match the schema arity.
+func (c *Cols[W]) Append(w W, vals ...Value) {
+	if len(vals) != len(c.schema) {
+		panic(fmt.Sprintf("relation: row arity %d does not match schema %v", len(vals), c.schema))
+	}
+	for ci, v := range vals {
+		if c.dict[ci] == nil {
+			c.dict[ci] = make(map[Value]uint32, 16)
+			for code, dv := range c.Dicts[ci] {
+				c.dict[ci][dv] = uint32(code)
+			}
+		}
+		code, ok := c.dict[ci][v]
+		if !ok {
+			code = uint32(len(c.Dicts[ci]))
+			c.Dicts[ci] = append(c.Dicts[ci], v)
+			c.dict[ci][v] = code
+		}
+		c.Codes[ci] = append(c.Codes[ci], code)
+	}
+	c.Ws = append(c.Ws, w)
+}
+
+// ToCols converts r to columnar form. Row order is preserved and
+// dictionaries are first-seen ordered, so the result is a deterministic
+// function of r. r is not modified.
+func ToCols[W any](r *Relation[W]) *Cols[W] {
+	c := NewCols[W](r.schema...)
+	arity := len(r.schema)
+	for ci := 0; ci < arity; ci++ {
+		c.Codes[ci] = make([]uint32, 0, len(r.Rows))
+		c.dict[ci] = make(map[Value]uint32, 64)
+	}
+	c.Ws = make([]W, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		for ci := 0; ci < arity; ci++ {
+			v := row.Vals[ci]
+			code, ok := c.dict[ci][v]
+			if !ok {
+				code = uint32(len(c.Dicts[ci]))
+				c.Dicts[ci] = append(c.Dicts[ci], v)
+				c.dict[ci][v] = code
+			}
+			c.Codes[ci] = append(c.Codes[ci], code)
+		}
+		c.Ws = append(c.Ws, row.W)
+	}
+	return c
+}
+
+// Relation materializes the row form: rows in column order i, all value
+// vectors carved from one backing buffer (one allocation for all Vals).
+// The weight slice is shared with c — callers that keep using c must not
+// mutate returned annotations in place.
+func (c *Cols[W]) Relation() *Relation[W] {
+	r := New[W](c.schema...)
+	n := c.Len()
+	if n == 0 {
+		return r
+	}
+	arity := len(c.schema)
+	backing := make([]Value, n*arity)
+	r.Rows = make([]Row[W], n)
+	for i := 0; i < n; i++ {
+		vals := backing[i*arity : (i+1)*arity : (i+1)*arity]
+		for ci := 0; ci < arity; ci++ {
+			vals[ci] = c.Dicts[ci][c.Codes[ci][i]]
+		}
+		r.Rows[i] = Row[W]{Vals: vals, W: c.Ws[i]}
+	}
+	return r
+}
+
+// FromColumnsOwned constructs a Cols directly from prebuilt columns with
+// ownership transfer: the dictionary, code and weight slices are adopted,
+// not copied — the caller must not reuse them. This is the loader-facing
+// constructor: a columnar data source hands its buffers over without a
+// row-form detour. Shapes are validated (per-column lengths equal to
+// len(ws), codes within the dictionary) so a malformed source fails here
+// rather than as a corrupt relation later.
+func FromColumnsOwned[W any](schema []Attr, dicts [][]Value, codes [][]uint32, ws []W) (*Cols[W], error) {
+	if len(dicts) != len(schema) || len(codes) != len(schema) {
+		return nil, fmt.Errorf("relation: %d dictionaries and %d code columns for %d attributes",
+			len(dicts), len(codes), len(schema))
+	}
+	c := NewCols[W](schema...)
+	for ci := range schema {
+		if len(codes[ci]) != len(ws) {
+			return nil, fmt.Errorf("relation: column %q has %d codes for %d rows",
+				schema[ci], len(codes[ci]), len(ws))
+		}
+		limit := uint32(len(dicts[ci]))
+		for i, code := range codes[ci] {
+			if code >= limit {
+				return nil, fmt.Errorf("relation: column %q row %d: code %d out of dictionary range [0,%d)",
+					schema[ci], i, code, limit)
+			}
+		}
+	}
+	c.Dicts = dicts
+	c.Codes = codes
+	c.Ws = ws
+	return c, nil
+}

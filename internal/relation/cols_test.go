@@ -1,0 +1,142 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cols_test.go: the columnar ↔ row round-trip oracle. Conversion must be
+// lossless and order-preserving, dictionaries deterministic, and the
+// ownership-transfer constructor must reject malformed shapes.
+
+// randomRelation builds a relation with heavy duplicate keys (small value
+// domains) so dictionaries actually dedupe.
+func randomRelation(rng *rand.Rand, n, arity int) *Relation[int64] {
+	attrs := make([]Attr, arity)
+	for i := range attrs {
+		attrs[i] = Attr(string(rune('A' + i)))
+	}
+	r := New[int64](attrs...)
+	for i := 0; i < n; i++ {
+		vals := make([]Value, arity)
+		for c := range vals {
+			vals[c] = Value(rng.Intn(1+n/8)) - Value(n/16)
+		}
+		r.AppendRow(Row[int64]{Vals: vals, W: rng.Int63()})
+	}
+	return r
+}
+
+func sameRows[W comparable](t *testing.T, got, want *Relation[W]) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("row count %d, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Rows {
+		if len(got.Rows[i].Vals) != len(want.Rows[i].Vals) {
+			t.Fatalf("row %d arity %d, want %d", i, len(got.Rows[i].Vals), len(want.Rows[i].Vals))
+		}
+		for c := range want.Rows[i].Vals {
+			if got.Rows[i].Vals[c] != want.Rows[i].Vals[c] {
+				t.Fatalf("row %d col %d: %d, want %d", i, c, got.Rows[i].Vals[c], want.Rows[i].Vals[c])
+			}
+		}
+		if got.Rows[i].W != want.Rows[i].W {
+			t.Fatalf("row %d weight %v, want %v", i, got.Rows[i].W, want.Rows[i].W)
+		}
+	}
+}
+
+// TestColsRoundTrip: Relation → Cols → Relation is the identity on rows,
+// order included, across arities (0 column rows too) and sizes.
+func TestColsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 7, 500} {
+		for _, arity := range []int{1, 2, 4} {
+			r := randomRelation(rng, n, arity)
+			c := ToCols(r)
+			if c.Len() != n || c.Arity() != arity {
+				t.Fatalf("Cols shape %d×%d, want %d×%d", c.Len(), c.Arity(), n, arity)
+			}
+			sameRows(t, c.Relation(), r)
+		}
+	}
+}
+
+// TestColsRoundTripZeroSizeWeights: W = struct{} (zero-size annotations)
+// round-trips; the weight column carries no bytes but the length.
+func TestColsRoundTripZeroSizeWeights(t *testing.T) {
+	r := New[struct{}]("A", "B")
+	for i := 0; i < 50; i++ {
+		r.Append(struct{}{}, Value(i%5), Value(i%3))
+	}
+	c := ToCols(r)
+	got := c.Relation()
+	if got.Len() != 50 {
+		t.Fatalf("round-trip lost rows: %d", got.Len())
+	}
+	for i, row := range got.Rows {
+		if row.Vals[0] != Value(i%5) || row.Vals[1] != Value(i%3) {
+			t.Fatalf("row %d diverged: %v", i, row.Vals)
+		}
+	}
+}
+
+// TestColsDictionaryDeterministic: dictionaries are first-seen ordered and
+// duplicate keys share codes.
+func TestColsDictionaryDeterministic(t *testing.T) {
+	r := New[int64]("A")
+	for _, v := range []Value{7, 3, 7, 9, 3, 7} {
+		r.Append(1, v)
+	}
+	c := ToCols(r)
+	wantDict := []Value{7, 3, 9}
+	if len(c.Dicts[0]) != len(wantDict) {
+		t.Fatalf("dictionary %v, want %v", c.Dicts[0], wantDict)
+	}
+	for i, v := range wantDict {
+		if c.Dicts[0][i] != v {
+			t.Fatalf("dictionary %v, want %v (first-seen order)", c.Dicts[0], wantDict)
+		}
+	}
+	wantCodes := []uint32{0, 1, 0, 2, 1, 0}
+	for i, code := range wantCodes {
+		if c.Codes[0][i] != code {
+			t.Fatalf("codes %v, want %v", c.Codes[0], wantCodes)
+		}
+	}
+	// Append through the incremental path agrees with the bulk path.
+	c.Append(5, 3)
+	if c.Codes[0][6] != 1 || c.Len() != 7 {
+		t.Fatalf("Append produced code %d, want 1", c.Codes[0][6])
+	}
+}
+
+// TestFromColumnsOwned: the ownership-transfer constructor adopts valid
+// buffers verbatim and rejects malformed shapes.
+func TestFromColumnsOwned(t *testing.T) {
+	dicts := [][]Value{{10, 20}, {30}}
+	codes := [][]uint32{{0, 1, 0}, {0, 0, 0}}
+	ws := []int64{1, 2, 3}
+	c, err := FromColumnsOwned([]Attr{"A", "B"}, dicts, codes, ws)
+	if err != nil {
+		t.Fatalf("valid columns rejected: %v", err)
+	}
+	if &c.Dicts[0][0] != &dicts[0][0] || &c.Ws[0] != &ws[0] {
+		t.Fatal("FromColumnsOwned copied instead of adopting")
+	}
+	r := c.Relation()
+	if r.Rows[1].Vals[0] != 20 || r.Rows[2].Vals[1] != 30 {
+		t.Fatalf("adopted columns decode wrong: %v", r.Rows)
+	}
+
+	if _, err := FromColumnsOwned([]Attr{"A"}, dicts, codes, ws); err == nil {
+		t.Fatal("accepted column count ≠ arity")
+	}
+	if _, err := FromColumnsOwned([]Attr{"A", "B"}, dicts, [][]uint32{{0}, {0, 0, 0}}, ws); err == nil {
+		t.Fatal("accepted ragged code columns")
+	}
+	if _, err := FromColumnsOwned([]Attr{"A", "B"}, dicts, [][]uint32{{0, 1, 9}, {0, 0, 0}}, ws); err == nil {
+		t.Fatal("accepted out-of-range code")
+	}
+}

@@ -23,6 +23,14 @@ package transport
 // payload lengths that don't sum to exactly the bytes present are all
 // errors, never panics, and allocations are bounded by the declared
 // frame length before any count field is trusted.
+//
+// Payload opacity is a compatibility guarantee: peers key on the frame
+// headers and never interpret payload bytes, so the coordinator-side
+// payload encoding can change without a Version bump. The columnar row
+// codec (internal/relation's wire columns, engaged through mpc's
+// ColumnarWire seam) replaced the raw element snapshot for row exchanges
+// under the same Version 1 — a mixed fleet of old peers and new
+// coordinators interops, because a peer only ever memcpys the payload.
 
 import (
 	"encoding/binary"

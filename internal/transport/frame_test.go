@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
 )
 
 func TestRoundFrameRoundTrip(t *testing.T) {
@@ -62,6 +63,35 @@ func TestHelloStatsRoundTrip(t *testing.T) {
 	s, err := decodeStats(encodeStats(s0))
 	if err != nil || s != s0 {
 		t.Fatalf("stats round trip: %+v, %v", s, err)
+	}
+}
+
+// TestRoundFramePayloadOpaque pins the no-version-bump compatibility of
+// the columnar payload switch: a real columnar row encoding traverses the
+// Version 1 frame codec byte-identically, because peers never interpret
+// payload bytes. If this test ever requires a Version bump to pass, the
+// opacity guarantee has been broken.
+func TestRoundFramePayloadOpaque(t *testing.T) {
+	rows := []relation.Row[int64]{
+		{Vals: []relation.Value{1, 9}, W: 5},
+		{Vals: []relation.Value{1, 8}, W: 6},
+		{Vals: []relation.Value{2, 9}, W: 7},
+	}
+	payload := relation.AppendRowColumns(nil, rows)
+	in := &RoundFrame{
+		Seq: 1, PSrc: 2, PDst: 2, Crash: -1,
+		Msgs: []mpc.WireMsg{{From: 0, To: 1, Units: len(rows), Payload: payload}},
+	}
+	got, err := decodeRound(encodeRound(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(got.Msgs[0].Payload, payload) {
+		t.Fatal("columnar payload changed in frame transit")
+	}
+	dec, rest, err := relation.DecodeRowColumns[int64](nil, len(rows), got.Msgs[0].Payload)
+	if err != nil || len(rest) != 0 || len(dec) != len(rows) {
+		t.Fatalf("payload no longer decodes as columnar rows after transit: %v", err)
 	}
 }
 

@@ -37,6 +37,26 @@ type sideRow[W any] struct {
 	row  relation.Row[W]
 }
 
+// AppendWireColumns implements mpc.ColumnarWire: sideRow exchanges over a
+// transport ship as a sided columnar stream (flag bitmap + per-side
+// column groups) instead of raw row-header memory.
+func (sideRow[W]) AppendWireColumns(dst []byte, msg []sideRow[W]) []byte {
+	return relation.AppendSidedRowColumns(dst, len(msg), func(i int) (bool, relation.Row[W]) {
+		return msg[i].left, msg[i].row
+	})
+}
+
+// DecodeWireColumns is the decoding half of the ColumnarWire seam.
+func (sideRow[W]) DecodeWireColumns(dst []sideRow[W], units int, payload []byte) ([]sideRow[W], error) {
+	err := relation.DecodeSidedRowColumns(units, payload, func(left bool, row relation.Row[W]) {
+		dst = append(dst, sideRow[W]{left: left, row: row})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
 // keyStat carries per-join-key degrees.
 type keyStat struct {
 	key    string
