@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke service-smoke cluster-smoke boundcheck chaos chaos-tcp bench-transport
+.PHONY: ci vet build test race bench bench-smoke service-smoke service-bench cluster-smoke boundcheck chaos chaos-tcp bench-transport
 
 ci: vet build test race
 
@@ -31,9 +31,18 @@ bench-smoke:
 
 # End-to-end lane for the mpcd daemon: the test builds the binary with
 # -race, boots it on an ephemeral port, registers a dataset, queries it
-# under every strategy, scrapes /metrics, and SIGTERM-drains it.
+# under every strategy, round-trips a cache hit, floods a tenant past its
+# admission quota, scrapes /metrics, SIGTERM-drains it, and checks the
+# JSON access log.
 service-smoke:
 	$(GO) test -run TestServiceSmoke -count=1 -v ./cmd/mpcd
+
+# Serving-plane benchmark lane: closed-loop load against an in-process
+# mpcd over real HTTP — cold/warm cache, registration churn, and a
+# two-tenant flood (see internal/servicebench). -quick keeps it CI-sized;
+# BENCH_service.json carries the per-scenario report for upload.
+service-bench:
+	$(GO) run ./cmd/mpcbench -service -quick -json BENCH_service.json
 
 # Multi-process cluster lane: the test builds mpcd with -race, boots two
 # shuffle peers plus a coordinator and an in-process golden daemon on

@@ -42,6 +42,19 @@
 // with allocation sites recorded); inspect with `go tool pprof`. See the
 // README's profiling quick-start.
 //
+// -service switches mpcbench from the paper experiments to the serving
+// plane: it boots an in-process mpcd server and drives it closed-loop
+// over real HTTP with Zipf-popular queries and a two-tenant flood (see
+// internal/servicebench), reporting per-scenario latency percentiles,
+// throughput, cache hit ratio and shed rate plus the derived
+// cache-speedup, register-churn and tenant-isolation figures:
+//
+//	mpcbench -service -json BENCH_service.json
+//	mpcbench -service -quick
+//
+// -quick shrinks the dataset and duration for a fast CI pass; -workers
+// sizes the closed-loop client pool and -seed the query generators.
+//
 // Every experiment verifies its results against the distributed
 // Yannakakis baseline (or the sequential reference) as it runs; a
 // "MISMATCH" in any verified column is a bug.
@@ -58,6 +71,7 @@ import (
 	"time"
 
 	"mpcjoin/internal/experiments"
+	"mpcjoin/internal/servicebench"
 	"mpcjoin/internal/transport"
 )
 
@@ -81,6 +95,7 @@ func run() int {
 		tpeers  = flag.String("transport-peers", "", "comma-separated shuffle peer addresses for -transport tcp (default: boot 3 loopback peers in-process)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (post-run snapshot) to this file")
+		service = flag.Bool("service", false, "benchmark the serving plane (cache, coalescing, tenant fairness) instead of the paper experiments")
 	)
 	flag.Parse()
 
@@ -119,6 +134,10 @@ func run() int {
 			fmt.Println(id)
 		}
 		return 0
+	}
+
+	if *service {
+		return runService(*quick, *seed, *workers, *jsonOut)
 	}
 
 	var ids []string
@@ -190,6 +209,52 @@ func run() int {
 		}
 	}
 	if failed {
+		return 1
+	}
+	return 0
+}
+
+// runService runs the serving-plane benchmark (mpcbench -service) and
+// writes the report to jsonOut when given.
+func runService(quick bool, seed uint64, workers int, jsonOut string) int {
+	opts := servicebench.Options{Seed: int64(seed)}
+	if workers > 0 {
+		opts.Workers = workers
+	}
+	if quick {
+		// The CI smoke scale: small dataset, short windows. DatasetN must
+		// still make one execution cost tens of milliseconds, or the
+		// flood scenario cannot build admission pressure (see the
+		// servicebench smoke test).
+		opts.Duration = 400 * time.Millisecond
+		opts.Population = 16
+		opts.DatasetN = 1600
+		opts.DatasetDom = 40
+		if workers <= 0 {
+			opts.Workers = 4
+		}
+	}
+	rep, err := servicebench.Run(opts, func(format string, args ...any) {
+		fmt.Printf("mpcbench: service: "+format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpcbench: service: %v\n", err)
+		return 1
+	}
+	fmt.Printf("mpcbench: service: cache p99 speedup %.1fx, qps gain %.1fx, churn failed %d, quiet p99 ratio %.2fx, flood shed rate %.2f\n",
+		rep.CacheP99SpeedupX, rep.CacheQPSGainX, rep.RegisterChurnFailed, rep.FloodQuietP99RatioX, rep.FloodShedRate)
+	if jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonOut, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: writing %s: %v\n", jsonOut, err)
+			return 1
+		}
+	}
+	if rep.RegisterChurnFailed != 0 {
+		fmt.Fprintf(os.Stderr, "mpcbench: service: %d queries failed under registration churn (want 0)\n", rep.RegisterChurnFailed)
 		return 1
 	}
 	return 0

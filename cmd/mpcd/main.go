@@ -27,6 +27,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,7 +36,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -45,13 +48,17 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
-		capacity     = flag.Int64("capacity", 0, "admission capacity in worker units (0 = GOMAXPROCS)")
-		maxQueue     = flag.Int("max-queue", 64, "bounded admission queue length; beyond it queries get 429")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
-		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		peerMode     = flag.Bool("peer", false, "run as a cluster shuffle peer instead of the HTTP service")
-		peers        = flag.String("peers", "", "comma-separated peer addresses; queries exchange over TCP through them (coordinator mode)")
+		addr          = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		capacity      = flag.Int64("capacity", 0, "admission capacity in worker units (0 = GOMAXPROCS)")
+		maxQueue      = flag.Int("max-queue", 64, "bounded admission queue length; beyond it queries get 429")
+		tenantQueue   = flag.Int("tenant-queue", 0, "per-tenant bound on the admission queue (0 = max-queue)")
+		tenantWeights = flag.String("tenant-weights", "", "per-tenant fair-dequeue shares, e.g. 'gold=3,free=1' (unlisted tenants get 1)")
+		cacheEntries  = flag.Int("cache-entries", 0, "result cache size in entries (0 = default 256, negative disables caching)")
+		logFormat     = flag.String("log-format", "text", "per-query access log format: 'text', 'json', or 'none'")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
+		pprofFlag     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		peerMode      = flag.Bool("peer", false, "run as a cluster shuffle peer instead of the HTTP service")
+		peers         = flag.String("peers", "", "comma-separated peer addresses; queries exchange over TCP through them (coordinator mode)")
 	)
 	flag.Parse()
 
@@ -60,7 +67,33 @@ func main() {
 		return
 	}
 
-	cfg := server.Config{Capacity: *capacity, MaxQueue: *maxQueue, EnablePprof: *pprofFlag}
+	// Every request context derives from baseCtx; it is also the server's
+	// BaseContext, so cancelling it stops in-flight and coalesced-shared
+	// executions at their next simulated round barrier — the drain path's
+	// last resort when queries outlive the drain window.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+
+	cfg := server.Config{
+		Capacity:     *capacity,
+		MaxQueue:     *maxQueue,
+		TenantQueue:  *tenantQueue,
+		CacheEntries: *cacheEntries,
+		EnablePprof:  *pprofFlag,
+		BaseContext:  baseCtx,
+	}
+	if *tenantWeights != "" {
+		weights, err := parseTenantWeights(*tenantWeights)
+		if err != nil {
+			log.Fatalf("mpcd: -tenant-weights: %v", err)
+		}
+		cfg.TenantWeights = weights
+	}
+	if al := accessLogger(*logFormat); al != nil {
+		cfg.AccessLog = al
+	} else if *logFormat != "none" {
+		log.Fatalf("mpcd: -log-format must be text, json or none, got %q", *logFormat)
+	}
 	if *peers != "" {
 		list := splitPeers(*peers)
 		cfg.Transport = transport.TCP(list...)
@@ -76,11 +109,6 @@ func main() {
 	// scripts pass -addr :0 and scrape the chosen port from stdout.
 	fmt.Printf("mpcd listening on %s\n", ln.Addr())
 
-	// Every request context derives from baseCtx, so cancelling it stops
-	// in-flight queries at their next simulated round barrier — the drain
-	// path's last resort when queries outlive the drain window.
-	baseCtx, cancelBase := context.WithCancel(context.Background())
-	defer cancelBase()
 	httpSrv := &http.Server{
 		Handler:     srv.Handler(),
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
@@ -125,6 +153,64 @@ func main() {
 		causes += fmt.Sprintf(" %s=%d", c.Name, c.Count)
 	}
 	log.Printf("mpcd: drained, exiting (completed=%d cancelled=%d%s)", snap.Completed, snap.Cancelled, causes)
+}
+
+// parseTenantWeights parses the -tenant-weights list ("gold=3,free=1").
+func parseTenantWeights(s string) (map[string]int64, error) {
+	weights := make(map[string]int64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("want tenant=weight, got %q", part)
+		}
+		w, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("weight of %q must be a positive integer, got %q", name, val)
+		}
+		weights[name] = w
+	}
+	return weights, nil
+}
+
+// accessLogger builds the per-query access-log sink for -log-format, or
+// nil for "none" and unknown formats (the caller rejects the latter).
+// Both formats emit one line per query to stderr through the standard
+// logger, serialized by a mutex so concurrent queries never interleave
+// mid-line.
+func accessLogger(format string) func(server.AccessEntry) {
+	var mu sync.Mutex
+	switch format {
+	case "json":
+		return func(e server.AccessEntry) {
+			line, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			log.Printf("query %s", line)
+			mu.Unlock()
+		}
+	case "text":
+		return func(e server.AccessEntry) {
+			mu.Lock()
+			log.Printf("query path=%s tenant=%s status=%d cause=%s engine=%s version=%d hit=%v coalesced=%v queue=%s wall=%s",
+				e.Path, e.Tenant, e.Status, orDash(e.Cause), orDash(e.Engine), e.DatasetVersion,
+				e.CacheHit, e.Coalesced, time.Duration(e.QueueNS), time.Duration(e.WallNS))
+			mu.Unlock()
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 // splitPeers parses the -peers list, tolerating whitespace and empty

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -31,12 +30,14 @@ func TestServiceSmoke(t *testing.T) {
 		t.Fatalf("build: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain-timeout", "30s")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain-timeout", "30s",
+		"-capacity", "2", "-max-queue", "8", "-tenant-queue", "1", "-log-format", "json")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd.Stderr = os.Stderr
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -182,6 +183,113 @@ func TestServiceSmoke(t *testing.T) {
 		t.Fatalf("metrics: no per-engine counts: %+v", snap)
 	}
 
+	// Cache-hit round trip: the same v2 query twice — the first executes,
+	// the second is served from the result cache with identical rows.
+	{
+		body := `{"relations":[{"name":"R1","attrs":["A","B"],"dataset":"E"},{"name":"R2","attrs":["B","C"],"dataset":"E"}],"group_by":["A"],"options":{"workers":2,"seed":9}}`
+		code, cold := post("/v2/query", body)
+		if code != http.StatusOK || strings.Contains(string(cold), `"cached":true`) {
+			t.Fatalf("cold v2 query: %d %s", code, cold)
+		}
+		code, warm := post("/v2/query", body)
+		if code != http.StatusOK || !strings.Contains(string(warm), `"cached":true`) {
+			t.Fatalf("warm v2 query not served from cache: %d %s", code, warm)
+		}
+		var coldQR, warmQR struct {
+			Rows [][]any `json:"rows"`
+		}
+		if err := json.Unmarshal(cold, &coldQR); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(warm, &warmQR); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(coldQR.Rows) != fmt.Sprint(warmQR.Rows) {
+			t.Fatalf("cached rows diverge: %v vs %v", warmQR.Rows, coldQR.Rows)
+		}
+		t.Logf("cache round trip ok (%d rows)", len(warmQR.Rows))
+	}
+
+	// Tenant quota: with -capacity 2 and -tenant-queue 1, a burst of
+	// whole-capacity queries from one tenant overflows its queue share and
+	// gets shed with 429, while a query from another tenant still queues
+	// behind the burst and completes.
+	{
+		code, out := post("/v1/datasets", `{"name":"Mid","arity":2,"generate":{"n":8000,"dom":120,"seed":7}}`)
+		if code != http.StatusOK {
+			t.Fatalf("register Mid: %d %s", code, out)
+		}
+		postTenant := func(tenant, body string) (int, []byte) {
+			req, err := http.NewRequest(http.MethodPost, base+"/v2/query", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-MPC-Tenant", tenant)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("tenant POST: %v", err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			return resp.StatusCode, buf.Bytes()
+		}
+		const flood = 6
+		floodBody := func(i int) string {
+			return fmt.Sprintf(`{"relations":[{"name":"R1","attrs":["A","B"],"dataset":"Mid"},{"name":"R2","attrs":["B","C"],"dataset":"Mid"}],"group_by":["A"],"options":{"workers":2,"seed":%d,"cache":"off"}}`, 100+i)
+		}
+		codes := make(chan int, flood)
+		for i := 0; i < flood; i++ {
+			go func(i int) {
+				code, _ := postTenant("noisy", floodBody(i))
+				codes <- code
+			}(i)
+		}
+		quietCode, quietOut := postTenant("quiet", floodBody(999))
+		if quietCode != http.StatusOK {
+			t.Fatalf("quiet tenant query during flood: %d %s", quietCode, quietOut)
+		}
+		shed, served := 0, 0
+		for i := 0; i < flood; i++ {
+			switch c := <-codes; c {
+			case http.StatusOK:
+				served++
+			case http.StatusTooManyRequests:
+				shed++
+			default:
+				t.Fatalf("flood query status %d", c)
+			}
+		}
+		if shed == 0 || served == 0 {
+			t.Fatalf("tenant flood: served=%d shed=%d, want both > 0", served, shed)
+		}
+		mresp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tsnap struct {
+			TenantShed []struct {
+				Name  string `json:"name"`
+				Count int64  `json:"count"`
+			} `json:"tenant_shed"`
+		}
+		if err := json.NewDecoder(mresp.Body).Decode(&tsnap); err != nil {
+			t.Fatal(err)
+		}
+		mresp.Body.Close()
+		noisyShed := int64(0)
+		for _, c := range tsnap.TenantShed {
+			if c.Name == "noisy" {
+				noisyShed = c.Count
+			}
+		}
+		if noisyShed != int64(shed) {
+			t.Fatalf("tenant_shed[noisy] = %d, want %d", noisyShed, shed)
+		}
+		t.Logf("tenant quota ok (served=%d shed=%d, quiet tenant unaffected)", served, shed)
+	}
+
 	// Graceful shutdown: SIGTERM drains and the process exits 0.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -193,6 +301,16 @@ func TestServiceSmoke(t *testing.T) {
 		}
 	case <-time.After(60 * time.Second):
 		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	// The JSON access log (read only after exit: the buffer is not
+	// synchronized with the child) carries one structured line per query
+	// with tenant, cache and outcome fields.
+	logs := stderr.String()
+	for _, want := range []string{`"cache_hit":true`, `"tenant":"noisy"`, `"tenant":"quiet"`, `"cause":"queue_full"`, `"path":"/v1/query"`} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("access log missing %s:\n%s", want, logs)
+		}
 	}
 }
 

@@ -1,0 +1,128 @@
+package mpcjoin
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFingerprintOrderIndependent asserts the canonical hash ignores the
+// order options are supplied in.
+func TestFingerprintOrderIndependent(t *testing.T) {
+	opts := []Option{
+		WithServers(8),
+		WithTreeEngine(),
+		WithSeed(42),
+		WithEstimator(64, 7),
+		WithFaults(FaultSpec{DropProb: 0.1, Seed: 9}),
+		WithRetry(5),
+	}
+	want, err := Fingerprint(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(opts))
+		shuffled := make([]Option, len(opts))
+		for i, j := range perm {
+			shuffled[i] = opts[j]
+		}
+		got, err := Fingerprint(shuffled...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("permutation %v: fingerprint %x != %x", perm, got, want)
+		}
+	}
+}
+
+// TestFingerprintResultKnobsDistinct asserts that changing any
+// result-affecting knob changes the hash.
+func TestFingerprintResultKnobsDistinct(t *testing.T) {
+	base, err := Fingerprint(WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string][]Option{
+		"servers":   {WithSeed(1), WithServers(8)},
+		"baseline":  {WithSeed(1), WithBaseline()},
+		"tree":      {WithSeed(1), WithTreeEngine()},
+		"seed":      {WithSeed(2)},
+		"estimator": {WithSeed(1), WithEstimator(64, 7)},
+		"oracle":    {WithSeed(1), WithOutOracle(100)},
+		"faults":    {WithSeed(1), WithFaults(FaultSpec{DropProb: 0.1})},
+	}
+	seen := map[uint64]string{base: "base"}
+	for name, opts := range variants {
+		got, err := Fingerprint(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Fatalf("%s collides with %s: %x", name, prev, got)
+		}
+		seen[got] = name
+	}
+	// Distinct fault schedules hash apart too.
+	a, _ := Fingerprint(WithFaults(FaultSpec{DropProb: 0.1}))
+	b, _ := Fingerprint(WithFaults(FaultSpec{DropProb: 0.2}))
+	if a == b {
+		t.Fatal("distinct fault specs collide")
+	}
+	// Retry budget is result-affecting (it decides whether a faulty run
+	// completes or fails).
+	c, _ := Fingerprint(WithFaults(FaultSpec{DropProb: 0.1}), WithRetry(1))
+	if a == c {
+		t.Fatal("retry budget did not change the fingerprint")
+	}
+}
+
+// TestFingerprintExecutionKnobsIgnored asserts wall-clock-only knobs do
+// not contribute.
+func TestFingerprintExecutionKnobsIgnored(t *testing.T) {
+	base, err := Fingerprint(WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string][]Option{
+		"workers":   {WithSeed(1), WithWorkers(8)},
+		"trace":     {WithSeed(1), WithTrace()},
+		"transport": {WithSeed(1), WithTransport(InProcTransport())},
+	} {
+		got, err := Fingerprint(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Fatalf("%s changed the fingerprint: %x != %x", name, got, base)
+		}
+	}
+}
+
+// TestFingerprintDefaultsResolved asserts an absent option and its
+// explicit default collide (the defaults are applied before hashing).
+func TestFingerprintDefaultsResolved(t *testing.T) {
+	implicit, err := Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Fingerprint(WithServers(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit != explicit {
+		t.Fatalf("default Servers not resolved: %x != %x", implicit, explicit)
+	}
+}
+
+// TestFingerprintConflictErrors asserts invalid combinations surface the
+// same errors Execute reports.
+func TestFingerprintConflictErrors(t *testing.T) {
+	if _, err := Fingerprint(WithBaseline(), WithTreeEngine()); err == nil {
+		t.Fatal("conflicting engines accepted")
+	}
+	if _, err := Fingerprint(WithRetry(2)); err == nil {
+		t.Fatal("WithRetry without WithFaults accepted")
+	}
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by FairQueue.Acquire when the global wait
+// queue is at capacity: the server is saturated and the caller should
+// shed the request rather than let the queue grow without bound.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// ErrTenantQueueFull is returned when one tenant's share of the wait
+// queue is exhausted while the global queue still has room — the
+// per-tenant quota that keeps a flooding tenant from occupying every
+// queue slot.
+var ErrTenantQueueFull = errors.New("serve: tenant admission quota exhausted")
+
+// FairConfig sizes a FairQueue.
+type FairConfig struct {
+	// Capacity is the total admissible weight (worker units).
+	Capacity int64
+	// MaxQueue bounds the global wait queue; beyond it Acquire sheds
+	// with ErrQueueFull.
+	MaxQueue int
+	// TenantQueue bounds each tenant's share of the wait queue; beyond
+	// it Acquire sheds with ErrTenantQueueFull. 0 means MaxQueue (only
+	// the global bound applies).
+	TenantQueue int
+	// Weights maps tenant → dequeue share; tenants not listed get
+	// weight 1. A tenant with weight 3 is granted capacity three times
+	// as often as a weight-1 tenant when both have queued work.
+	Weights map[string]int64
+}
+
+// FairQueue is a context-aware weighted semaphore with per-tenant
+// bounded FIFO wait queues and weighted fair dequeue — the admission
+// controller of the multi-tenant query service.
+//
+// Within a tenant, waiters are served strictly FIFO (a light late
+// arrival never overtakes a parked heavy one). Across tenants, the
+// dequeuer runs stride scheduling: each tenant with queued work carries
+// a virtual pass, the tenant with the minimum pass is served next, and
+// serving advances its pass by weight/Weights[tenant] — so a tenant
+// flooding the queue cannot starve a quiet one, whose next request is
+// scheduled at the current virtual time regardless of how many requests
+// the flooder has parked.
+type FairQueue struct {
+	mu          sync.Mutex
+	capacity    int64
+	inUse       int64
+	maxQueue    int
+	tenantQueue int
+	weights     map[string]int64
+
+	tenants    map[string]*tenantQ // tenants with queued waiters
+	queued     int                 // total queued waiters
+	globalPass uint64              // virtual time: pass of the last scheduled tenant
+}
+
+type tenantQ struct {
+	name    string
+	waiters list.List // of *fairWaiter, FIFO
+	pass    uint64
+}
+
+type fairWaiter struct {
+	n     int64
+	ready chan struct{} // closed once the waiter holds its weight
+}
+
+// strideScale keeps pass increments integral for weights up to 2^20.
+const strideScale = 1 << 20
+
+// NewFairQueue returns a fair admission queue for the given sizing.
+func NewFairQueue(cfg FairConfig) *FairQueue {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.TenantQueue <= 0 || cfg.TenantQueue > cfg.MaxQueue {
+		cfg.TenantQueue = cfg.MaxQueue
+	}
+	return &FairQueue{
+		capacity:    cfg.Capacity,
+		maxQueue:    cfg.MaxQueue,
+		tenantQueue: cfg.TenantQueue,
+		weights:     cfg.Weights,
+	}
+}
+
+// Capacity returns the total admissible weight.
+func (q *FairQueue) Capacity() int64 { return q.capacity }
+
+// InUse returns the currently held weight.
+func (q *FairQueue) InUse() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inUse
+}
+
+// Queued returns the total number of waiting acquirers.
+func (q *FairQueue) Queued() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// QueuedFor returns tenant's waiting acquirers.
+func (q *FairQueue) QueuedFor(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if tq := q.tenants[tenant]; tq != nil {
+		return tq.waiters.Len()
+	}
+	return 0
+}
+
+// QueuedByTenant returns a snapshot of waiting acquirers per tenant.
+func (q *FairQueue) QueuedByTenant() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.tenants))
+	for name, tq := range q.tenants {
+		out[name] = tq.waiters.Len()
+	}
+	return out
+}
+
+func (q *FairQueue) weightOf(tenant string) int64 {
+	if w := q.weights[tenant]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Acquire blocks until n units of weight are held for tenant, ctx is
+// done, or a queue bound is hit. n is clamped to the capacity so
+// oversized requests degrade to "whole machine" rather than deadlocking.
+// On a nil error the caller must Release the returned (clamped) weight.
+func (q *FairQueue) Acquire(ctx context.Context, tenant string, n int64) (int64, error) {
+	if n < 1 {
+		n = 1
+	}
+	if n > q.capacity {
+		n = q.capacity
+	}
+	q.mu.Lock()
+	// Fast path: capacity available and nobody queued anywhere (a grant
+	// here cannot overtake a parked waiter because there is none).
+	if q.queued == 0 && q.inUse+n <= q.capacity {
+		q.inUse += n
+		q.mu.Unlock()
+		return n, nil
+	}
+	if q.queued >= q.maxQueue {
+		q.mu.Unlock()
+		return 0, ErrQueueFull
+	}
+	tq := q.tenants[tenant]
+	if tq == nil {
+		// A tenant (re)entering the queue starts at the current virtual
+		// time: it competes fairly from now on, with no credit for past
+		// idleness and no debt from past floods.
+		tq = &tenantQ{name: tenant, pass: q.globalPass}
+		if q.tenants == nil {
+			q.tenants = make(map[string]*tenantQ)
+		}
+		q.tenants[tenant] = tq
+	}
+	if tq.waiters.Len() >= q.tenantQueue {
+		if tq.waiters.Len() == 0 {
+			delete(q.tenants, tenant)
+		}
+		q.mu.Unlock()
+		return 0, ErrTenantQueueFull
+	}
+	w := &fairWaiter{n: n, ready: make(chan struct{})}
+	elem := tq.waiters.PushBack(w)
+	q.queued++
+	q.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return n, nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		select {
+		case <-w.ready:
+			// The weight was granted concurrently with cancellation; the
+			// caller is abandoning, so give it straight back.
+			q.mu.Unlock()
+			q.Release(n)
+			return 0, ctx.Err()
+		default:
+			tq.waiters.Remove(elem)
+			q.queued--
+			if tq.waiters.Len() == 0 {
+				delete(q.tenants, tenant)
+			}
+			// Removing a waiter can unblock others: the departed waiter
+			// may have been the head capacity was reserved for.
+			q.notifyLocked()
+			q.mu.Unlock()
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// Release returns n units of weight and grants capacity to queued
+// waiters in weighted fair order.
+func (q *FairQueue) Release(n int64) {
+	q.mu.Lock()
+	q.inUse -= n
+	if q.inUse < 0 {
+		q.mu.Unlock()
+		panic("serve: fair queue released more than held")
+	}
+	q.notifyLocked()
+	q.mu.Unlock()
+}
+
+// notifyLocked grants capacity to the head waiter of the minimum-pass
+// tenant while it fits; it stops at the first head that does not fit, so
+// a parked heavy waiter is never starved by light arrivals behind it.
+func (q *FairQueue) notifyLocked() {
+	for q.queued > 0 {
+		// Pick the tenant with the minimum pass; ties break by name so
+		// the schedule is deterministic.
+		var next *tenantQ
+		for _, tq := range q.tenants {
+			if next == nil || tq.pass < next.pass || (tq.pass == next.pass && tq.name < next.name) {
+				next = tq
+			}
+		}
+		front := next.waiters.Front()
+		w := front.Value.(*fairWaiter)
+		if q.inUse+w.n > q.capacity {
+			return
+		}
+		q.inUse += w.n
+		next.waiters.Remove(front)
+		q.queued--
+		q.globalPass = next.pass
+		next.pass += uint64(w.n) * strideScale / uint64(q.weightOf(next.name))
+		if next.waiters.Len() == 0 {
+			delete(q.tenants, next.name)
+		}
+		close(w.ready)
+	}
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// FlightOutcome reports how a Flight.Do caller was served.
+type FlightOutcome int
+
+const (
+	// Led: this caller started the shared execution (fn ran on its behalf).
+	Led FlightOutcome = iota
+	// Joined: this caller coalesced onto an execution another caller led
+	// and received the shared result.
+	Joined
+	// AbandonedShared: this caller's context ended while the shared
+	// execution kept running for the remaining waiters.
+	AbandonedShared
+	// AbandonedLast: this caller's context ended and it was the last
+	// waiter, so the shared execution was cancelled with the caller's
+	// cancellation cause.
+	AbandonedLast
+)
+
+// Flight coalesces concurrent executions that share a key: the first
+// caller of Do for a key becomes the leader and fn runs exactly once; the
+// immutable result fans out to every concurrent caller of the same key.
+//
+// Cancellation is per-waiter: each caller waits under its own context and
+// a caller whose context ends gets that context's error while the shared
+// execution keeps running for the remaining waiters. Only when the last
+// waiter abandons is the execution itself cancelled (with the last
+// waiter's cause), so nobody pays for a result nobody wants.
+//
+// The zero value is ready to use.
+type Flight[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done    chan struct{} // closed after val/err are set
+	val     V
+	err     error
+	waiters int
+	cancel  context.CancelCauseFunc
+}
+
+// Do returns the shared result for key. fn runs at most once per in-flight
+// key, on a context derived from base (NOT from ctx — the execution must
+// outlive any single waiter); ctx governs only this caller's wait. The
+// result value is shared across waiters and must be treated as immutable.
+func (f *Flight[V]) Do(ctx, base context.Context, key string, fn func(context.Context) (V, error)) (V, FlightOutcome, error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[string]*flightCall[V])
+	}
+	c, joined := f.calls[key]
+	outcome := Joined
+	if !joined {
+		execCtx, cancel := context.WithCancelCause(base)
+		c = &flightCall[V]{done: make(chan struct{}), cancel: cancel}
+		f.calls[key] = c
+		outcome = Led
+		go func() {
+			v, err := fn(execCtx)
+			f.mu.Lock()
+			c.val, c.err = v, err
+			// Drop the call before publishing so a later arrival starts a
+			// fresh execution (its result should come from the caller's
+			// cache, not a stale flight).
+			delete(f.calls, key)
+			f.mu.Unlock()
+			close(c.done)
+			cancel(context.Canceled) // release the exec context's resources
+		}()
+	}
+	c.waiters++
+	f.mu.Unlock()
+
+	select {
+	case <-c.done:
+		return c.val, outcome, c.err
+	case <-ctx.Done():
+	}
+	// The result may have landed in the same instant the context fired;
+	// prefer it — the caller paid for it.
+	select {
+	case <-c.done:
+		return c.val, outcome, c.err
+	default:
+	}
+	f.mu.Lock()
+	c.waiters--
+	last := c.waiters == 0
+	f.mu.Unlock()
+	var zero V
+	if last {
+		c.cancel(context.Cause(ctx))
+		return zero, AbandonedLast, ctx.Err()
+	}
+	return zero, AbandonedShared, ctx.Err()
+}
+
+// InFlight returns the number of executions currently in flight.
+func (f *Flight[V]) InFlight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+// Waiters returns the number of callers currently waiting on in-flight
+// executions (leaders included) — an observability hook for tests and
+// metrics that need to know when coalescing has actually attached.
+func (f *Flight[V]) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, c := range f.calls {
+		n += c.waiters
+	}
+	return n
+}

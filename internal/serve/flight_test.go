@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightCoalesces(t *testing.T) {
+	var f Flight[int]
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	const waiters = 8
+
+	var wg sync.WaitGroup
+	vals := make([]int, waiters)
+	outcomes := make([]FlightOutcome, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, out, err := f.Do(context.Background(), context.Background(), "k", func(ctx context.Context) (int, error) {
+				execs.Add(1)
+				<-gate
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			vals[i], outcomes[i] = v, out
+		}(i)
+	}
+	// Let all callers enqueue before releasing the execution.
+	for f.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	led := 0
+	for i := range vals {
+		if vals[i] != 42 {
+			t.Fatalf("waiter %d got %d", i, vals[i])
+		}
+		if outcomes[i] == Led {
+			led++
+		}
+	}
+	if led != 1 {
+		t.Fatalf("%d leaders, want 1", led)
+	}
+}
+
+func TestFlightWaiterCancelDoesNotCancelShared(t *testing.T) {
+	var f Flight[int]
+	gate := make(chan struct{})
+	execDone := make(chan error, 1)
+
+	lead := make(chan struct{})
+	go func() {
+		_, _, err := f.Do(context.Background(), context.Background(), "k", func(ctx context.Context) (int, error) {
+			close(lead)
+			<-gate
+			execDone <- ctx.Err()
+			return 7, nil
+		})
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+	}()
+	<-lead
+
+	ctx, cancel := context.WithCancel(context.Background())
+	joinErr := make(chan error, 1)
+	var outc atomic.Int64
+	go func() {
+		_, out, err := f.Do(ctx, context.Background(), "k", func(context.Context) (int, error) {
+			t.Error("joiner must not execute")
+			return 0, nil
+		})
+		outc.Store(int64(out))
+		joinErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-joinErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("joiner err = %v, want context.Canceled", err)
+	}
+	if FlightOutcome(outc.Load()) != AbandonedShared {
+		t.Fatalf("outcome = %d, want AbandonedShared", outc.Load())
+	}
+	close(gate)
+	if err := <-execDone; err != nil {
+		t.Fatalf("shared execution saw ctx err %v after one waiter abandoned", err)
+	}
+}
+
+func TestFlightLastWaiterCancelsWithCause(t *testing.T) {
+	var f Flight[int]
+	started := make(chan struct{})
+	cause := make(chan error, 1)
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, out, err := f.Do(ctx, context.Background(), "k", func(execCtx context.Context) (int, error) {
+			close(started)
+			<-execCtx.Done()
+			cause <- context.Cause(execCtx)
+			return 0, execCtx.Err()
+		})
+		if out != AbandonedLast {
+			t.Errorf("outcome = %d, want AbandonedLast", out)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v", err)
+		}
+	}()
+	<-started
+	sentinel := errors.New("drain")
+	cancel(sentinel)
+	<-done
+	select {
+	case got := <-cause:
+		if !errors.Is(got, sentinel) {
+			t.Fatalf("exec cause = %v, want sentinel", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("shared execution was not cancelled")
+	}
+}
+
+func TestFlightSequentialCallsRunFresh(t *testing.T) {
+	var f Flight[int]
+	var execs atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, out, err := f.Do(context.Background(), context.Background(), "k", func(context.Context) (int, error) {
+			return int(execs.Add(1)), nil
+		})
+		if err != nil || out != Led || v != i+1 {
+			t.Fatalf("call %d: v=%d out=%d err=%v", i, v, out, err)
+		}
+	}
+	if f.InFlight() != 0 {
+		t.Fatalf("in flight = %d, want 0", f.InFlight())
+	}
+}
+
+func TestFlightErrorFansOut(t *testing.T) {
+	var f Flight[int]
+	sentinel := errors.New("boom")
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := f.Do(context.Background(), context.Background(), "k", func(context.Context) (int, error) {
+				<-gate
+				return 0, sentinel
+			})
+			if !errors.Is(err, sentinel) {
+				t.Errorf("err = %v, want sentinel", err)
+			}
+		}()
+	}
+	for f.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+}

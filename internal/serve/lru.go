@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU result cache. Entries are keyed by an exact
+// string key (no hashing, so no collisions) and carry a set of tags;
+// InvalidateTags drops every entry carrying a tag — the server tags each
+// result with the dataset names it was computed from, so a registration
+// invalidates exactly the results it obsoletes.
+//
+// All methods are safe for concurrent use. Values are returned as stored:
+// callers that cache pointers must treat the pointee as immutable.
+type Cache[V any] struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+	byTag map[string]map[*list.Element]struct{}
+
+	hits, misses, evictions, invalidations int64
+}
+
+type centry[V any] struct {
+	key  string
+	tags []string
+	val  V
+}
+
+// CacheStats is a point-in-time copy of the cache counters.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+}
+
+// NewCache returns a cache bounded to max entries; max < 1 is clamped
+// to 1 (a zero-capacity LRU is a miss counter, not a cache).
+func NewCache[V any](max int) *Cache[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache[V]{
+		max:   max,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+		byTag: make(map[string]map[*list.Element]struct{}),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*centry[V]).val, true
+}
+
+// Put stores val under key with the given invalidation tags, evicting the
+// least recently used entry beyond the bound. Re-putting an existing key
+// replaces its value and tags.
+func (c *Cache[V]) Put(key string, tags []string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.untagLocked(el)
+		e := el.Value.(*centry[V])
+		e.val, e.tags = val, tags
+		c.tagLocked(el, tags)
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&centry[V]{key: key, tags: tags, val: val})
+	c.byKey[key] = el
+	c.tagLocked(el, tags)
+	for c.ll.Len() > c.max {
+		c.removeLocked(c.ll.Back())
+		c.evictions++
+	}
+}
+
+// InvalidateTags removes every entry carrying any of the given tags and
+// returns how many entries were dropped.
+func (c *Cache[V]) InvalidateTags(tags ...string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, tag := range tags {
+		for el := range c.byTag[tag] {
+			c.removeLocked(el)
+			n++
+		}
+	}
+	c.invalidations += int64(n)
+	return n
+}
+
+// Len returns the current entry count.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.ll.Len(),
+	}
+}
+
+func (c *Cache[V]) tagLocked(el *list.Element, tags []string) {
+	for _, tag := range tags {
+		set := c.byTag[tag]
+		if set == nil {
+			set = make(map[*list.Element]struct{})
+			c.byTag[tag] = set
+		}
+		set[el] = struct{}{}
+	}
+}
+
+func (c *Cache[V]) untagLocked(el *list.Element) {
+	e := el.Value.(*centry[V])
+	for _, tag := range e.tags {
+		set := c.byTag[tag]
+		delete(set, el)
+		if len(set) == 0 {
+			delete(c.byTag, tag)
+		}
+	}
+}
+
+func (c *Cache[V]) removeLocked(el *list.Element) {
+	c.untagLocked(el)
+	delete(c.byKey, el.Value.(*centry[V]).key)
+	c.ll.Remove(el)
+}

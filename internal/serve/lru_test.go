@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheGetPutBasics(t *testing.T) {
+	c := NewCache[int](4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []string{"R"}, 1)
+	v, ok := c.Get("a")
+	if !ok || v != 1 {
+		t.Fatalf("got %v %v, want 1 true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache[int](3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprint("k", i), nil, i)
+	}
+	// Touch k0 so k1 becomes least recently used.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", nil, 3)
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should survive", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestCacheRePutReplacesValueAndTags(t *testing.T) {
+	c := NewCache[int](4)
+	c.Put("a", []string{"R"}, 1)
+	c.Put("a", []string{"S"}, 2)
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("got %d, want 2", v)
+	}
+	if n := c.InvalidateTags("R"); n != 0 {
+		t.Fatalf("stale tag R invalidated %d entries", n)
+	}
+	if n := c.InvalidateTags("S"); n != 1 {
+		t.Fatalf("tag S invalidated %d entries, want 1", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+}
+
+func TestCacheInvalidateTagsSelective(t *testing.T) {
+	c := NewCache[int](8)
+	c.Put("q1", []string{"R", "S"}, 1)
+	c.Put("q2", []string{"S"}, 2)
+	c.Put("q3", []string{"T"}, 3)
+	if n := c.InvalidateTags("S"); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if _, ok := c.Get("q3"); !ok {
+		t.Fatal("q3 should survive")
+	}
+	if _, ok := c.Get("q1"); ok {
+		t.Fatal("q1 should be gone")
+	}
+	if st := c.Stats(); st.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", st.Invalidations)
+	}
+}
+
+func TestCacheMaxClamped(t *testing.T) {
+	c := NewCache[int](0)
+	c.Put("a", nil, 1)
+	c.Put("b", nil, 2)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache[int](16)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprint("k", (g+i)%24)
+				c.Put(k, []string{fmt.Sprint("t", i%3)}, i)
+				c.Get(k)
+				if i%50 == 0 {
+					c.InvalidateTags(fmt.Sprint("t", i%3))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Len() > 16 {
+		t.Fatalf("len = %d exceeds bound", c.Len())
+	}
+}

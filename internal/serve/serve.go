@@ -1,0 +1,13 @@
+// Package serve holds the serving-plane primitives of the mpcd query
+// service: a bounded LRU result cache with tag invalidation (Cache), a
+// single-flight group that coalesces concurrent identical executions with
+// per-waiter cancellation (Flight), and a per-tenant weighted-fair
+// admission queue (FairQueue).
+//
+// The package is deliberately free of HTTP and engine types — everything
+// is generic or string-keyed — so the primitives can be unit-tested in
+// isolation and reused by embedders. internal/server wires them into the
+// daemon's query path; the determinism of the MPC model (same dataset
+// version + canonical options + semiring + seed ⇒ bit-identical rows,
+// Stats and trace) is what makes the cache and the coalescer sound.
+package serve

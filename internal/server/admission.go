@@ -1,70 +1,42 @@
 package server
 
 import (
-	"container/list"
 	"context"
-	"errors"
-	"sync"
+
+	"mpcjoin/internal/serve"
 )
 
-// ErrQueueFull is returned by Semaphore.Acquire when the bounded wait
-// queue is at capacity: the server is saturated and the caller should shed
-// the request rather than let the queue grow without bound.
-var ErrQueueFull = errors.New("server: admission queue full")
+// ErrQueueFull is returned by Semaphore.Acquire (and the server's fair
+// queue) when the bounded wait queue is at capacity: the server is
+// saturated and the caller should shed the request rather than let the
+// queue grow without bound.
+var ErrQueueFull = serve.ErrQueueFull
 
-// Semaphore is a context-aware weighted semaphore with a bounded FIFO wait
-// queue — the admission controller of the query service. Each query
-// acquires a weight proportional to the OS parallelism it will consume, so
-// total concurrent worker demand stays at or below the configured
-// capacity; excess queries wait in arrival order, and beyond the queue
-// bound they are rejected immediately with ErrQueueFull (load shedding).
-//
-// Hand-rolled on sync.Mutex + channels rather than importing a semaphore
-// package: the module is stdlib-only by design. The shape follows the
-// classic weighted-semaphore construction — waiters park on a per-waiter
-// channel; Release hands capacity to the queue head first, so a heavy
-// waiter at the head is never starved by light late arrivals.
+// Semaphore is the service's classic admission controller: a
+// context-aware weighted semaphore with a bounded FIFO wait queue. Since
+// the serving plane grew per-tenant fairness, it is a single-tenant view
+// over serve.FairQueue — one anonymous tenant, whose stride schedule
+// degenerates to exactly the old FIFO semantics (a heavy waiter at the
+// head is never starved by light late arrivals). Kept as the embedding
+// API and as the compatibility surface the pre-tenant tests pin.
 type Semaphore struct {
-	mu       sync.Mutex
-	capacity int64
-	inUse    int64
-	waiters  list.List // of *waiter, FIFO
-	maxQueue int
-}
-
-type waiter struct {
-	n     int64
-	ready chan struct{} // closed by Release when the waiter holds its weight
+	q *serve.FairQueue
 }
 
 // NewSemaphore returns a semaphore admitting up to capacity units of
 // concurrent weight, with at most maxQueue waiting acquirers.
 func NewSemaphore(capacity int64, maxQueue int) *Semaphore {
-	if capacity < 1 {
-		capacity = 1
-	}
-	if maxQueue < 0 {
-		maxQueue = 0
-	}
-	return &Semaphore{capacity: capacity, maxQueue: maxQueue}
+	return &Semaphore{q: serve.NewFairQueue(serve.FairConfig{Capacity: capacity, MaxQueue: maxQueue})}
 }
 
 // Capacity returns the total admissible weight.
-func (s *Semaphore) Capacity() int64 { return s.capacity }
+func (s *Semaphore) Capacity() int64 { return s.q.Capacity() }
 
 // Queued returns the current number of waiting acquirers.
-func (s *Semaphore) Queued() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.waiters.Len()
-}
+func (s *Semaphore) Queued() int { return s.q.Queued() }
 
 // InUse returns the currently held weight.
-func (s *Semaphore) InUse() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.inUse
-}
+func (s *Semaphore) InUse() int64 { return s.q.InUse() }
 
 // Acquire blocks until n units of weight are held, ctx is done, or the
 // wait queue is full. n is clamped to the capacity so oversized requests
@@ -72,78 +44,9 @@ func (s *Semaphore) InUse() int64 {
 // caller must Release(n) with the same (clamped) value — Acquire returns
 // the clamped weight for that purpose.
 func (s *Semaphore) Acquire(ctx context.Context, n int64) (int64, error) {
-	if n < 1 {
-		n = 1
-	}
-	if n > s.capacity {
-		n = s.capacity
-	}
-	s.mu.Lock()
-	// Fast path: capacity available and nobody queued ahead (FIFO — a
-	// light request must not overtake a parked heavy one).
-	if s.waiters.Len() == 0 && s.inUse+n <= s.capacity {
-		s.inUse += n
-		s.mu.Unlock()
-		return n, nil
-	}
-	if s.waiters.Len() >= s.maxQueue {
-		s.mu.Unlock()
-		return 0, ErrQueueFull
-	}
-	w := &waiter{n: n, ready: make(chan struct{})}
-	elem := s.waiters.PushBack(w)
-	s.mu.Unlock()
-
-	select {
-	case <-w.ready:
-		return n, nil
-	case <-ctx.Done():
-		s.mu.Lock()
-		select {
-		case <-w.ready:
-			// Release granted the weight concurrently with cancellation;
-			// the caller is abandoning, so give it straight back.
-			s.mu.Unlock()
-			s.Release(n)
-			return 0, ctx.Err()
-		default:
-			s.waiters.Remove(elem)
-			// Removing a waiter can unblock those behind it (the departed
-			// waiter may have been the head that capacity was reserved for).
-			s.notifyLocked()
-			s.mu.Unlock()
-			return 0, ctx.Err()
-		}
-	}
+	return s.q.Acquire(ctx, "", n)
 }
 
-// Release returns n units of weight and wakes queued waiters in FIFO order
-// as capacity allows.
-func (s *Semaphore) Release(n int64) {
-	s.mu.Lock()
-	s.inUse -= n
-	if s.inUse < 0 {
-		s.mu.Unlock()
-		panic("server: semaphore released more than held")
-	}
-	s.notifyLocked()
-	s.mu.Unlock()
-}
-
-// notifyLocked grants capacity to the queue head while it fits; it stops
-// at the first waiter that does not fit, preserving FIFO fairness.
-func (s *Semaphore) notifyLocked() {
-	for {
-		front := s.waiters.Front()
-		if front == nil {
-			return
-		}
-		w := front.Value.(*waiter)
-		if s.inUse+w.n > s.capacity {
-			return
-		}
-		s.inUse += w.n
-		s.waiters.Remove(front)
-		close(w.ready)
-	}
-}
+// Release returns n units of weight and wakes queued waiters in FIFO
+// order as capacity allows.
+func (s *Semaphore) Release(n int64) { s.q.Release(n) }

@@ -85,6 +85,9 @@ type QueryRequest struct {
 	// shape: a v1 body with a "faults" key is an unknown field and gets
 	// 400). Both versions execute through this normalized struct.
 	Faults *FaultBlock `json:"-"`
+	// Cache is the cache-control mode ("", "default", "bypass", "off"),
+	// settable only through the v2 options object; v1 always runs off.
+	Cache string `json:"-"`
 }
 
 var validStrategies = map[string]bool{"": true, "auto": true, "yannakakis": true, "tree": true}
@@ -186,6 +189,9 @@ func validateQueryRequest(req *QueryRequest) error {
 		if err := req.Faults.validate(); err != nil {
 			return err
 		}
+	}
+	if !validCacheModes[req.Cache] {
+		return fmt.Errorf("unknown cache mode %q (want default, bypass or off)", req.Cache)
 	}
 	return nil
 }

@@ -2,6 +2,8 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -61,6 +63,10 @@ func FuzzDecodeQueryRequestV2(f *testing.F) {
 	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"options":{"faults":{"max_retries":9999}}}`)
 	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"servers":4}`)
 	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"options":null}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"options":{"cache":"bypass"}}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"options":{"cache":"default"}}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"options":{"cache":"sometimes"}}`)
+	f.Add(`{"relations":[{"name":"R","attrs":["A","B"]}],"options":{"cache":""}}`)
 	f.Add(`{`)
 	f.Add(`null`)
 	f.Fuzz(func(t *testing.T, body string) {
@@ -78,6 +84,9 @@ func FuzzDecodeQueryRequestV2(f *testing.F) {
 		}
 		if !validStrategies[req.Strategy] || !validSemirings[req.Semiring] {
 			t.Fatalf("accepted unknown strategy/semiring %+v", req)
+		}
+		if !validCacheModes[req.Cache] {
+			t.Fatalf("accepted unknown cache mode %q", req.Cache)
 		}
 		if fb := req.Faults; fb != nil {
 			if fb.CrashProb < 0 || fb.CrashProb > 1 ||
@@ -140,6 +149,40 @@ func FuzzQueryEndpoint(f *testing.F) {
 		s.Handler().ServeHTTP(rec, req)
 		if rec.Code != 200 && (rec.Code < 400 || rec.Code > 599) {
 			t.Fatalf("status %d for body %q", rec.Code, body)
+		}
+	})
+}
+
+// FuzzTenantHeader drives /v2/query with arbitrary tenant headers and
+// cache modes: any header value must yield either a served query or a
+// 4xx with the typed error envelope — never a panic, never a 5xx for a
+// header problem.
+func FuzzTenantHeader(f *testing.F) {
+	f.Add("acme", "default")
+	f.Add("", "bypass")
+	f.Add("has space", "off")
+	f.Add("semi;colon\x00", "")
+	f.Add(strings.Repeat("x", 200), "nonsense")
+	f.Add("ünïcode", "default")
+	s := New(Config{})
+	_ = s.Registry().Put("R1", 2, GenerateRows(2, 50, 8, 1))
+	_ = s.Registry().Put("R2", 2, GenerateRows(2, 50, 8, 2))
+	const body = `{"relations":[{"name":"R1","attrs":["A","B"]},{"name":"R2","attrs":["B","C"]}],"group_by":["A"],"options":{"cache":%q}}`
+	f.Fuzz(func(t *testing.T, tenant, mode string) {
+		req := httptest.NewRequest("POST", "/v2/query", strings.NewReader(fmt.Sprintf(body, mode)))
+		// Set the header raw: hostile clients are not limited to
+		// canonical or even valid header values.
+		req.Header["X-Mpc-Tenant"] = []string{tenant}
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != 200 && (rec.Code < 400 || rec.Code > 499) {
+			t.Fatalf("status %d for tenant %q mode %q", rec.Code, tenant, mode)
+		}
+		if rec.Code != 200 {
+			var env v2ErrorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error.Cause == "" {
+				t.Fatalf("non-envelope error body %q for tenant %q", rec.Body.String(), tenant)
+			}
 		}
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/serve"
 )
 
 // Metrics is the service's observability surface: lock-free counters on
@@ -19,6 +20,8 @@ type Metrics struct {
 	failedClient   atomic.Int64 // queries rejected by validation (HTTP 4xx)
 	failedInternal atomic.Int64 // queries that errored inside the engine (HTTP 5xx)
 	rejected       atomic.Int64 // queries shed at admission (queue full, draining)
+	cacheServed    atomic.Int64 // queries answered from the result cache (no execution)
+	coalesced      atomic.Int64 // queries answered by joining an in-flight execution
 
 	// Cumulative metered MPC cost across completed queries; SumLoad is the
 	// paper's end-to-end cost measure, so the service exposes its running
@@ -40,18 +43,22 @@ type Metrics struct {
 	loadHist   histogram
 	roundsHist histogram
 
-	mu        sync.Mutex
-	byEngine  map[string]int64 // completed queries per engine ("matmul", …)
-	byOutcome map[string]int64 // cancellations per cause ("deadline", …)
-	byFault   map[string]int64 // injected faults per kind ("crash", …)
+	mu           sync.Mutex
+	byEngine     map[string]int64 // completed queries per engine ("matmul", …)
+	byOutcome    map[string]int64 // cancellations per cause ("deadline", …)
+	byFault      map[string]int64 // injected faults per kind ("crash", …)
+	tenantServed map[string]int64 // successful responses per tenant (any path)
+	tenantShed   map[string]int64 // 429s per tenant (global or tenant quota)
 }
 
 // NewMetrics returns a zeroed metrics set.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		byEngine:  make(map[string]int64),
-		byOutcome: make(map[string]int64),
-		byFault:   make(map[string]int64),
+		byEngine:     make(map[string]int64),
+		byOutcome:    make(map[string]int64),
+		byFault:      make(map[string]int64),
+		tenantServed: make(map[string]int64),
+		tenantShed:   make(map[string]int64),
 	}
 }
 
@@ -65,6 +72,30 @@ func (m *Metrics) QueryFinished() { m.inFlight.Add(-1) }
 
 // QueryRejected records a shed request (admission queue full or draining).
 func (m *Metrics) QueryRejected() { m.rejected.Add(1) }
+
+// QueryCacheServed records a query answered from the result cache without
+// executing.
+func (m *Metrics) QueryCacheServed() { m.cacheServed.Add(1) }
+
+// QueryCoalesced records a query answered by joining another request's
+// in-flight execution instead of running its own.
+func (m *Metrics) QueryCoalesced() { m.coalesced.Add(1) }
+
+// TenantServed records a successful response for a tenant, whatever path
+// served it (execution, cache, coalescing).
+func (m *Metrics) TenantServed(tenant string) {
+	m.mu.Lock()
+	m.tenantServed[tenant]++
+	m.mu.Unlock()
+}
+
+// TenantShed records a request shed with 429 for a tenant (global queue
+// full or that tenant's quota exhausted).
+func (m *Metrics) TenantShed(tenant string) {
+	m.mu.Lock()
+	m.tenantShed[tenant]++
+	m.mu.Unlock()
+}
 
 // QueryFailedClient records a query rejected for a request-side reason
 // (validation, schema mismatch): the client must change the request.
@@ -135,6 +166,13 @@ type MetricsSnapshot struct {
 	FailedClient   int64 `json:"failed_client"`
 	FailedInternal int64 `json:"failed_internal"`
 	Rejected       int64 `json:"rejected"`
+	// CacheServed counts queries answered from the result cache without
+	// executing; Coalesced counts queries answered by joining an in-flight
+	// identical execution. Cache carries the cache's own hit/miss/eviction
+	// counters and current entry count.
+	CacheServed int64            `json:"cache_served"`
+	Coalesced   int64            `json:"coalesced"`
+	Cache       serve.CacheStats `json:"cache"`
 
 	// Cumulative metered MPC cost over completed queries.
 	SumLoad   int64 `json:"sum_load"`
@@ -148,13 +186,21 @@ type MetricsSnapshot struct {
 	FaultBudgetExceeded int64         `json:"fault_budget_exceeded"`
 	FaultKinds          []EngineCount `json:"fault_kinds"`
 
-	ByEngine    []EngineCount `json:"by_engine"`
-	Cancel      []EngineCount `json:"cancel_causes"`
-	Datasets    int           `json:"datasets"`
-	AdmitInUse  int64         `json:"admission_in_use"`
-	AdmitCap    int64         `json:"admission_capacity"`
-	AdmitQueued int           `json:"admission_queued"`
-	Draining    bool          `json:"draining"`
+	ByEngine []EngineCount `json:"by_engine"`
+	Cancel   []EngineCount `json:"cancel_causes"`
+	// Per-tenant serving-plane breakdown: successful responses, shed
+	// requests (429), and currently queued waiters.
+	TenantServed []EngineCount `json:"tenant_served"`
+	TenantShed   []EngineCount `json:"tenant_shed"`
+	TenantQueued []EngineCount `json:"tenant_queued"`
+	Datasets     int           `json:"datasets"`
+	// DatasetVersion is the registry's current global version; it
+	// increments on every registration.
+	DatasetVersion uint64 `json:"dataset_version"`
+	AdmitInUse     int64  `json:"admission_in_use"`
+	AdmitCap       int64  `json:"admission_capacity"`
+	AdmitQueued    int    `json:"admission_queued"`
+	Draining       bool   `json:"draining"`
 }
 
 // EngineCount is one per-engine (or per-cause) tally; a sorted slice keeps
@@ -176,6 +222,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		FailedClient:   m.failedClient.Load(),
 		FailedInternal: m.failedInternal.Load(),
 		Rejected:       m.rejected.Load(),
+		CacheServed:    m.cacheServed.Load(),
+		Coalesced:      m.coalesced.Load(),
 		SumLoad:        m.sumLoad.Load(),
 		Rounds:         m.rounds.Load(),
 		TotalComm:      m.totalComm.Load(),
@@ -190,6 +238,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	snap.ByEngine = sortedCounts(m.byEngine)
 	snap.Cancel = sortedCounts(m.byOutcome)
 	snap.FaultKinds = sortedCounts(m.byFault)
+	snap.TenantServed = sortedCounts(m.tenantServed)
+	snap.TenantShed = sortedCounts(m.tenantShed)
 	m.mu.Unlock()
 	return snap
 }

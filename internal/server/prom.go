@@ -67,6 +67,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, snap MetricsSnapshot) {
 	counter("mpcd_queries_failed_client_total", "Queries rejected by validation (4xx).", snap.FailedClient)
 	counter("mpcd_queries_failed_internal_total", "Queries that errored inside the engine (5xx).", snap.FailedInternal)
 	counter("mpcd_queries_rejected_total", "Queries shed at admission (queue full or draining).", snap.Rejected)
+	counter("mpcd_queries_cache_served_total", "Queries answered from the result cache without executing.", snap.CacheServed)
+	counter("mpcd_queries_coalesced_total", "Queries answered by joining an in-flight identical execution.", snap.Coalesced)
+	counter("mpcd_cache_hits_total", "Result-cache lookups that hit.", snap.Cache.Hits)
+	counter("mpcd_cache_misses_total", "Result-cache lookups that missed.", snap.Cache.Misses)
+	counter("mpcd_cache_evictions_total", "Result-cache entries evicted by the LRU bound.", snap.Cache.Evictions)
+	counter("mpcd_cache_invalidations_total", "Result-cache entries invalidated by dataset registration.", snap.Cache.Invalidations)
+	gauge("mpcd_cache_entries", "Result-cache entries currently resident.", int64(snap.Cache.Entries))
 	counter("mpcd_mpc_sum_load_total", "Cumulative metered SumLoad over completed queries.", snap.SumLoad)
 	counter("mpcd_mpc_rounds_total", "Cumulative metered rounds over completed queries.", snap.Rounds)
 	counter("mpcd_mpc_comm_units_total", "Cumulative metered communication units over completed queries.", snap.TotalComm)
@@ -75,6 +82,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, snap MetricsSnapshot) {
 	counter("mpcd_faults_absorbed_total", "Faults absorbed at the barrier without retry (stragglers).", snap.FaultsAbsorbed)
 	counter("mpcd_fault_budget_exceeded_total", "Queries failed because a round stayed faulty past its retry budget.", snap.FaultBudgetExceeded)
 	gauge("mpcd_datasets", "Registered datasets.", int64(snap.Datasets))
+	gauge("mpcd_dataset_version", "Current global dataset-registry version.", int64(snap.DatasetVersion))
 	gauge("mpcd_admission_in_use", "Admission weight currently held.", snap.AdmitInUse)
 	gauge("mpcd_admission_capacity", "Total admission capacity in worker units.", snap.AdmitCap)
 	gauge("mpcd_admission_queued", "Waiters parked in the admission semaphore.", int64(snap.AdmitQueued))
@@ -103,6 +111,27 @@ func (m *Metrics) WritePrometheus(w io.Writer, snap MetricsSnapshot) {
 		fmt.Fprintf(w, "# HELP %s Injected faults per kind.\n# TYPE %s counter\n", name, name)
 		for _, ec := range snap.FaultKinds {
 			fmt.Fprintf(w, "%s{kind=%q} %d\n", name, ec.Name, ec.Count)
+		}
+	}
+	if len(snap.TenantServed) > 0 {
+		name := "mpcd_tenant_served_total"
+		fmt.Fprintf(w, "# HELP %s Successful responses per tenant.\n# TYPE %s counter\n", name, name)
+		for _, ec := range snap.TenantServed {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, ec.Name, ec.Count)
+		}
+	}
+	if len(snap.TenantShed) > 0 {
+		name := "mpcd_tenant_shed_total"
+		fmt.Fprintf(w, "# HELP %s Requests shed with 429 per tenant.\n# TYPE %s counter\n", name, name)
+		for _, ec := range snap.TenantShed {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, ec.Name, ec.Count)
+		}
+	}
+	if len(snap.TenantQueued) > 0 {
+		name := "mpcd_tenant_queued"
+		fmt.Fprintf(w, "# HELP %s Waiters currently parked in the admission queue per tenant.\n# TYPE %s gauge\n", name, name)
+		for _, ec := range snap.TenantQueued {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, ec.Name, ec.Count)
 		}
 	}
 

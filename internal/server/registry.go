@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mpcjoin/internal/relation"
 )
@@ -17,21 +18,70 @@ import (
 type Dataset struct {
 	Arity int
 	Rows  []relation.Row[int64]
+	// Version is the registry's global version at the moment this dataset
+	// (re)registered — a replacement under the same name gets a higher
+	// version, which is what keys cached results to the exact data they
+	// were computed from.
+	Version uint64
+}
+
+// RegistryView is an immutable snapshot of the registry: the map is never
+// mutated after publication, so any number of queries can read it without
+// synchronization while registrations build and publish successor views.
+// A query resolves all its relations against one view, pinning the
+// dataset versions it runs on for its whole execution.
+type RegistryView struct {
+	version uint64
+	m       map[string]*Dataset
+}
+
+// Version is the global registry version this view snapshots: it
+// increments on every registration, so equal versions imply identical
+// dataset contents.
+func (v *RegistryView) Version() uint64 { return v.version }
+
+// Get returns the dataset registered under name in this snapshot.
+func (v *RegistryView) Get(name string) (*Dataset, bool) {
+	ds, ok := v.m[name]
+	return ds, ok
+}
+
+// Len returns the number of datasets in this snapshot.
+func (v *RegistryView) Len() int { return len(v.m) }
+
+// Names returns the snapshot's dataset names, sorted.
+func (v *RegistryView) Names() []string {
+	out := make([]string, 0, len(v.m))
+	for name := range v.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Registry is the server's dataset store: register once, query many
-// times. Guarded by an RWMutex — registrations are rare, query-side
-// lookups are concurrent.
+// times. Reads are lock-free snapshots (View); registrations copy the
+// current map, insert, and atomically publish the successor — so a
+// registration never blocks an in-flight query, and a query never sees a
+// half-applied registration.
 type Registry struct {
-	mu sync.RWMutex
-	m  map[string]*Dataset
+	mu   sync.Mutex // serializes writers only
+	view atomic.Pointer[RegistryView]
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{m: make(map[string]*Dataset)} }
+// NewRegistry returns an empty registry at version 0.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.view.Store(&RegistryView{m: map[string]*Dataset{}})
+	return r
+}
 
-// Put registers (or replaces) a dataset. The registry takes ownership of
-// rows; the caller must not modify the slice afterwards.
+// View returns the current immutable snapshot.
+func (r *Registry) View() *RegistryView { return r.view.Load() }
+
+// Put registers (or replaces) a dataset, publishing a new snapshot. The
+// registry takes ownership of rows; the caller must not modify the slice
+// afterwards.
 func (r *Registry) Put(name string, arity int, rows []relation.Row[int64]) error {
 	if name == "" {
 		return fmt.Errorf("dataset name must be non-empty")
@@ -45,37 +95,28 @@ func (r *Registry) Put(name string, arity int, rows []relation.Row[int64]) error
 		}
 	}
 	r.mu.Lock()
-	r.m[name] = &Dataset{Arity: arity, Rows: rows}
+	old := r.view.Load()
+	next := &RegistryView{version: old.version + 1, m: make(map[string]*Dataset, len(old.m)+1)}
+	for k, v := range old.m {
+		next.m[k] = v
+	}
+	next.m[name] = &Dataset{Arity: arity, Rows: rows, Version: next.version}
+	r.view.Store(next)
 	r.mu.Unlock()
 	return nil
 }
 
-// Get returns the dataset registered under name.
-func (r *Registry) Get(name string) (*Dataset, bool) {
-	r.mu.RLock()
-	ds, ok := r.m[name]
-	r.mu.RUnlock()
-	return ds, ok
-}
+// Get returns the dataset registered under name in the current snapshot.
+func (r *Registry) Get(name string) (*Dataset, bool) { return r.View().Get(name) }
 
 // Len returns the number of registered datasets.
-func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.m)
-}
+func (r *Registry) Len() int { return r.View().Len() }
 
 // Names returns the registered dataset names, sorted.
-func (r *Registry) Names() []string {
-	r.mu.RLock()
-	out := make([]string, 0, len(r.m))
-	for name := range r.m {
-		out = append(out, name)
-	}
-	r.mu.RUnlock()
-	sort.Strings(out)
-	return out
-}
+func (r *Registry) Names() []string { return r.View().Names() }
+
+// Version returns the current global registry version.
+func (r *Registry) Version() uint64 { return r.View().Version() }
 
 // GenerateRows produces n uniform-random tuples of the given arity with
 // values in [0, dom) and annotation 1, deterministically from seed — the

@@ -5,20 +5,31 @@
 // context) — the engine-side guarantee that makes a multi-tenant service
 // possible without process-global runtime state.
 //
-// The service owns three cross-cutting concerns the library leaves to its
+// The service owns the cross-cutting concerns the library leaves to its
 // caller:
 //
-//   - Admission control: a weighted semaphore bounds the total OS
-//     parallelism of concurrently executing queries, with a bounded FIFO
-//     queue and load shedding beyond it (HTTP 429).
+//   - Admission control: a per-tenant weighted-fair queue bounds the total
+//     OS parallelism of concurrently executing queries, with bounded
+//     per-tenant wait queues and load shedding beyond them (HTTP 429). A
+//     flooding tenant cannot starve a quiet one.
+//   - Result caching and coalescing: the engine's determinism (same
+//     dataset versions + canonical options + semiring ⇒ bit-identical
+//     rows, Stats and trace) makes results perfectly cacheable; a bounded
+//     LRU serves repeats without executing, and concurrent identical
+//     queries coalesce onto one shared execution.
+//   - Snapshot reads: the dataset registry is copy-on-write, so a
+//     registration never blocks in-flight queries and every query pins the
+//     dataset versions it started on.
 //   - End-to-end cancellation: per-request deadlines and client
 //     disconnects flow through context into the engine, which stops at the
 //     next simulated round barrier; cancelled work never produces a
-//     partial response.
+//     partial response. A coalesced waiter's cancellation leaves the
+//     shared execution running for the remaining waiters.
 //   - Observability: /metrics exposes in-flight/queued/completed/cancelled
-//     counts, a per-engine breakdown, and the cumulative metered MPC cost
-//     (SumLoad, rounds, total communication) of everything the service has
-//     executed.
+//     counts, per-engine/per-tenant breakdowns, cache hit/miss/eviction
+//     counters, and the cumulative metered MPC cost of everything the
+//     service has executed; an optional structured access log emits one
+//     record per query.
 //
 // HTTP surface:
 //
@@ -27,6 +38,7 @@
 //	POST /v1/datasets  — register a dataset (rows inline or generated)
 //	GET  /v1/datasets  — list registered dataset names
 //	POST /v1/query     — run a join-aggregate query
+//	POST /v2/query     — options object, faults, cache control, tenants
 package server
 
 import (
@@ -46,6 +58,7 @@ import (
 	"mpcjoin/internal/mpc"
 	"mpcjoin/internal/relation"
 	"mpcjoin/internal/semiring"
+	"mpcjoin/internal/serve"
 	"mpcjoin/internal/transport"
 )
 
@@ -58,6 +71,17 @@ type Config struct {
 	// MaxQueue bounds the admission wait queue; requests beyond it are
 	// shed with HTTP 429. Defaults to 64.
 	MaxQueue int
+	// TenantQueue bounds each tenant's share of the wait queue; beyond it
+	// that tenant's requests are shed with 429 while other tenants still
+	// queue. 0 means MaxQueue (only the global bound applies).
+	TenantQueue int
+	// TenantWeights sets per-tenant fair-dequeue shares; tenants not
+	// listed get weight 1.
+	TenantWeights map[string]int64
+	// CacheEntries bounds the result cache (entry count). 0 means the
+	// default (256); negative disables result caching and request
+	// coalescing entirely.
+	CacheEntries int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (mpcd's
 	// -pprof flag). Off by default: the profiling surface is for
 	// operators, not for the query API's clients.
@@ -69,17 +93,34 @@ type Config struct {
 	// own wire, so concurrent queries multiplex over the peer tier
 	// independently.
 	Transport transport.Transport
+	// AccessLog, when non-nil, receives one AccessEntry per query
+	// request (mpcd's -log-format json). Called synchronously at the end
+	// of each request; keep it fast.
+	AccessLog func(AccessEntry)
+	// BaseContext is the root context of shared (coalesced) executions,
+	// which must outlive any single waiter. Defaults to
+	// context.Background(); the daemon passes its process context so a
+	// forced drain also cancels shared executions.
+	BaseContext context.Context
 }
 
 // Server is the query service. Construct with New; serve via Handler.
 type Server struct {
 	cfg      Config
 	reg      *Registry
-	sem      *Semaphore
+	fair     *serve.FairQueue
+	cache    *serve.Cache[*QueryResponse]
+	flight   serve.Flight[*QueryResponse]
 	met      *Metrics
 	mux      *http.ServeMux
+	baseCtx  context.Context
+	cacheOn  bool
 	draining atomic.Bool
 }
+
+// defaultCacheEntries bounds the result cache when Config.CacheEntries
+// is zero.
+const defaultCacheEntries = 256
 
 // New returns a ready-to-serve Server.
 func New(cfg Config) *Server {
@@ -89,11 +130,29 @@ func New(cfg Config) *Server {
 	if cfg.MaxQueue == 0 {
 		cfg.MaxQueue = 64
 	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = defaultCacheEntries
+	}
+	if cfg.BaseContext == nil {
+		cfg.BaseContext = context.Background()
+	}
+	entries := cfg.CacheEntries
+	if entries < 1 {
+		entries = 1 // cache disabled; keep the struct non-nil for stats
+	}
 	s := &Server{
 		cfg: cfg,
 		reg: NewRegistry(),
-		sem: NewSemaphore(cfg.Capacity, cfg.MaxQueue),
-		met: NewMetrics(),
+		fair: serve.NewFairQueue(serve.FairConfig{
+			Capacity:    cfg.Capacity,
+			MaxQueue:    cfg.MaxQueue,
+			TenantQueue: cfg.TenantQueue,
+			Weights:     cfg.TenantWeights,
+		}),
+		cache:   serve.NewCache[*QueryResponse](entries),
+		met:     NewMetrics(),
+		baseCtx: cfg.BaseContext,
+		cacheOn: cfg.CacheEntries > 0,
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -120,6 +179,10 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Metrics exposes the counters (tests and embedding callers).
 func (s *Server) Metrics() *Metrics { return s.met }
+
+// CacheStats exposes the result-cache counters (tests and embedding
+// callers).
+func (s *Server) CacheStats() serve.CacheStats { return s.cache.Stats() }
 
 // SetDraining flips drain mode: while draining, /healthz reports 503 and
 // new queries and registrations are shed with 503, while in-flight queries
@@ -172,10 +235,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.met.Snapshot()
 	snap.Datasets = s.reg.Len()
-	snap.AdmitInUse = s.sem.InUse()
-	snap.AdmitCap = s.sem.Capacity()
-	snap.AdmitQueued = s.sem.Queued()
+	snap.DatasetVersion = s.reg.Version()
+	snap.AdmitInUse = s.fair.InUse()
+	snap.AdmitCap = s.fair.Capacity()
+	snap.AdmitQueued = s.fair.Queued()
 	snap.Draining = s.Draining()
+	snap.Cache = s.cache.Stats()
+	queuedBy := s.fair.QueuedByTenant()
+	asInt64 := make(map[string]int64, len(queuedBy))
+	for tenant, n := range queuedBy {
+		asInt64[tenant] = int64(n)
+	}
+	snap.TenantQueued = sortedCounts(asInt64)
 	if r.URL.Query().Get("format") == "prom" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.met.WritePrometheus(w, snap)
@@ -188,6 +259,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 type DatasetResponse struct {
 	Name string `json:"name"`
 	Rows int    `json:"rows"`
+	// Version is the registry version this registration published;
+	// queries report the version they ran against, so clients can tell
+	// whether a result reflects their latest data.
+	Version uint64 `json:"version,omitempty"`
 }
 
 func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
@@ -218,14 +293,18 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, DatasetResponse{Name: req.Name, Rows: len(rows)})
+	// Version-carrying cache keys already make stale hits impossible;
+	// invalidation reclaims the memory the replaced results occupy.
+	s.cache.InvalidateTags(req.Name)
+	ds, _ := s.reg.Get(req.Name)
+	writeJSON(w, http.StatusOK, DatasetResponse{Name: req.Name, Rows: len(rows), Version: ds.Version})
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"datasets": s.reg.Names()})
 }
 
-// QueryResponse is the body of a successful POST /v1/query.
+// QueryResponse is the body of a successful POST /v1/query or /v2/query.
 type QueryResponse struct {
 	// Attrs is the output schema, in group_by order.
 	Attrs []string `json:"attrs"`
@@ -239,8 +318,16 @@ type QueryResponse struct {
 	Class  string `json:"class"`
 	Engine string `json:"engine"`
 	// WallNS is the query's wall-clock execution time in nanoseconds
-	// (excluding queueing).
+	// (excluding queueing); for a cache hit, the time to serve the hit.
 	WallNS int64 `json:"wall_ns"`
+	// DatasetVersion is the registry version the query's snapshot pinned
+	// (v2 responses only; v1 predates versioning and keeps its shape).
+	DatasetVersion uint64 `json:"dataset_version,omitempty"`
+	// Cached is true when the result was served from the result cache
+	// without executing; Coalesced when it was served by joining another
+	// request's in-flight execution. Both only ever set on v2.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
 	// Rounds is the per-round load timeline, present only when the request
 	// set "trace": true.
 	Rounds []mpc.RoundTrace `json:"rounds,omitempty"`
@@ -249,41 +336,81 @@ type QueryResponse struct {
 	// injected query whose faults were absorbed by the retry budget are
 	// identical to a fault-free run.
 	Faults *mpc.FaultReport `json:"faults,omitempty"`
+
+	// queueNS is the execution's admission-queue wait, for the access log.
+	queueNS int64
 }
 
 // handleQueryV1 is the deprecated flat-shape query endpoint: a thin
 // adapter over the same execution path as /v2/query, kept byte-for-byte
-// backward compatible (flat request knobs, {"error": "..."} responses)
-// and stamped with deprecation headers pointing at the successor.
+// backward compatible (flat request knobs, {"error": "..."} responses,
+// no caching or coalescing) and stamped with deprecation headers pointing
+// at the successor.
 func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
 	markDeprecated(w)
 	s.serveQuery(w, r, apiV1)
 }
 
 // handleQueryV2 is the current query endpoint: options object, faults
-// block, typed error envelope.
+// block, cache control, tenant admission, typed error envelope.
 func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	s.serveQuery(w, r, apiV2)
 }
 
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion) {
+	reqStart := time.Now()
+	entry := AccessEntry{Path: r.URL.Path, Tenant: DefaultTenant}
+	defer func() {
+		if s.cfg.AccessLog != nil {
+			entry.WallNS = time.Since(reqStart).Nanoseconds()
+			s.cfg.AccessLog(entry)
+		}
+	}()
+	// fail writes the versioned error response and records the outcome
+	// for the access log.
+	fail := func(status int, cause, format string, args ...any) {
+		entry.Status, entry.Cause = status, cause
+		v.writeError(w, status, cause, format, args...)
+	}
+
 	if s.Draining() {
 		s.met.QueryRejected()
-		v.writeError(w, http.StatusServiceUnavailable, "drain", "draining")
+		fail(http.StatusServiceUnavailable, "drain", "draining")
 		return
 	}
+	tenant, err := tenantFromRequest(r)
+	if err != nil {
+		fail(http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	entry.Tenant = tenant
+
 	decode := DecodeQueryRequest
 	if v == apiV2 {
 		decode = DecodeQueryRequestV2
 	}
 	req, err := decode(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		v.writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		fail(http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 
-	// Resolve relation → dataset bindings before spending any admission
-	// budget; a dangling reference is a client error, not load.
+	// Cache mode: v1 predates the cache and pins per-request execution
+	// semantics, so it always runs off.
+	mode := req.Cache
+	if mode == "default" {
+		mode = cacheDefault
+	}
+	if v == apiV1 || !s.cacheOn {
+		mode = cacheOff
+	}
+
+	// Resolve relation → dataset bindings against ONE registry snapshot,
+	// before spending any admission budget: the query pins the dataset
+	// versions it starts on, a concurrent registration publishes a new
+	// snapshot without touching this one, and a dangling reference is a
+	// client error, not load.
+	view := s.reg.View()
 	q := &hypergraph.Query{}
 	insts := make(map[string]*Dataset, len(req.Relations))
 	for _, rel := range req.Relations {
@@ -291,13 +418,13 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 		if dsName == "" {
 			dsName = rel.Name
 		}
-		ds, ok := s.reg.Get(dsName)
+		ds, ok := view.Get(dsName)
 		if !ok {
-			v.writeError(w, http.StatusNotFound, "not_found", "dataset %q not registered", dsName)
+			fail(http.StatusNotFound, "not_found", "dataset %q not registered", dsName)
 			return
 		}
 		if ds.Arity != len(rel.Attrs) {
-			v.writeError(w, http.StatusBadRequest, "bad_request", "relation %q has %d attrs but dataset %q has arity %d",
+			fail(http.StatusBadRequest, "bad_request", "relation %q has %d attrs but dataset %q has arity %d",
 				rel.Name, len(rel.Attrs), dsName, ds.Arity)
 			return
 		}
@@ -311,6 +438,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 	for _, a := range req.GroupBy {
 		q.Output = append(q.Output, hypergraph.Attr(a))
 	}
+	entry.DatasetVersion = view.Version()
 
 	o := core.Options{
 		Servers:   req.Servers,
@@ -329,13 +457,127 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 	}
 	pl, err := core.PlanQuery(q, o.Strategy)
 	if err != nil {
-		v.writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		fail(http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
+	entry.Engine = pl.Engine
 
+	// respond renders a success from resp without mutating it: resp may
+	// be shared with the cache and with coalesced waiters, so per-request
+	// decoration happens on a shallow copy.
+	respond := func(resp *QueryResponse, hit, coalesced bool) {
+		out := *resp
+		out.Cached, out.Coalesced = hit, coalesced
+		if v == apiV2 {
+			out.DatasetVersion = view.Version()
+		} else {
+			out.DatasetVersion = 0
+		}
+		if hit {
+			out.WallNS = time.Since(reqStart).Nanoseconds()
+		}
+		entry.Status = http.StatusOK
+		entry.CacheHit, entry.Coalesced = hit, coalesced
+		if !hit {
+			entry.QueueNS = resp.queueNS
+		}
+		s.met.TenantServed(tenant)
+		writeJSON(w, http.StatusOK, &out)
+	}
+
+	var key string
+	if mode != cacheOff {
+		key = cacheKey(req, insts, o)
+	}
+	if mode == cacheDefault {
+		if resp, ok := s.cache.Get(key); ok {
+			s.met.QueryCacheServed()
+			respond(resp, true, false)
+			return
+		}
+	}
+
+	// Deadline: derived before admission so it covers queue wait as well
+	// as execution — a query must not sit in the admission queue past its
+	// own deadline and then still run.
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if req.DeadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+	}
+	defer cancel()
+
+	// exec is the one shared execution: admission, engine run, metrics,
+	// cache write. In coalescing mode it runs under a context derived
+	// from the server's base context — NOT from any single waiter — so a
+	// waiter's deadline or disconnect never cancels the result the other
+	// waiters are waiting for.
+	exec := func(execCtx context.Context) (*QueryResponse, error) {
+		resp, err := s.execAdmitted(execCtx, tenant, req, q, insts, o, pl)
+		if err == nil && mode != cacheOff {
+			s.cache.Put(key, cacheTags(req), resp)
+		}
+		return resp, err
+	}
+
+	var resp *QueryResponse
+	outcome := serve.Led
+	if mode == cacheDefault {
+		resp, outcome, err = s.flight.Do(ctx, s.baseCtx, key, exec)
+	} else {
+		resp, err = exec(ctx)
+	}
+	if err != nil {
+		if outcome == serve.AbandonedShared || outcome == serve.AbandonedLast {
+			// This waiter's own context ended; the shared execution either
+			// runs on for the others (its metrics are recorded there) or,
+			// if this was the last waiter, is being cancelled and records
+			// the cancellation itself.
+			if outcome == serve.AbandonedShared {
+				s.met.QueryCancelled(s.cancelCause(ctx))
+			}
+			if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+				fail(http.StatusGatewayTimeout, "deadline", "deadline exceeded")
+			} else {
+				fail(http.StatusServiceUnavailable, "drain", "cancelled (%s)", s.disconnectCause())
+			}
+			return
+		}
+		switch {
+		case errors.Is(err, serve.ErrTenantQueueFull):
+			s.met.TenantShed(tenant)
+			fail(http.StatusTooManyRequests, "queue_full", "tenant %q admission quota exhausted", tenant)
+		case errors.Is(err, ErrQueueFull):
+			s.met.TenantShed(tenant)
+			fail(http.StatusTooManyRequests, "queue_full", "admission queue full")
+		case errors.Is(err, context.DeadlineExceeded):
+			fail(http.StatusGatewayTimeout, "deadline", "deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			// The client may be gone; the write is best-effort.
+			fail(http.StatusServiceUnavailable, "drain", "cancelled (%s)", s.disconnectCause())
+		case errors.Is(err, mpc.ErrFaultBudgetExceeded):
+			fail(http.StatusInternalServerError, "fault_budget", "%v", err)
+		case isClientError(err):
+			fail(http.StatusBadRequest, "bad_request", "%v", err)
+		default:
+			fail(http.StatusInternalServerError, "internal", "internal error: %v", err)
+		}
+		return
+	}
+	if outcome == serve.Joined {
+		s.met.QueryCoalesced()
+	}
+	respond(resp, false, outcome == serve.Joined)
+}
+
+// execAdmitted runs one admitted execution end to end — queue, engine,
+// metrics — and is called exactly once per execution (directly for
+// uncached modes, as the shared flight body otherwise), so every metric
+// it records counts executions, not waiters.
+func (s *Server) execAdmitted(ctx context.Context, tenant string, req *QueryRequest, q *hypergraph.Query, insts map[string]*Dataset, o core.Options, pl core.Plan) (*QueryResponse, error) {
 	// Admission: hold weight proportional to the OS parallelism this query
 	// runs with for the duration of its execution. The wait respects the
-	// client's context, so a disconnected client frees its queue slot.
+	// execution's context, so an abandoned execution frees its queue slot.
 	// workers: 0 (the default) runs serially, which still occupies one OS
 	// worker — clamp to 1 so default queries cannot bypass the capacity.
 	weight := int64(req.Workers)
@@ -346,34 +588,23 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 		weight = 1
 	}
 
-	// Deadline: derived before Acquire so it covers queue wait as well as
-	// execution — a query must not sit in the admission queue past its own
-	// deadline and then still run.
-	ctx := r.Context()
-	cancel := context.CancelFunc(func() {})
-	if req.DeadlineMS > 0 {
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
-	}
-	defer cancel()
-
 	s.met.QueryQueued()
-	weight, err = s.sem.Acquire(ctx, weight)
+	queueStart := time.Now()
+	weight, err := s.fair.Acquire(ctx, tenant, weight)
+	queueNS := time.Since(queueStart).Nanoseconds()
 	s.met.QueryDequeued()
 	if err != nil {
 		switch {
-		case errors.Is(err, ErrQueueFull):
+		case errors.Is(err, serve.ErrTenantQueueFull), errors.Is(err, ErrQueueFull):
 			s.met.QueryRejected()
-			v.writeError(w, http.StatusTooManyRequests, "queue_full", "admission queue full")
 		case errors.Is(err, context.DeadlineExceeded):
 			s.met.QueryCancelled("deadline")
-			v.writeError(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded while queued")
 		default:
-			s.met.QueryCancelled(s.disconnectCause())
-			// The client is gone; nobody reads the response.
+			s.met.QueryCancelled(s.cancelCause(ctx))
 		}
-		return
+		return nil, err
 	}
-	defer s.sem.Release(weight)
+	defer s.fair.Release(weight)
 
 	s.met.QueryStarted()
 	defer s.met.QueryFinished()
@@ -382,47 +613,51 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 		o.Tracer = mpc.NewTracer()
 	}
 	start := time.Now()
-	out, err := s.execute(ctx, req, q, insts, o)
+	resp, err := s.execute(ctx, req, q, insts, o)
 	wall := time.Since(start)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.met.QueryCancelled("deadline")
-			v.writeError(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded after %v", wall)
 		case errors.Is(err, context.Canceled):
-			cause := s.disconnectCause()
-			s.met.QueryCancelled(cause)
-			// The client may be gone; the write is best-effort.
-			v.writeError(w, http.StatusServiceUnavailable, "drain", "cancelled (%s)", cause)
+			s.met.QueryCancelled(s.cancelCause(ctx))
 		case errors.Is(err, mpc.ErrFaultBudgetExceeded):
 			s.met.QueryFailedInternal()
 			s.met.FaultBudgetExhausted()
 			if o.Faults != nil {
 				s.met.FaultsObserved(o.Faults.Report())
 			}
-			v.writeError(w, http.StatusInternalServerError, "fault_budget", "%v", err)
 		case isClientError(err):
 			s.met.QueryFailedClient()
-			v.writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		default:
 			s.met.QueryFailedInternal()
-			v.writeError(w, http.StatusInternalServerError, "internal", "internal error: %v", err)
 		}
-		return
+		return nil, err
 	}
-	s.met.QueryCompleted(pl.Engine, out.Stats)
-	out.Class = pl.Class.String()
-	out.Engine = pl.Engine
-	out.WallNS = wall.Nanoseconds()
+	s.met.QueryCompleted(pl.Engine, resp.Stats)
+	resp.Class = pl.Class.String()
+	resp.Engine = pl.Engine
+	resp.WallNS = wall.Nanoseconds()
+	resp.queueNS = queueNS
 	if o.Tracer != nil {
-		out.Rounds = o.Tracer.Rounds()
+		resp.Rounds = o.Tracer.Rounds()
 	}
 	if o.Faults != nil {
 		rep := o.Faults.Report()
-		out.Faults = &rep
+		resp.Faults = &rep
 		s.met.FaultsObserved(rep)
 	}
-	writeJSON(w, http.StatusOK, out)
+	return resp, nil
+}
+
+// cancelCause labels a context.Canceled outcome from ctx: a shared
+// execution cancelled because its last waiter's deadline expired counts
+// as "deadline"; otherwise drain mode or a client disconnect decides.
+func (s *Server) cancelCause(ctx context.Context) string {
+	if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+		return "deadline"
+	}
+	return s.disconnectCause()
 }
 
 // disconnectCause labels a context.Canceled outcome: during a drain the

@@ -111,6 +111,11 @@ type QueryOptions struct {
 	Faults *FaultBlock `json:"faults,omitempty"`
 	// DeadlineMS bounds queue wait plus execution wall time.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Cache is the cache-control mode: "" or "default" reads the result
+	// cache, coalesces onto identical in-flight executions and writes the
+	// result back; "bypass" always executes fresh but still writes;
+	// "off" touches the cache not at all.
+	Cache string `json:"cache,omitempty"`
 }
 
 // QueryRequestV2 is the body of POST /v2/query.
@@ -147,6 +152,7 @@ func DecodeQueryRequestV2(r io.Reader) (*QueryRequest, error) {
 		req.Trace = o.Trace
 		req.DeadlineMS = o.DeadlineMS
 		req.Faults = o.Faults
+		req.Cache = o.Cache
 	}
 	if err := validateQueryRequest(req); err != nil {
 		return nil, err

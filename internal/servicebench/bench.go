@@ -1,0 +1,515 @@
+// Package servicebench is the closed-loop load generator for the serving
+// plane (mpcbench -service): it boots an in-process mpcd server, drives
+// it over real HTTP with Zipf-popular queries and multi-tenant profiles,
+// and reports latency percentiles, throughput, cache hit ratio and shed
+// rate per scenario.
+//
+// The scenario set mirrors the serving plane's claims:
+//
+//   - cold: every request executes (cache bypass) — the no-cache baseline.
+//   - warm: the same Zipf-popular workload with the cache on — repeats are
+//     served from the result cache and concurrent identical misses
+//     coalesce, so hit latency and throughput measure the cache path.
+//   - register-churn: the warm workload while the queried dataset is
+//     continuously re-registered — snapshot reads mean zero failed
+//     queries, at the price of cache invalidations.
+//   - flood-solo: a quiet tenant alone, uncached — its baseline p99.
+//   - flood: the same quiet tenant while a noisy tenant floods beyond its
+//     queue share — weighted-fair admission must keep the quiet tenant's
+//     p99 close to solo while the noisy tenant is shed.
+//
+// All percentiles are end-to-end client latencies (queueing included);
+// throughput counts successful responses only.
+package servicebench
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mpcjoin/internal/server"
+)
+
+// Options sizes a benchmark run. Zero values take the defaults noted on
+// each field.
+type Options struct {
+	// Duration is the wall budget per scenario (default 2s).
+	Duration time.Duration
+	// Workers is the closed-loop client count (default 8).
+	Workers int
+	// Population is the number of distinct query identities the Zipf
+	// draw ranges over (default 64).
+	Population int
+	// ZipfS is the Zipf skew parameter s > 1 (default 1.2): popular
+	// queries repeat, unpopular ones stay cold.
+	ZipfS float64
+	// Seed drives the generators (default 1).
+	Seed int64
+	// DatasetN and DatasetDom size the benchmark dataset (default 2000
+	// rows over domain 50 — a join that costs real engine time, so the
+	// cache path's advantage is measured against genuine work).
+	DatasetN   int
+	DatasetDom int
+	// Capacity, TenantQueue size the flood scenarios' admission plane
+	// (defaults 1 and 3). Capacity 1 serializes engine executions, so the
+	// quiet tenant's flood latency isolates queueing policy from CPU
+	// contention between concurrent executions.
+	Capacity    int64
+	TenantQueue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Population <= 0 {
+		o.Population = 64
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.DatasetN <= 0 {
+		o.DatasetN = 2000
+	}
+	if o.DatasetDom <= 0 {
+		o.DatasetDom = 50
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 1
+	}
+	if o.TenantQueue <= 0 {
+		o.TenantQueue = 3
+	}
+	return o
+}
+
+// Scenario is one scenario's measured outcome. Latencies are nanoseconds.
+type Scenario struct {
+	Name      string  `json:"name"`
+	Requests  int64   `json:"requests"`
+	Completed int64   `json:"completed"`
+	CacheHits int64   `json:"cache_hits"`
+	Coalesced int64   `json:"coalesced"`
+	Shed      int64   `json:"shed"`
+	Failed    int64   `json:"failed"`
+	QPS       float64 `json:"qps"`
+	HitRatio  float64 `json:"hit_ratio"`
+	ShedRate  float64 `json:"shed_rate"`
+	P50NS     int64   `json:"p50_ns"`
+	P99NS     int64   `json:"p99_ns"`
+	// Hit/Miss percentiles split the latency distribution by serving
+	// path (zero when the path did not occur).
+	HitP50NS  int64 `json:"hit_p50_ns,omitempty"`
+	HitP99NS  int64 `json:"hit_p99_ns,omitempty"`
+	MissP50NS int64 `json:"miss_p50_ns,omitempty"`
+	MissP99NS int64 `json:"miss_p99_ns,omitempty"`
+	// QuietP50NS/QuietP99NS are the quiet tenant's own percentiles in
+	// the flood scenarios.
+	QuietP50NS int64 `json:"quiet_p50_ns,omitempty"`
+	QuietP99NS int64 `json:"quiet_p99_ns,omitempty"`
+}
+
+// Report is the full benchmark output (BENCH_service.json).
+type Report struct {
+	Scenarios []Scenario `json:"scenarios"`
+	// CacheP99SpeedupX is cold p99 / warm hit p99: how much faster the
+	// 99th-percentile cached answer is than executing.
+	CacheP99SpeedupX float64 `json:"cache_p99_speedup_x"`
+	// CacheQPSGainX is warm QPS / cold QPS at identical offered load.
+	CacheQPSGainX float64 `json:"cache_qps_gain_x"`
+	// RegisterChurnFailed counts queries that failed while the dataset
+	// was being re-registered under load (the snapshot-read invariant
+	// demands zero).
+	RegisterChurnFailed int64 `json:"register_churn_failed"`
+	// FloodQuietP99RatioX is the quiet tenant's flood p99 / solo p99:
+	// per-tenant fairness should keep it near 1.
+	FloodQuietP99RatioX float64 `json:"flood_quiet_p99_ratio_x"`
+	// FloodShedRate is the noisy tenant's shed fraction during the flood.
+	FloodShedRate float64 `json:"flood_shed_rate"`
+}
+
+// tally accumulates one scenario's measurements across client workers.
+type tally struct {
+	mu        sync.Mutex
+	requests  int64
+	completed int64
+	hits      int64
+	coalesced int64
+	shed      int64
+	failed    int64
+	all       []time.Duration
+	hit       []time.Duration
+	miss      []time.Duration
+	quiet     []time.Duration
+}
+
+func (c *tally) record(d time.Duration, status int, body string, quietTenant bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requests++
+	switch {
+	case status == http.StatusOK:
+		c.completed++
+		c.all = append(c.all, d)
+		if quietTenant {
+			c.quiet = append(c.quiet, d)
+		}
+		if strings.Contains(body, `"cached":true`) {
+			c.hits++
+			c.hit = append(c.hit, d)
+		} else {
+			c.miss = append(c.miss, d)
+			if strings.Contains(body, `"coalesced":true`) {
+				c.coalesced++
+			}
+		}
+	case status == http.StatusTooManyRequests:
+		c.shed++
+	default:
+		c.failed++
+	}
+}
+
+func (c *tally) scenario(name string, elapsed time.Duration) Scenario {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Scenario{
+		Name:      name,
+		Requests:  c.requests,
+		Completed: c.completed,
+		CacheHits: c.hits,
+		Coalesced: c.coalesced,
+		Shed:      c.shed,
+		Failed:    c.failed,
+		P50NS:     pct(c.all, 0.50).Nanoseconds(),
+		P99NS:     pct(c.all, 0.99).Nanoseconds(),
+		HitP50NS:  pct(c.hit, 0.50).Nanoseconds(),
+		HitP99NS:  pct(c.hit, 0.99).Nanoseconds(),
+		MissP50NS: pct(c.miss, 0.50).Nanoseconds(),
+		MissP99NS: pct(c.miss, 0.99).Nanoseconds(),
+	}
+	if len(c.quiet) > 0 {
+		s.QuietP50NS = pct(c.quiet, 0.50).Nanoseconds()
+		s.QuietP99NS = pct(c.quiet, 0.99).Nanoseconds()
+	}
+	if elapsed > 0 {
+		s.QPS = float64(c.completed) / elapsed.Seconds()
+	}
+	if c.completed > 0 {
+		s.HitRatio = float64(c.hits) / float64(c.completed)
+	}
+	if c.requests > 0 {
+		s.ShedRate = float64(c.shed) / float64(c.requests)
+	}
+	return s
+}
+
+// pct returns the p-th percentile (0 < p <= 1) by nearest-rank over a
+// copy of ds; zero when empty.
+func pct(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// bench is one booted server under test plus the client plumbing.
+type bench struct {
+	opts   Options
+	srv    *server.Server
+	ts     *httptest.Server
+	client *http.Client
+}
+
+func newBench(opts Options, cfg server.Config) (*bench, error) {
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	b := &bench{
+		opts: opts,
+		srv:  srv,
+		ts:   ts,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        4 * opts.Workers,
+			MaxIdleConnsPerHost: 4 * opts.Workers,
+		}},
+	}
+	// E is the benchmark dataset; N is a quarter-size sibling the flood's
+	// noisy tenant queries, so noisy executions are cheap relative to the
+	// quiet tenant's and the quiet tenant's head-of-line wait (at most one
+	// in-flight noisy execution, with capacity 1) stays small.
+	for name, n := range map[string]int{"E": opts.DatasetN, "N": opts.DatasetN / 4} {
+		if n < 16 {
+			n = 16
+		}
+		body := fmt.Sprintf(`{"name":%q,"arity":2,"generate":{"n":%d,"dom":%d,"seed":42}}`, name, n, opts.DatasetDom)
+		if status, out := b.post("", "/v1/datasets", body); status != http.StatusOK {
+			ts.Close()
+			return nil, fmt.Errorf("servicebench: registering dataset %s: %d %s", name, status, out)
+		}
+	}
+	return b, nil
+}
+
+func (b *bench) close() { b.ts.Close() }
+
+func (b *bench) post(tenant, path, body string) (int, string) {
+	req, err := http.NewRequest(http.MethodPost, b.ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		return 0, err.Error()
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-MPC-Tenant", tenant)
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return 0, err.Error()
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}
+
+// queryBody renders the benchmark query for one identity (seed) and
+// cache mode. The seed changes the engine's hash partitioning — results
+// are equivalent, cache keys distinct — so the Zipf draw over seeds
+// models a population of distinct-but-repeating queries.
+func queryBody(seed uint64, mode string) string { return queryBodyOn("E", seed, mode) }
+
+func queryBodyOn(ds string, seed uint64, mode string) string {
+	opts := fmt.Sprintf(`"seed":%d`, seed)
+	if mode != "" {
+		opts += fmt.Sprintf(`,"cache":%q`, mode)
+	}
+	return fmt.Sprintf(`{"relations":[{"name":"R1","attrs":["A","B"],"dataset":%q},{"name":"R2","attrs":["B","C"],"dataset":%q}],"group_by":["A"],"options":{%s}}`, ds, ds, opts)
+}
+
+// shedBackoff is how long a closed-loop worker waits after a 429 before
+// retrying — the standard client reaction to admission shedding. Without
+// it the shed workers spin on decode-and-reject, which on a small machine
+// steals CPU from admitted executions and distorts the latency split the
+// flood scenario measures.
+const shedBackoff = 50 * time.Millisecond
+
+// closedLoop runs workers posting queries until the deadline. newPick is
+// called once per worker with its private rng and returns the per-request
+// generator of (tenant, body) pairs.
+func (b *bench) closedLoop(workers int, d time.Duration, c *tally, newPick func(rng *rand.Rand) func() (tenant, body string)) {
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(d)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(b.opts.Seed + int64(w)*7919))
+			pick := newPick(rng)
+			for time.Now().Before(deadline) {
+				tenant, body := pick()
+				t0 := time.Now()
+				status, out := b.post(tenant, "/v2/query", body)
+				c.record(time.Since(t0), status, out, tenant == "quiet")
+				if status == http.StatusTooManyRequests {
+					time.Sleep(shedBackoff)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run executes the full scenario set and derives the report.
+func Run(opts Options, progress func(format string, args ...any)) (*Report, error) {
+	opts = opts.withDefaults()
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	rep := &Report{}
+
+	// cold / warm / register-churn share a default admission plane large
+	// enough that admission is not the bottleneck being measured.
+	runCached := func(name, mode string, churn bool) (Scenario, error) {
+		b, err := newBench(opts, server.Config{Capacity: int64(opts.Workers), MaxQueue: 4 * opts.Workers})
+		if err != nil {
+			return Scenario{}, err
+		}
+		defer b.close()
+		if mode == "" {
+			// Warm-up: execute every identity in the population once so
+			// the timed window measures steady-state cache serving, not
+			// the fill transient. (The churn scenario's registrations then
+			// invalidate this fill — that is the scenario.)
+			idx := make(chan uint64)
+			var warmWG sync.WaitGroup
+			for w := 0; w < opts.Workers; w++ {
+				warmWG.Add(1)
+				go func() {
+					defer warmWG.Done()
+					for seed := range idx {
+						b.post("", "/v2/query", queryBody(seed, ""))
+					}
+				}()
+			}
+			for seed := uint64(0); seed < uint64(opts.Population); seed++ {
+				idx <- seed
+			}
+			close(idx)
+			warmWG.Wait()
+		}
+		stop := make(chan struct{})
+		var churnWG sync.WaitGroup
+		if churn {
+			churnWG.Add(1)
+			go func() {
+				defer churnWG.Done()
+				body := fmt.Sprintf(`{"name":"E","arity":2,"generate":{"n":%d,"dom":%d,"seed":42}}`, opts.DatasetN, opts.DatasetDom)
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(opts.Duration / 50):
+						b.post("", "/v1/datasets", body)
+					}
+				}
+			}()
+		}
+		var c tally
+		t0 := time.Now()
+		b.closedLoop(opts.Workers, opts.Duration, &c, func(rng *rand.Rand) func() (string, string) {
+			z := rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.Population-1))
+			return func() (string, string) { return "", queryBody(z.Uint64(), mode) }
+		})
+		elapsed := time.Since(t0)
+		close(stop)
+		churnWG.Wait()
+		sc := c.scenario(name, elapsed)
+		progress("%s: %d requests, qps=%.0f p50=%v p99=%v hit_ratio=%.2f failed=%d",
+			name, sc.Requests, sc.QPS, time.Duration(sc.P50NS), time.Duration(sc.P99NS), sc.HitRatio, sc.Failed)
+		return sc, nil
+	}
+
+	cold, err := runCached("cold", "bypass", false)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := runCached("warm", "", false)
+	if err != nil {
+		return nil, err
+	}
+	churn, err := runCached("register-churn", "", true)
+	if err != nil {
+		return nil, err
+	}
+	rep.RegisterChurnFailed = churn.Failed
+
+	// Flood scenarios run on a deliberately small admission plane so the
+	// noisy tenant saturates it; quiet runs the identical workload in
+	// both, uncached (every request is real work competing for capacity).
+	// The quiet tenant's fair-dequeue weight lets it jump the noisy
+	// backlog: its flood latency is then one residual noisy execution
+	// plus its own, which is what "fairness keeps p99 near solo" means.
+	floodCfg := server.Config{
+		Capacity:      opts.Capacity,
+		MaxQueue:      4*opts.TenantQueue + 4,
+		TenantQueue:   opts.TenantQueue,
+		TenantWeights: map[string]int64{"quiet": 16},
+	}
+	quietWorkers := opts.Workers / 4
+	if quietWorkers < 1 {
+		quietWorkers = 1
+	}
+	noisyWorkers := 2 * opts.Workers
+
+	runFlood := func(name string, withNoise bool) (Scenario, error) {
+		b, err := newBench(opts, floodCfg)
+		if err != nil {
+			return Scenario{}, err
+		}
+		defer b.close()
+		var c tally
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		if withNoise {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.closedLoop(noisyWorkers, opts.Duration, &c, func(rng *rand.Rand) func() (string, string) {
+					return func() (string, string) { return "noisy", queryBodyOn("N", uint64(rng.Int63n(1<<30)), "off") }
+				})
+			}()
+		}
+		var quiet tally
+		b.closedLoop(quietWorkers, opts.Duration, &quiet, func(rng *rand.Rand) func() (string, string) {
+			return func() (string, string) { return "quiet", queryBody(uint64(rng.Int63n(1<<30)), "off") }
+		})
+		wg.Wait()
+		elapsed := time.Since(t0)
+		// Merge: the scenario row reports both tenants, with the quiet
+		// percentiles split out.
+		c.mu.Lock()
+		quiet.mu.Lock()
+		c.requests += quiet.requests
+		c.completed += quiet.completed
+		c.shed += quiet.shed
+		c.failed += quiet.failed
+		c.all = append(c.all, quiet.all...)
+		c.miss = append(c.miss, quiet.miss...)
+		c.quiet = append(c.quiet, quiet.quiet...)
+		quiet.mu.Unlock()
+		c.mu.Unlock()
+		sc := c.scenario(name, elapsed)
+		progress("%s: %d requests, qps=%.0f quiet_p99=%v shed_rate=%.2f",
+			name, sc.Requests, sc.QPS, time.Duration(sc.QuietP99NS), sc.ShedRate)
+		return sc, nil
+	}
+
+	solo, err := runFlood("flood-solo", false)
+	if err != nil {
+		return nil, err
+	}
+	flood, err := runFlood("flood", true)
+	if err != nil {
+		return nil, err
+	}
+
+	rep.Scenarios = []Scenario{cold, warm, churn, solo, flood}
+	if warm.HitP99NS > 0 {
+		rep.CacheP99SpeedupX = float64(cold.P99NS) / float64(warm.HitP99NS)
+	}
+	if cold.QPS > 0 {
+		rep.CacheQPSGainX = warm.QPS / cold.QPS
+	}
+	if solo.QuietP99NS > 0 {
+		rep.FloodQuietP99RatioX = float64(flood.QuietP99NS) / float64(solo.QuietP99NS)
+	}
+	rep.FloodShedRate = flood.ShedRate
+	return rep, nil
+}

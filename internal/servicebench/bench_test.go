@@ -1,0 +1,65 @@
+package servicebench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunSmoke runs the full scenario set at a tiny scale: the report
+// must be structurally complete and the snapshot-read invariant (zero
+// failed queries under registration churn) must hold even here.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping service bench smoke in -short mode")
+	}
+	// DatasetN is sized so a single execution takes tens of milliseconds:
+	// the flood scenario needs executions long enough for concurrent
+	// arrivals to pile up at admission (a too-cheap query drains as fast
+	// as a single CPU can offer load and nothing ever sheds).
+	rep, err := Run(Options{
+		Duration:   400 * time.Millisecond,
+		Workers:    4,
+		Population: 16,
+		DatasetN:   1600,
+		DatasetDom: 40,
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 5 {
+		t.Fatalf("scenarios = %d, want 5", len(rep.Scenarios))
+	}
+	names := map[string]Scenario{}
+	for _, sc := range rep.Scenarios {
+		names[sc.Name] = sc
+		if sc.Requests == 0 || sc.Completed == 0 {
+			t.Fatalf("scenario %s saw no traffic: %+v", sc.Name, sc)
+		}
+		if sc.P99NS < sc.P50NS {
+			t.Fatalf("scenario %s: p99 < p50: %+v", sc.Name, sc)
+		}
+	}
+	for _, want := range []string{"cold", "warm", "register-churn", "flood-solo", "flood"} {
+		if _, ok := names[want]; !ok {
+			t.Fatalf("missing scenario %s in %v", want, rep.Scenarios)
+		}
+	}
+	if names["cold"].CacheHits != 0 {
+		t.Fatalf("cold scenario hit the cache: %+v", names["cold"])
+	}
+	if names["warm"].CacheHits == 0 {
+		t.Fatalf("warm scenario never hit the cache: %+v", names["warm"])
+	}
+	if rep.RegisterChurnFailed != 0 {
+		t.Fatalf("register churn failed %d queries, want 0", rep.RegisterChurnFailed)
+	}
+	if rep.CacheP99SpeedupX <= 0 || rep.CacheQPSGainX <= 0 {
+		t.Fatalf("cache derived numbers missing: %+v", rep)
+	}
+	if names["flood"].Shed == 0 {
+		t.Fatalf("flood scenario shed nothing: %+v", names["flood"])
+	}
+	if rep.FloodQuietP99RatioX <= 0 {
+		t.Fatalf("flood quiet ratio missing: %+v", rep)
+	}
+}
