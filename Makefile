@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke service-smoke service-bench cluster-smoke boundcheck chaos chaos-tcp bench-transport
+.PHONY: ci vet build test race bench bench-smoke service-smoke service-bench cluster-smoke graph-smoke boundcheck chaos chaos-tcp bench-transport
 
 ci: vet build test race
 
@@ -17,7 +17,7 @@ test:
 # worker-pool runtime, the mpc primitives it drives, the engine dispatch
 # (concurrent executions + cancellation), and the query service.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/mpc/... ./internal/core/... ./internal/server/...
+	$(GO) test -race ./internal/runtime/... ./internal/mpc/... ./internal/core/... ./internal/server/... ./internal/spmv/...
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x .
@@ -43,6 +43,16 @@ service-smoke:
 # BENCH_service.json carries the per-scenario report for upload.
 service-bench:
 	$(GO) run ./cmd/mpcbench -service -quick -json BENCH_service.json
+
+# Iterated graph-analytics lane: generate a power-law graph through the
+# datagen CLI (exercising the graph generator end to end), then run the
+# GRAPH-iterload sweep — BFS/SSSP/PageRank driver loops whose every
+# iteration's max-load is checked against the Table 1 matmul formula and
+# whose outputs are verified against sequential references. The JSON rows
+# land in BENCH_graph.json for CI to upload.
+graph-smoke:
+	$(GO) run ./cmd/datagen -kind graph -n 2000 -degree 8 -s 1.2 -out /tmp/mpcjoin-graph
+	$(GO) run ./cmd/mpcbench -graph -quick -json BENCH_graph.json
 
 # Multi-process cluster lane: the test builds mpcd with -race, boots two
 # shuffle peers plus a coordinator and an in-process golden daemon on

@@ -6,11 +6,14 @@
 //	datagen -query matmul -kind blocks -blocks 64 -fan 8 -out /tmp/mm
 //	datagen -query line3  -kind zipf   -n 4096 -dom 512 -s 1.4 -out /tmp/ln
 //	datagen -query fig3   -kind multi  -blocks 32 -fan 2 -mult 4 -out /tmp/tw
+//	datagen -kind graph   -n 10000 -degree 8 -s 1.3 -maxw 100 -out /tmp/g
 //
 // Queries: matmul, line3, line4, star3, star4, fig1 (the paper's Figure 1
 // star-like query), fig2 (the Figure 2 tree), fig3 (the Figure 3 twig).
 // Kinds: blocks (exact OUT = blocks·fan^{|y|}), multi (blocks plus a
-// multiplicity on non-output attributes), uniform, zipf.
+// multiplicity on non-output attributes), uniform, zipf, graph (a
+// power-law edge relation E(S, D) for the iterated BFS/SSSP/PageRank
+// drivers; -query is ignored, -n counts vertices).
 package main
 
 import (
@@ -27,44 +30,58 @@ import (
 
 func main() {
 	var (
-		query  = flag.String("query", "matmul", "matmul|line3|line4|star3|star4|fig1|fig2|fig3")
-		kind   = flag.String("kind", "blocks", "blocks|multi|uniform|zipf")
+		query  = flag.String("query", "matmul", "matmul|line3|line4|star3|star4|fig1|fig2|fig3 (ignored for -kind graph)")
+		kind   = flag.String("kind", "blocks", "blocks|multi|uniform|zipf|graph")
 		blocks = flag.Int("blocks", 64, "blocks (blocks/multi kinds)")
 		fan    = flag.Int("fan", 4, "output-attribute fan per block")
 		mult   = flag.Int("mult", 2, "non-output multiplicity (multi kind)")
-		n      = flag.Int("n", 4096, "tuples per relation (uniform/zipf)")
+		n      = flag.Int("n", 4096, "tuples per relation (uniform/zipf); vertices (graph)")
 		dom    = flag.Int("dom", 512, "domain size (uniform/zipf)")
-		s      = flag.Float64("s", 1.4, "Zipf exponent (> 1)")
+		s      = flag.Float64("s", 1.4, "Zipf exponent (> 1; zipf/graph kinds)")
+		degree = flag.Float64("degree", 8, "average out-degree (graph kind, >= 1)")
+		maxw   = flag.Int64("maxw", 100, "max edge weight (graph kind, >= 1)")
 		seed   = flag.Int64("seed", 1, "randomness seed")
 		out    = flag.String("out", "", "output directory (required)")
 	)
 	flag.Parse()
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "datagen: -out is required")
-		os.Exit(2)
-	}
-
-	q, err := queryByName(*query)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(2)
+		usageError("-out is required")
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
+	var q *hypergraph.Query
 	var inst db.Instance[int64]
 	var meta workload.Meta
-	switch *kind {
-	case "blocks":
-		inst, meta = workload.Blocks(q, *blocks, *fan)
-	case "multi":
-		inst, meta = workload.BlocksMulti(q, *blocks, *fan, *mult)
-	case "uniform":
-		inst, meta = workload.Uniform(q, *n, *dom, rng)
-	case "zipf":
-		inst, meta = workload.Zipf(q, *n, *dom, *s, rng)
-	default:
-		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
-		os.Exit(2)
+	var err error
+
+	if *kind == "graph" {
+		q = workload.GraphQuery()
+		inst, meta, err = workload.PowerLawGraph(*n, *degree, *s, *maxw, rng)
+		if err != nil {
+			usageError(err.Error())
+		}
+	} else {
+		q, err = queryByName(*query)
+		if err != nil {
+			usageError(err.Error())
+		}
+		switch *kind {
+		case "blocks":
+			inst, meta = workload.Blocks(q, *blocks, *fan)
+		case "multi":
+			inst, meta = workload.BlocksMulti(q, *blocks, *fan, *mult)
+		case "uniform":
+			inst, meta = workload.Uniform(q, *n, *dom, rng)
+		case "zipf":
+			// Parameter errors (s <= 1, dom < 2) are usage errors, not
+			// panics out of rand.NewZipf.
+			inst, meta, err = workload.Zipf(q, *n, *dom, *s, rng)
+			if err != nil {
+				usageError(err.Error())
+			}
+		default:
+			usageError(fmt.Sprintf("unknown kind %q", *kind))
+		}
 	}
 
 	if err := textio.WriteInstance(*out, q, inst); err != nil {
@@ -72,6 +89,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s: %d relations, %s\n", *out, len(q.Edges), meta.Describe())
+}
+
+// usageError reports a bad invocation on stderr and exits with the
+// conventional usage status. Generator parameter errors land here too
+// (errors.Is workload.ErrInvalidParam) — they mean the flags, not the
+// program, are wrong.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "datagen:", msg)
+	os.Exit(2)
 }
 
 func queryByName(name string) (*hypergraph.Query, error) {

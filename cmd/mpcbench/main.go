@@ -52,6 +52,12 @@
 //	mpcbench -service -json BENCH_service.json
 //	mpcbench -service -quick
 //
+// -graph selects only the iterated graph-analytics experiments — the
+// BFS/SSSP/PageRank drivers over a seeded power-law graph, checking each
+// driver iteration's max-load against the Table 1 matmul formula:
+//
+//	mpcbench -graph -quick -json BENCH_graph.json
+//
 // -quick shrinks the dataset and duration for a fast CI pass; -workers
 // sizes the closed-loop client pool and -seed the query generators.
 //
@@ -96,6 +102,7 @@ func run() int {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (post-run snapshot) to this file")
 		service = flag.Bool("service", false, "benchmark the serving plane (cache, coalescing, tenant fairness) instead of the paper experiments")
+		graph   = flag.Bool("graph", false, "run only the iterated graph-analytics experiments (BFS/SSSP/PageRank per-iteration load sweep)")
 	)
 	flag.Parse()
 
@@ -141,9 +148,12 @@ func run() int {
 	}
 
 	var ids []string
-	if *exper == "all" {
+	switch {
+	case *graph:
+		ids = experiments.GraphIDs()
+	case *exper == "all":
 		ids = experiments.IDs()
-	} else {
+	default:
 		ids = strings.Split(*exper, ",")
 	}
 

@@ -1,0 +1,185 @@
+package mpcjoin_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mpcjoin"
+	"mpcjoin/internal/semiring"
+)
+
+// diamond is a small fixed graph: 0→1 (w 1), 0→2 (w 10), 1→2 (w 1),
+// 2→3 (w 1), plus an unreachable 4→0.
+func diamond() []mpcjoin.GraphEdge {
+	return []mpcjoin.GraphEdge{
+		{Src: 0, Dst: 1, W: 1},
+		{Src: 0, Dst: 2, W: 10},
+		{Src: 1, Dst: 2, W: 1},
+		{Src: 2, Dst: 3, W: 1},
+		{Src: 4, Dst: 0, W: 1},
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	res, err := mpcjoin.BFS(diamond(), 0, mpcjoin.WithServers(4), mpcjoin.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("BFS did not converge")
+	}
+	want := []mpcjoin.VertexRow{{0, 0}, {1, 1}, {2, 1}, {3, 2}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("levels = %v, want %v", res.Rows, want)
+	}
+	if res.Vertices != 5 || res.Edges != 5 {
+		t.Fatalf("graph sizes %d/%d, want 5/5", res.Vertices, res.Edges)
+	}
+}
+
+func TestSSSPDistances(t *testing.T) {
+	res, err := mpcjoin.SSSP(diamond(), 0, mpcjoin.WithServers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mpcjoin.VertexRow{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("distances = %v, want %v", res.Rows, want)
+	}
+	if _, err := mpcjoin.SSSP([]mpcjoin.GraphEdge{{Src: 0, Dst: 1, W: -2}}, 0); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestPageRankPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var edges []mpcjoin.GraphEdge
+	for i := 0; i < 400; i++ {
+		edges = append(edges, mpcjoin.GraphEdge{
+			Src: mpcjoin.Value(rng.Intn(80)), Dst: mpcjoin.Value(rng.Intn(80)), W: 1,
+		})
+	}
+	res, err := mpcjoin.PageRank(edges,
+		mpcjoin.WithServers(8), mpcjoin.WithDamping(0.9), mpcjoin.WithTolerance(1e-8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("PageRank did not converge")
+	}
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += r.Rank
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestSpMVPublicAPI(t *testing.T) {
+	// A 2×2 over IntSumProd: y = A·x with A = [[1 2],[0 3]], x = [10, 100].
+	a := []mpcjoin.MatrixEntry[int64]{
+		{Row: 0, Col: 0, W: 1}, {Row: 0, Col: 1, W: 2}, {Row: 1, Col: 1, W: 3},
+	}
+	x := []mpcjoin.VecEntry[int64]{{Idx: 0, Val: 10}, {Idx: 1, Val: 100}}
+	res, err := mpcjoin.SpMV[int64](semiring.IntSumProd{}, a, x, mpcjoin.WithServers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mpcjoin.VecEntry[int64]{{Idx: 0, Val: 210}, {Idx: 1, Val: 300}}
+	if !reflect.DeepEqual(res.Entries, want) {
+		t.Fatalf("y = %v, want %v", res.Entries, want)
+	}
+	if res.Stats.Rounds == 0 || res.Stats.MaxLoad == 0 {
+		t.Fatalf("unmetered stats %+v", res.Stats)
+	}
+}
+
+func TestIterOptionConflicts(t *testing.T) {
+	edges := diamond()
+	// Iterated knobs reject plain Execute.
+	q := mpcjoin.NewQuery().Relation("R1", "A", "B").Relation("R2", "B", "C").GroupBy("A", "C")
+	inst := mpcjoin.Instance[int64]{
+		"R1": mpcjoin.NewRelation[int64]("A", "B"),
+		"R2": mpcjoin.NewRelation[int64]("B", "C"),
+	}
+	inst["R1"].Add(1, 1, 2)
+	inst["R2"].Add(1, 2, 3)
+	if _, err := mpcjoin.Execute[int64](semiring.IntSumProd{}, q, inst, mpcjoin.WithMaxIters(3)); !errors.Is(err, mpcjoin.ErrOptionConflict) {
+		t.Fatalf("Execute + WithMaxIters: err = %v, want ErrOptionConflict", err)
+	}
+	// Float-convergence knobs reject the exact-fixpoint drivers.
+	if _, err := mpcjoin.BFS(edges, 0, mpcjoin.WithDamping(0.5)); !errors.Is(err, mpcjoin.ErrOptionConflict) {
+		t.Fatalf("BFS + WithDamping: err = %v, want ErrOptionConflict", err)
+	}
+	if _, err := mpcjoin.SSSP(edges, 0, mpcjoin.WithTolerance(1e-6)); !errors.Is(err, mpcjoin.ErrOptionConflict) {
+		t.Fatalf("SSSP + WithTolerance: err = %v, want ErrOptionConflict", err)
+	}
+	// Out-of-domain arguments fail descriptively.
+	if _, err := mpcjoin.PageRank(edges, mpcjoin.WithDamping(1.5)); err == nil {
+		t.Fatal("WithDamping(1.5) accepted")
+	}
+	if _, err := mpcjoin.BFS(edges, 0, mpcjoin.WithMaxIters(0)); err == nil {
+		t.Fatal("WithMaxIters(0) accepted")
+	}
+}
+
+func TestGraphBudgetAndTrace(t *testing.T) {
+	// A 6-chain takes 5 BFS expansions; a budget of 2 cuts it off.
+	var chain []mpcjoin.GraphEdge
+	for i := 0; i < 5; i++ {
+		chain = append(chain, mpcjoin.GraphEdge{Src: mpcjoin.Value(i), Dst: mpcjoin.Value(i + 1), W: 1})
+	}
+	res, err := mpcjoin.BFS(chain, 0, mpcjoin.WithServers(4), mpcjoin.WithMaxIters(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("budget-cut run reports Converged")
+	}
+	if len(res.Iterations) != 2 || len(res.Rows) != 3 {
+		t.Fatalf("got %d iterations, %d rows; want 2, 3", len(res.Iterations), len(res.Rows))
+	}
+
+	// Traced run: per-iteration rounds visible, results unchanged.
+	traced, err := mpcjoin.BFS(chain, 0, mpcjoin.WithServers(4), mpcjoin.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Trace) == 0 {
+		t.Fatal("WithTrace produced no rounds")
+	}
+	seen := false
+	for _, r := range traced.Trace {
+		if r.Op == "iter0.partials" {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("trace has no per-iteration exchange labels: %+v", traced.Trace)
+	}
+}
+
+func TestGraphFaultInjectionTransparent(t *testing.T) {
+	edges := diamond()
+	clean, err := mpcjoin.SSSP(edges, 0, mpcjoin.WithServers(4), mpcjoin.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := mpcjoin.SSSP(edges, 0, mpcjoin.WithServers(4), mpcjoin.WithSeed(3),
+		mpcjoin.WithFaults(mpcjoin.FaultSpec{DropProb: 0.2, MaxRetries: 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean.Rows, faulted.Rows) {
+		t.Fatal("fault-injected SSSP rows differ from clean run")
+	}
+	if clean.Stats != faulted.Stats {
+		t.Fatal("fault-injected SSSP Stats differ from clean run")
+	}
+	if faulted.Faults == nil || faulted.Faults.Injected == 0 {
+		t.Fatalf("fault report missing or empty: %+v", faulted.Faults)
+	}
+}

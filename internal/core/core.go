@@ -178,6 +178,41 @@ func ExecuteDistributed[W any](sr semiring.Semiring[W], q *hypergraph.Query, ins
 	return ExecuteDistributedContext(context.Background(), sr, q, inst, opts)
 }
 
+// NewScope builds the per-execution scope the Options describe: a runtime
+// sized by Workers bound to the caller's context, with the tracer, fault
+// plane and exchange transport attached. It is the shared execution root of
+// every engine family (the join-aggregate dispatch below, internal/spmv's
+// iterated kernels): the returned Exec travels inside every Part placed
+// under it, so the whole dataflow of one execution — and nothing outside
+// it — runs on this runtime and stops at the next round barrier once ctx
+// is done. The returned release func closes the transport wire (if one was
+// connected) and must be deferred by the caller; callers should also defer
+// mpc.Recover to convert the primitives' cancellation unwind into an error.
+func (o Options) NewScope(ctx context.Context) (*mpc.Exec, func(), error) {
+	o = o.withDefaults()
+	ex := mpc.NewExec(ctx, o.Workers)
+	if o.Tracer != nil {
+		ex = ex.WithTracer(o.Tracer)
+	}
+	if o.Faults != nil {
+		ex = ex.WithFaults(o.Faults)
+	}
+	release := func() {}
+	if o.Transport != nil {
+		// The wire is per-execution: connect here, close when the
+		// execution returns (success, error or unwind alike).
+		w, werr := o.Transport.Connect(ctx)
+		if werr != nil {
+			return nil, nil, fmt.Errorf("connecting %s transport: %w", o.Transport.Name(), werr)
+		}
+		if w != nil {
+			release = func() { w.Close() }
+			ex = ex.WithWire(w)
+		}
+	}
+	return ex, release, nil
+}
+
 // ExecuteDistributedContext is ExecuteContext but leaves the result
 // distributed. It is the execution root: it builds the per-execution scope
 // (worker runtime + context) that every Part of this execution carries, and
@@ -196,29 +231,11 @@ func ExecuteDistributedContext[W any](ctx context.Context, sr semiring.Semiring[
 		return dist.Rel[W]{}, mpc.Stats{}, err
 	}
 
-	// The execution scope: a runtime sized by opts.Workers and the caller's
-	// context. It travels inside every Part placed below, so the whole
-	// dataflow of this execution — and nothing outside it — runs on this
-	// runtime and stops at the next round barrier once ctx is done.
-	ex := mpc.NewExec(ctx, opts.Workers)
-	if opts.Tracer != nil {
-		ex = ex.WithTracer(opts.Tracer)
+	ex, release, err := opts.NewScope(ctx)
+	if err != nil {
+		return dist.Rel[W]{}, mpc.Stats{}, err
 	}
-	if opts.Faults != nil {
-		ex = ex.WithFaults(opts.Faults)
-	}
-	if opts.Transport != nil {
-		// The wire is per-execution: connect here, close when the
-		// execution returns (success, error or unwind alike).
-		w, werr := opts.Transport.Connect(ctx)
-		if werr != nil {
-			return dist.Rel[W]{}, mpc.Stats{}, fmt.Errorf("connecting %s transport: %w", opts.Transport.Name(), werr)
-		}
-		if w != nil {
-			defer w.Close()
-			ex = ex.WithWire(w)
-		}
-	}
+	defer release()
 	// Primitives report cancellation by unwinding with an internal sentinel
 	// (they return no errors); convert it back into a returned error here.
 	defer mpc.Recover(&err)

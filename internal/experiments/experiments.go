@@ -212,7 +212,14 @@ func IDs() []string {
 		"EST-OUT",
 		"ABL-locality", "ABL-packing",
 		"ALT-fulljoin",
+		"GRAPH-iterload",
 	}
+}
+
+// GraphIDs lists the iterated graph-analytics experiment identifiers —
+// the subset of IDs the mpcbench -graph lane runs on its own.
+func GraphIDs() []string {
+	return []string{"GRAPH-iterload"}
 }
 
 // Run executes one experiment. cfg.Workers travels with each engine run's
@@ -297,6 +304,8 @@ func run(id string, cfg Config) (Table, error) {
 		return ablPacking(cfg), nil
 	case "ALT-fulljoin":
 		return altFullJoin(cfg), nil
+	case "GRAPH-iterload":
+		return graphIterLoad(cfg), nil
 	}
 	return Table{}, fmt.Errorf("experiments: unknown id %q", id)
 }
@@ -818,7 +827,10 @@ func estOut(cfg Config) Table {
 
 	inst1, _ := workload.MatMulBlocks(cfg.scale(256, 64), 8, 8)
 	run("blocks fan=8", inst1)
-	inst2, _ := workload.MatMulZipf(cfg.scale(4096, 512), cfg.scale(256, 64), 1.5, rng)
+	inst2, _, err := workload.MatMulZipf(cfg.scale(4096, 512), cfg.scale(256, 64), 1.5, rng)
+	if err != nil {
+		panic(err) // parameters are compile-time constants, always valid
+	}
 	run("zipf s=1.5", inst2)
 	inst3, _ := workload.Uniform(q, cfg.scale(4096, 512), cfg.scale(512, 128), rng)
 	run("uniform", inst3)
@@ -981,10 +993,11 @@ func boolToInt(inst db.Instance[bool]) db.Instance[int64] {
 	return out
 }
 
-func itoa(x int) string   { return fmt.Sprintf("%d", x) }
-func i64(x int64) string  { return fmt.Sprintf("%d", x) }
-func f0(x float64) string { return fmt.Sprintf("%.0f", x) }
-func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func itoa(x int) string     { return fmt.Sprintf("%d", x) }
+func i64toa(x int64) string { return fmt.Sprintf("%d", x) }
+func i64(x int64) string    { return fmt.Sprintf("%d", x) }
+func f0(x float64) string   { return fmt.Sprintf("%.0f", x) }
+func f2(x float64) string   { return fmt.Sprintf("%.2f", x) }
 func tick(ok bool) string {
 	if ok {
 		return "yes"

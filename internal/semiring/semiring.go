@@ -132,6 +132,22 @@ func (BoolOrAnd) IdempotentAdd() bool  { return true }
 // arithmetic is exact. Workload weights must stay far below this value.
 const tropInf int64 = 1 << 60
 
+// satAdd adds two finite tropical weights, saturating at the ±tropInf
+// sentinels so the result never escapes the carrier's domain: a sum at or
+// above tropInf becomes ∞, a sum at or below −tropInf becomes −∞. Both
+// tropical Muls route through this, which keeps their sentinels absorbing
+// and exact for arbitrary (even adversarially large) finite inputs.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if s >= tropInf {
+		return tropInf
+	}
+	if s <= -tropInf {
+		return -tropInf
+	}
+	return s
+}
+
 // MinPlus is the tropical semiring (ℤ ∪ {∞}, min, +). A join-aggregate
 // query under MinPlus computes, per output group, the minimum total weight
 // of any join result — e.g. shortest path lengths when the query is a line
@@ -150,12 +166,16 @@ func (MinPlus) Add(a, b int64) int64 {
 	return b
 }
 
-// Mul is saturating addition so that ∞ ⊗ a = ∞ exactly.
+// Mul is saturating addition so that ∞ ⊗ a = ∞ exactly. Saturation also
+// applies to finite sums that reach the sentinel range: without it, a sum
+// crossing tropInf would compare above the canonical ∞ and lose an
+// Add(∞, ·) to the identity (x ⊕ 0̄ must return x), and deep Mul chains
+// could wrap around int64. Results always stay in [−tropInf, tropInf].
 func (MinPlus) Mul(a, b int64) int64 {
 	if a >= tropInf || b >= tropInf {
 		return tropInf
 	}
-	return a + b
+	return satAdd(a, b)
 }
 
 func (MinPlus) Equal(a, b int64) bool { return a == b }
@@ -177,11 +197,14 @@ func (MaxPlus) Add(a, b int64) int64 {
 	return b
 }
 
+// Mul is saturating addition so that −∞ ⊗ a = −∞ exactly. The finite-sum
+// clamp matters here too: two large negative weights would otherwise sum
+// below the −∞ sentinel and lose an Add(·, −∞) to the additive identity.
 func (MaxPlus) Mul(a, b int64) int64 {
 	if a <= -tropInf || b <= -tropInf {
 		return -tropInf
 	}
-	return a + b
+	return satAdd(a, b)
 }
 
 func (MaxPlus) Equal(a, b int64) bool { return a == b }

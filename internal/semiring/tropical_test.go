@@ -1,0 +1,156 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the tropical sentinels: the ±tropInf infinities must
+// be absorbing and exact under ⊗ for every weight in the carrier domain
+// [−tropInf, tropInf], including weights adjacent to the sentinels where
+// an unsaturated sum would escape the domain (the historical bug: two
+// large finite MaxPlus weights summed below −∞ and then lost an ⊕ against
+// the additive identity).
+
+// tropicalWeights draws weights covering the whole domain: small values,
+// negatives, the sentinels themselves, and values within a few units of
+// ±tropInf where saturation must kick in.
+func tropicalWeights(rng *rand.Rand, n int) []int64 {
+	ws := []int64{
+		0, 1, -1, 7, -7, 1 << 20, -(1 << 20),
+		tropInf, -tropInf,
+		tropInf - 1, tropInf - 2, -tropInf + 1, -tropInf + 2,
+		tropInf / 2, -tropInf / 2, tropInf/2 + 3, -tropInf/2 - 3,
+	}
+	for i := 0; i < n; i++ {
+		// Uniform over the full domain; about half land in the "large"
+		// half where pairwise sums saturate.
+		ws = append(ws, rng.Int63n(2*tropInf+1)-tropInf)
+	}
+	return ws
+}
+
+func inDomain(x int64) bool { return -tropInf <= x && x <= tropInf }
+
+func TestMinPlusSentinelAbsorbingAndExact(t *testing.T) {
+	sr := MinPlus{}
+	ws := tropicalWeights(rand.New(rand.NewSource(1)), 200)
+	for _, a := range ws {
+		// ∞ is absorbing and exact: ∞ ⊗ a = ∞ bit-for-bit, both sides.
+		if got := sr.Mul(sr.Inf(), a); got != sr.Inf() {
+			t.Fatalf("MinPlus: Inf ⊗ %d = %d, want Inf", a, got)
+		}
+		if got := sr.Mul(a, sr.Inf()); got != sr.Inf() {
+			t.Fatalf("MinPlus: %d ⊗ Inf = %d, want Inf", a, got)
+		}
+		// One is the multiplicative identity on the whole domain.
+		if got := sr.Mul(sr.One(), a); got != a {
+			t.Fatalf("MinPlus: One ⊗ %d = %d, want %d", a, got, a)
+		}
+		// Zero (= ∞) is the additive identity: x ⊕ 0̄ = x. This is the law
+		// an unsaturated product used to break: a finite sum past tropInf
+		// compared above ∞ and vanished here.
+		for _, b := range ws {
+			m := sr.Mul(a, b)
+			if !inDomain(m) {
+				t.Fatalf("MinPlus: %d ⊗ %d = %d escapes [−Inf, Inf]", a, b, m)
+			}
+			if got := sr.Add(m, sr.Zero()); got != m {
+				t.Fatalf("MinPlus: (%d ⊗ %d) ⊕ Zero = %d, want %d", a, b, got, m)
+			}
+			if m != sr.Mul(b, a) {
+				t.Fatalf("MinPlus: ⊗ not commutative at (%d, %d)", a, b)
+			}
+		}
+	}
+}
+
+func TestMaxPlusSentinelAbsorbingAndExact(t *testing.T) {
+	sr := MaxPlus{}
+	ws := tropicalWeights(rand.New(rand.NewSource(2)), 200)
+	for _, a := range ws {
+		if got := sr.Mul(sr.NegInf(), a); got != sr.NegInf() {
+			t.Fatalf("MaxPlus: NegInf ⊗ %d = %d, want NegInf", a, got)
+		}
+		if got := sr.Mul(a, sr.NegInf()); got != sr.NegInf() {
+			t.Fatalf("MaxPlus: %d ⊗ NegInf = %d, want NegInf", a, got)
+		}
+		if got := sr.Mul(sr.One(), a); got != a {
+			t.Fatalf("MaxPlus: One ⊗ %d = %d, want %d", a, got, a)
+		}
+		for _, b := range ws {
+			// The underflow case: a, b near −tropInf sum below the −∞
+			// sentinel unless Mul saturates; the product must stay in
+			// domain and must still win an ⊕ against the identity.
+			m := sr.Mul(a, b)
+			if !inDomain(m) {
+				t.Fatalf("MaxPlus: %d ⊗ %d = %d escapes [−Inf, Inf]", a, b, m)
+			}
+			if got := sr.Add(m, sr.Zero()); got != m {
+				t.Fatalf("MaxPlus: (%d ⊗ %d) ⊕ Zero = %d, want %d", a, b, got, m)
+			}
+			if m != sr.Mul(b, a) {
+				t.Fatalf("MaxPlus: ⊗ not commutative at (%d, %d)", a, b)
+			}
+		}
+	}
+}
+
+func TestMaxMinIdentityComposition(t *testing.T) {
+	sr := MaxMin{}
+	ws := tropicalWeights(rand.New(rand.NewSource(3)), 200)
+	for _, a := range ws {
+		// One (= +∞) composes as the identity: min(+∞, a) = a.
+		if got := sr.Mul(sr.One(), a); got != a {
+			t.Fatalf("MaxMin: One ⊗ %d = %d, want %d", a, got, a)
+		}
+		if got := sr.Mul(a, sr.One()); got != a {
+			t.Fatalf("MaxMin: %d ⊗ One = %d, want %d", a, got, a)
+		}
+		// Zero (= −∞) is absorbing under ⊗ and the identity under ⊕.
+		if got := sr.Mul(sr.Zero(), a); got != sr.Zero() {
+			t.Fatalf("MaxMin: Zero ⊗ %d = %d, want Zero", a, got)
+		}
+		if got := sr.Add(sr.Zero(), a); got != a {
+			t.Fatalf("MaxMin: Zero ⊕ %d = %d, want %d", a, got, a)
+		}
+		// Identity composition along a chain: bottlenecking through +∞
+		// never changes the bottleneck; min/max are closed on the domain.
+		for _, b := range ws {
+			lhs := sr.Mul(sr.Mul(a, sr.One()), b)
+			if rhs := sr.Mul(a, b); lhs != rhs {
+				t.Fatalf("MaxMin: (a ⊗ One) ⊗ b = %d, want %d at (%d, %d)", lhs, rhs, a, b)
+			}
+			if m := sr.Mul(a, b); !inDomain(m) {
+				t.Fatalf("MaxMin: %d ⊗ %d = %d escapes the domain", a, b, m)
+			}
+		}
+	}
+}
+
+// TestTropicalDistributivity pins ⊗ distributing over ⊕ on the saturated
+// domain — the law join-aggregate correctness rests on.
+func TestTropicalDistributivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ws := tropicalWeights(rng, 60)
+	type ring struct {
+		name string
+		add  func(a, b int64) int64
+		mul  func(a, b int64) int64
+	}
+	rings := []ring{
+		{"minplus", MinPlus{}.Add, MinPlus{}.Mul},
+		{"maxplus", MaxPlus{}.Add, MaxPlus{}.Mul},
+		{"maxmin", MaxMin{}.Add, MaxMin{}.Mul},
+	}
+	for _, r := range rings {
+		for i := 0; i < 4000; i++ {
+			a, b, c := ws[rng.Intn(len(ws))], ws[rng.Intn(len(ws))], ws[rng.Intn(len(ws))]
+			lhs := r.mul(a, r.add(b, c))
+			rhs := r.add(r.mul(a, b), r.mul(a, c))
+			if lhs != rhs {
+				t.Fatalf("%s: a ⊗ (b ⊕ c) = %d but (a⊗b) ⊕ (a⊗c) = %d at (%d, %d, %d)", r.name, lhs, rhs, a, b, c)
+			}
+		}
+	}
+}

@@ -57,6 +57,12 @@ func cacheKey(req *QueryRequest, insts map[string]*Dataset, o core.Options) stri
 		fmt.Fprintf(&b, "rel=%q attrs=%q ds=%q@%d;", rel.Name, strings.Join(rel.Attrs, ","), dsName, ds.Version)
 	}
 	fmt.Fprintf(&b, "group_by=%q;semiring=%q;trace=%v;opts=%016x", strings.Join(req.GroupBy, ","), req.Semiring, req.Trace, o.ResultFingerprint())
+	if g := req.Graph; g != nil {
+		// Graph-driver parameters are not core options, so they are not in
+		// the fingerprint; a graph run must never share identity with the
+		// plain query over the same relation (or with other driver params).
+		fmt.Fprintf(&b, ";graph=%s src=%d iters=%d damping=%v tol=%v", g.Kind, g.Source, g.MaxIters, g.Damping, g.Tol)
+	}
 	return b.String()
 }
 

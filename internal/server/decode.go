@@ -88,6 +88,10 @@ type QueryRequest struct {
 	// Cache is the cache-control mode ("", "default", "bypass", "off"),
 	// settable only through the v2 options object; v1 always runs off.
 	Cache string `json:"-"`
+	// Graph turns the request into an iterated graph-analytics run over
+	// the single bound edge relation. v2-only ("json:-" keeps it out of
+	// the v1 wire shape, like Faults).
+	Graph *GraphBlock `json:"-"`
 }
 
 var validStrategies = map[string]bool{"": true, "auto": true, "yannakakis": true, "tree": true}
@@ -192,6 +196,28 @@ func validateQueryRequest(req *QueryRequest) error {
 	}
 	if !validCacheModes[req.Cache] {
 		return fmt.Errorf("unknown cache mode %q (want default, bypass or off)", req.Cache)
+	}
+	if g := req.Graph; g != nil {
+		if err := g.validate(); err != nil {
+			return err
+		}
+		// A graph run is one driver over one edge relation; the
+		// join-aggregate knobs do not compose with it.
+		if len(req.Relations) != 1 {
+			return fmt.Errorf("graph queries bind exactly one edge relation, got %d", len(req.Relations))
+		}
+		if len(req.Relations[0].Attrs) != 2 {
+			return fmt.Errorf("graph queries need a binary edge relation, got %d attrs", len(req.Relations[0].Attrs))
+		}
+		if len(req.GroupBy) != 0 {
+			return fmt.Errorf("graph queries do not take group_by")
+		}
+		if req.Strategy != "" {
+			return fmt.Errorf("graph queries do not take a strategy (the %s driver is the engine)", g.Kind)
+		}
+		if req.Semiring != "" {
+			return fmt.Errorf("graph queries do not take a semiring (the %s driver fixes it)", g.Kind)
+		}
 	}
 	return nil
 }

@@ -59,6 +59,7 @@ import (
 	"mpcjoin/internal/relation"
 	"mpcjoin/internal/semiring"
 	"mpcjoin/internal/serve"
+	"mpcjoin/internal/spmv"
 	"mpcjoin/internal/transport"
 )
 
@@ -336,6 +337,11 @@ type QueryResponse struct {
 	// injected query whose faults were absorbed by the retry budget are
 	// identical to a fault-free run.
 	Faults *mpc.FaultReport `json:"faults,omitempty"`
+	// Iterations meters each driver-loop iteration of a graph query
+	// (present only with a graph block); Converged reports whether the
+	// driver reached its fixpoint within the iteration budget.
+	Iterations []spmv.IterStat `json:"iterations,omitempty"`
+	Converged  *bool           `json:"converged,omitempty"`
 
 	// queueNS is the execution's admission-queue wait, for the access log.
 	queueNS int64
@@ -455,12 +461,19 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 	if req.Faults != nil {
 		o.Faults = mpc.NewFaultPlane(req.Faults.Spec(req.Seed))
 	}
-	pl, err := core.PlanQuery(q, o.Strategy)
-	if err != nil {
-		fail(http.StatusBadRequest, "bad_request", "%v", err)
-		return
+	var pl core.Plan
+	if req.Graph != nil {
+		// Graph queries bypass the join-aggregate planner: the graph block
+		// itself names the driver.
+		entry.Engine = "spmv-" + req.Graph.Kind
+	} else {
+		pl, err = core.PlanQuery(q, o.Strategy)
+		if err != nil {
+			fail(http.StatusBadRequest, "bad_request", "%v", err)
+			return
+		}
+		entry.Engine = pl.Engine
 	}
-	entry.Engine = pl.Engine
 
 	// respond renders a success from resp without mutating it: resp may
 	// be shared with the cache and with coalesced waiters, so per-request
@@ -613,7 +626,12 @@ func (s *Server) execAdmitted(ctx context.Context, tenant string, req *QueryRequ
 		o.Tracer = mpc.NewTracer()
 	}
 	start := time.Now()
-	resp, err := s.execute(ctx, req, q, insts, o)
+	var resp *QueryResponse
+	if req.Graph != nil {
+		resp, err = s.executeGraph(ctx, req, insts, o)
+	} else {
+		resp, err = s.execute(ctx, req, q, insts, o)
+	}
 	wall := time.Since(start)
 	if err != nil {
 		switch {
@@ -634,9 +652,13 @@ func (s *Server) execAdmitted(ctx context.Context, tenant string, req *QueryRequ
 		}
 		return nil, err
 	}
-	s.met.QueryCompleted(pl.Engine, resp.Stats)
-	resp.Class = pl.Class.String()
-	resp.Engine = pl.Engine
+	engine, class := pl.Engine, pl.Class.String()
+	if req.Graph != nil {
+		engine, class = "spmv-"+req.Graph.Kind, "graph"
+	}
+	s.met.QueryCompleted(engine, resp.Stats)
+	resp.Class = class
+	resp.Engine = engine
 	resp.WallNS = wall.Nanoseconds()
 	resp.queueNS = queueNS
 	if o.Tracer != nil {
@@ -705,6 +727,75 @@ func (s *Server) execute(ctx context.Context, req *QueryRequest, q *hypergraph.Q
 		return runTyped[int64](ctx, semiring.MaxMin{}, q, inst, o, annot)
 	}
 	return nil, &clientError{fmt.Errorf("unknown semiring %q", req.Semiring)}
+}
+
+// executeGraph runs the request's graph block: one iterated driver (BFS,
+// SSSP or PageRank) over the single bound edge relation, on the same
+// execution scope (servers, seed, workers, tracer, fault plane,
+// transport) a join-aggregate query would get. Rows come back as
+// [value, vertex] — hop level, distance or rank first, mirroring the
+// [annotation, values...] shape of join results.
+func (s *Server) executeGraph(ctx context.Context, req *QueryRequest, insts map[string]*Dataset, o core.Options) (resp *QueryResponse, err error) {
+	g := req.Graph
+	ds := insts[req.Relations[0].Name]
+	p := o.Servers
+	if p == 0 {
+		p = 16
+	}
+
+	ex, release, err := o.NewScope(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	defer mpc.Recover(&err)
+
+	resp = &QueryResponse{Attrs: []string{"vertex"}, Rows: [][]any{}}
+	var conv bool
+	switch g.Kind {
+	case "bfs":
+		edges := make([]spmv.Edge[bool], len(ds.Rows))
+		for i, row := range ds.Rows {
+			edges[i] = spmv.Edge[bool]{Src: row.Vals[0], Dst: row.Vals[1], W: true}
+		}
+		gr := spmv.BFS(ex, edges, p, o.Seed, relation.Value(g.Source), g.MaxIters)
+		for _, en := range gr.Rows {
+			resp.Rows = append(resp.Rows, []any{en.Val, int64(en.Idx)})
+		}
+		resp.Stats, resp.Iterations, conv = mpc.Seq(gr.Build, gr.Stats), gr.Iters, gr.Converged
+	case "sssp":
+		edges := make([]spmv.Edge[int64], len(ds.Rows))
+		for i, row := range ds.Rows {
+			if row.W < 0 {
+				return nil, &clientError{fmt.Errorf("sssp needs non-negative edge weights; dataset %q has weight %d", req.Relations[0].Name, row.W)}
+			}
+			edges[i] = spmv.Edge[int64]{Src: row.Vals[0], Dst: row.Vals[1], W: row.W}
+		}
+		gr := spmv.SSSP(ex, edges, p, o.Seed, relation.Value(g.Source), g.MaxIters)
+		for _, en := range gr.Rows {
+			resp.Rows = append(resp.Rows, []any{en.Val, int64(en.Idx)})
+		}
+		resp.Stats, resp.Iterations, conv = mpc.Seq(gr.Build, gr.Stats), gr.Iters, gr.Converged
+	case "pagerank":
+		edges := make([]spmv.Edge[int64], len(ds.Rows))
+		for i, row := range ds.Rows {
+			edges[i] = spmv.Edge[int64]{Src: row.Vals[0], Dst: row.Vals[1], W: row.W}
+		}
+		damping := g.Damping
+		if damping == 0 {
+			damping = 0.85
+		}
+		pr := spmv.PageRank(ex, edges, p, o.Seed, damping, g.Tol, g.MaxIters)
+		for _, en := range pr.Ranks {
+			resp.Rows = append(resp.Rows, []any{en.Val, int64(en.Idx)})
+		}
+		resp.Stats, resp.Iterations, conv = mpc.Seq(pr.Build, pr.Stats), pr.Iters, pr.Converged
+	default:
+		// Unreachable past validation; defense against future decoders.
+		return nil, &clientError{fmt.Errorf("unknown graph kind %q", g.Kind)}
+	}
+	resp.Converged = &conv
+	return resp, nil
 }
 
 // newRelation builds an empty relation carrying the query's schema for

@@ -94,6 +94,59 @@ func (fb *FaultBlock) validate() error {
 	return nil
 }
 
+// maxGraphIters caps the iteration budget a graph query may ask for:
+// every iteration is simulated rounds of work, so an unbounded budget
+// would be an amplification knob (same reasoning as maxFaultRetries).
+const maxGraphIters = 4096
+
+// GraphBlock is the "graph" object of a v2 query: it turns the request
+// into an iterated graph-analytics run (BFS, SSSP or PageRank) over a
+// single binary edge relation E(src, dst) whose annotations are the edge
+// weights. Incompatible with group_by, strategy and semiring — the driver
+// fixes the semiring (Bools, MinPlus, Floats respectively).
+type GraphBlock struct {
+	// Kind selects the driver: "bfs", "sssp" or "pagerank".
+	Kind string `json:"kind"`
+	// Source is the start vertex (bfs/sssp; rejected for pagerank).
+	Source int64 `json:"source,omitempty"`
+	// MaxIters bounds the driver loop; 0 selects the driver's default
+	// (BFS/PageRank: a fixed cap; SSSP: the Bellman-Ford |V|+1 bound). A
+	// budget-exhausted run answers with "converged": false, not an error.
+	MaxIters int `json:"max_iters,omitempty"`
+	// Damping is PageRank's damping factor in (0, 1); 0 selects 0.85.
+	Damping float64 `json:"damping,omitempty"`
+	// Tol is PageRank's L∞ convergence threshold; 0 selects 1e-9.
+	Tol float64 `json:"tol,omitempty"`
+}
+
+func (g *GraphBlock) validate() error {
+	switch g.Kind {
+	case "bfs", "sssp":
+		if g.Damping != 0 {
+			return fmt.Errorf("graph.damping applies to pagerank, not %s", g.Kind)
+		}
+		if g.Tol != 0 {
+			return fmt.Errorf("graph.tol applies to pagerank, not %s", g.Kind)
+		}
+	case "pagerank":
+		if g.Source != 0 {
+			return fmt.Errorf("graph.source applies to bfs/sssp, not pagerank")
+		}
+		if g.Damping < 0 || g.Damping >= 1 {
+			return fmt.Errorf("graph.damping must be in (0, 1) or 0 for the default, got %v", g.Damping)
+		}
+		if g.Tol < 0 {
+			return fmt.Errorf("graph.tol must be non-negative, got %v", g.Tol)
+		}
+	default:
+		return fmt.Errorf("unknown graph.kind %q (want bfs, sssp or pagerank)", g.Kind)
+	}
+	if g.MaxIters < 0 || g.MaxIters > maxGraphIters {
+		return fmt.Errorf("graph.max_iters must be in [0, %d], got %d", maxGraphIters, g.MaxIters)
+	}
+	return nil
+}
+
 // QueryOptions is the explicit options object of a v2 query. It holds
 // every execution knob that is not part of the query itself; the query
 // shape (relations, group_by, strategy, semiring) stays top-level.
@@ -124,7 +177,10 @@ type QueryRequestV2 struct {
 	GroupBy   []string        `json:"group_by,omitempty"`
 	Strategy  string          `json:"strategy,omitempty"`
 	Semiring  string          `json:"semiring,omitempty"`
-	Options   *QueryOptions   `json:"options,omitempty"`
+	// Graph turns the request into an iterated graph-analytics run over
+	// the single bound edge relation (v2-only, like the faults block).
+	Graph   *GraphBlock   `json:"graph,omitempty"`
+	Options *QueryOptions `json:"options,omitempty"`
 }
 
 // DecodeQueryRequestV2 parses and validates a v2 query body and
@@ -144,6 +200,7 @@ func DecodeQueryRequestV2(r io.Reader) (*QueryRequest, error) {
 		GroupBy:   v2.GroupBy,
 		Strategy:  v2.Strategy,
 		Semiring:  v2.Semiring,
+		Graph:     v2.Graph,
 	}
 	if o := v2.Options; o != nil {
 		req.Servers = o.Servers

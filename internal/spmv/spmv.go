@@ -1,0 +1,388 @@
+// Package spmv implements distributed sparse matrix–vector multiplication
+// over a semiring — SpMV when the vector is dense, SpMSpV when it is a
+// sparse frontier — as an iterated workload surface on top of the mpc
+// primitives, following the matmul engine's layouts: the matrix is
+// hash-partitioned once by column (the vertex an entry consumes), the
+// vector by the same hash, so every product y[i] ⊕= A[i,j] ⊗ x[j] forms
+// locally on the server owning column j, is pre-aggregated by output index
+// at the producing server (the paper's §1.5 ⊕-combine mechanism, which
+// caps the fan-in any output row induces at p), and crosses the wire in a
+// single metered exchange per multiply.
+//
+// Because every engine is generic over semiring.Semiring, one Mul yields
+// the iterated graph-analytics family as driver loops (see Iterate and
+// graphs.go): BFS under Bools, single-source shortest paths under MinPlus,
+// PageRank under Floats — each iteration one exchange round plus a
+// constant number of O(p)-load convergence rounds, with per-iteration
+// Stats metering checked against the Table 1 matmul formula in the
+// experiments harness.
+//
+// The package is a pure kernel layer: callers build the execution scope
+// (workers, tracer, fault plane, transport) with core.Options.NewScope and
+// pass its *mpc.Exec in; cancellation and fault-budget errors unwind
+// through the mpc sentinel and are recovered at that root.
+package spmv
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/relation"
+	"mpcjoin/internal/semiring"
+)
+
+// Entry is one element of a distributed vector: a vertex (or row/column)
+// index and its semiring annotation.
+type Entry[W any] struct {
+	Idx relation.Value
+	Val W
+}
+
+// Edge is one matrix entry in graph orientation: the multiply pushes
+// annotation mass along Src → Dst, i.e. y[Dst] ⊕= W ⊗ x[Src]. In matrix
+// terms Src is the column and Dst the row of the entry.
+type Edge[W any] struct {
+	Src, Dst relation.Value
+	W        W
+}
+
+// Vector is a distributed sparse vector with canonical placement: entries
+// live on the server their index hashes to (the engine's seeded hash) and
+// every shard is sorted by index with unique indices. All vectors of one
+// engine share its placement, so element-wise driver steps (frontier
+// subtraction, relaxation merges, rank updates) are local. Construct
+// vectors only through the engine (NewVector, Mul, FromVertices) — mixing
+// engines with different seeds or server counts would silently misalign.
+type Vector[W any] struct {
+	part mpc.Part[Entry[W]]
+}
+
+// Len returns the number of entries (driver-side introspection, free in
+// the model — the simulator's coordinator knows shard sizes).
+func (v Vector[W]) Len() int64 {
+	var n int64
+	for _, s := range v.part.Shards {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// Entries gathers the vector to the driver, globally sorted by index.
+func (v Vector[W]) Entries() []Entry[W] {
+	out := mpc.Collect(v.part)
+	mpc.SortLocal(out, func(e Entry[W]) int64 { return int64(e.Idx) })
+	return out
+}
+
+// vertexInfo is the engine's per-vertex metadata, co-located with the
+// vector entries of that vertex: its out-degree decides the dangling set
+// PageRank redistributes, and the vertex list seeds dense vectors.
+type vertexInfo struct {
+	Idx    relation.Value
+	OutDeg int64
+}
+
+// Engine is a matrix fixed for repeated multiplication: edges are
+// hash-partitioned by Src once at construction (the build's one metered
+// exchange) and locally sorted, so every subsequent Mul moves only vector
+// data. The sweet spot is exactly the iterated workloads: the matrix
+// placement cost is paid once, each iteration pays one exchange.
+type Engine[W any] struct {
+	sr   semiring.Semiring[W]
+	p    int
+	seed uint64
+
+	edges    mpc.Part[Edge[W]]    // hash(Src)-owned, sorted by Src
+	vertices mpc.Part[vertexInfo] // hash(Idx)-owned, sorted by Idx, unique
+
+	n     int64 // |V|: distinct endpoints
+	nnz   int64 // |E|: matrix entries after placement
+	build mpc.Stats
+
+	// iterTag labels this engine's trace rounds; Iterate stamps it with
+	// the iteration index so traced runs expose per-iteration rounds.
+	iterTag string
+}
+
+// NewEngine places the edge list on p servers under the given semiring and
+// seed. Ownership of edges transfers to the engine (slices may be
+// reordered). The build costs the returned engine's BuildStats(): one
+// exchange placing the matrix by column hash and one building the vertex
+// universe (out-degrees included, for dangling detection and dense
+// initialization).
+func NewEngine[W any](ex *mpc.Exec, sr semiring.Semiring[W], edges []Edge[W], p int, seed uint64) *Engine[W] {
+	if p < 1 {
+		panic(fmt.Sprintf("spmv: NewEngine: server count %d < 1", p))
+	}
+	e := &Engine[W]{sr: sr, p: p, seed: seed, iterTag: "spmv"}
+
+	placed := mpc.DistributeOwnedIn(ex, edges, p)
+	mpc.TraceOp(ex, "spmv.matrix")
+	routed, st1 := mpc.Route(placed, func(_ int, ed Edge[W]) int { return e.home(ed.Src) })
+	ex.ForEachShard(p, func(s int) {
+		mpc.SortLocal(routed.Shards[s], func(ed Edge[W]) int64 { return int64(ed.Src) })
+	})
+	e.edges = routed
+	e.nnz = int64(routed.Len())
+
+	// Vertex universe: every endpoint, routed to its home, deduplicated,
+	// annotated with its out-degree (edges with Src = v are already on
+	// v's home server, so the degree count is local).
+	cand := mpc.MapShards(routed, func(_ int, shard []Edge[W]) []relation.Value {
+		out := make([]relation.Value, 0, 2*len(shard))
+		for _, ed := range shard {
+			out = append(out, ed.Src, ed.Dst)
+		}
+		return out
+	})
+	mpc.TraceOp(ex, "spmv.vertices")
+	verts, st2 := mpc.Route(cand, func(_ int, v relation.Value) int { return e.home(v) })
+	infos := mpc.NewPartIn[vertexInfo](ex, p)
+	ex.ForEachShard(p, func(s int) {
+		vs := verts.Shards[s]
+		mpc.SortLocal(vs, func(v relation.Value) int64 { return int64(v) })
+		es := e.edges.Shards[s]
+		out := make([]vertexInfo, 0, len(vs))
+		ei := 0
+		for i := 0; i < len(vs); {
+			v := vs[i]
+			for i < len(vs) && vs[i] == v {
+				i++
+			}
+			for ei < len(es) && es[ei].Src < v {
+				ei++
+			}
+			deg := int64(0)
+			for ei+int(deg) < len(es) && es[ei+int(deg)].Src == v {
+				deg++
+			}
+			out = append(out, vertexInfo{Idx: v, OutDeg: deg})
+		}
+		infos.Shards[s] = out
+	})
+	e.vertices = infos
+	for _, s := range infos.Shards {
+		e.n += int64(len(s))
+	}
+	e.build = mpc.Seq(st1, st2)
+	return e
+}
+
+// FromRows converts a binary relation into the engine's edge list:
+// Vals[0] → Src, Vals[1] → Dst, the annotation mapped by ann. For a
+// matrix relation M(I, J) whose entries multiply as y[I] = ⊕_J M[I,J] ⊗
+// x[J], pass swap=true so J (the column, Vals[1]) becomes Src.
+func FromRows[W, V any](rows []relation.Row[V], ann func(V) W, swap bool) []Edge[W] {
+	out := make([]Edge[W], len(rows))
+	for i, r := range rows {
+		s, d := r.Vals[0], r.Vals[1]
+		if swap {
+			s, d = d, s
+		}
+		out[i] = Edge[W]{Src: s, Dst: d, W: ann(r.W)}
+	}
+	return out
+}
+
+// P returns the server count, N the vertex-universe size, NNZ the number
+// of matrix entries, and BuildStats the placement cost.
+func (e *Engine[W]) P() int                { return e.p }
+func (e *Engine[W]) N() int64              { return e.n }
+func (e *Engine[W]) NNZ() int64            { return e.nnz }
+func (e *Engine[W]) BuildStats() mpc.Stats { return e.build }
+
+// home is the engine's seeded hash placement (splitmix64 finalizer — the
+// same family the fault plane and matmul partitioning use), mapping an
+// index to the server owning it for both matrix columns and vector
+// entries.
+func (e *Engine[W]) home(v relation.Value) int {
+	x := uint64(v) + e.seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(e.p))
+}
+
+// NewVector places entries into the engine's canonical vector layout: one
+// metered exchange routing each entry to its home, then a local sort and
+// ⊕-merge of duplicate indices.
+func (e *Engine[W]) NewVector(entries []Entry[W]) (Vector[W], mpc.Stats) {
+	ex := e.edges.Scope()
+	placed := mpc.DistributeOwnedIn(ex, entries, e.p)
+	mpc.TraceOp(ex, "spmv.vector")
+	routed, st := mpc.Route(placed, func(_ int, en Entry[W]) int { return e.home(en.Idx) })
+	ex.ForEachShard(e.p, func(s int) {
+		routed.Shards[s] = combineEntries(e.sr, routed.Shards[s])
+	})
+	return Vector[W]{part: routed}, st
+}
+
+// FromVertices builds a dense vector over the engine's vertex universe:
+// val(v) for every vertex v. Local (the vertex list is already placed);
+// the result is aligned and sorted by construction.
+func (e *Engine[W]) FromVertices(val func(v relation.Value) W) Vector[W] {
+	ex := e.edges.Scope()
+	out := mpc.NewPartIn[Entry[W]](ex, e.p)
+	ex.ForEachShard(e.p, func(s int) {
+		vs := e.vertices.Shards[s]
+		shard := make([]Entry[W], len(vs))
+		for i, vi := range vs {
+			shard[i] = Entry[W]{Idx: vi.Idx, Val: val(vi.Idx)}
+		}
+		out.Shards[s] = shard
+	})
+	return Vector[W]{part: out}
+}
+
+// MulStat reports one multiply: the input size, the elementary products
+// formed, the pre-aggregated partials actually exchanged, the output
+// size, which local path ran, and the metered cost (one exchange round).
+type MulStat struct {
+	In       int64     `json:"in"`
+	Products int64     `json:"products"`
+	Partials int64     `json:"partials"`
+	Out      int64     `json:"out"`
+	Sparse   bool      `json:"sparse"`
+	Stats    mpc.Stats `json:"stats"`
+}
+
+// Mul computes y = A ⊗ x: y[d] = ⊕ over edges (s → d) of w ⊗ x[s]. The
+// vector must come from this engine. Local products pre-aggregate by
+// output index before the exchange, so a high-in-degree vertex receives
+// at most p partials (§1.5's ⊕-combine), and the single exchange's load
+// is the multiply's whole metered cost.
+//
+// Two local product paths, chosen by the global input density: the dense
+// path merge-walks the column-sorted edge shard against the sorted vector
+// shard (O(nnz_s + |x_s|)); the frontier-sparse path binary-searches each
+// vector entry's column run (O(|x_s| log nnz_s + touched edges)) so a
+// small frontier never scans the whole matrix. The choice depends only on
+// data sizes, never on workers or transport, preserving bit-identical
+// runs.
+func (e *Engine[W]) Mul(x Vector[W]) (Vector[W], MulStat) {
+	ex := e.edges.Scope()
+	ms := MulStat{In: x.Len()}
+	// Sparse wins when scanning runs per frontier entry beats one full
+	// merge pass: |x|·(log₂ nnz + 4) < nnz, the classic SpMSpV crossover.
+	ms.Sparse = e.nnz > 0 && ms.In*int64(bits.Len64(uint64(e.nnz))+4) < e.nnz
+
+	partials := mpc.NewPartIn[Entry[W]](ex, e.p)
+	products := make([]int64, e.p)
+	ex.ForEachShard(e.p, func(s int) {
+		es := e.edges.Shards[s]
+		xs := x.part.Shards[s]
+		var buf []Entry[W]
+		if ms.Sparse {
+			for _, en := range xs {
+				lo, hi := 0, len(es)
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if es[mid].Src < en.Idx {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				for ; lo < len(es) && es[lo].Src == en.Idx; lo++ {
+					buf = append(buf, Entry[W]{Idx: es[lo].Dst, Val: e.sr.Mul(es[lo].W, en.Val)})
+				}
+			}
+		} else {
+			j := 0
+			for i := 0; i < len(es); {
+				src := es[i].Src
+				for j < len(xs) && xs[j].Idx < src {
+					j++
+				}
+				if j < len(xs) && xs[j].Idx == src {
+					for ; i < len(es) && es[i].Src == src; i++ {
+						buf = append(buf, Entry[W]{Idx: es[i].Dst, Val: e.sr.Mul(es[i].W, xs[j].Val)})
+					}
+				} else {
+					for ; i < len(es) && es[i].Src == src; i++ {
+					}
+				}
+			}
+		}
+		products[s] = int64(len(buf))
+		partials.Shards[s] = combineEntries(e.sr, buf)
+	})
+	for s := 0; s < e.p; s++ {
+		ms.Products += products[s]
+		ms.Partials += int64(len(partials.Shards[s]))
+	}
+
+	mpc.TraceOp(ex, e.iterTag+".partials")
+	routed, st := mpc.Route(partials, func(_ int, en Entry[W]) int { return e.home(en.Idx) })
+	ex.ForEachShard(e.p, func(s int) {
+		routed.Shards[s] = combineEntries(e.sr, routed.Shards[s])
+	})
+	y := Vector[W]{part: routed}
+	ms.Out = y.Len()
+	ms.Stats = st
+	return y, ms
+}
+
+// combineEntries sorts a shard by index (stable radix) and ⊕-merges equal
+// indices left to right — the deterministic combine order every worker
+// count and transport reproduces bit-for-bit.
+func combineEntries[W any](sr semiring.Semiring[W], shard []Entry[W]) []Entry[W] {
+	if len(shard) == 0 {
+		return shard
+	}
+	mpc.SortLocal(shard, func(e Entry[W]) int64 { return int64(e.Idx) })
+	out := shard[:1]
+	for _, en := range shard[1:] {
+		if last := &out[len(out)-1]; last.Idx == en.Idx {
+			last.Val = sr.Add(last.Val, en.Val)
+		} else {
+			out = append(out, en)
+		}
+	}
+	return out
+}
+
+// globalSum gathers one int64 per server to a coordinator, sums, and
+// broadcasts the total back — the O(p)-load convergence-round shape
+// (TotalCount's pattern, generalized to driver-computed summaries).
+func globalSum(ex *mpc.Exec, p int, vals []int64, op string) (int64, mpc.Stats) {
+	pt := mpc.NewPartIn[int64](ex, p)
+	for s := 0; s < p; s++ {
+		pt.Shards[s] = []int64{vals[s]}
+	}
+	mpc.TraceOp(ex, op+".gather")
+	gathered, st1 := mpc.Gather(pt, 0)
+	var total int64
+	for _, v := range gathered.Shards[0] {
+		total += v
+	}
+	res := mpc.NewPartIn[int64](ex, p)
+	res.Shards[0] = []int64{total}
+	mpc.TraceOp(ex, op+".broadcast")
+	_, st2 := mpc.Broadcast(res)
+	return total, mpc.Seq(st1, st2)
+}
+
+// globalMaxFloat is globalSum's max-combine twin for L∞ deltas.
+func globalMaxFloat(ex *mpc.Exec, p int, vals []float64, op string) (float64, mpc.Stats) {
+	pt := mpc.NewPartIn[float64](ex, p)
+	for s := 0; s < p; s++ {
+		pt.Shards[s] = []float64{vals[s]}
+	}
+	mpc.TraceOp(ex, op+".gather")
+	gathered, st1 := mpc.Gather(pt, 0)
+	max := 0.0
+	for _, v := range gathered.Shards[0] {
+		if v > max {
+			max = v
+		}
+	}
+	res := mpc.NewPartIn[float64](ex, p)
+	res.Shards[0] = []float64{max}
+	mpc.TraceOp(ex, op+".broadcast")
+	_, st2 := mpc.Broadcast(res)
+	return max, mpc.Seq(st1, st2)
+}

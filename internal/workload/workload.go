@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,6 +14,25 @@ import (
 	"mpcjoin/internal/hypergraph"
 	"mpcjoin/internal/relation"
 )
+
+// ErrInvalidParam marks generator-parameter validation failures (Zipf
+// exponents, domain sizes, graph shapes). Drivers test with errors.Is and
+// turn it into a usage error instead of letting rand.NewZipf panic deep in
+// the generator.
+var ErrInvalidParam = errors.New("workload: invalid parameter")
+
+// zipfParams validates the (s, dom) pair rand.NewZipf requires: it panics
+// for s <= 1 or an empty domain, so every Zipf-shaped generator guards
+// here first.
+func zipfParams(s float64, dom int) error {
+	if s <= 1 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return fmt.Errorf("%w: zipf exponent s=%v must be > 1", ErrInvalidParam, s)
+	}
+	if dom < 2 {
+		return fmt.Errorf("%w: zipf domain %d must be >= 2", ErrInvalidParam, dom)
+	}
+	return nil
+}
 
 // Meta summarizes a generated instance.
 type Meta struct {
@@ -147,8 +167,12 @@ func Uniform(q *hypergraph.Query, n, dom int, rng *rand.Rand) (db.Instance[int64
 
 // Zipf fills every edge with n tuples whose attribute values follow a
 // Zipf(s) distribution over [0, dom) — the skew stressor for the
-// heavy/light machinery. s must be > 1.
-func Zipf(q *hypergraph.Query, n, dom int, s float64, rng *rand.Rand) (db.Instance[int64], Meta) {
+// heavy/light machinery. s must be > 1 and dom >= 2 (errors.Is
+// ErrInvalidParam otherwise).
+func Zipf(q *hypergraph.Query, n, dom int, s float64, rng *rand.Rand) (db.Instance[int64], Meta, error) {
+	if err := zipfParams(s, dom); err != nil {
+		return nil, Meta{}, err
+	}
 	z := rand.NewZipf(rng, s, 1, uint64(dom-1))
 	inst := make(db.Instance[int64], len(q.Edges))
 	meta := Meta{PerEdge: make(map[string]int, len(q.Edges)), Out: -1}
@@ -165,7 +189,7 @@ func Zipf(q *hypergraph.Query, n, dom int, s float64, rng *rand.Rand) (db.Instan
 		meta.PerEdge[e.Name] = inst[e.Name].Len()
 		meta.N += inst[e.Name].Len()
 	}
-	return inst, meta
+	return inst, meta, nil
 }
 
 // MatMulBlocks is Blocks specialized to the matrix multiplication query:
@@ -176,8 +200,12 @@ func MatMulBlocks(blocks, aPer, cPer int) (db.Instance[int64], Meta) {
 }
 
 // MatMulZipf generates a skewed sparse matrix multiplication instance:
-// n tuples per side with B drawn Zipf(s) from [0, domB).
-func MatMulZipf(n, domB int, s float64, rng *rand.Rand) (db.Instance[int64], Meta) {
+// n tuples per side with B drawn Zipf(s) from [0, domB). s must be > 1 and
+// domB >= 2 (errors.Is ErrInvalidParam otherwise).
+func MatMulZipf(n, domB int, s float64, rng *rand.Rand) (db.Instance[int64], Meta, error) {
+	if err := zipfParams(s, domB); err != nil {
+		return nil, Meta{}, err
+	}
 	z := rand.NewZipf(rng, s, 1, uint64(domB-1))
 	r1 := relation.New[int64]("A", "B")
 	r2 := relation.New[int64]("B", "C")
@@ -190,7 +218,7 @@ func MatMulZipf(n, domB int, s float64, rng *rand.Rand) (db.Instance[int64], Met
 		N:       inst["R1"].Len() + inst["R2"].Len(),
 		PerEdge: map[string]int{"R1": inst["R1"].Len(), "R2": inst["R2"].Len()},
 		Out:     -1,
-	}
+	}, nil
 }
 
 // MatMulUnequal generates N1 ≪ N2: n1 rows sharing domB values against
@@ -252,6 +280,71 @@ func dedup(r *relation.Relation[int64]) *relation.Relation[int64] {
 		out.AppendRow(row)
 	}
 	return out
+}
+
+// GraphQuery returns the single-edge query E(S, D) the graph workloads
+// run over: one binary relation holding the weighted edge list, both
+// endpoints output (free-connex — no aggregation happens in the query
+// itself; the iterated drivers supply the semantics).
+func GraphQuery() *hypergraph.Query {
+	return hypergraph.NewQuery([]hypergraph.Edge{hypergraph.Bin("E", "S", "D")}, "S", "D")
+}
+
+// PowerLawGraph generates a connected directed graph with a power-law
+// in/out-degree tail, as one edge relation E(S, D) with positive int64
+// weight annotations in [1, maxW] — the input of the BFS/SSSP/PageRank
+// drivers. The shape is a random-tree backbone (vertex v > 0 attaches
+// under a uniform earlier parent, so every vertex is reachable from
+// vertex 0 with O(log n) expected depth) plus ~n·(avgDeg−1) extra edges
+// whose endpoints are Zipf(s)-skewed toward low vertex IDs, producing the
+// heavy hubs the skew machinery and the SpMSpV pre-aggregation exist for.
+// Duplicate edges and self-loops are dropped, so the realized edge count
+// (Meta.N) lands slightly under n·avgDeg.
+//
+// Requires n >= 2, avgDeg >= 1, s > 1, maxW >= 1 (errors.Is
+// ErrInvalidParam otherwise).
+func PowerLawGraph(n int, avgDeg float64, s float64, maxW int64, rng *rand.Rand) (db.Instance[int64], Meta, error) {
+	if n < 2 {
+		return nil, Meta{}, fmt.Errorf("%w: graph needs n >= 2 vertices, got %d", ErrInvalidParam, n)
+	}
+	if avgDeg < 1 {
+		return nil, Meta{}, fmt.Errorf("%w: graph average degree %v must be >= 1", ErrInvalidParam, avgDeg)
+	}
+	if maxW < 1 {
+		return nil, Meta{}, fmt.Errorf("%w: graph max weight %d must be >= 1", ErrInvalidParam, maxW)
+	}
+	if err := zipfParams(s, n); err != nil {
+		return nil, Meta{}, err
+	}
+
+	type edge struct{ s, d relation.Value }
+	seen := make(map[edge]bool, int(float64(n)*avgDeg))
+	r := relation.New[int64]("S", "D")
+	add := func(src, dst relation.Value) {
+		if src == dst || seen[edge{src, dst}] {
+			return
+		}
+		seen[edge{src, dst}] = true
+		r.Append(1+rng.Int63n(maxW), src, dst)
+	}
+
+	// Backbone: parent(v) uniform over earlier vertices.
+	for v := 1; v < n; v++ {
+		add(relation.Value(rng.Intn(v)), relation.Value(v))
+	}
+	// Skewed extras: both endpoints Zipf-shaped, hubs at low IDs.
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	extra := int(float64(n) * (avgDeg - 1))
+	for i := 0; i < extra; i++ {
+		add(relation.Value(z.Uint64()), relation.Value(z.Uint64()))
+	}
+
+	inst := db.Instance[int64]{"E": r}
+	return inst, Meta{
+		N:       r.Len(),
+		PerEdge: map[string]int{"E": r.Len()},
+		Out:     -1,
+	}, nil
 }
 
 // Describe renders a Meta for harness output.

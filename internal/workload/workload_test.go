@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -77,7 +78,10 @@ func TestUniformAndZipf(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	zinst, zmeta := Zipf(q, 500, 100, 1.5, rng)
+	zinst, zmeta, err := Zipf(q, 500, 100, 1.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := db.Validate(q, zinst); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +105,10 @@ func TestUniformAndZipf(t *testing.T) {
 func TestMatMulZipfAndUnequal(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	q := hypergraph.MatMulQuery()
-	inst, _ := MatMulZipf(300, 50, 1.8, rng)
+	inst, _, err := MatMulZipf(300, 50, 1.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := db.Validate(q, inst); err != nil {
 		t.Fatal(err)
 	}
@@ -125,5 +132,90 @@ func TestInjectDanglingPreservesAnswer(t *testing.T) {
 	b, _ := refengine.BruteForce[int64](intSR, q, noisy)
 	if a.Len() != b.Len() {
 		t.Fatalf("dangling changed answer: %d vs %d", a.Len(), b.Len())
+	}
+}
+
+func TestZipfParamValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := hypergraph.MatMulQuery()
+	// These used to panic inside rand.NewZipf; now they are typed errors.
+	if _, _, err := Zipf(q, 10, 50, 1.0, rng); !errors.Is(err, ErrInvalidParam) {
+		t.Fatalf("Zipf s=1.0: err = %v, want ErrInvalidParam", err)
+	}
+	if _, _, err := Zipf(q, 10, 0, 1.5, rng); !errors.Is(err, ErrInvalidParam) {
+		t.Fatalf("Zipf dom=0: err = %v, want ErrInvalidParam", err)
+	}
+	if _, _, err := MatMulZipf(10, 50, 0.3, rng); !errors.Is(err, ErrInvalidParam) {
+		t.Fatalf("MatMulZipf s=0.3: err = %v, want ErrInvalidParam", err)
+	}
+	if _, _, err := MatMulZipf(10, 1, 1.5, rng); !errors.Is(err, ErrInvalidParam) {
+		t.Fatalf("MatMulZipf dom=1: err = %v, want ErrInvalidParam", err)
+	}
+}
+
+func TestPowerLawGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst, meta, err := PowerLawGraph(500, 6, 1.3, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := GraphQuery()
+	if err := db.Validate(q, inst); err != nil {
+		t.Fatal(err)
+	}
+	r := inst["E"]
+	if meta.N != r.Len() || meta.N < 499 {
+		t.Fatalf("meta.N = %d over %d edges", meta.N, r.Len())
+	}
+	// Connectivity: the tree backbone reaches every vertex from 0.
+	adj := map[int64][]int64{}
+	outdeg := map[int64]int{}
+	for _, row := range r.Rows {
+		s, d := int64(row.Vals[0]), int64(row.Vals[1])
+		if s == d {
+			t.Fatalf("self-loop %d", s)
+		}
+		if row.W < 1 || row.W > 100 {
+			t.Fatalf("weight %d outside [1, 100]", row.W)
+		}
+		adj[s] = append(adj[s], d)
+		outdeg[s]++
+	}
+	reached := map[int64]bool{0: true}
+	stack := []int64{0}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !reached[w] {
+				reached[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	if len(reached) != 500 {
+		t.Fatalf("only %d/500 vertices reachable from 0", len(reached))
+	}
+	// Power-law skew: the heaviest hub's degree dwarfs the average.
+	max := 0
+	for _, d := range outdeg {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 3*meta.N/500 {
+		t.Fatalf("skew too weak: max out-degree %d, %d edges over 500 vertices", max, meta.N)
+	}
+
+	// Parameter validation mirrors the Zipf generators.
+	for _, bad := range []func() error{
+		func() error { _, _, err := PowerLawGraph(1, 6, 1.3, 100, rng); return err },
+		func() error { _, _, err := PowerLawGraph(500, 0.5, 1.3, 100, rng); return err },
+		func() error { _, _, err := PowerLawGraph(500, 6, 0.9, 100, rng); return err },
+		func() error { _, _, err := PowerLawGraph(500, 6, 1.3, 0, rng); return err },
+	} {
+		if err := bad(); !errors.Is(err, ErrInvalidParam) {
+			t.Fatalf("bad params: err = %v, want ErrInvalidParam", err)
+		}
 	}
 }

@@ -83,6 +83,12 @@ type optionSet struct {
 	faults *mpc.FaultSpec
 	retry  *int
 
+	// Iterated-driver knobs, consumed by the graph entry points
+	// (BFS/SSSP/PageRank); plain Execute rejects them.
+	maxIters *int
+	tol      *float64
+	damping  *float64
+
 	errs []error
 }
 
@@ -100,6 +106,21 @@ func (o *optionSet) setStrategy(by string, s core.Strategy) {
 // build resolves the recorded options into a core.Options, applying the
 // combination rules and returning the first violation.
 func (o *optionSet) build() (core.Options, error) {
+	if o.maxIters != nil {
+		o.fail(fmt.Errorf("%w: WithMaxIters applies to the iterated graph entry points (BFS/SSSP/PageRank), not Execute", ErrOptionConflict))
+	}
+	if o.tol != nil {
+		o.fail(fmt.Errorf("%w: WithTolerance applies to PageRank, not Execute", ErrOptionConflict))
+	}
+	if o.damping != nil {
+		o.fail(fmt.Errorf("%w: WithDamping applies to PageRank, not Execute", ErrOptionConflict))
+	}
+	return o.buildCore()
+}
+
+// buildCore is build without the iterated-option rejection — the shared
+// tail the graph entry points use after consuming those options.
+func (o *optionSet) buildCore() (core.Options, error) {
 	if o.strategyBy == "WithBaseline" && o.oracleBy != "" {
 		o.fail(fmt.Errorf("%w: %s requires the matmul/line engines, which WithBaseline disables", ErrOptionConflict, o.oracleBy))
 	}
@@ -138,6 +159,47 @@ func buildOptions(opts []Option) (core.Options, error) {
 		opt(&o)
 	}
 	return o.build()
+}
+
+// iterParams is the resolved iterated-driver configuration of a graph
+// entry point. Zero maxIters/tol select the kernel defaults.
+type iterParams struct {
+	maxIters int
+	tol      float64
+	damping  float64
+}
+
+// buildIterOptions resolves opts for a graph entry point: the iterated
+// knobs land in iterParams (PageRank consumes all three; BFS/SSSP accept
+// only WithMaxIters and reject the float-convergence knobs by name), and
+// everything else resolves exactly as for Execute.
+func buildIterOptions(opts []Option, pagerank bool) (core.Options, iterParams, error) {
+	var o optionSet
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ip := iterParams{damping: 0.85}
+	if o.maxIters != nil {
+		ip.maxIters = *o.maxIters
+	}
+	if pagerank {
+		if o.tol != nil {
+			ip.tol = *o.tol
+		}
+		if o.damping != nil {
+			ip.damping = *o.damping
+		}
+	} else {
+		if o.tol != nil {
+			o.fail(fmt.Errorf("%w: WithTolerance applies to PageRank's float convergence, not BFS/SSSP", ErrOptionConflict))
+		}
+		if o.damping != nil {
+			o.fail(fmt.Errorf("%w: WithDamping applies to PageRank, not BFS/SSSP", ErrOptionConflict))
+		}
+	}
+	o.maxIters, o.tol, o.damping = nil, nil, nil
+	co, err := o.buildCore()
+	return co, ip, err
 }
 
 // WithServers sets the simulated cluster size p (default 16). p must be
@@ -231,6 +293,53 @@ func WithFaults(spec FaultSpec) Option {
 // WithFaults; overrides the spec's MaxRetries field.
 func WithRetry(max int) Option {
 	return func(o *optionSet) { m := max; o.retry = &m }
+}
+
+// WithMaxIters bounds the iterated graph drivers' round budget (BFS,
+// SSSP, PageRank): at most n multiply-and-step iterations, after which
+// the result reports Converged=false with the state reached — budget
+// exhaustion is an answer, not an error. n must be at least 1; the
+// default budgets are per-driver (BFS/PageRank use a fixed cap, SSSP
+// uses the Bellman-Ford |V|+1 guarantee). Conflicts with Execute, which
+// runs no iterated driver.
+func WithMaxIters(n int) Option {
+	return func(o *optionSet) {
+		if n < 1 {
+			o.fail(fmt.Errorf("mpcjoin: WithMaxIters(%d): budget must be at least 1", n))
+			return
+		}
+		m := n
+		o.maxIters = &m
+	}
+}
+
+// WithTolerance sets PageRank's convergence threshold: the loop stops
+// when the L∞ residual between successive rank vectors drops to tol
+// (default 1e-9). tol must be positive. Conflicts with Execute and with
+// the exact-fixpoint drivers (BFS, SSSP).
+func WithTolerance(tol float64) Option {
+	return func(o *optionSet) {
+		if tol <= 0 {
+			o.fail(fmt.Errorf("mpcjoin: WithTolerance(%v): tolerance must be positive", tol))
+			return
+		}
+		t := tol
+		o.tol = &t
+	}
+}
+
+// WithDamping sets PageRank's damping factor (default 0.85), the
+// probability of following an edge rather than teleporting. Must lie
+// strictly inside (0, 1). Conflicts with Execute, BFS and SSSP.
+func WithDamping(d float64) Option {
+	return func(o *optionSet) {
+		if d <= 0 || d >= 1 {
+			o.fail(fmt.Errorf("mpcjoin: WithDamping(%v): damping must lie in (0, 1)", d))
+			return
+		}
+		v := d
+		o.damping = &v
+	}
 }
 
 // ExchangeTransport selects the backend an execution's exchange barriers
