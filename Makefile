@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke service-smoke service-bench cluster-smoke graph-smoke boundcheck chaos chaos-tcp bench-transport
+.PHONY: ci vet build test race bench bench-smoke service-smoke service-bench cluster-smoke graph-smoke boundcheck planner-check chaos chaos-tcp bench-transport
 
 ci: vet build test race
 
@@ -69,6 +69,15 @@ cluster-smoke:
 # load timeline for CI to upload next to the bench artifacts.
 boundcheck:
 	$(GO) run ./cmd/boundcheck -quick -trace -json BOUND_trace.json
+
+# Cost-based planner regression lane: per query class and cluster size,
+# StrategyAuto runs once and every legal candidate engine runs forced;
+# auto's measured MaxLoad must stay within 1.1× of the best candidate and
+# its Stats must be bit-identical to its chosen engine forced directly.
+# PLAN_report.json carries each instance's ranked candidates with their
+# predicted and measured loads for CI to upload.
+planner-check:
+	$(GO) run ./cmd/boundcheck -planner -quick -json PLAN_report.json
 
 # Fault-resilience lane: every engine under every fault schedule, run
 # under the race detector (retry recovery is the one path that re-enters

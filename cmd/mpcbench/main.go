@@ -19,6 +19,15 @@
 // per-round load timeline (op, per-server load distribution, bytes) in
 // the JSON rows; tracing never changes loads, rounds or results.
 //
+// -explain embeds the plan each benched run executed in the -json rows'
+// "plan" field. The plan's chosen engine always names the engine the row's
+// metered stats came from; runs that went through the cost-based planner
+// additionally carry every legal candidate with its predicted load, while
+// experiments that pin their section's engine record a forced plan. The
+// full ranked-candidate sweep lives in `boundcheck -planner`:
+//
+//	mpcbench -experiment T1-Line-load -quick -explain -json BENCH_plan.json
+//
 // -faults runs every benched engine execution under a deterministic
 // fault schedule (see experiments.ParseFaultSpec for the key=value
 // grammar). Absorbed schedules leave every table and verification
@@ -96,6 +105,7 @@ func run() int {
 		workers = flag.Int("workers", -1, "concurrent runtime workers (1 = serial, <=0 = one per CPU)")
 		jsonOut = flag.String("json", "", "write per-experiment benchmark rows as JSON to this file")
 		trace   = flag.Bool("trace", false, "record per-round load timelines in the -json rows")
+		explain = flag.Bool("explain", false, "record each benched run's executed cost-based plan in the -json rows")
 		faults  = flag.String("faults", "", "run benched engines under a deterministic fault schedule, e.g. crash=0.05,drop=0.05,straggler=0.2,retries=6")
 		trans   = flag.String("transport", "inproc", "exchange transport for benched engine runs: inproc or tcp")
 		tpeers  = flag.String("transport-peers", "", "comma-separated shuffle peer addresses for -transport tcp (default: boot 3 loopback peers in-process)")
@@ -163,7 +173,7 @@ func run() int {
 		return 2
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers, Trace: *trace, Faults: faultSpec}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers, Trace: *trace, Explain: *explain, Faults: faultSpec}
 	switch *trans {
 	case "", "inproc":
 	case "tcp":

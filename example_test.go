@@ -32,7 +32,7 @@ func Example() {
 	fmt.Println("engine:", res.Engine)
 	// Output:
 	// (0,1) = 41
-	// engine: matmul
+	// engine: matmul-linear
 }
 
 // Shortest two-hop distances via the tropical MinPlus semiring: the same

@@ -16,6 +16,7 @@ import (
 	"mpcjoin/internal/linequery"
 	"mpcjoin/internal/matmul"
 	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/planner"
 	"mpcjoin/internal/relation"
 	"mpcjoin/internal/semiring"
 	"mpcjoin/internal/starlike"
@@ -29,10 +30,11 @@ import (
 type Strategy int
 
 const (
-	// StrategyAuto dispatches by query class: free-connex queries run the
-	// distributed Yannakakis algorithm (already optimal there); matrix
-	// multiplication, line, star, star-like and general tree queries run
-	// the corresponding Hu–Yi algorithm.
+	// StrategyAuto selects the engine with the cost-based planner: an
+	// estimate-only pre-pass (§2.2 sketches plus an exact count fold)
+	// predicts OUT and the join cardinality, each legal candidate's
+	// Table 1 formula is instantiated with the instance's sizes, and the
+	// min-predicted-load engine runs (see internal/planner).
 	StrategyAuto Strategy = iota
 	// StrategyYannakakis forces the distributed Yannakakis baseline —
 	// Table 1's comparison column.
@@ -96,6 +98,21 @@ type Options struct {
 	// *mpc.FaultBudgetError (errors.Is mpc.ErrFaultBudgetExceeded). nil
 	// (the default) keeps the flawless-cluster fast path.
 	Faults *mpc.FaultPlane
+	// Engine, when non-empty, forces a specific engine by its dispatch
+	// name (the planner.Engine* constants), bypassing both the Strategy
+	// and the cost-based planner. The engine must be legal for the
+	// query's class (planner.Legal). The boundcheck dominated-engine
+	// sweep forces each candidate this way, and the serving tier pins an
+	// execution to the engine it resolved when keying its result cache.
+	Engine string
+	// PlanOut, when non-nil, receives the executed plan: chosen engine,
+	// ranked candidates with predicted loads, the pre-pass predictions,
+	// and the measured MaxLoad. Like Tracer it is a pure observer — it
+	// never changes rows or Stats and is excluded from the result
+	// fingerprint. It is filled for forced strategies too (with a
+	// trivial "forced" plan), so callers have one place to read the
+	// resolved engine.
+	PlanOut *planner.Plan
 	// Transport selects the exchange backend the execution's round
 	// barriers run on: nil or transport.InProc() is the in-process path
 	// (the default, zero overhead); transport.TCP(peers...) delegates
@@ -121,7 +138,11 @@ type Plan struct {
 	Engine string
 }
 
-// PlanQuery classifies the query and reports the engine Auto would pick.
+// PlanQuery classifies the query and reports the class-default engine —
+// the one Auto dispatches to absent instance information. The
+// instance-aware decision (which may pick a different legal engine) is
+// made by the cost-based planner at execution time; read it from
+// Options.PlanOut or compute it without executing via PlanInstance.
 func PlanQuery(q *hypergraph.Query, strat Strategy) (Plan, error) {
 	if err := q.Validate(); err != nil {
 		return Plan{}, err
@@ -249,9 +270,23 @@ func ExecuteDistributedContext[W any](ctx context.Context, sr semiring.Semiring[
 		}
 	}
 
+	// Resolve the plan: forced engine/strategy short-circuits; Auto runs
+	// the estimate-only pre-pass and the cost model. The pre-pass is
+	// metered into plan.EstimateStats, not st, so an auto run's Stats are
+	// bit-identical to the chosen engine forced directly.
+	plan, err := resolvePlan(ex, q, pl.Class, rels, opts)
+	if err != nil {
+		return dist.Rel[W]{}, mpc.Stats{}, err
+	}
+	pl.Engine = plan.Chosen
+
 	res, st, err = dispatch(sr, q, rels, pl, opts)
 	if err != nil {
 		return dist.Rel[W]{}, mpc.Stats{}, err
+	}
+	plan.MeasuredLoad = st.MaxLoad
+	if opts.PlanOut != nil {
+		*opts.PlanOut = plan
 	}
 	// Engines may emit columns in their internal order; present them in
 	// the query's declared output order (a local, zero-cost permutation).
@@ -266,14 +301,25 @@ func dispatch[W any](sr semiring.Semiring[W], q *hypergraph.Query, rels map[stri
 	case "yannakakis":
 		res, st := yannakakis.Run(sr, q, rels)
 		return res, st, nil
-	case "matmul":
+	case "matmul", "matmul-linear", "matmul-worstcase", "matmul-outsens":
 		view, _ := q.LineView()
 		in := matmul.Input[W]{
 			R1: rels[q.Edges[view.EdgeOrder[0]].Name],
 			R2: rels[q.Edges[view.EdgeOrder[1]].Name],
 			B:  view.Vertices[1],
 		}
-		res, st, err := matmul.Compute(sr, in, matmul.Options{Est: opts.Est, Seed: opts.Seed, OutOracle: opts.OutOracle})
+		var alg matmul.Algorithm
+		switch pl.Engine {
+		case "matmul-linear":
+			alg = matmul.Linear
+		case "matmul-worstcase":
+			alg = matmul.WorstCase
+		case "matmul-outsens":
+			alg = matmul.OutputSensitive
+		default:
+			alg = matmul.Auto
+		}
+		res, st, err := matmul.Compute(sr, in, matmul.Options{Algorithm: alg, Est: opts.Est, Seed: opts.Seed, OutOracle: opts.OutOracle})
 		if err != nil {
 			return dist.Rel[W]{}, mpc.Stats{}, err
 		}

@@ -28,8 +28,20 @@ func (o Options) ResultFingerprint() uint64 {
 			h *= fnvPrime
 		}
 	}
+	putStr := func(s string) {
+		put(uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime
+		}
+	}
 	put(uint64(o.Servers))
 	put(uint64(o.Strategy))
+	// The forced engine changes Stats and trace content (and, for
+	// auto-planned serving-tier queries, *is* the resolved plan), so it is
+	// part of the result identity. PlanOut, like Tracer, is an observer
+	// and stays out.
+	putStr(o.Engine)
 	put(uint64(o.Est.K))
 	put(uint64(o.Est.Reps))
 	put(o.Est.Seed)

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/dist"
+	"mpcjoin/internal/estimate"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/planner"
+)
+
+// resolvePlan decides which engine this execution runs. Forced engines and
+// strategies short-circuit to a trivial plan; StrategyAuto runs the
+// estimate-only pre-pass over the placed relations and ranks the class's
+// legal candidates by predicted load.
+func resolvePlan[W any](ex *mpc.Exec, q *hypergraph.Query, class hypergraph.Class, rels map[string]dist.Rel[W], opts Options) (planner.Plan, error) {
+	if opts.Engine != "" {
+		if err := checkEngine(class, opts.Engine); err != nil {
+			return planner.Plan{}, err
+		}
+		return planner.Forced(class, opts.Engine, "forced by Options.Engine"), nil
+	}
+	switch opts.Strategy {
+	case StrategyYannakakis:
+		return planner.Forced(class, planner.EngineYannakakis, "forced by StrategyYannakakis"), nil
+	case StrategyTree:
+		return planner.Forced(class, planner.EngineTree, "forced by StrategyTree"), nil
+	}
+	return planAuto(ex, q, class, rels, opts), nil
+}
+
+// checkEngine validates a forced engine name against the class's legal set.
+func checkEngine(class hypergraph.Class, engine string) error {
+	legal := planner.Legal(class)
+	for _, e := range legal {
+		if e == engine {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: engine %q is not legal for class %s (legal: %v)", engine, class, legal)
+}
+
+// planAuto is the cost-based planner: it reads the exact per-relation
+// input sizes off the placed shards (local metadata, no communication),
+// runs the estimate-only pre-pass for the output-size and
+// join-cardinality predictions, and ranks the candidates. The pre-pass
+// rounds run inside the execution scope — they appear in the tracer
+// timeline under "plan.*" labels and are subject to the fault plane — but
+// their cost is metered into Plan.EstimateStats, never the execution
+// Stats.
+func planAuto[W any](ex *mpc.Exec, q *hypergraph.Query, class hypergraph.Class, rels map[string]dist.Rel[W], opts Options) planner.Plan {
+	in := planner.Input{Class: class, P: opts.Servers}
+	for _, e := range q.Edges {
+		n := int64(rels[e.Name].N())
+		in.N += n
+		if n > in.NMax {
+			in.NMax = n
+		}
+	}
+	var view *hypergraph.LineView
+	if class == hypergraph.ClassMatMul {
+		view, _ = q.LineView()
+		in.N1 = int64(rels[q.Edges[view.EdgeOrder[0]].Name].N())
+		in.N2 = int64(rels[q.Edges[view.EdgeOrder[1]].Name].N())
+		// Theorem 1's degenerate fast paths need no estimates; mirror the
+		// engine's own dispatch and skip the pre-pass entirely.
+		p := int64(in.P)
+		if in.N1 <= 1 || in.N2 <= 1 || in.N1*p < in.N2 || in.N2*p < in.N1 {
+			return planner.Rank(in)
+		}
+	}
+
+	var st mpc.Stats
+	// J — the exact full-join cardinality — prices the Yannakakis
+	// candidate in every class.
+	mpc.TraceOp(ex, "plan.join-count")
+	j, s := estimate.TreeCount(q, rels, opts.Est)
+	st = mpc.Seq(st, s)
+	in.J = j
+
+	switch {
+	case opts.OutOracle > 0:
+		// An oracle short-circuits the sketch rounds (experiment support
+		// and the decision-matrix tests, which need exact OUT regimes).
+		in.Out = opts.OutOracle
+	case class == hypergraph.ClassMatMul:
+		// Matmul: the §2.2 sketch fold along the two-edge path, exactly
+		// the estimator the chosen engine would trust.
+		path := make([][]dist.Attr, len(view.Vertices))
+		for i, v := range view.Vertices {
+			path[i] = []dist.Attr{v}
+		}
+		rl := make([]dist.Rel[W], len(view.EdgeOrder))
+		for i, ei := range view.EdgeOrder {
+			rl[i] = rels[q.Edges[ei].Name]
+		}
+		mpc.TraceOp(ex, "plan.out-sketch")
+		_, out, s := estimate.LineOut(rl, path, opts.Est)
+		st = mpc.Seq(st, s)
+		in.Out = out
+	default:
+		// Every tree-shaped class (line included): the KMV image fold,
+		// which estimates OUT and profiles the Yannakakis candidate's
+		// largest pre-aggregation intermediate and aggregated image.
+		mpc.TraceOp(ex, "plan.out-sketch")
+		out, maxFold, maxImage, s := estimate.TreeOutProfile(q, rels, opts.Est)
+		st = mpc.Seq(st, s)
+		in.Out = out
+		in.MaxFold = maxFold
+		in.MaxImage = maxImage
+	}
+
+	plan := planner.Rank(in)
+	plan.EstimateStats = st
+	return plan
+}
+
+// PlanInstance plans a query over an instance without executing it: it
+// places the relations, runs the same estimate-only pre-pass StrategyAuto
+// would run, and returns the ranked plan. The serving tier's dry-run
+// endpoint (/v2/plan) and its engine-resolved cache keys are built on
+// this. The instance is never mutated (placement always copies, ignoring
+// OwnInput), and MeasuredLoad is left zero.
+func PlanInstance[W any](ctx context.Context, q *hypergraph.Query, inst db.Instance[W], opts Options) (pl planner.Plan, err error) {
+	opts = opts.withDefaults()
+	if err := q.Validate(); err != nil {
+		return planner.Plan{}, err
+	}
+	if err := db.Validate(q, inst); err != nil {
+		return planner.Plan{}, err
+	}
+	class := q.Classify()
+
+	// Forced plans need no placement at all.
+	if opts.Engine != "" || opts.Strategy != StrategyAuto {
+		return resolvePlan[W](nil, q, class, nil, opts)
+	}
+
+	ex, release, err := opts.NewScope(ctx)
+	if err != nil {
+		return planner.Plan{}, err
+	}
+	defer release()
+	defer mpc.Recover(&err)
+
+	rels := make(map[string]dist.Rel[W], len(q.Edges))
+	for _, e := range q.Edges {
+		rels[e.Name] = dist.FromRelationIn(ex, inst[e.Name], opts.Servers)
+	}
+	return planAuto(ex, q, class, rels, opts), nil
+}

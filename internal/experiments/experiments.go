@@ -29,6 +29,7 @@ import (
 	"mpcjoin/internal/lowerbound"
 	"mpcjoin/internal/matmul"
 	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/planner"
 	"mpcjoin/internal/refengine"
 	"mpcjoin/internal/relation"
 	"mpcjoin/internal/runtime"
@@ -81,6 +82,12 @@ type BenchRow struct {
 	// travelled over ("inproc", "tcp"). Loads, rounds and tables are
 	// identical for every backend; only wallNs changes.
 	Transport string `json:"transport"`
+	// Plan is the plan the benched run executed, recorded only under
+	// Config.Explain (mpcbench -explain). Plan.Chosen always names the
+	// engine the metered Stats came from; planner-routed runs also carry
+	// the ranked candidates with their predicted loads, while experiments
+	// that pin their section's engine record a forced plan.
+	Plan *planner.Plan `json:"plan,omitempty"`
 }
 
 // addBench records one benchmark row (ID/Workers are stamped by Run).
@@ -88,7 +95,7 @@ func (t *Table) addBench(p int, n, out int64, rb bothRun) {
 	t.Bench = append(t.Bench, BenchRow{
 		P: p, N: n, Out: out,
 		MaxLoad: rb.stNew.MaxLoad, Rounds: rb.stNew.Rounds, WallNs: rb.wall.Nanoseconds(),
-		Trace: rb.trace, Faults: rb.faults,
+		Trace: rb.trace, Faults: rb.faults, Plan: rb.plan,
 	})
 }
 
@@ -150,6 +157,12 @@ type Config struct {
 	// "verified" column doubles as a cross-transport bit-identity check.
 	// nil = in-process.
 	Transport transport.Transport
+	// Explain attaches the plan each benched run executed to its BenchRow
+	// (mpcbench -explain -json): the chosen engine and, for
+	// planner-routed runs, the ranked candidates with predicted loads.
+	// Planning always happens; Explain only controls whether the plan is
+	// recorded, so loads, rounds and tables are identical either way.
+	Explain bool
 }
 
 // transportName resolves the backend label stamped into BenchRow rows.
@@ -321,23 +334,33 @@ type bothRun struct {
 	verified   bool
 	trace      []mpc.RoundTrace
 	faults     *mpc.FaultReport
+	plan       *planner.Plan
 }
 
-// runBoth executes the query under both the auto engine and the baseline,
-// verifying they agree. Under Config.Faults the new engine's run carries a
-// fresh fault plane while the baseline stays fault-free, so verification
-// doubles as a retry-transparency check: an absorbed schedule must still
-// agree with the undisturbed baseline. Config.Transport likewise rides
-// only the benched run; the baseline always exchanges in process.
+// runBoth executes the query under the planner's auto choice and under the
+// baseline, verifying they agree. Under Config.Faults the new engine's run
+// carries a fresh fault plane while the baseline stays fault-free, so
+// verification doubles as a retry-transparency check: an absorbed schedule
+// must still agree with the undisturbed baseline. Config.Transport likewise
+// rides only the benched run; the baseline always exchanges in process.
 func runBoth(cfg Config, q *hypergraph.Query, inst db.Instance[int64], p int) bothRun {
+	return runEngine(cfg, q, inst, p, "")
+}
+
+// runEngine is runBoth with the benched run pinned to a specific engine
+// (empty = let the cost-based planner choose). Experiments that reproduce a
+// section's algorithm force its engine so the figure measures that engine
+// even when the planner would route the instance elsewhere.
+func runEngine(cfg Config, q *hypergraph.Query, inst db.Instance[int64], p int, engine string) bothRun {
 	var tr *mpc.Tracer
 	if cfg.Trace {
 		tr = mpc.NewTracer()
 	}
 	fp := cfg.faultPlane()
 	seed := cfg.Seed
+	var plan planner.Plan
 	t0 := time.Now()
-	resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: seed, Workers: cfg.Workers, Tracer: tr, Faults: fp, Transport: cfg.Transport})
+	resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: seed, Workers: cfg.Workers, Tracer: tr, Faults: fp, Transport: cfg.Transport, Engine: engine, PlanOut: &plan})
 	wall := time.Since(t0)
 	if err != nil {
 		panic(err)
@@ -346,9 +369,11 @@ func runBoth(cfg Config, q *hypergraph.Query, inst db.Instance[int64], p int) bo
 	if err != nil {
 		panic(err)
 	}
-	pl, _ := core.PlanQuery(q, core.StrategyAuto)
 	eq := relation.Equal[int64](intSR, func(a, b int64) bool { return a == b }, resNew, resY)
-	rb := bothRun{stNew: stNew, stY: stY, wall: wall, engine: pl.Engine, verified: eq}
+	rb := bothRun{stNew: stNew, stY: stY, wall: wall, engine: plan.Chosen, verified: eq}
+	if cfg.Explain {
+		rb.plan = &plan
+	}
 	if tr != nil {
 		rb.trace = tr.Rounds()
 	}
@@ -382,7 +407,7 @@ func mmLoad(cfg Config) Table {
 		blocks := n / fan
 		inst, meta := workload.MatMulBlocks(blocks, fan, fan)
 		n1 := int64(meta.PerEdge["R1"])
-		rb := runBoth(cfg, q, inst, p)
+		rb := runEngine(cfg, q, inst, p, planner.EngineMatMul)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
 		t.addBench(p, int64(meta.N), meta.Out, rb)
 		bn := math.Min(math.Sqrt(float64(n1*n1)/float64(p)),
@@ -467,7 +492,7 @@ func mmUnequal(cfg Config) Table {
 		cPer := maxi(n2/blocks, 1)
 		inst, meta := workload.MatMulBlocks(blocks, aPer, cPer)
 		rn1, rn2 := int64(meta.PerEdge["R1"]), int64(meta.PerEdge["R2"])
-		rb := runBoth(cfg, q, inst, p)
+		rb := runEngine(cfg, q, inst, p, planner.EngineMatMul)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
 		t.addBench(p, int64(meta.N), meta.Out, rb)
 		bn := float64(rn1+rn2)/float64(p) + math.Min(
@@ -504,7 +529,7 @@ func classLoad(cfg Config, id string, q *hypergraph.Query, name string) Table {
 		}
 		inst, meta := workload.Blocks(q, blocks, fan)
 		j, _ := refengine.MaxIntermediateJoin[int64](intSR, q, inst)
-		rb := runBoth(cfg, q, inst, p)
+		rb := runEngine(cfg, q, inst, p, name)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
 		t.addBench(p, int64(meta.N), meta.Out, rb)
 		t.Rows = append(t.Rows, []string{
@@ -534,7 +559,7 @@ func treeLoad(cfg Config) Table {
 	} {
 		inst, meta := workload.BlocksMulti(q, sc.blocks, sc.fan, sc.mult)
 		j, _ := refengine.MaxIntermediateJoin[int64](intSR, q, inst)
-		rb := runBoth(cfg, q, inst, p)
+		rb := runEngine(cfg, q, inst, p, planner.EngineTree)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
 		t.addBench(p, int64(meta.N), meta.Out, rb)
 		t.Rows = append(t.Rows, []string{
@@ -629,12 +654,15 @@ func roundsConstant(cfg Config) Table {
 			nL += v.Len()
 		}
 		// Each generated instance is executed exactly once: hand over
-		// ownership and skip the initial-placement copy.
-		_, stS, err := core.Execute(intSR, c.q, instS, core.Options{Servers: p, Seed: cfg.Seed, Workers: cfg.Workers, OwnInput: true})
+		// ownership and skip the initial-placement copy. Each row pins its
+		// class engine (the row label IS the engine) so the round counts
+		// keep describing that engine even where the cost-based planner
+		// would route the instance elsewhere.
+		_, stS, err := core.Execute(intSR, c.q, instS, core.Options{Servers: p, Seed: cfg.Seed, Workers: cfg.Workers, OwnInput: true, Engine: c.name})
 		if err != nil {
 			panic(err)
 		}
-		_, stL, err := core.Execute(intSR, c.q, instL, core.Options{Servers: p, Seed: cfg.Seed, Workers: cfg.Workers, OwnInput: true})
+		_, stL, err := core.Execute(intSR, c.q, instL, core.Options{Servers: p, Seed: cfg.Seed, Workers: cfg.Workers, OwnInput: true, Engine: c.name})
 		if err != nil {
 			panic(err)
 		}
@@ -737,11 +765,11 @@ func fig1(cfg Config) Table {
 		view.Center, len(view.Arms)))
 	for _, sc := range []struct{ blocks, fan int }{{cfg.scale(128, 16), 1}, {cfg.scale(64, 8), 2}} {
 		inst, meta := workload.Blocks(q, sc.blocks, sc.fan)
-		rb := runBoth(cfg, q, inst, p)
+		rb := runEngine(cfg, q, inst, p, planner.EngineStarLike)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
 		t.addBench(p, int64(meta.N), meta.Out, rb)
 		if rb.engine != "star-like" {
-			panic("FIG1 must dispatch to the star-like engine, got " + rb.engine)
+			panic("FIG1 must run the star-like engine, got " + rb.engine)
 		}
 		t.Rows = append(t.Rows, []string{
 			itoa(sc.blocks), itoa(sc.fan), i64(meta.Out), itoa(lNew), itoa(lY), tick(ok),
@@ -772,7 +800,7 @@ func fig2(cfg Config) Table {
 		len(steps), len(twigs), fmtClasses(classes)))
 	for _, sc := range []struct{ blocks, fan int }{{cfg.scale(64, 8), 1}, {cfg.scale(16, 4), 2}} {
 		inst, meta := workload.Blocks(q, sc.blocks, sc.fan)
-		rb := runBoth(cfg, q, inst, p)
+		rb := runEngine(cfg, q, inst, p, planner.EngineTree)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
 		t.addBench(p, int64(meta.N), meta.Out, rb)
 		t.Rows = append(t.Rows, []string{
@@ -858,7 +886,7 @@ func ablLocality(cfg Config) Table {
 		inst := boolToInt(hard.Inst)
 		q := hypergraph.MatMulQuery()
 		j, _ := refengine.MaxIntermediateJoin[int64](intSR, q, inst)
-		resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: cfg.Seed, Workers: cfg.Workers})
+		resNew, stNew, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Seed: cfg.Seed, Workers: cfg.Workers, Engine: planner.EngineMatMul})
 		if err != nil {
 			panic(err)
 		}
@@ -946,7 +974,7 @@ func altFullJoin(cfg Config) Table {
 			rels[e.Name] = dist.FromRelationIn(ex, inst[e.Name], p)
 		}
 		resHC, stHC := hypercube.JoinAggregate(intSR, q, rels, cfg.Seed)
-		rb := runBoth(cfg, q, inst, p)
+		rb := runEngine(cfg, q, inst, p, planner.EngineMatMul)
 		lNew, lY, ok := rb.stNew.MaxLoad, rb.stY.MaxLoad, rb.verified
 		t.addBench(p, int64(meta.N), meta.Out, rb)
 		resY, _, err := core.Execute(intSR, q, inst, core.Options{Servers: p, Strategy: core.StrategyYannakakis, Seed: cfg.Seed, Workers: cfg.Workers})

@@ -1,0 +1,239 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"mpcjoin/internal/hypergraph"
+)
+
+// rank is a sweep helper: every Rank call in this file also checks the
+// structural invariants every plan must satisfy.
+func rank(t *testing.T, in Input) Plan {
+	t.Helper()
+	pl := Rank(in)
+	if pl.Chosen == "" {
+		t.Fatalf("empty Chosen for %+v", in)
+	}
+	if len(pl.Candidates) == 0 {
+		t.Fatalf("no candidates for %+v", in)
+	}
+	if pl.Candidates[0].Engine != pl.Chosen {
+		t.Fatalf("Chosen %q != first candidate %q", pl.Chosen, pl.Candidates[0].Engine)
+	}
+	if pl.PredictedLoad != pl.Candidates[0].PredictedLoad {
+		t.Fatalf("PredictedLoad %v != first candidate's %v", pl.PredictedLoad, pl.Candidates[0].PredictedLoad)
+	}
+	if !pl.Candidates[0].Feasible {
+		t.Fatalf("chose infeasible candidate %+v", pl.Candidates[0])
+	}
+	for i := 1; i < len(pl.Candidates); i++ {
+		a, b := pl.Candidates[i-1], pl.Candidates[i]
+		if !a.Feasible && b.Feasible {
+			t.Fatalf("infeasible %q ranked before feasible %q", a.Engine, b.Engine)
+		}
+		if a.Feasible == b.Feasible && a.PredictedLoad > b.PredictedLoad {
+			t.Fatalf("candidates out of order: %q (%v) before %q (%v)",
+				a.Engine, a.PredictedLoad, b.Engine, b.PredictedLoad)
+		}
+	}
+	legal := map[string]bool{}
+	for _, e := range Legal(in.Class) {
+		legal[e] = true
+	}
+	if !legal[pl.Chosen] {
+		t.Fatalf("chosen %q not legal for class %s", pl.Chosen, in.Class)
+	}
+	return pl
+}
+
+// TestDecisionMatrix sweeps the cost model across the regimes where each
+// candidate's formula dominates and asserts the crossover decisions.
+func TestDecisionMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Input
+		want string
+	}{
+		// Matmul: at OUT ≪ N/p the linear branch is exactly the input
+		// sort floor; worstcase pays N/√p and outsens sort(N+OUT) > floor.
+		{"matmul/linear-at-tiny-out",
+			Input{Class: hypergraph.ClassMatMul, P: 16, N: 160000, NMax: 80000,
+				N1: 80000, N2: 80000, Out: 16, J: 100000000},
+			EngineMatMulLinear},
+		// Matmul: dense output (OUT ≈ N²/16) gates the linear branch off
+		// and makes every OUT-sensitive term dwarf the N/√p grid.
+		{"matmul/worstcase-at-dense-out",
+			Input{Class: hypergraph.ClassMatMul, P: 16, N: 20000, NMax: 10000,
+				N1: 10000, N2: 10000, Out: 25000000, J: 25000000},
+			EngineMatMulWorstCase},
+		// Matmul: mid-size OUT past the linear gate but well under N·√p —
+		// the cube-root branch beats the worst-case grid.
+		{"matmul/outsens-between",
+			Input{Class: hypergraph.ClassMatMul, P: 16, N: 4000, NMax: 2000,
+				N1: 2000, N2: 2000, Out: 300, J: 1000000},
+			EngineMatMulOutSens},
+		// Line: a huge measured fold intermediate prices yannakakis out;
+		// the chain assembly only ever touches OUT/p plus the scratch cap.
+		{"line/chain-at-huge-fold",
+			Input{Class: hypergraph.ClassLine, P: 16, N: 30000, NMax: 10000,
+				Out: 100, J: 2000000, MaxFold: 1000000, MaxImage: 1000000},
+			EngineLine},
+		// Line: tiny fold images with a large output make the chain pay
+		// OUT/p + (p+2)² while the fold pipeline stays at the sort floor.
+		{"line/yann-at-tiny-fold",
+			Input{Class: hypergraph.ClassLine, P: 16, N: 3000, NMax: 1000,
+				Out: 16000, J: 1600, MaxFold: 1600, MaxImage: 10},
+			EngineYannakakis},
+		// Star: the root-keyed product receive (N+Nmax+OUT)/p loses to a
+		// cheap fold profile...
+		{"star/yann-at-small-fold",
+			Input{Class: hypergraph.ClassStar, P: 16, N: 30000, NMax: 10000,
+				Out: 100, J: 500000, MaxFold: 100, MaxImage: 10},
+			EngineYannakakis},
+		// ...and wins when the fold intermediate blows up.
+		{"star/star-at-huge-fold",
+			Input{Class: hypergraph.ClassStar, P: 16, N: 30000, NMax: 10000,
+				Out: 100, J: 2000000, MaxFold: 1000000, MaxImage: 1000000},
+			EngineStar},
+		// Star-like shares the chain assembly shape with line.
+		{"star-like/chain-at-huge-fold",
+			Input{Class: hypergraph.ClassStarLike, P: 16, N: 30000, NMax: 10000,
+				Out: 100, J: 2000000, MaxFold: 1000000, MaxImage: 1000000},
+			EngineStarLike},
+		// Free-connex emits only the fold pipeline and the tree engine.
+		{"free-connex/yann-first-on-tie",
+			Input{Class: hypergraph.ClassFreeConnex, P: 16, N: 30000, NMax: 10000},
+			EngineYannakakis},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pl := rank(t, c.in)
+			if pl.Chosen != c.want {
+				t.Fatalf("chose %q, want %q; candidates %+v", pl.Chosen, c.want, pl.Candidates)
+			}
+		})
+	}
+}
+
+// TestTieOrder pins the emission-order tie breaks: when every candidate
+// bottoms out at the input-sort floor, the class's preferred engine wins.
+func TestTieOrder(t *testing.T) {
+	// Line at OUT=0 with no profiled folds: chain = yann = floor. The
+	// fold pipeline is emitted first (no scratch grids), and among the
+	// tied specializations the class engine precedes tree.
+	pl := rank(t, Input{Class: hypergraph.ClassLine, P: 16, N: 30000, NMax: 10000})
+	if pl.Chosen != EngineYannakakis {
+		t.Fatalf("line tie chose %q, want yannakakis; %+v", pl.Chosen, pl.Candidates)
+	}
+	if a, b := pl.Candidates[1], pl.Candidates[2]; a.Engine != EngineLine || b.Engine != EngineTree {
+		t.Fatalf("tied specializations out of emission order: %q then %q", a.Engine, b.Engine)
+	}
+	if pl.Candidates[1].PredictedLoad != pl.PredictedLoad {
+		t.Fatalf("expected a three-way tie, got %+v", pl.Candidates)
+	}
+	// Tree class: the tree engine is itself a fold and keeps precedence
+	// over the baseline at a tie.
+	pl = rank(t, Input{Class: hypergraph.ClassTree, P: 16, N: 20000, NMax: 10000})
+	if pl.Chosen != EngineTree {
+		t.Fatalf("tree tie chose %q, want tree; %+v", pl.Chosen, pl.Candidates)
+	}
+}
+
+// TestInfeasibleNeverChosen gates matmul-linear off and checks it ranks
+// last even when its instantiated load is the smallest of the field.
+func TestInfeasibleNeverChosen(t *testing.T) {
+	in := Input{Class: hypergraph.ClassMatMul, P: 16, N: 4000, NMax: 2000,
+		N1: 2000, N2: 2000, Out: 300, J: 1000000}
+	pl := rank(t, in)
+	var linear *Candidate
+	for i := range pl.Candidates {
+		if pl.Candidates[i].Engine == EngineMatMulLinear {
+			linear = &pl.Candidates[i]
+		}
+	}
+	if linear == nil {
+		t.Fatal("linear candidate not reported")
+	}
+	if linear.Feasible {
+		t.Fatalf("OUT=300 > N/p=250 must gate the linear branch off: %+v", linear)
+	}
+	if last := pl.Candidates[len(pl.Candidates)-1]; last.Engine != EngineMatMulLinear {
+		t.Fatalf("infeasible linear must rank last, got %q", last.Engine)
+	}
+	if linear.PredictedLoad >= pl.PredictedLoad {
+		t.Fatalf("test regime lost its point: linear %v not below chosen %v",
+			linear.PredictedLoad, pl.PredictedLoad)
+	}
+}
+
+// TestMatMulFastPaths mirrors Theorem 1's degenerate dispatches: they
+// short-circuit to the composite matmul engine with no cost comparison.
+func TestMatMulFastPaths(t *testing.T) {
+	pl := rank(t, Input{Class: hypergraph.ClassMatMul, P: 8, N: 5001, NMax: 5000,
+		N1: 1, N2: 5000, Out: 5000})
+	if pl.Chosen != EngineMatMul || !strings.Contains(pl.Reason, "broadcast") {
+		t.Fatalf("broadcast fast path: %q (%s)", pl.Chosen, pl.Reason)
+	}
+	pl = rank(t, Input{Class: hypergraph.ClassMatMul, P: 8, N: 100100, NMax: 100000,
+		N1: 100, N2: 100000, Out: 1000})
+	if pl.Chosen != EngineMatMul || !strings.Contains(pl.Reason, "ratio") {
+		t.Fatalf("unequal-ratio fast path: %q (%s)", pl.Chosen, pl.Reason)
+	}
+}
+
+// TestSweepInvariants runs the structural checks over a broad input grid —
+// every class, several cluster sizes, and output/fold regimes spanning the
+// crossovers — so no corner of the matrix can panic, pick an infeasible
+// candidate, or return an unsorted plan.
+func TestSweepInvariants(t *testing.T) {
+	classes := []hypergraph.Class{
+		hypergraph.ClassMatMul, hypergraph.ClassLine, hypergraph.ClassStar,
+		hypergraph.ClassStarLike, hypergraph.ClassFreeConnex, hypergraph.ClassTree,
+	}
+	for _, class := range classes {
+		for _, p := range []int{1, 4, 16, 64} {
+			for _, n := range []int64{0, 100, 100000} {
+				for _, out := range []int64{0, 1, n / 2, 10 * n} {
+					for _, fold := range []int64{0, out, 100 * (out + 1)} {
+						in := Input{Class: class, P: p, N: 3 * n, NMax: n,
+							N1: n, N2: n, Out: out, J: fold + out,
+							MaxFold: fold, MaxImage: fold / 2}
+						rank(t, in)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForcedAndLegal pins the trivial-plan constructor and the per-class
+// legal engine sets core's dispatch accepts.
+func TestForcedAndLegal(t *testing.T) {
+	pl := Forced(hypergraph.ClassLine, EngineTree, "forced by test")
+	if pl.Chosen != EngineTree || pl.Class != "line" || pl.Reason != "forced by test" {
+		t.Fatalf("forced plan %+v", pl)
+	}
+	if len(pl.Candidates) != 0 {
+		t.Fatalf("forced plan must not rank candidates: %+v", pl.Candidates)
+	}
+	want := map[hypergraph.Class][]string{
+		hypergraph.ClassMatMul:     {EngineMatMul, EngineMatMulLinear, EngineMatMulWorstCase, EngineMatMulOutSens, EngineYannakakis},
+		hypergraph.ClassLine:       {EngineLine, EngineTree, EngineYannakakis},
+		hypergraph.ClassStar:       {EngineStar, EngineTree, EngineYannakakis},
+		hypergraph.ClassStarLike:   {EngineStarLike, EngineTree, EngineYannakakis},
+		hypergraph.ClassFreeConnex: {EngineYannakakis, EngineTree},
+		hypergraph.ClassTree:       {EngineTree, EngineYannakakis},
+	}
+	for class, engines := range want {
+		got := Legal(class)
+		if len(got) != len(engines) {
+			t.Fatalf("Legal(%s) = %v, want %v", class, got, engines)
+		}
+		for i := range got {
+			if got[i] != engines[i] {
+				t.Fatalf("Legal(%s) = %v, want %v", class, got, engines)
+			}
+		}
+	}
+}

@@ -41,8 +41,14 @@ var validCacheModes = map[string]bool{cacheDefault: true, "default": true, cache
 //     hits are structurally impossible even without invalidation;
 //   - the group-by list and the semiring;
 //   - the canonical fingerprint of the resolved engine options (servers,
-//     strategy, seeds, fault schedule — see core.ResultFingerprint);
-//   - whether a trace was requested, since the response body differs.
+//     strategy, forced/resolved engine, seeds, fault schedule — see
+//     core.ResultFingerprint);
+//   - the resolved engine again as an explicit key component: for
+//     auto-planned queries the server resolves the plan before keying, so
+//     a planner decision that flips with the data can never cross-serve a
+//     result computed by a different engine;
+//   - whether a trace or an explanation was requested, since the response
+//     body differs.
 //
 // Relation order is preserved: two permutations of the same join key
 // differently and may both miss — a correctness-neutral inefficiency.
@@ -56,7 +62,8 @@ func cacheKey(req *QueryRequest, insts map[string]*Dataset, o core.Options) stri
 		}
 		fmt.Fprintf(&b, "rel=%q attrs=%q ds=%q@%d;", rel.Name, strings.Join(rel.Attrs, ","), dsName, ds.Version)
 	}
-	fmt.Fprintf(&b, "group_by=%q;semiring=%q;trace=%v;opts=%016x", strings.Join(req.GroupBy, ","), req.Semiring, req.Trace, o.ResultFingerprint())
+	fmt.Fprintf(&b, "group_by=%q;semiring=%q;trace=%v;explain=%v;engine=%q;opts=%016x",
+		strings.Join(req.GroupBy, ","), req.Semiring, req.Trace, req.Explain, o.Engine, o.ResultFingerprint())
 	if g := req.Graph; g != nil {
 		// Graph-driver parameters are not core options, so they are not in
 		// the fingerprint; a graph run must never share identity with the

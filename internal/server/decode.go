@@ -92,6 +92,11 @@ type QueryRequest struct {
 	// the single bound edge relation. v2-only ("json:-" keeps it out of
 	// the v1 wire shape, like Faults).
 	Graph *GraphBlock `json:"-"`
+	// Explain asks for the planner's explanation — class, ranked
+	// candidates, chosen engine and why — in the response's "plan" block.
+	// Settable only through the v2 options object; explaining never
+	// changes rows or stats.
+	Explain bool `json:"-"`
 }
 
 var validStrategies = map[string]bool{"": true, "auto": true, "yannakakis": true, "tree": true}
@@ -217,6 +222,9 @@ func validateQueryRequest(req *QueryRequest) error {
 		}
 		if req.Semiring != "" {
 			return fmt.Errorf("graph queries do not take a semiring (the %s driver fixes it)", g.Kind)
+		}
+		if req.Explain {
+			return fmt.Errorf("explain does not apply to graph queries (the %s driver is the plan)", g.Kind)
 		}
 	}
 	return nil

@@ -45,6 +45,7 @@ type Metrics struct {
 
 	mu           sync.Mutex
 	byEngine     map[string]int64 // completed queries per engine ("matmul", …)
+	byPlanEngine map[string]int64 // planner decisions per chosen engine
 	byOutcome    map[string]int64 // cancellations per cause ("deadline", …)
 	byFault      map[string]int64 // injected faults per kind ("crash", …)
 	tenantServed map[string]int64 // successful responses per tenant (any path)
@@ -55,6 +56,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		byEngine:     make(map[string]int64),
+		byPlanEngine: make(map[string]int64),
 		byOutcome:    make(map[string]int64),
 		byFault:      make(map[string]int64),
 		tenantServed: make(map[string]int64),
@@ -127,6 +129,19 @@ func (m *Metrics) QueryCompleted(engine string, st mpc.Stats) {
 	m.mu.Unlock()
 }
 
+// PlanEngine records one planner decision, keyed by the engine the plan
+// chose. Counted per served join query (fresh, cached or coalesced) and
+// per dry-run plan, so the breakdown tracks what the planner decides, not
+// only what executes.
+func (m *Metrics) PlanEngine(engine string) {
+	if engine == "" {
+		return
+	}
+	m.mu.Lock()
+	m.byPlanEngine[engine]++
+	m.mu.Unlock()
+}
+
 // FaultsObserved folds one query's fault-plane accounting into the
 // service counters, keyed by fault kind. Called for every fault-injected
 // query, successful or not.
@@ -187,7 +202,11 @@ type MetricsSnapshot struct {
 	FaultKinds          []EngineCount `json:"fault_kinds"`
 
 	ByEngine []EngineCount `json:"by_engine"`
-	Cancel   []EngineCount `json:"cancel_causes"`
+	// PlanEngines breaks down planner decisions by chosen engine; unlike
+	// ByEngine it also counts cache hits, coalesced waiters and dry-run
+	// /v2/plan calls.
+	PlanEngines []EngineCount `json:"plan_engines"`
+	Cancel      []EngineCount `json:"cancel_causes"`
 	// Per-tenant serving-plane breakdown: successful responses, shed
 	// requests (429), and currently queued waiters.
 	TenantServed []EngineCount `json:"tenant_served"`
@@ -236,6 +255,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	snap.Failed = snap.FailedClient + snap.FailedInternal
 	m.mu.Lock()
 	snap.ByEngine = sortedCounts(m.byEngine)
+	snap.PlanEngines = sortedCounts(m.byPlanEngine)
 	snap.Cancel = sortedCounts(m.byOutcome)
 	snap.FaultKinds = sortedCounts(m.byFault)
 	snap.TenantServed = sortedCounts(m.tenantServed)

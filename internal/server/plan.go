@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mpcjoin/internal/core"
+	"mpcjoin/internal/db"
+	"mpcjoin/internal/hypergraph"
+	"mpcjoin/internal/planner"
+)
+
+// plan.go is the serving tier's side of the cost-based planner: the
+// pre-execution plan resolution that lets result-cache keys carry the
+// *resolved* engine (so an auto-planned query whose planner decision
+// flips with the data never cross-serves), a bounded plan cache so the
+// resolution is close to free for repeated queries, and the /v2/plan
+// dry-run endpoint that explains a query without executing it.
+
+// bindFail classifies a relation-binding failure for the handler.
+type bindFail struct {
+	status int
+	cause  string
+	msg    string
+}
+
+// bindQuery resolves the request's relation → dataset bindings against
+// one registry snapshot, building the hypergraph query and the dataset
+// map the execution (or planning) runs on. Shared by /v1/query, /v2/query
+// and /v2/plan so all three bind — and therefore plan — identically.
+func bindQuery(req *QueryRequest, view *RegistryView) (*hypergraph.Query, map[string]*Dataset, *bindFail) {
+	q := &hypergraph.Query{}
+	insts := make(map[string]*Dataset, len(req.Relations))
+	for _, rel := range req.Relations {
+		dsName := rel.Dataset
+		if dsName == "" {
+			dsName = rel.Name
+		}
+		ds, ok := view.Get(dsName)
+		if !ok {
+			return nil, nil, &bindFail{http.StatusNotFound, "not_found",
+				fmt.Sprintf("dataset %q not registered", dsName)}
+		}
+		if ds.Arity != len(rel.Attrs) {
+			return nil, nil, &bindFail{http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("relation %q has %d attrs but dataset %q has arity %d",
+					rel.Name, len(rel.Attrs), dsName, ds.Arity)}
+		}
+		attrs := make([]hypergraph.Attr, len(rel.Attrs))
+		for i, a := range rel.Attrs {
+			attrs[i] = hypergraph.Attr(a)
+		}
+		q.Edges = append(q.Edges, hypergraph.Edge{Name: rel.Name, Attrs: attrs})
+		insts[rel.Name] = ds
+	}
+	for _, a := range req.GroupBy {
+		q.Output = append(q.Output, hypergraph.Attr(a))
+	}
+	return q, insts, nil
+}
+
+// resolveQueryPlan runs the cost-based planner for a bound query without
+// executing it. Plans are keyed like results (dataset versions, canonical
+// options), so a registration or option change replans; the annotation
+// semiring is irrelevant to planning (only sizes matter), so one plan
+// serves every semiring of the same shape.
+func (s *Server) resolveQueryPlan(ctx context.Context, req *QueryRequest, q *hypergraph.Query, insts map[string]*Dataset, o core.Options) (*planner.Plan, error) {
+	key := cacheKey(req, insts, o) + ";plan"
+	if s.cacheOn {
+		if pl, ok := s.plans.Get(key); ok {
+			return pl, nil
+		}
+	}
+	inst := make(db.Instance[int64], len(insts))
+	for name, ds := range insts {
+		rel := newRelation[int64](q, name)
+		rel.Rows = ds.Rows
+		inst[name] = rel
+	}
+	// Validate here so request-shape problems classify as client errors;
+	// whatever PlanInstance then fails on (beyond cancellation) is
+	// internal.
+	if err := q.Validate(); err != nil {
+		return nil, &clientError{err}
+	}
+	if err := db.Validate(q, inst); err != nil {
+		return nil, &clientError{err}
+	}
+	pl, err := core.PlanInstance(ctx, q, inst, o)
+	if err != nil {
+		return nil, err
+	}
+	if s.cacheOn {
+		s.plans.Put(key, cacheTags(req), &pl)
+	}
+	return &pl, nil
+}
+
+// failPlan maps a planning error onto the response and the metrics;
+// planning failures classify exactly like execution failures.
+func (s *Server) failPlan(ctx context.Context, fail func(status int, cause, format string, args ...any), err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.QueryCancelled("deadline")
+		fail(http.StatusGatewayTimeout, "deadline", "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		s.met.QueryCancelled(s.cancelCause(ctx))
+		fail(http.StatusServiceUnavailable, "drain", "cancelled (%s)", s.disconnectCause())
+	case isClientError(err):
+		s.met.QueryFailedClient()
+		fail(http.StatusBadRequest, "bad_request", "%v", err)
+	default:
+		s.met.QueryFailedInternal()
+		fail(http.StatusInternalServerError, "internal", "planning failed: %v", err)
+	}
+}
+
+// PlanResponse is the body of a successful POST /v2/plan: the dry-run
+// plan for a query, computed from the registered datasets and the
+// estimate-only pre-pass, without executing the query.
+type PlanResponse struct {
+	// Class is the query's structural class.
+	Class string `json:"class"`
+	// Plan is the full ranked plan; Plan.Chosen is the engine an
+	// identical /v2/query would run (MeasuredLoad stays 0 — nothing ran).
+	Plan *planner.Plan `json:"plan"`
+	// DatasetVersion is the registry version the plan's snapshot pinned.
+	DatasetVersion uint64 `json:"dataset_version"`
+	// WallNS is the planning wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// handlePlanV2 is the dry-run planning endpoint: it accepts the /v2/query
+// request shape, resolves the same plan the query endpoint would, and
+// returns it without admitting or executing anything. The pre-pass runs
+// outside admission control on purpose — it is estimate-sized work, not
+// query-sized work.
+func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
+	entry := AccessEntry{Path: r.URL.Path, Tenant: DefaultTenant}
+	defer func() {
+		if s.cfg.AccessLog != nil {
+			entry.WallNS = time.Since(reqStart).Nanoseconds()
+			s.cfg.AccessLog(entry)
+		}
+	}()
+	fail := func(status int, cause, format string, args ...any) {
+		entry.Status, entry.Cause = status, cause
+		apiV2.writeError(w, status, cause, format, args...)
+	}
+
+	if s.Draining() {
+		s.met.QueryRejected()
+		fail(http.StatusServiceUnavailable, "drain", "draining")
+		return
+	}
+	tenant, err := tenantFromRequest(r)
+	if err != nil {
+		fail(http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	entry.Tenant = tenant
+
+	req, err := DecodeQueryRequestV2(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		fail(http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	if req.Graph != nil {
+		fail(http.StatusBadRequest, "bad_request", "graph queries are not planned: the %s driver is the engine", req.Graph.Kind)
+		return
+	}
+
+	view := s.reg.View()
+	q, insts, bf := bindQuery(req, view)
+	if bf != nil {
+		fail(bf.status, bf.cause, "%s", bf.msg)
+		return
+	}
+	entry.DatasetVersion = view.Version()
+
+	o := core.Options{
+		Servers:   req.Servers,
+		Seed:      req.Seed,
+		Workers:   req.Workers,
+		Transport: s.cfg.Transport,
+	}
+	switch req.Strategy {
+	case "yannakakis":
+		o.Strategy = core.StrategyYannakakis
+	case "tree":
+		o.Strategy = core.StrategyTree
+	}
+
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if req.DeadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+	}
+	defer cancel()
+
+	pl, err := s.resolveQueryPlan(ctx, req, q, insts, o)
+	if err != nil {
+		s.failPlan(ctx, fail, err)
+		return
+	}
+	entry.Engine = pl.Chosen
+	entry.Status = http.StatusOK
+	s.met.PlanEngine(pl.Chosen)
+	s.met.TenantServed(tenant)
+	writeJSON(w, http.StatusOK, PlanResponse{
+		Class:          pl.Class,
+		Plan:           pl,
+		DatasetVersion: view.Version(),
+		WallNS:         time.Since(reqStart).Nanoseconds(),
+	})
+}

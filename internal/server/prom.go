@@ -99,6 +99,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, snap MetricsSnapshot) {
 			fmt.Fprintf(w, "%s{engine=%q} %d\n", name, ec.Name, ec.Count)
 		}
 	}
+	if len(snap.PlanEngines) > 0 {
+		name := "mpcd_plan_engine_total"
+		fmt.Fprintf(w, "# HELP %s Planner decisions per chosen engine.\n# TYPE %s counter\n", name, name)
+		for _, ec := range snap.PlanEngines {
+			fmt.Fprintf(w, "%s{engine=%q} %d\n", name, ec.Name, ec.Count)
+		}
+	}
 	if len(snap.Cancel) > 0 {
 		name := "mpcd_queries_cancelled_by_cause_total"
 		fmt.Fprintf(w, "# HELP %s Cancelled queries per cause.\n# TYPE %s counter\n", name, name)

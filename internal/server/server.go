@@ -39,6 +39,7 @@
 //	GET  /v1/datasets  — list registered dataset names
 //	POST /v1/query     — run a join-aggregate query
 //	POST /v2/query     — options object, faults, cache control, tenants
+//	POST /v2/plan      — dry-run the cost-based planner, no execution
 package server
 
 import (
@@ -56,6 +57,7 @@ import (
 	"mpcjoin/internal/db"
 	"mpcjoin/internal/hypergraph"
 	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/planner"
 	"mpcjoin/internal/relation"
 	"mpcjoin/internal/semiring"
 	"mpcjoin/internal/serve"
@@ -111,6 +113,7 @@ type Server struct {
 	reg      *Registry
 	fair     *serve.FairQueue
 	cache    *serve.Cache[*QueryResponse]
+	plans    *serve.Cache[*planner.Plan]
 	flight   serve.Flight[*QueryResponse]
 	met      *Metrics
 	mux      *http.ServeMux
@@ -151,6 +154,7 @@ func New(cfg Config) *Server {
 			Weights:     cfg.TenantWeights,
 		}),
 		cache:   serve.NewCache[*QueryResponse](entries),
+		plans:   serve.NewCache[*planner.Plan](entries),
 		met:     NewMetrics(),
 		baseCtx: cfg.BaseContext,
 		cacheOn: cfg.CacheEntries > 0,
@@ -162,6 +166,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/query", s.handleQueryV1)
 	s.mux.HandleFunc("POST /v2/query", s.handleQueryV2)
+	s.mux.HandleFunc("POST /v2/plan", s.handlePlanV2)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -295,8 +300,10 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Version-carrying cache keys already make stale hits impossible;
-	// invalidation reclaims the memory the replaced results occupy.
+	// invalidation reclaims the memory the replaced results occupy. Cached
+	// plans key the same way and drop with the same registration.
 	s.cache.InvalidateTags(req.Name)
+	s.plans.InvalidateTags(req.Name)
 	ds, _ := s.reg.Get(req.Name)
 	writeJSON(w, http.StatusOK, DatasetResponse{Name: req.Name, Rows: len(rows), Version: ds.Version})
 }
@@ -318,6 +325,12 @@ type QueryResponse struct {
 	// Class is the query's structural class; Engine the algorithm that ran.
 	Class  string `json:"class"`
 	Engine string `json:"engine"`
+	// Plan is the planner's explanation — class, ranked candidates with
+	// predicted loads, chosen engine and why, predicted vs. measured
+	// load — present only when the request asked for it
+	// ("options":{"explain":true}, v2 only). Explaining never changes rows
+	// or stats.
+	Plan *planner.Plan `json:"plan,omitempty"`
 	// WallNS is the query's wall-clock execution time in nanoseconds
 	// (excluding queueing); for a cache hit, the time to serve the hit.
 	WallNS int64 `json:"wall_ns"`
@@ -345,6 +358,9 @@ type QueryResponse struct {
 
 	// queueNS is the execution's admission-queue wait, for the access log.
 	queueNS int64
+	// plan is the plan the execution observed (always, explain or not) —
+	// the source of the Class/Engine labels; nil for graph queries.
+	plan *planner.Plan
 }
 
 // handleQueryV1 is the deprecated flat-shape query endpoint: a thin
@@ -417,32 +433,10 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 	// snapshot without touching this one, and a dangling reference is a
 	// client error, not load.
 	view := s.reg.View()
-	q := &hypergraph.Query{}
-	insts := make(map[string]*Dataset, len(req.Relations))
-	for _, rel := range req.Relations {
-		dsName := rel.Dataset
-		if dsName == "" {
-			dsName = rel.Name
-		}
-		ds, ok := view.Get(dsName)
-		if !ok {
-			fail(http.StatusNotFound, "not_found", "dataset %q not registered", dsName)
-			return
-		}
-		if ds.Arity != len(rel.Attrs) {
-			fail(http.StatusBadRequest, "bad_request", "relation %q has %d attrs but dataset %q has arity %d",
-				rel.Name, len(rel.Attrs), dsName, ds.Arity)
-			return
-		}
-		attrs := make([]hypergraph.Attr, len(rel.Attrs))
-		for i, a := range rel.Attrs {
-			attrs[i] = hypergraph.Attr(a)
-		}
-		q.Edges = append(q.Edges, hypergraph.Edge{Name: rel.Name, Attrs: attrs})
-		insts[rel.Name] = ds
-	}
-	for _, a := range req.GroupBy {
-		q.Output = append(q.Output, hypergraph.Attr(a))
+	q, insts, bf := bindQuery(req, view)
+	if bf != nil {
+		fail(bf.status, bf.cause, "%s", bf.msg)
+		return
 	}
 	entry.DatasetVersion = view.Version()
 
@@ -461,18 +455,45 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 	if req.Faults != nil {
 		o.Faults = mpc.NewFaultPlane(req.Faults.Spec(req.Seed))
 	}
-	var pl core.Plan
 	if req.Graph != nil {
 		// Graph queries bypass the join-aggregate planner: the graph block
 		// itself names the driver.
 		entry.Engine = "spmv-" + req.Graph.Kind
 	} else {
-		pl, err = core.PlanQuery(q, o.Strategy)
+		// Class-only validation and a provisional engine label; the
+		// cost-based resolution below refines the label for auto queries.
+		cpl, err := core.PlanQuery(q, o.Strategy)
 		if err != nil {
 			fail(http.StatusBadRequest, "bad_request", "%v", err)
 			return
 		}
-		entry.Engine = pl.Engine
+		entry.Engine = cpl.Engine
+	}
+
+	// Deadline: derived before planning and admission so it covers the
+	// planner pre-pass and queue wait as well as execution — a query must
+	// not sit in the admission queue past its own deadline and then still
+	// run.
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if req.DeadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+	}
+	defer cancel()
+
+	// Resolve the auto plan before the cache is keyed: the result key must
+	// carry the engine that will actually run, so an auto-planned query
+	// whose planner decision flips with the data can never cross-serve a
+	// result computed by a different engine.
+	var resolved *planner.Plan
+	if req.Graph == nil && mode != cacheOff && o.Strategy == core.StrategyAuto {
+		resolved, err = s.resolveQueryPlan(ctx, req, q, insts, o)
+		if err != nil {
+			s.failPlan(ctx, fail, err)
+			return
+		}
+		o.Engine = resolved.Chosen
+		entry.Engine = resolved.Chosen
 	}
 
 	// respond renders a success from resp without mutating it: resp may
@@ -491,8 +512,12 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 		}
 		entry.Status = http.StatusOK
 		entry.CacheHit, entry.Coalesced = hit, coalesced
+		entry.Engine = out.Engine
 		if !hit {
 			entry.QueueNS = resp.queueNS
+		}
+		if req.Graph == nil {
+			s.met.PlanEngine(out.Engine)
 		}
 		s.met.TenantServed(tenant)
 		writeJSON(w, http.StatusOK, &out)
@@ -510,25 +535,25 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 		}
 	}
 
-	// Deadline: derived before admission so it covers queue wait as well
-	// as execution — a query must not sit in the admission queue past its
-	// own deadline and then still run.
-	ctx := r.Context()
-	cancel := context.CancelFunc(func() {})
-	if req.DeadlineMS > 0 {
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
-	}
-	defer cancel()
-
 	// exec is the one shared execution: admission, engine run, metrics,
 	// cache write. In coalescing mode it runs under a context derived
 	// from the server's base context — NOT from any single waiter — so a
 	// waiter's deadline or disconnect never cancels the result the other
 	// waiters are waiting for.
 	exec := func(execCtx context.Context) (*QueryResponse, error) {
-		resp, err := s.execAdmitted(execCtx, tenant, req, q, insts, o, pl)
-		if err == nil && mode != cacheOff {
-			s.cache.Put(key, cacheTags(req), resp)
+		resp, err := s.execAdmitted(execCtx, tenant, req, q, insts, o)
+		if err == nil {
+			if req.Explain && resolved != nil {
+				// The ranked plan came from the pre-resolution above; the
+				// execution itself ran with the engine forced, so its own
+				// observer holds only the forced stub.
+				rich := *resolved
+				rich.MeasuredLoad = resp.Stats.MaxLoad
+				resp.Plan = &rich
+			}
+			if mode != cacheOff {
+				s.cache.Put(key, cacheTags(req), resp)
+			}
 		}
 		return resp, err
 	}
@@ -587,7 +612,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, v apiVersion
 // metrics — and is called exactly once per execution (directly for
 // uncached modes, as the shared flight body otherwise), so every metric
 // it records counts executions, not waiters.
-func (s *Server) execAdmitted(ctx context.Context, tenant string, req *QueryRequest, q *hypergraph.Query, insts map[string]*Dataset, o core.Options, pl core.Plan) (*QueryResponse, error) {
+func (s *Server) execAdmitted(ctx context.Context, tenant string, req *QueryRequest, q *hypergraph.Query, insts map[string]*Dataset, o core.Options) (*QueryResponse, error) {
 	// Admission: hold weight proportional to the OS parallelism this query
 	// runs with for the duration of its execution. The wait respects the
 	// execution's context, so an abandoned execution frees its queue slot.
@@ -652,13 +677,20 @@ func (s *Server) execAdmitted(ctx context.Context, tenant string, req *QueryRequ
 		}
 		return nil, err
 	}
-	engine, class := pl.Engine, pl.Class.String()
+	engine, class := "", ""
 	if req.Graph != nil {
 		engine, class = "spmv-"+req.Graph.Kind, "graph"
+	} else if resp.plan != nil {
+		// The plan observer names the engine that actually ran — the
+		// planner's choice for auto queries, the forced engine otherwise.
+		engine, class = resp.plan.Chosen, resp.plan.Class
 	}
 	s.met.QueryCompleted(engine, resp.Stats)
 	resp.Class = class
 	resp.Engine = engine
+	if req.Explain {
+		resp.Plan = resp.plan
+	}
 	resp.WallNS = wall.Nanoseconds()
 	resp.queueNS = queueNS
 	if o.Tracer != nil {
@@ -824,12 +856,16 @@ func runTyped[W any](ctx context.Context, sr semiring.Semiring[W], q *hypergraph
 	if err := db.Validate(q, inst); err != nil {
 		return nil, &clientError{err}
 	}
+	// The executed plan (chosen engine, candidates, predictions) is read
+	// back through the PlanOut observer; it never changes rows or Stats.
+	var plan planner.Plan
+	o.PlanOut = &plan
 	rel, st, err := core.ExecuteContext(ctx, sr, q, inst, o)
 	if err != nil {
 		return nil, err
 	}
 	rel.SortRows()
-	resp := &QueryResponse{Stats: st, Rows: make([][]any, len(rel.Rows))}
+	resp := &QueryResponse{Stats: st, Rows: make([][]any, len(rel.Rows)), plan: &plan}
 	for _, a := range rel.Schema() {
 		resp.Attrs = append(resp.Attrs, string(a))
 	}

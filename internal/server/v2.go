@@ -169,6 +169,10 @@ type QueryOptions struct {
 	// result back; "bypass" always executes fresh but still writes;
 	// "off" touches the cache not at all.
 	Cache string `json:"cache,omitempty"`
+	// Explain returns the planner's explanation — class, ranked
+	// candidates with predicted loads, chosen engine and why — as the
+	// response's "plan" block. Rows and stats are unchanged.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // QueryRequestV2 is the body of POST /v2/query.
@@ -210,6 +214,7 @@ func DecodeQueryRequestV2(r io.Reader) (*QueryRequest, error) {
 		req.DeadlineMS = o.DeadlineMS
 		req.Faults = o.Faults
 		req.Cache = o.Cache
+		req.Explain = o.Explain
 	}
 	if err := validateQueryRequest(req); err != nil {
 		return nil, err

@@ -45,6 +45,7 @@ import (
 	"mpcjoin/internal/db"
 	"mpcjoin/internal/hypergraph"
 	"mpcjoin/internal/mpc"
+	"mpcjoin/internal/planner"
 	"mpcjoin/internal/relation"
 	"mpcjoin/internal/semiring"
 )
@@ -65,6 +66,16 @@ type Stats = mpc.Stats
 // primitive that drove it and the distribution of per-server received
 // load. Request a trace with WithTrace; read it from Result.Trace.
 type RoundTrace = mpc.RoundTrace
+
+// Plan is the explainable outcome of planning one execution: the query's
+// class, the cost-ranked candidate engines with their instantiated
+// Table 1 formulas, the chosen engine and why, the pre-pass size
+// predictions, and predicted vs. measured load. Read it from Result.Plan.
+type Plan = planner.Plan
+
+// PlanCandidate is one engine the planner considered, with its predicted
+// load and the formula it was priced by.
+type PlanCandidate = planner.Candidate
 
 // ---------------------------------------------------------------------------
 // Query construction
@@ -192,9 +203,17 @@ type Result[W any] struct {
 	Stats Stats
 	// Class is the query's structural class.
 	Class string
-	// Engine is the algorithm that ran ("matmul", "line", "star",
-	// "star-like", "tree" or "yannakakis").
+	// Engine is the algorithm that ran ("matmul", "matmul-linear",
+	// "matmul-worstcase", "matmul-outsens", "line", "star", "star-like",
+	// "tree" or "yannakakis"). Under the default cost-based planning it
+	// is Plan.Chosen; forced engines (WithEngine, WithBaseline,
+	// WithTreeEngine) short-circuit the planner.
 	Engine string
+	// Plan explains how the engine was chosen: the ranked candidates with
+	// predicted loads, the pre-pass OUT/join-cardinality predictions, and
+	// predicted vs. measured load. For forced engines it records the
+	// forced choice with an empty candidate list.
+	Plan Plan
 	// Trace is the per-round load timeline, present only when the
 	// execution ran with WithTrace. Its rounds count physical exchanges
 	// in execution order, so len(Trace) can exceed Stats.Rounds (which
@@ -234,10 +253,10 @@ func ExecuteContext[W any](ctx context.Context, sr Semiring[W], q *Query, data I
 	for name, r := range data {
 		inst[name] = r.rel
 	}
-	pl, err := core.PlanQuery(q.q, o.Strategy)
-	if err != nil {
-		return nil, err
-	}
+	// The executed plan (chosen engine, candidates, predictions) is read
+	// back through the PlanOut observer; it never changes rows or Stats.
+	var plan planner.Plan
+	o.PlanOut = &plan
 	rel, st, err := core.ExecuteContext(ctx, sr, q.q, inst, o)
 	if err != nil {
 		return nil, err
@@ -246,8 +265,9 @@ func ExecuteContext[W any](ctx context.Context, sr Semiring[W], q *Query, data I
 
 	res := &Result[W]{
 		Stats:  st,
-		Class:  pl.Class.String(),
-		Engine: pl.Engine,
+		Class:  plan.Class,
+		Engine: plan.Chosen,
+		Plan:   plan,
 	}
 	if o.Tracer != nil {
 		res.Trace = o.Tracer.Rounds()

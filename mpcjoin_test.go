@@ -27,8 +27,13 @@ func TestQuickstartMatMul(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Class != "matmul" || res.Engine != "matmul" {
+	// The cost-based planner names the Theorem 1 variant it picked: at
+	// OUT=1 ≪ (N1+N2)/p the linear branch wins.
+	if res.Class != "matmul" || res.Engine != "matmul-linear" {
 		t.Fatalf("class/engine = %s/%s", res.Class, res.Engine)
+	}
+	if res.Plan.Chosen != res.Engine || len(res.Plan.Candidates) == 0 {
+		t.Fatalf("plan = %+v", res.Plan)
 	}
 	if len(res.Rows) != 1 {
 		t.Fatalf("rows = %v", res.Rows)
@@ -78,7 +83,14 @@ func TestBaselineAgreesWithAuto(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if auto.Engine != "line" || base.Engine != "yannakakis" || tree.Engine != "tree" {
+	// Auto's choice is the cost model's call (on this tiny dense instance
+	// the join dwarfs the output, so early aggregation tends to win); what
+	// must hold is that it is legal for the class and matches the plan.
+	legal := map[string]bool{"line": true, "tree": true, "yannakakis": true}
+	if !legal[auto.Engine] || auto.Plan.Chosen != auto.Engine {
+		t.Fatalf("auto engine %q (plan chose %q) not a legal line-class choice", auto.Engine, auto.Plan.Chosen)
+	}
+	if base.Engine != "yannakakis" || tree.Engine != "tree" {
 		t.Fatalf("engines: %s %s %s", auto.Engine, base.Engine, tree.Engine)
 	}
 	if len(auto.Rows) != len(base.Rows) || len(auto.Rows) != len(tree.Rows) {

@@ -14,10 +14,12 @@ package mpcjoin
 //     retry budget.
 //   - Repeating the same option overwrites its earlier value (last call
 //     wins within one option).
-//   - Engine selection is exclusive: WithBaseline and WithTreeEngine
-//     conflict (ErrOptionConflict).
-//   - WithOutOracle feeds the specialized matmul/line engines and
-//     conflicts with WithBaseline, which cannot consume it.
+//   - Engine selection is exclusive: WithEngine, WithBaseline and
+//     WithTreeEngine pairwise conflict (ErrOptionConflict). WithEngine is
+//     the current spelling; the other two are deprecated wrappers.
+//   - WithOutOracle feeds the cost-based planner and the specialized
+//     matmul/line engines, and conflicts with the Yannakakis baseline,
+//     which cannot consume it.
 //   - WithRetry tunes the fault plane and requires WithFaults.
 //   - Out-of-domain arguments (WithServers(p < 1), an invalid FaultSpec)
 //     fail Execute with a descriptive error rather than being clamped.
@@ -121,8 +123,8 @@ func (o *optionSet) build() (core.Options, error) {
 // buildCore is build without the iterated-option rejection — the shared
 // tail the graph entry points use after consuming those options.
 func (o *optionSet) buildCore() (core.Options, error) {
-	if o.strategyBy == "WithBaseline" && o.oracleBy != "" {
-		o.fail(fmt.Errorf("%w: %s requires the matmul/line engines, which WithBaseline disables", ErrOptionConflict, o.oracleBy))
+	if o.core.Strategy == core.StrategyYannakakis && o.strategyBy != "" && o.oracleBy != "" {
+		o.fail(fmt.Errorf("%w: %s requires the matmul/line engines, which %s disables", ErrOptionConflict, o.oracleBy, o.strategyBy))
 	}
 	if o.retry != nil && o.faults == nil {
 		o.fail(fmt.Errorf("%w: WithRetry tunes the fault plane and requires WithFaults", ErrOptionConflict))
@@ -214,15 +216,55 @@ func WithServers(p int) Option {
 	}
 }
 
+// Engine names an execution engine for WithEngine. The zero value is
+// EngineAuto.
+type Engine string
+
+const (
+	// EngineAuto lets the cost-based planner pick the min-predicted-load
+	// engine per instance (the default; see Result.Plan for the decision).
+	EngineAuto Engine = "auto"
+	// EngineYannakakis forces the distributed Yannakakis baseline —
+	// Table 1's comparison column.
+	EngineYannakakis Engine = "yannakakis"
+	// EngineTree forces the general §7 tree engine regardless of class
+	// (it subsumes all the specialized classes via its twig dispatch).
+	EngineTree Engine = "tree"
+)
+
+// WithEngine selects the execution engine: EngineAuto (the cost-based
+// planner, the default), EngineYannakakis, or EngineTree. It supersedes
+// WithBaseline and WithTreeEngine and conflicts with both
+// (ErrOptionConflict), so a caller migrating cannot silently mix the two
+// spellings. Forcing EngineYannakakis conflicts with WithOutOracle.
+func WithEngine(e Engine) Option {
+	return func(o *optionSet) {
+		switch e {
+		case EngineAuto, "":
+			o.setStrategy("WithEngine", core.StrategyAuto)
+		case EngineYannakakis:
+			o.setStrategy("WithEngine", core.StrategyYannakakis)
+		case EngineTree:
+			o.setStrategy("WithEngine", core.StrategyTree)
+		default:
+			o.fail(fmt.Errorf("mpcjoin: WithEngine(%q): unknown engine (want %q, %q or %q)", e, EngineAuto, EngineYannakakis, EngineTree))
+		}
+	}
+}
+
 // WithBaseline forces the distributed Yannakakis baseline. Conflicts
-// with WithTreeEngine (both select the engine) and WithOutOracle (the
-// baseline has no use for an output-size oracle).
+// with WithTreeEngine and WithEngine (all select the engine) and with
+// WithOutOracle (the baseline has no use for an output-size oracle).
+//
+// Deprecated: use WithEngine(EngineYannakakis).
 func WithBaseline() Option {
 	return func(o *optionSet) { o.setStrategy("WithBaseline", core.StrategyYannakakis) }
 }
 
 // WithTreeEngine forces the general §7 tree engine. Conflicts with
-// WithBaseline.
+// WithBaseline and WithEngine.
+//
+// Deprecated: use WithEngine(EngineTree).
 func WithTreeEngine() Option {
 	return func(o *optionSet) { o.setStrategy("WithTreeEngine", core.StrategyTree) }
 }
